@@ -1,0 +1,146 @@
+//! Sigmoid activation, exact and as the lookup table the hardware NPU uses.
+
+/// The logistic sigmoid `1 / (1 + e^{-x})`.
+///
+/// Every neuron in the paper's NPU applies this to its weighted sum
+/// (Section 6.1: `y = sigmoid(sum(x_i * w_i))`).
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Derivative of the sigmoid expressed in terms of its *output* `y`:
+/// `y * (1 - y)`. Used by backpropagation.
+#[inline]
+pub fn sigmoid_derivative(y: f32) -> f32 {
+    y * (1.0 - y)
+}
+
+/// A quantized sigmoid lookup table.
+///
+/// The digital NPU evaluates the sigmoid with a LUT (Table 2 lists a
+/// 2048-entry sigmoid unit per processing engine). The table covers the
+/// input range `[-bound, bound]` and clamps outside it, which introduces
+/// the same small quantization error a hardware LUT would.
+///
+/// # Example
+///
+/// ```
+/// let lut = ann::SigmoidLut::new(2048, 8.0);
+/// assert!((lut.eval(0.0) - 0.5).abs() < 1e-2);
+/// assert!(lut.eval(100.0) > 0.99);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigmoidLut {
+    table: Vec<f32>,
+    bound: f32,
+}
+
+impl SigmoidLut {
+    /// Builds a LUT with `entries` sample points over `[-bound, bound]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 2` or `bound` is not strictly positive.
+    pub fn new(entries: usize, bound: f32) -> Self {
+        assert!(entries >= 2, "a sigmoid LUT needs at least two entries");
+        assert!(bound > 0.0, "LUT bound must be positive");
+        let table = (0..entries)
+            .map(|i| {
+                let x = -bound + 2.0 * bound * (i as f32) / ((entries - 1) as f32);
+                sigmoid(x)
+            })
+            .collect();
+        SigmoidLut { table, bound }
+    }
+
+    /// Number of entries in the table.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Evaluates the quantized sigmoid (nearest-entry lookup, clamped).
+    pub fn eval(&self, x: f32) -> f32 {
+        let n = self.table.len();
+        if x <= -self.bound {
+            return self.table[0];
+        }
+        if x >= self.bound {
+            return self.table[n - 1];
+        }
+        let pos = (x + self.bound) / (2.0 * self.bound) * ((n - 1) as f32);
+        self.table[pos.round() as usize]
+    }
+
+    /// Worst-case quantization step between adjacent table inputs.
+    pub fn input_step(&self) -> f32 {
+        2.0 * self.bound / (self.table.len() - 1) as f32
+    }
+}
+
+impl Default for SigmoidLut {
+    /// The NPU's hardware configuration: 2048 entries over `[-8, 8]`.
+    fn default() -> Self {
+        SigmoidLut::new(2048, 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_midpoint_and_saturation() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(20.0) > 0.999_999);
+        assert!(sigmoid(-20.0) < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone() {
+        let mut prev = sigmoid(-10.0);
+        for i in -99..=100 {
+            let y = sigmoid(i as f32 / 10.0);
+            assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.7, 3.0] {
+            let h = 1e-3;
+            let numeric = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            let analytic = sigmoid_derivative(sigmoid(x));
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "x={x}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_tracks_exact_sigmoid() {
+        let lut = SigmoidLut::default();
+        for i in -80..=80 {
+            let x = i as f32 / 10.0;
+            assert!(
+                (lut.eval(x) - sigmoid(x)).abs() < 2e-3,
+                "LUT diverges at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_clamps_outside_bound() {
+        let lut = SigmoidLut::new(16, 4.0);
+        assert_eq!(lut.eval(1e6), lut.eval(4.0));
+        assert_eq!(lut.eval(-1e6), lut.eval(-4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two entries")]
+    fn lut_rejects_tiny_tables() {
+        let _ = SigmoidLut::new(1, 8.0);
+    }
+}

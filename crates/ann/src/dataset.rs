@@ -1,0 +1,245 @@
+//! Observed input–output pairs collected from a candidate code region.
+
+use crate::AnnError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A set of input–output samples with fixed dimensionality.
+///
+/// The Parrot transformation's code-observation phase produces one of these
+/// per candidate region: every execution of the instrumented function logs
+/// its inputs and outputs (paper Section 4.1).
+///
+/// # Example
+///
+/// ```
+/// let mut data = ann::Dataset::new(2, 1);
+/// data.push(&[0.0, 1.0], &[1.0])?;
+/// data.push(&[2.0, 3.0], &[5.0])?;
+/// assert_eq!(data.len(), 2);
+/// let (train, test) = data.split(0.5, 7);
+/// assert_eq!(train.len() + test.len(), 2);
+/// # Ok::<(), ann::AnnError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    n_inputs: usize,
+    n_outputs: usize,
+    inputs: Vec<f32>,
+    outputs: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset for samples with the given dimensions.
+    pub fn new(n_inputs: usize, n_outputs: usize) -> Self {
+        Dataset {
+            n_inputs,
+            n_outputs,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Input dimensionality of every sample.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Output dimensionality of every sample.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len().checked_div(self.n_inputs).unwrap_or(0)
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when the slice lengths do not
+    /// match the dataset's dimensions.
+    pub fn push(&mut self, input: &[f32], output: &[f32]) -> Result<(), AnnError> {
+        if input.len() != self.n_inputs {
+            return Err(AnnError::DimensionMismatch {
+                expected: self.n_inputs,
+                actual: input.len(),
+            });
+        }
+        if output.len() != self.n_outputs {
+            return Err(AnnError::DimensionMismatch {
+                expected: self.n_outputs,
+                actual: output.len(),
+            });
+        }
+        self.inputs.extend_from_slice(input);
+        self.outputs.extend_from_slice(output);
+        Ok(())
+    }
+
+    /// The `i`-th input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn input(&self, i: usize) -> &[f32] {
+        &self.inputs[i * self.n_inputs..(i + 1) * self.n_inputs]
+    }
+
+    /// The `i`-th output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn output(&self, i: usize) -> &[f32] {
+        &self.outputs[i * self.n_outputs..(i + 1) * self.n_outputs]
+    }
+
+    /// Iterates over `(input, output)` sample pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], &[f32])> {
+        (0..self.len()).map(move |i| (self.input(i), self.output(i)))
+    }
+
+    /// Splits the samples into two datasets, the first receiving
+    /// `fraction` of them, after a deterministic seeded shuffle.
+    ///
+    /// The paper's compiler uses a 70 % / 30 % train/test split for
+    /// cross-validated topology selection (Section 4.2).
+    pub fn split(&self, fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let cut = ((self.len() as f64) * fraction).round() as usize;
+        let cut = cut.min(self.len());
+        let mut first = Dataset::new(self.n_inputs, self.n_outputs);
+        let mut second = Dataset::new(self.n_inputs, self.n_outputs);
+        for (rank, &i) in order.iter().enumerate() {
+            let target = if rank < cut { &mut first } else { &mut second };
+            target
+                .push(self.input(i), self.output(i))
+                .expect("same dimensions");
+        }
+        (first, second)
+    }
+
+    /// Returns a copy truncated to at most `max_samples` samples (keeping a
+    /// deterministic pseudo-random subset). Used to cap training cost on
+    /// very large observation logs.
+    pub fn subsample(&self, max_samples: usize, seed: u64) -> Dataset {
+        if self.len() <= max_samples {
+            return self.clone();
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let mut out = Dataset::new(self.n_inputs, self.n_outputs);
+        for &i in order.iter().take(max_samples) {
+            out.push(self.input(i), self.output(i)).expect("same dims");
+        }
+        out
+    }
+
+    /// Per-dimension `(min, max)` over inputs. Empty dataset yields `None`.
+    pub fn input_ranges(&self) -> Option<Vec<(f32, f32)>> {
+        Self::ranges(&self.inputs, self.n_inputs)
+    }
+
+    /// Per-dimension `(min, max)` over outputs. Empty dataset yields `None`.
+    pub fn output_ranges(&self) -> Option<Vec<(f32, f32)>> {
+        Self::ranges(&self.outputs, self.n_outputs)
+    }
+
+    fn ranges(flat: &[f32], dims: usize) -> Option<Vec<(f32, f32)>> {
+        if flat.is_empty() || dims == 0 {
+            return None;
+        }
+        let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); dims];
+        for chunk in flat.chunks_exact(dims) {
+            for (r, &v) in ranges.iter_mut().zip(chunk) {
+                r.0 = r.0.min(v);
+                r.1 = r.1.max(v);
+            }
+        }
+        Some(ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> Dataset {
+        let mut d = Dataset::new(2, 1);
+        for i in 0..10 {
+            let x = i as f32;
+            d.push(&[x, -x], &[2.0 * x]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn push_rejects_wrong_dims() {
+        let mut d = Dataset::new(2, 1);
+        assert!(matches!(
+            d.push(&[1.0], &[0.0]),
+            Err(AnnError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+        assert!(d.push(&[1.0, 2.0], &[]).is_err());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = sample_data();
+        let (train, test) = d.split(0.7, 123);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        // Every original output value appears exactly once across the parts.
+        let mut seen: Vec<f32> = train.iter().chain(test.iter()).map(|(_, o)| o[0]).collect();
+        seen.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..10).map(|i| 2.0 * i as f32).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = sample_data();
+        let (a, _) = d.split(0.5, 9);
+        let (b, _) = d.split(0.5, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_track_min_max() {
+        let d = sample_data();
+        let inr = d.input_ranges().unwrap();
+        assert_eq!(inr[0], (0.0, 9.0));
+        assert_eq!(inr[1], (-9.0, 0.0));
+        let outr = d.output_ranges().unwrap();
+        assert_eq!(outr[0], (0.0, 18.0));
+    }
+
+    #[test]
+    fn subsample_caps_len() {
+        let d = sample_data();
+        assert_eq!(d.subsample(3, 1).len(), 3);
+        assert_eq!(d.subsample(100, 1).len(), 10);
+    }
+
+    #[test]
+    fn empty_dataset_has_no_ranges() {
+        let d = Dataset::new(3, 2);
+        assert!(d.input_ranges().is_none());
+        assert!(d.output_ranges().is_none());
+    }
+}

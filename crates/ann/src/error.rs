@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `ann` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnnError {
+    /// A topology had fewer than two layers or a zero-sized layer.
+    InvalidTopology(String),
+    /// A sample's dimensionality does not match the dataset or network.
+    DimensionMismatch {
+        /// Number of values expected.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// An operation that requires data was given an empty dataset.
+    EmptyDataset,
+}
+
+impl fmt::Display for AnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnError::InvalidTopology(why) => write!(f, "invalid topology: {why}"),
+            AnnError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            AnnError::EmptyDataset => write!(f, "dataset contains no samples"),
+        }
+    }
+}
+
+impl Error for AnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = AnnError::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert_eq!(err.to_string(), "dimension mismatch: expected 3, got 5");
+        assert!(AnnError::EmptyDataset.to_string().starts_with("dataset"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnnError>();
+    }
+}

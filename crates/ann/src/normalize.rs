@@ -1,0 +1,157 @@
+//! Min/max normalization of region inputs and outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension linear scaling between application values and the `[0, 1]`
+/// range the sigmoid network operates in.
+///
+/// The observation phase "measures the minimum and maximum value for each
+/// input and output; the NPU normalizes values using these ranges during
+/// execution" (paper Section 4.1). The NPU's *scaling unit* applies exactly
+/// this transform in hardware (Section 6.1).
+///
+/// Degenerate dimensions (min == max) normalize to `0.5` and denormalize
+/// back to the constant, so constant outputs survive the round trip.
+///
+/// # Example
+///
+/// ```
+/// let norm = ann::Normalizer::new(vec![(-1.0, 3.0)]);
+/// let mut v = [1.0f32];
+/// norm.normalize(&mut v);
+/// assert_eq!(v[0], 0.5);
+/// norm.denormalize(&mut v);
+/// assert_eq!(v[0], 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    ranges: Vec<(f32, f32)>,
+}
+
+impl Normalizer {
+    /// Creates a normalizer from per-dimension `(min, max)` ranges.
+    pub fn new(ranges: Vec<(f32, f32)>) -> Self {
+        Normalizer { ranges }
+    }
+
+    /// An identity normalizer (`[0, 1]` in every dimension).
+    pub fn identity(dims: usize) -> Self {
+        Normalizer {
+            ranges: vec![(0.0, 1.0); dims],
+        }
+    }
+
+    /// Number of dimensions this normalizer covers.
+    pub fn dims(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The `(min, max)` ranges, one per dimension.
+    pub fn ranges(&self) -> &[(f32, f32)] {
+        &self.ranges
+    }
+
+    /// Maps application values into `[0, 1]` in place (clamping outside the
+    /// observed range, as saturating hardware scaling would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.dims()`.
+    pub fn normalize(&self, values: &mut [f32]) {
+        assert_eq!(values.len(), self.dims(), "normalizer dimension mismatch");
+        for (v, &(lo, hi)) in values.iter_mut().zip(&self.ranges) {
+            *v = if hi > lo {
+                ((*v - lo) / (hi - lo)).clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+        }
+    }
+
+    /// Normalizes a single dimension's value (the scaling unit processes
+    /// one value per bus transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn normalize_one(&self, dim: usize, value: f32) -> f32 {
+        let (lo, hi) = self.ranges[dim];
+        if hi > lo {
+            ((value - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    }
+
+    /// Denormalizes a single dimension's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn denormalize_one(&self, dim: usize, value: f32) -> f32 {
+        let (lo, hi) = self.ranges[dim];
+        if hi > lo {
+            lo + value * (hi - lo)
+        } else {
+            lo
+        }
+    }
+
+    /// Maps `[0, 1]` network values back to application range in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.dims()`.
+    pub fn denormalize(&self, values: &mut [f32]) {
+        assert_eq!(values.len(), self.dims(), "normalizer dimension mismatch");
+        for (v, &(lo, hi)) in values.iter_mut().zip(&self.ranges) {
+            *v = if hi > lo { lo + *v * (hi - lo) } else { lo };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_inside_range() {
+        let n = Normalizer::new(vec![(0.0, 10.0), (-5.0, 5.0)]);
+        let mut v = [2.5f32, 0.0];
+        let orig = v;
+        n.normalize(&mut v);
+        assert!((v[0] - 0.25).abs() < 1e-6);
+        assert!((v[1] - 0.5).abs() < 1e-6);
+        n.denormalize(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range_inputs() {
+        let n = Normalizer::new(vec![(0.0, 1.0)]);
+        let mut v = [42.0f32];
+        n.normalize(&mut v);
+        assert_eq!(v[0], 1.0);
+        let mut v = [-42.0f32];
+        n.normalize(&mut v);
+        assert_eq!(v[0], 0.0);
+    }
+
+    #[test]
+    fn degenerate_range_round_trips_to_constant() {
+        let n = Normalizer::new(vec![(3.0, 3.0)]);
+        let mut v = [3.0f32];
+        n.normalize(&mut v);
+        assert_eq!(v[0], 0.5);
+        n.denormalize(&mut v);
+        assert_eq!(v[0], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn normalize_panics_on_wrong_len() {
+        Normalizer::identity(2).normalize(&mut [0.0]);
+    }
+}

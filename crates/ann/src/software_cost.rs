@@ -1,0 +1,116 @@
+//! Operation-count model of evaluating the network *in software* on the CPU
+//! (the paper's FANN comparison, Figure 9).
+
+use crate::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Per-evaluation operation counts for an all-software neural network
+/// library running on the main core.
+///
+/// The paper reports that replacing `jmeint`'s 1,079 x86 instructions with
+/// FANN calls costs "928 multiplies, 928 adds, and 42 sigmoids" plus
+/// address computation, weight loads, and function-call overhead. This
+/// model reproduces that structure: each multiply-add also needs a weight
+/// load and address arithmetic, each layer incurs loop and call overhead.
+///
+/// # Example
+///
+/// ```
+/// let t = ann::Topology::new(vec![9, 8, 1]).unwrap();
+/// let cost = ann::SoftwareNnCost::for_topology(&t);
+/// assert_eq!(cost.multiplies, t.weight_count() as u64);
+/// assert!(cost.total_instructions() > 4 * cost.multiplies);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftwareNnCost {
+    /// Floating-point multiplies (one per synaptic weight).
+    pub multiplies: u64,
+    /// Floating-point adds (accumulations).
+    pub adds: u64,
+    /// Sigmoid evaluations (each costing [`Self::SIGMOID_INSTRUCTIONS`]).
+    pub sigmoids: u64,
+    /// Weight/activation loads from memory.
+    pub loads: u64,
+    /// Integer address-computation instructions.
+    pub address_arith: u64,
+    /// Loop-control instructions (compare + branch per inner iteration).
+    pub loop_overhead: u64,
+    /// Per-layer/per-call function overhead instructions.
+    pub call_overhead: u64,
+}
+
+impl SoftwareNnCost {
+    /// Instructions charged per software sigmoid (exp call + divide),
+    /// matching a `libm`-based implementation.
+    pub const SIGMOID_INSTRUCTIONS: u64 = 20;
+    /// Fixed instructions per library call boundary (FANN's `fann_run`
+    /// prologue/epilogue and per-layer dispatch).
+    pub const CALL_INSTRUCTIONS: u64 = 30;
+
+    /// Derives the cost of one evaluation of `topology` in software.
+    pub fn for_topology(topology: &Topology) -> Self {
+        let macs = topology.weight_count() as u64;
+        let neurons = topology.computing_neurons() as u64;
+        let layers = (topology.layers().len() - 1) as u64;
+        SoftwareNnCost {
+            multiplies: macs,
+            adds: macs,
+            sigmoids: neurons,
+            // Each MAC loads a weight; each neuron loads its input vector
+            // once per weight (already counted) and stores one activation.
+            loads: macs + neurons,
+            // Address computation: index increment + scale per MAC.
+            address_arith: 2 * macs,
+            // Inner loop: compare + branch per MAC.
+            loop_overhead: 2 * macs,
+            call_overhead: Self::CALL_INSTRUCTIONS * (layers + 1),
+        }
+    }
+
+    /// Total dynamic instructions for one software evaluation.
+    pub fn total_instructions(&self) -> u64 {
+        self.multiplies
+            + self.adds
+            + self.sigmoids * Self::SIGMOID_INSTRUCTIONS
+            + self.loads
+            + self.address_arith
+            + self.loop_overhead
+            + self.call_overhead
+    }
+
+    /// Floating-point instructions only (multiplies + adds + sigmoid flops).
+    pub fn fp_instructions(&self) -> u64 {
+        self.multiplies + self.adds + self.sigmoids * Self::SIGMOID_INSTRUCTIONS / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_with_network_size() {
+        let small = SoftwareNnCost::for_topology(&Topology::new(vec![2, 2, 1]).unwrap());
+        let large = SoftwareNnCost::for_topology(&Topology::new(vec![18, 32, 8, 2]).unwrap());
+        assert!(large.total_instructions() > 10 * small.total_instructions());
+    }
+
+    #[test]
+    fn jmeint_size_network_is_expensive() {
+        // The paper's headline Figure 9 point: jmeint's network costs far
+        // more in software than the original 1,079 instructions.
+        let t = Topology::new(vec![18, 32, 8, 2]).unwrap();
+        let cost = SoftwareNnCost::for_topology(&t);
+        assert!(cost.total_instructions() > 1_079 * 3);
+        assert_eq!(cost.sigmoids, 42);
+    }
+
+    #[test]
+    fn multiplies_equal_weight_count() {
+        let t = Topology::new(vec![64, 16, 64]).unwrap();
+        assert_eq!(
+            SoftwareNnCost::for_topology(&t).multiplies,
+            t.weight_count() as u64
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Neural network topology descriptors.
+
+use crate::AnnError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The layer structure of a multilayer perceptron.
+///
+/// Layer sizes include the input layer, zero or more hidden layers, and the
+/// output layer — e.g. the paper writes the `sobel` network as `9 -> 8 -> 1`.
+///
+/// # Example
+///
+/// ```
+/// let t = ann::Topology::new(vec![9, 8, 1])?;
+/// assert_eq!(t.inputs(), 9);
+/// assert_eq!(t.outputs(), 1);
+/// assert_eq!(t.hidden_layers(), 1);
+/// assert_eq!(t.to_string(), "9 -> 8 -> 1");
+/// # Ok::<(), ann::AnnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    layers: Vec<usize>,
+}
+
+impl Topology {
+    /// Creates a topology from the full list of layer sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::InvalidTopology`] if fewer than two layers are
+    /// given or any layer is empty.
+    pub fn new(layers: Vec<usize>) -> Result<Self, AnnError> {
+        if layers.len() < 2 {
+            return Err(AnnError::InvalidTopology(
+                "need at least input and output layers".into(),
+            ));
+        }
+        if layers.contains(&0) {
+            return Err(AnnError::InvalidTopology("zero-sized layer".into()));
+        }
+        Ok(Topology { layers })
+    }
+
+    /// All layer sizes, input first.
+    pub fn layers(&self) -> &[usize] {
+        &self.layers
+    }
+
+    /// Size of the input layer.
+    pub fn inputs(&self) -> usize {
+        self.layers[0]
+    }
+
+    /// Size of the output layer.
+    pub fn outputs(&self) -> usize {
+        *self.layers.last().expect("topology has >= 2 layers")
+    }
+
+    /// Number of hidden layers.
+    pub fn hidden_layers(&self) -> usize {
+        self.layers.len() - 2
+    }
+
+    /// Total number of neurons that actually compute (hidden + output).
+    pub fn computing_neurons(&self) -> usize {
+        self.layers[1..].iter().sum()
+    }
+
+    /// Total number of synaptic weights, **including one bias per neuron**.
+    ///
+    /// This is the amount of configuration state `enq.c` must ship to the
+    /// NPU and the number of multiply-accumulate operations one evaluation
+    /// performs.
+    pub fn weight_count(&self) -> usize {
+        self.layers.windows(2).map(|w| (w[0] + 1) * w[1]).sum()
+    }
+
+    /// Number of multiply-add operations per evaluation (same as
+    /// [`weight_count`](Self::weight_count) since biases are folded into the
+    /// accumulation).
+    pub fn macs_per_eval(&self) -> usize {
+        self.weight_count()
+    }
+
+    /// Number of sigmoid evaluations per network evaluation.
+    pub fn sigmoids_per_eval(&self) -> usize {
+        self.computing_neurons()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for n in &self.layers {
+            if !first {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_topologies() {
+        assert!(Topology::new(vec![3]).is_err());
+        assert!(Topology::new(vec![]).is_err());
+        assert!(Topology::new(vec![3, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn weight_count_counts_biases() {
+        // 2 -> 8 -> 2: (2+1)*8 + (8+1)*2 = 24 + 18 = 42.
+        let t = Topology::new(vec![2, 8, 2]).unwrap();
+        assert_eq!(t.weight_count(), 42);
+        assert_eq!(t.macs_per_eval(), 42);
+        assert_eq!(t.sigmoids_per_eval(), 10);
+    }
+
+    #[test]
+    fn jmeint_paper_topology_counts() {
+        // 18 -> 32 -> 8 -> 2 (paper Table 1).
+        let t = Topology::new(vec![18, 32, 8, 2]).unwrap();
+        assert_eq!(t.inputs(), 18);
+        assert_eq!(t.outputs(), 2);
+        assert_eq!(t.hidden_layers(), 2);
+        assert_eq!(t.weight_count(), 19 * 32 + 33 * 8 + 9 * 2);
+    }
+
+    #[test]
+    fn display_uses_arrows() {
+        let t = Topology::new(vec![64, 16, 64]).unwrap();
+        assert_eq!(t.to_string(), "64 -> 16 -> 64");
+    }
+}

@@ -1,0 +1,282 @@
+//! Backpropagation training (paper Section 4.2).
+
+use crate::{sigmoid_derivative, Dataset, Mlp};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for backpropagation.
+///
+/// The paper fixes a small learning rate ("larger steps can cause
+/// oscillation in the training and prevent convergence") and a fixed epoch
+/// count chosen to balance generalization against accuracy. The OCR of the
+/// paper drops the exact digits; defaults here are 0.01 and 500 and both are
+/// plain fields.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainParams {
+    /// Gradient-descent step size.
+    pub learning_rate: f32,
+    /// Classical momentum coefficient (0 disables momentum; FANN-style
+    /// backpropagation uses momentum to speed convergence at small
+    /// learning rates).
+    pub momentum: f32,
+    /// Complete passes over the training data.
+    pub epochs: usize,
+    /// Seed for per-epoch sample shuffling.
+    pub shuffle_seed: u64,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        TrainParams {
+            learning_rate: 0.01,
+            momentum: 0.9,
+            epochs: 500,
+            shuffle_seed: 0x5eed,
+        }
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean squared error over the training set before any update.
+    pub initial_mse: f64,
+    /// Mean squared error over the training set after the final epoch.
+    pub final_mse: f64,
+    /// Epochs actually executed.
+    pub epochs_run: usize,
+}
+
+/// Stochastic-gradient-descent backpropagation trainer.
+///
+/// # Example
+///
+/// ```
+/// use ann::{Dataset, Mlp, Topology, TrainParams, Trainer};
+///
+/// let mut data = Dataset::new(1, 1);
+/// for i in 0..50 {
+///     let x = i as f32 / 49.0;
+///     data.push(&[x], &[1.0 - x]).unwrap();
+/// }
+/// let mut mlp = Mlp::seeded(Topology::new(vec![1, 2, 1]).unwrap(), 3);
+/// let report = Trainer::new(TrainParams::default()).train(&mut mlp, &data);
+/// assert!(report.final_mse <= report.initial_mse);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Trainer {
+    params: TrainParams,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given hyperparameters.
+    pub fn new(params: TrainParams) -> Self {
+        Trainer { params }
+    }
+
+    /// The trainer's hyperparameters.
+    pub fn params(&self) -> &TrainParams {
+        &self.params
+    }
+
+    /// Trains `mlp` in place on `data`, returning a summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset dimensions do not match the network topology.
+    pub fn train(&self, mlp: &mut Mlp, data: &Dataset) -> TrainReport {
+        assert_eq!(
+            data.n_inputs(),
+            mlp.topology().inputs(),
+            "dataset input dims mismatch network"
+        );
+        assert_eq!(
+            data.n_outputs(),
+            mlp.topology().outputs(),
+            "dataset output dims mismatch network"
+        );
+        let initial_mse = mse(mlp, data);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.params.shuffle_seed);
+        // Momentum (velocity) state, one entry per weight matrix.
+        let mut velocity: Vec<Vec<f32>> = mlp
+            .weight_matrices()
+            .iter()
+            .map(|m| vec![0.0; m.len()])
+            .collect();
+        for _ in 0..self.params.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                self.backprop_one(mlp, data.input(i), data.output(i), &mut velocity);
+            }
+        }
+        TrainReport {
+            initial_mse,
+            final_mse: mse(mlp, data),
+            epochs_run: self.params.epochs,
+        }
+    }
+
+    /// One stochastic gradient step for a single sample.
+    fn backprop_one(
+        &self,
+        mlp: &mut Mlp,
+        input: &[f32],
+        target: &[f32],
+        velocity: &mut [Vec<f32>],
+    ) {
+        let acts = mlp.activations(input);
+        let n_layers = acts.len();
+        // delta[l] holds dE/dnet for computing layer l (0 = first hidden).
+        let mut deltas: Vec<Vec<f32>> = Vec::with_capacity(n_layers - 1);
+
+        // Output layer delta: (y - t) * y * (1 - y).
+        let out = &acts[n_layers - 1];
+        let out_delta: Vec<f32> = out
+            .iter()
+            .zip(target)
+            .map(|(&y, &t)| (y - t) * sigmoid_derivative(y))
+            .collect();
+        deltas.push(out_delta);
+
+        // Hidden layers, walking backwards.
+        for l in (1..n_layers - 1).rev() {
+            let next_delta = deltas.last().expect("output delta pushed first");
+            let n_here = acts[l].len();
+            let n_next = acts[l + 1].len();
+            let mut delta = vec![0.0f32; n_here];
+            for (j, d) in delta.iter_mut().enumerate() {
+                let mut sum = 0.0;
+                #[allow(clippy::needless_range_loop)] // k indexes two structures
+                for k in 0..n_next {
+                    // Weight from neuron j of layer l into neuron k of l+1.
+                    sum += mlp.weight(l, k, j) * next_delta[k];
+                }
+                *d = sum * sigmoid_derivative(acts[l][j]);
+            }
+            deltas.push(delta);
+        }
+        deltas.reverse(); // now deltas[l-1] corresponds to computing layer l-1
+
+        // Apply updates with momentum:
+        //   v = momentum * v - lr * delta * activation; w += v.
+        let lr = self.params.learning_rate;
+        let mu = self.params.momentum;
+        for l in 0..n_layers - 1 {
+            let n_in = acts[l].len();
+            for (neuron, &d) in deltas[l].iter().enumerate() {
+                let row = neuron * (n_in + 1);
+                for (src, &a) in acts[l].iter().enumerate() {
+                    let v = &mut velocity[l][row + src];
+                    *v = mu * *v - lr * d * a;
+                    *mlp.weight_mut(l, neuron, src) += *v;
+                }
+                let v = &mut velocity[l][row + n_in];
+                *v = mu * *v - lr * d;
+                *mlp.weight_mut(l, neuron, n_in) += *v; // bias
+            }
+        }
+    }
+}
+
+/// Mean squared error of `mlp` over `data` (averaged over samples and
+/// output dimensions). Returns 0 for an empty dataset.
+pub fn mse(mlp: &Mlp, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (input, target) in data.iter() {
+        let out = mlp.feed_forward(input);
+        for (&y, &t) in out.iter().zip(target) {
+            let e = (y - t) as f64;
+            total += e * e;
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    fn xor_data() -> Dataset {
+        let mut d = Dataset::new(2, 1);
+        for (a, b, y) in [
+            (0.0, 0.0, 0.0),
+            (0.0, 1.0, 1.0),
+            (1.0, 0.0, 1.0),
+            (1.0, 1.0, 0.0),
+        ] {
+            d.push(&[a, b], &[y]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut mlp = Mlp::seeded(Topology::new(vec![2, 4, 1]).unwrap(), 11);
+        let params = TrainParams {
+            learning_rate: 0.5, // XOR on 4 samples needs a big step to converge fast
+            momentum: 0.0,
+            epochs: 4000,
+            shuffle_seed: 1,
+        };
+        let report = Trainer::new(params).train(&mut mlp, &xor_data());
+        assert!(report.final_mse < 0.02, "XOR did not converge: {report:?}");
+        assert!(mlp.feed_forward(&[0.0, 1.0])[0] > 0.8);
+        assert!(mlp.feed_forward(&[1.0, 1.0])[0] < 0.2);
+    }
+
+    #[test]
+    fn training_reduces_mse_on_smooth_function() {
+        let mut data = Dataset::new(1, 1);
+        for i in 0..100 {
+            let x = i as f32 / 99.0;
+            data.push(&[x], &[0.5 + 0.4 * (3.0 * x).sin()]).unwrap();
+        }
+        let mut mlp = Mlp::seeded(Topology::new(vec![1, 8, 1]).unwrap(), 5);
+        let report = Trainer::new(TrainParams {
+            epochs: 300,
+            learning_rate: 0.2,
+            momentum: 0.0,
+            shuffle_seed: 2,
+        })
+        .train(&mut mlp, &data);
+        assert!(report.final_mse < report.initial_mse * 0.5);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = xor_data();
+        let t = Topology::new(vec![2, 4, 1]).unwrap();
+        let params = TrainParams {
+            epochs: 50,
+            ..TrainParams::default()
+        };
+        let mut a = Mlp::seeded(t.clone(), 1);
+        let mut b = Mlp::seeded(t, 1);
+        Trainer::new(params).train(&mut a, &data);
+        Trainer::new(params).train(&mut b, &data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mse_of_empty_dataset_is_zero() {
+        let mlp = Mlp::zeroed(Topology::new(vec![2, 1]).unwrap());
+        assert_eq!(mse(&mlp, &Dataset::new(2, 1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset input dims mismatch")]
+    fn train_rejects_mismatched_data() {
+        let mut mlp = Mlp::zeroed(Topology::new(vec![3, 1]).unwrap());
+        let mut d = Dataset::new(2, 1);
+        d.push(&[0.0, 0.0], &[0.0]).unwrap();
+        Trainer::new(TrainParams::default()).train(&mut mlp, &d);
+    }
+}

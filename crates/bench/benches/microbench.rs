@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks for the substrate components: NPU invocation
+//! latency per paper topology, backpropagation throughput, core-model
+//! simulation rate, and one scaled-down end-to-end figure computation.
+
+use ann::{Dataset, Mlp, Normalizer, Topology, TrainParams, Trainer};
+use approx_ir::{OpClass, TraceEvent};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use npu::{NpuConfig, NpuParams, NpuSim};
+use uarch::{Core, CoreConfig};
+
+fn paper_topologies() -> Vec<(&'static str, Vec<usize>)> {
+    vec![
+        ("fft", vec![1, 4, 4, 2]),
+        ("inversek2j", vec![2, 8, 2]),
+        ("jmeint", vec![18, 32, 8, 2]),
+        ("jpeg", vec![64, 16, 64]),
+        ("kmeans", vec![6, 8, 4, 1]),
+        ("sobel", vec![9, 8, 1]),
+    ]
+}
+
+fn config_for(layers: Vec<usize>) -> NpuConfig {
+    let t = Topology::new(layers).unwrap();
+    let (i, o) = (t.inputs(), t.outputs());
+    NpuConfig::new(
+        Mlp::seeded(t, 1),
+        Normalizer::identity(i),
+        Normalizer::identity(o),
+    )
+}
+
+/// Cycle-accurate NPU invocation, per paper topology.
+fn bench_npu_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("npu_invocation");
+    for (name, layers) in paper_topologies() {
+        let config = config_for(layers);
+        let inputs: Vec<f32> = (0..config.topology().inputs())
+            .map(|i| 0.1 + 0.8 * (i as f32 / 64.0))
+            .collect();
+        group.bench_function(name, |b| {
+            let mut sim = NpuSim::new(NpuParams::default());
+            sim.configure(&config).unwrap();
+            b.iter(|| sim.evaluate_invocation(&inputs).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// One backpropagation epoch over 500 samples (sobel-sized network).
+fn bench_training_epoch(c: &mut Criterion) {
+    let t = Topology::new(vec![9, 8, 1]).unwrap();
+    let mut data = Dataset::new(9, 1);
+    for k in 0..500 {
+        let input: Vec<f32> = (0..9).map(|i| ((k * 7 + i) % 97) as f32 / 97.0).collect();
+        let target = input.iter().sum::<f32>() / 9.0;
+        data.push(&input, &[target]).unwrap();
+    }
+    c.bench_function("backprop_epoch_500x89w", |b| {
+        b.iter_batched(
+            || Mlp::seeded(t.clone(), 5),
+            |mut mlp| {
+                Trainer::new(TrainParams {
+                    epochs: 1,
+                    ..TrainParams::default()
+                })
+                .train(&mut mlp, &data)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Core-model throughput: simulate 10k independent ALU instructions.
+fn bench_core_throughput(c: &mut Criterion) {
+    let events: Vec<TraceEvent> = (0..10_000)
+        .map(|i| {
+            TraceEvent::simple(
+                i % 64,
+                OpClass::IntAlu,
+                [None; 3],
+                Some((i % 50 + 8) as u16),
+            )
+        })
+        .collect();
+    c.bench_function("core_sim_10k_alu", |b| {
+        b.iter(|| {
+            let mut core = Core::new(CoreConfig::penryn_like());
+            for ev in &events {
+                core.feed(*ev);
+            }
+            core.finish().cycles
+        });
+    });
+}
+
+/// MLP forward pass (functional NN evaluation) per paper topology.
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_forward");
+    for (name, layers) in paper_topologies() {
+        let config = config_for(layers);
+        let inputs: Vec<f32> = (0..config.topology().inputs())
+            .map(|i| i as f32 / 64.0)
+            .collect();
+        group.bench_function(name, |b| {
+            b.iter(|| config.evaluate(&inputs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_npu_invocation,
+    bench_training_epoch,
+    bench_core_throughput,
+    bench_forward
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates Table 2: the simulated microarchitectural configuration.
+
+use npu::NpuParams;
+use uarch::CoreConfig;
+
+fn main() {
+    let core = CoreConfig::penryn_like();
+    let npu = NpuParams::default();
+    println!("Table 2: microarchitectural parameters\n");
+    println!("Core");
+    println!("  Architecture             trace-driven OoO (x86-64-like IR)");
+    println!(
+        "  Fetch/Issue Width        {}/{}",
+        core.fetch_width, core.issue_width
+    );
+    println!(
+        "  INT ALUs/FPUs            {}/{}",
+        core.int_alus, core.fp_units
+    );
+    println!(
+        "  Load/Store FUs           {}/{}",
+        core.load_units, core.store_units
+    );
+    println!("  ROB Entries              {}", core.rob_entries);
+    println!("  Issue Queue Entries      {}", core.iq_entries);
+    println!(
+        "  Load/Store Queue Entries {}/{}",
+        core.lq_entries, core.sq_entries
+    );
+    println!(
+        "  Branch Predictor         gshare {} bits + {}-entry BTB + {}-entry RAS",
+        core.gshare_bits, core.btb_entries, core.ras_entries
+    );
+    println!("  Frequency                {} GHz", core.frequency_ghz);
+    println!("\nCaches and Memory");
+    println!(
+        "  L1 Cache Size            {} KB data",
+        core.l1d.size_bytes / 1024
+    );
+    println!(
+        "  L1 Line/Assoc/Latency    {} B / {}-way / {} cycles",
+        core.l1d.line_bytes, core.l1d.ways, core.l1d.hit_latency
+    );
+    println!(
+        "  L2 Cache Size            {} MB",
+        core.l2.size_bytes / 1024 / 1024
+    );
+    println!(
+        "  L2 Line/Assoc/Latency    {} B / {}-way / {} cycles",
+        core.l2.line_bytes, core.l2.ways, core.l2.hit_latency
+    );
+    println!("  Memory Latency           {} cycles", core.mem_latency);
+    println!("\nNPU");
+    println!("  Number of PEs            {}", npu.n_pes);
+    println!("  Bus Schedule FIFO        {} entries", npu.bus_schedule);
+    println!("  Input FIFO               {} entries", npu.input_fifo);
+    println!("  Output FIFO              {} entries", npu.output_fifo);
+    println!("  Config FIFO              {} entries", npu.config_fifo);
+    println!("\nNPU PE");
+    println!("  Weight Cache             {} entries", npu.weight_cache);
+    println!("  Input FIFO               {} entries", npu.pe_input_fifo);
+    println!("  Output Register File     {} entries", npu.output_regs);
+    println!("  Sigmoid Unit LUT         {} entries", npu.sigmoid_lut);
+    println!(
+        "  CPU<->NPU link latency   {} cycle(s) each way",
+        core.npu_link_latency
+    );
+}

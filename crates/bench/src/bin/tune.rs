@@ -1,0 +1,72 @@
+//! Training-hyperparameter ablation tool: trains one benchmark's paper
+//! topology under several (epochs, learning-rate, momentum) settings and
+//! reports the held-out MSE of each. Useful for calibrating the harness's
+//! compile budgets.
+
+use ann::{Dataset, Mlp, Topology, TrainParams, Trainer};
+use benchmarks::{benchmark_by_name, Scale};
+use parrot::observe;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "sobel".into());
+    let bench = benchmark_by_name(&name).expect("unknown benchmark");
+    let region = bench.region();
+    let training = bench.training_inputs(&Scale::paper());
+    eprintln!(
+        "[tune] {} observation over {} inputs…",
+        name,
+        training.len()
+    );
+    let obs = observe(&region, &training).expect("observation must succeed");
+
+    // Normalize (what the compiler trains on).
+    let mut data = Dataset::new(obs.data.n_inputs(), obs.data.n_outputs());
+    for (i, o) in obs.data.iter() {
+        let mut iv = i.to_vec();
+        let mut ov = o.to_vec();
+        obs.input_norm.normalize(&mut iv);
+        obs.output_norm.normalize(&mut ov);
+        data.push(&iv, &ov).unwrap();
+    }
+    let topology = Topology::new(bench.paper_topology()).unwrap();
+
+    for &samples in &[1000usize, 2000, 4000] {
+        let capped = data.subsample(samples, 7);
+        let (train, test) = capped.split(0.7, 3);
+        for &(epochs, lr, mu) in &[
+            (100usize, 0.05f32, 0.0f32),
+            (100, 0.05, 0.9),
+            (300, 0.05, 0.9),
+            (300, 0.01, 0.9),
+            (1000, 0.01, 0.9),
+        ] {
+            let t0 = std::time::Instant::now();
+            let mut mlp = Mlp::seeded(topology.clone(), 42);
+            let params = TrainParams {
+                epochs,
+                learning_rate: lr,
+                momentum: mu,
+                ..TrainParams::default()
+            };
+            Trainer::new(params).train(&mut mlp, &train);
+            let test_mse = mse_of(&mlp, &test);
+            println!(
+                "{name} {topology} samples={samples:<5} epochs={epochs:<5} lr={lr:<5} mu={mu:<4} -> test mse {test_mse:.6}  ({:.1?})",
+                t0.elapsed()
+            );
+        }
+    }
+}
+
+fn mse_of(mlp: &Mlp, data: &Dataset) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (i, o) in data.iter() {
+        let y = mlp.feed_forward(i);
+        for (a, b) in y.iter().zip(o) {
+            total += ((a - b) as f64).powi(2);
+            n += 1;
+        }
+    }
+    total / n as f64
+}

@@ -1,0 +1,67 @@
+//! Minimal argument handling shared by the experiment binaries.
+
+use benchmarks::Scale;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Reduced input sizes and training budget (CI-friendly).
+    pub fast: bool,
+    /// Restrict to one benchmark by name.
+    pub only: Option<String>,
+}
+
+impl Options {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags.
+    pub fn from_args() -> Self {
+        let mut fast = false;
+        let mut only = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--fast" => fast = true,
+                "--paper" => fast = false,
+                "--bench" => {
+                    only = Some(args.next().unwrap_or_else(|| usage("--bench needs a name")));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        Options { fast, only }
+    }
+
+    /// The evaluation input sizes implied by the options.
+    pub fn scale(&self) -> Scale {
+        if self.fast {
+            // Between `Scale::small` (tests) and the paper's sizes: large
+            // enough for meaningful timing shapes, small enough for quick
+            // runs.
+            Scale {
+                image_dim: 96,
+                fft_points: 1024,
+                ik_pairs: 2_000,
+                tri_pairs: 2_000,
+                kmeans_iters: 1,
+                kmeans_k: 6,
+            }
+        } else {
+            Scale::paper()
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <binary> [--fast|--paper] [--bench <name>]");
+    eprintln!("  --fast   reduced inputs and training budget");
+    eprintln!("  --paper  the paper's input sizes (default)");
+    eprintln!("  --bench  run a single benchmark (fft, inversek2j, jmeint, jpeg, kmeans, sobel)");
+    std::process::exit(2);
+}

@@ -1,0 +1,32 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section 7).
+//!
+//! Each `src/bin/*` binary reproduces one artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — benchmark characterization & Parrot results |
+//! | `table2` | Table 2 — simulated microarchitectural configuration |
+//! | `fig06_error_cdf` | Figure 6 — CDF of per-element output error |
+//! | `fig07_dynamic_insts` | Figure 7 — normalized dynamic instructions |
+//! | `fig08_speedup` | Figure 8a — whole-application speedup |
+//! | `fig08_energy` | Figure 8b — whole-application energy reduction |
+//! | `fig09_software_nn` | Figure 9 — slowdown with software NN execution |
+//! | `fig10_latency` | Figure 10 — speedup vs. CPU↔NPU link latency |
+//! | `fig11_pe_count` | Figure 11 — speedup gain per PE-count doubling |
+//! | `run_all` | everything above in one pass (shared training) |
+//!
+//! All binaries accept `--fast` (reduced input sizes and training budget)
+//! and `--bench <name>` (restrict to one benchmark).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod format;
+pub mod suite;
+
+pub use cli::Options;
+pub use experiments::Lab;
+pub use suite::{compile_params, Suite, SuiteEntry};

@@ -1,0 +1,367 @@
+//! `fft` — radix-2 Cooley–Tukey fast Fourier transform (signal
+//! processing).
+//!
+//! An in-place iterative FFT over a random complex signal. The candidate
+//! region is the twiddle-factor kernel — the `sin`/`cos` pair computed
+//! per butterfly, dominated by libm calls (paper NN: 1→4→4→2, error
+//! metric: average relative error).
+
+use crate::glue::install_region;
+use crate::{App, AppVariant, Benchmark, Scale};
+use approx_ir::{CmpOp, FunctionBuilder, Program};
+use parrot::{quality, RegionSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The FFT benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fft;
+
+/// Builds the `fft_twiddle` region: fraction `f = j/len` → `(cos θ, sin
+/// θ)` with `θ = -2πf`.
+fn build_region_function() -> approx_ir::Function {
+    let mut b = FunctionBuilder::new("fft_twiddle", 1);
+    let f = b.param(0);
+    let c = b.constf(-2.0 * std::f32::consts::PI);
+    let t = b.fmul(c, f);
+    let wr = b.fcos(t);
+    let wi = b.fsin(t);
+    b.ret(&[wr, wi]);
+    b.build().expect("fft region is structurally valid")
+}
+
+/// Reference twiddle (for tests).
+pub fn twiddle_reference(f: f32) -> (f32, f32) {
+    let t = -2.0 * std::f32::consts::PI * f;
+    (t.cos(), t.sin())
+}
+
+/// Reference recursive FFT used to validate the IR implementation.
+pub fn fft_reference(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    assert!(n.is_power_of_two());
+    // Bit-reverse permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j -= bit;
+            bit >>= 1;
+        }
+        j += bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2usize;
+    while len <= n {
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let f = k as f32 / len as f32;
+                let (wr, wi) = twiddle_reference(f);
+                let (a, bidx) = (start + k, start + k + half);
+                let (xr, xi) = (re[bidx], im[bidx]);
+                let (tr, ti) = (wr * xr - wi * xi, wr * xi + wi * xr);
+                let (ur, ui) = (re[a], im[a]);
+                re[bidx] = ur - tr;
+                im[bidx] = ui - ti;
+                re[a] = ur + tr;
+                im[a] = ui + ti;
+            }
+        }
+        len *= 2;
+    }
+}
+
+fn eval_signal(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+impl Benchmark for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn domain(&self) -> &'static str {
+        "signal processing"
+    }
+
+    fn error_metric(&self) -> &'static str {
+        "average relative error"
+    }
+
+    fn region(&self) -> RegionSpec {
+        let mut program = Program::new();
+        let entry = program.add_function(build_region_function());
+        RegionSpec::new("fft_twiddle", program, entry, 1, 2).expect("valid region")
+    }
+
+    fn training_inputs(&self, scale: &Scale) -> Vec<Vec<f32>> {
+        // Paper: 32,768 random floating-point numbers. The region's input
+        // domain is the twiddle fraction j/len ∈ [0, 0.5).
+        let n = if scale.fft_points >= 2048 {
+            32_768
+        } else {
+            2_000
+        };
+        let mut rng = StdRng::seed_from_u64(0xFF7);
+        (0..n).map(|_| vec![rng.gen_range(0.0..0.5f32)]).collect()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build_app(&self, variant: &AppVariant<'_>, scale: &Scale) -> App {
+        let n = scale.fft_points;
+        assert!(n.is_power_of_two(), "fft size must be a power of two");
+        let end = 2 * n; // re at [0, n), im at [n, 2n)
+        let mut program = Program::new();
+        let installed = install_region(&mut program, variant, build_region_function(), end);
+
+        let mut b = FunctionBuilder::new("main", 0);
+        if let Some(loader) = installed.loader {
+            b.call(loader, &[], 0);
+        }
+        let one = b.consti(1);
+        let n_reg = b.consti(n as i32);
+        let im0 = b.consti(n as i32);
+        let zero_i = b.consti(0);
+
+        // --- Bit-reverse permutation. ---
+        {
+            let j = b.consti(0);
+            let i = b.consti(1);
+            let top = b.new_label();
+            let done = b.new_label();
+            b.bind(top);
+            let fin = b.cmpi(CmpOp::Ge, i, n_reg);
+            b.branch_if(fin, done);
+            {
+                let bit = b.ishr(n_reg, one);
+                let wtop = b.new_label();
+                let wdone = b.new_label();
+                b.bind(wtop);
+                let masked = b.iand(j, bit);
+                let clear = b.cmpi(CmpOp::Eq, masked, zero_i);
+                b.branch_if(clear, wdone);
+                let j2 = b.isub(j, bit);
+                b.mov(j, j2);
+                let bit2 = b.ishr(bit, one);
+                b.mov(bit, bit2);
+                b.jump(wtop);
+                b.bind(wdone);
+                b.iadd_into(j, bit);
+            }
+            {
+                let skip = b.new_label();
+                let ge = b.cmpi(CmpOp::Ge, i, j);
+                b.branch_if(ge, skip);
+                // Swap re[i]<->re[j] and im[i]<->im[j].
+                let iaddr_im = b.iadd(im0, i);
+                let jaddr_im = b.iadd(im0, j);
+                let tr = b.load(i, 0);
+                let or = b.load(j, 0);
+                b.store(or, i, 0);
+                b.store(tr, j, 0);
+                let ti = b.load(iaddr_im, 0);
+                let oi = b.load(jaddr_im, 0);
+                b.store(oi, iaddr_im, 0);
+                b.store(ti, jaddr_im, 0);
+                b.bind(skip);
+            }
+            b.iadd_into(i, one);
+            b.jump(top);
+            b.bind(done);
+        }
+
+        // --- Butterfly stages. ---
+        {
+            let len = b.consti(2);
+            let stage_top = b.new_label();
+            let stage_done = b.new_label();
+            b.bind(stage_top);
+            let sfin = b.cmpi(CmpOp::Gt, len, n_reg);
+            b.branch_if(sfin, stage_done);
+            let half = b.ishr(len, one);
+            let flen = b.itof(len);
+            {
+                let start = b.consti(0);
+                let gtop = b.new_label();
+                let gdone = b.new_label();
+                b.bind(gtop);
+                let gfin = b.cmpi(CmpOp::Ge, start, n_reg);
+                b.branch_if(gfin, gdone);
+                {
+                    let k = b.consti(0);
+                    let ktop = b.new_label();
+                    let kdone = b.new_label();
+                    b.bind(ktop);
+                    let kfin = b.cmpi(CmpOp::Ge, k, half);
+                    b.branch_if(kfin, kdone);
+                    let fk = b.itof(k);
+                    let f = b.fdiv(fk, flen);
+                    let w = b.call(installed.callee, &[f], 2);
+                    let (wr, wi) = (w[0], w[1]);
+                    let a = b.iadd(start, k);
+                    let bidx = b.iadd(a, half);
+                    let a_im = b.iadd(im0, a);
+                    let b_im = b.iadd(im0, bidx);
+                    let xr = b.load(bidx, 0);
+                    let xi = b.load(b_im, 0);
+                    // t = w * x
+                    let t1 = b.fmul(wr, xr);
+                    let t2 = b.fmul(wi, xi);
+                    let tr = b.fsub(t1, t2);
+                    let t3 = b.fmul(wr, xi);
+                    let t4 = b.fmul(wi, xr);
+                    let ti = b.fadd(t3, t4);
+                    let ur = b.load(a, 0);
+                    let ui = b.load(a_im, 0);
+                    let br = b.fsub(ur, tr);
+                    let bi = b.fsub(ui, ti);
+                    b.store(br, bidx, 0);
+                    b.store(bi, b_im, 0);
+                    let ar = b.fadd(ur, tr);
+                    let ai = b.fadd(ui, ti);
+                    b.store(ar, a, 0);
+                    b.store(ai, a_im, 0);
+                    b.iadd_into(k, one);
+                    b.jump(ktop);
+                    b.bind(kdone);
+                }
+                b.iadd_into(start, len);
+                b.jump(gtop);
+                b.bind(gdone);
+            }
+            let doubled = b.ishl(len, one);
+            b.mov(len, doubled);
+            b.jump(stage_top);
+            b.bind(stage_done);
+        }
+        b.ret(&[]);
+        let entry = program.add_function(b.build().expect("fft main is valid"));
+
+        let mut memory = vec![0.0f32; end];
+        memory[..n].copy_from_slice(&eval_signal(n, 0xE7A1));
+        memory.extend_from_slice(&installed.extra_memory);
+        App {
+            program,
+            entry,
+            memory,
+            args: vec![],
+            needs_npu: variant.needs_npu(),
+        }
+    }
+
+    fn extract_outputs(&self, memory: &[f32], scale: &Scale) -> Vec<f32> {
+        memory[..2 * scale.fft_points].to_vec()
+    }
+
+    fn app_error(&self, reference: &[f32], approx: &[f32]) -> f64 {
+        quality::mean_relative_error(reference, approx, spectrum_epsilon(reference))
+    }
+
+    fn element_errors(&self, reference: &[f32], approx: &[f32]) -> Vec<f64> {
+        quality::relative_errors(reference, approx, spectrum_epsilon(reference))
+    }
+
+    fn paper_topology(&self) -> Vec<usize> {
+        vec![1, 4, 4, 2]
+    }
+}
+
+/// Relative-error guard: 5 % of the spectrum's mean magnitude, so
+/// near-zero bins do not dominate the metric.
+fn spectrum_epsilon(reference: &[f32]) -> f32 {
+    let mean_abs = reference.iter().map(|v| v.abs()).sum::<f32>() / reference.len().max(1) as f32;
+    (0.05 * mean_abs).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::baseline_outputs;
+
+    #[test]
+    fn region_matches_reference() {
+        let region = Fft.region();
+        for i in 0..10 {
+            let f = i as f32 / 20.0;
+            let got = region.evaluate(&[f]).unwrap();
+            let (wr, wi) = twiddle_reference(f);
+            assert!((got[0] - wr).abs() < 1e-6);
+            assert!((got[1] - wi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reference_fft_matches_naive_dft() {
+        let n = 16;
+        let sig = eval_signal(n, 3);
+        let mut re = sig.clone();
+        let mut im = vec![0.0f32; n];
+        fft_reference(&mut re, &mut im);
+        for k in 0..n {
+            let (mut sr, mut si) = (0.0f64, 0.0f64);
+            for (x, &v) in sig.iter().enumerate() {
+                let t = -2.0 * std::f64::consts::PI * (k * x) as f64 / n as f64;
+                sr += v as f64 * t.cos();
+                si += v as f64 * t.sin();
+            }
+            assert!((re[k] as f64 - sr).abs() < 1e-3, "bin {k} re");
+            assert!((im[k] as f64 - si).abs() < 1e-3, "bin {k} im");
+        }
+    }
+
+    #[test]
+    fn ir_app_matches_reference_fft() {
+        let scale = Scale {
+            fft_points: 64,
+            ..Scale::small()
+        };
+        let out = baseline_outputs(&Fft, &scale);
+        let mut re = eval_signal(64, 0xE7A1);
+        let mut im = vec![0.0f32; 64];
+        fft_reference(&mut re, &mut im);
+        for i in 0..64 {
+            assert!(
+                (out[i] - re[i]).abs() < 1e-3,
+                "re[{i}]: {} vs {}",
+                out[i],
+                re[i]
+            );
+            assert!(
+                (out[64 + i] - im[i]).abs() < 1e-3,
+                "im[{i}]: {} vs {}",
+                out[64 + i],
+                im[i]
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let scale = Scale {
+            fft_points: 256,
+            ..Scale::small()
+        };
+        let out = baseline_outputs(&Fft, &scale);
+        let sig = eval_signal(256, 0xE7A1);
+        let time_energy: f64 = sig.iter().map(|&v| (v as f64).powi(2)).sum();
+        let freq_energy: f64 = (0..256)
+            .map(|i| (out[i] as f64).powi(2) + (out[256 + i] as f64).powi(2))
+            .sum::<f64>()
+            / 256.0;
+        assert!(
+            (time_energy - freq_energy).abs() / time_energy < 1e-4,
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn training_fractions_cover_half_interval() {
+        let inputs = Fft.training_inputs(&Scale::small());
+        assert!(inputs.iter().all(|v| (0.0..0.5).contains(&v[0])));
+    }
+}

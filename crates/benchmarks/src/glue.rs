@@ -1,0 +1,77 @@
+//! Shared plumbing for building application variants: install the precise
+//! region, the NPU invocation stub, or the software neural network as the
+//! function the application glue calls.
+
+use crate::AppVariant;
+use approx_ir::{FuncId, Function, Program};
+
+/// The callee the application's glue should invoke in place of the
+/// region, plus variant-specific extras.
+#[derive(Debug)]
+pub(crate) struct InstalledRegion {
+    /// The function to call wherever the original region was called.
+    pub callee: FuncId,
+    /// For the NPU variant: the config-loader function `main` must call
+    /// once at program start.
+    pub loader: Option<FuncId>,
+    /// Data to append to the application's memory image at the offset
+    /// passed as `extra_base` (software-NN weight tables + scratch).
+    pub extra_memory: Vec<f32>,
+}
+
+/// Installs the right callee for `variant` into `program`.
+///
+/// * `Precise` — adds the original region function.
+/// * `Npu` — adds the `enq.d`/`deq.d` invocation stub and the `enq.c`
+///   config loader.
+/// * `SoftwareNn` — adds the FANN-style software network, with its weight
+///   table placed at `extra_base` and activation scratch just after.
+pub(crate) fn install_region(
+    program: &mut Program,
+    variant: &AppVariant<'_>,
+    precise: Function,
+    extra_base: usize,
+) -> InstalledRegion {
+    match variant {
+        AppVariant::Precise => InstalledRegion {
+            callee: program.add_function(precise),
+            loader: None,
+            extra_memory: Vec::new(),
+        },
+        AppVariant::Npu(compiled) => {
+            let callee = program.add_function(compiled.invocation_stub().clone());
+            let loader = program.add_function(compiled.config_loader().clone());
+            InstalledRegion {
+                callee,
+                loader: Some(loader),
+                extra_memory: Vec::new(),
+            }
+        }
+        AppVariant::SoftwareNn(compiled) => {
+            let config = compiled.config();
+            let max_width = *config
+                .topology()
+                .layers()
+                .iter()
+                .max()
+                .expect("topology has layers");
+            let (func, table) = parrot::codegen::build_software_nn(
+                config,
+                extra_base as i32,
+                (extra_base + table_len(config)) as i32,
+            );
+            debug_assert_eq!(table.len(), table_len(config));
+            let mut extra_memory = table;
+            extra_memory.extend(std::iter::repeat_n(0.0, 2 * max_width));
+            InstalledRegion {
+                callee: program.add_function(func),
+                loader: None,
+                extra_memory,
+            }
+        }
+    }
+}
+
+fn table_len(config: &npu::NpuConfig) -> usize {
+    config.topology().weight_count()
+}

@@ -1,0 +1,182 @@
+//! Seeded procedural test images.
+//!
+//! The paper trains its image benchmarks on three standard 512×512 images
+//! (lena, mandrill, peppers) and evaluates on a distinct 220×220 image.
+//! Those images are licensed data we do not ship; instead we synthesize
+//! deterministic images with comparable structure — smooth gradients,
+//! hard edges (shapes), and texture (value noise) — which exercise the
+//! same code paths and error behaviour.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An RGB image with `f32` channels in `[0, 1]`, row-major, interleaved
+/// `r g b` per pixel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl RgbImage {
+    /// Creates a black image.
+    pub fn black(width: usize, height: usize) -> Self {
+        RgbImage {
+            width,
+            height,
+            data: vec![0.0; width * height * 3],
+        }
+    }
+
+    /// Synthesizes a deterministic test image: a diagonal gradient base,
+    /// several filled circles and rectangles (edges), and low-amplitude
+    /// per-pixel noise (texture).
+    #[allow(clippy::needless_range_loop)] // c indexes per-channel arrays
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut img = RgbImage::black(width, height);
+        // Gradient base with per-channel phase.
+        let phase: [f32; 3] = [rng.gen(), rng.gen(), rng.gen()];
+        for y in 0..height {
+            for x in 0..width {
+                let fx = x as f32 / width.max(1) as f32;
+                let fy = y as f32 / height.max(1) as f32;
+                for c in 0..3 {
+                    let v = 0.25 + 0.5 * ((fx + fy) * 0.5 + phase[c]) % 1.0;
+                    img.set(x, y, c, v.clamp(0.0, 1.0));
+                }
+            }
+        }
+        // Shapes: circles and axis-aligned rectangles with random colors.
+        let n_shapes = 6 + (width / 32).min(10);
+        for _ in 0..n_shapes {
+            let color: [f32; 3] = [rng.gen(), rng.gen(), rng.gen()];
+            if rng.gen_bool(0.5) {
+                let cx = rng.gen_range(0..width) as i64;
+                let cy = rng.gen_range(0..height) as i64;
+                let r = rng.gen_range(2..(width / 4).max(3)) as i64;
+                for y in (cy - r).max(0)..(cy + r).min(height as i64) {
+                    for x in (cx - r).max(0)..(cx + r).min(width as i64) {
+                        if (x - cx).pow(2) + (y - cy).pow(2) <= r * r {
+                            for c in 0..3 {
+                                img.set(x as usize, y as usize, c, color[c]);
+                            }
+                        }
+                    }
+                }
+            } else {
+                let x0 = rng.gen_range(0..width);
+                let y0 = rng.gen_range(0..height);
+                let w = rng.gen_range(1..=(width - x0));
+                let h = rng.gen_range(1..=(height - y0));
+                for y in y0..(y0 + h).min(height) {
+                    for x in x0..(x0 + w).min(width) {
+                        for c in 0..3 {
+                            img.set(x, y, c, color[c]);
+                        }
+                    }
+                }
+            }
+        }
+        // Texture noise.
+        for v in &mut img.data {
+            let n: f32 = rng.gen_range(-0.03..0.03);
+            *v = (*v + n).clamp(0.0, 1.0);
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel channel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn get(&self, x: usize, y: usize, c: usize) -> f32 {
+        self.data[(y * self.width + x) * 3 + c]
+    }
+
+    /// Pixel channel setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, c: usize, v: f32) {
+        self.data[(y * self.width + x) * 3 + c] = v;
+    }
+
+    /// The interleaved channel data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Luma (Rec. 601) conversion: `0.299 r + 0.587 g + 0.114 b`.
+    pub fn to_gray(&self) -> Vec<f32> {
+        self.data
+            .chunks_exact(3)
+            .map(|p| 0.299 * p[0] + 0.587 * p[1] + 0.114 * p[2])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = RgbImage::synthetic(64, 64, 7);
+        let b = RgbImage::synthetic(64, 64, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RgbImage::synthetic(64, 64, 7);
+        let b = RgbImage::synthetic(64, 64, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_stay_in_unit_range() {
+        let img = RgbImage::synthetic(48, 48, 3);
+        assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn image_has_edges_and_texture() {
+        // A usable test image needs real horizontal gradients, or sobel
+        // and jpeg degenerate.
+        let img = RgbImage::synthetic(64, 64, 5);
+        let gray = img.to_gray();
+        let mut strong_edges = 0;
+        for y in 0..64 {
+            for x in 1..64 {
+                if (gray[y * 64 + x] - gray[y * 64 + x - 1]).abs() > 0.2 {
+                    strong_edges += 1;
+                }
+            }
+        }
+        assert!(strong_edges > 50, "only {strong_edges} edges");
+    }
+
+    #[test]
+    fn gray_matches_rec601() {
+        let mut img = RgbImage::black(1, 1);
+        img.set(0, 0, 0, 1.0);
+        img.set(0, 0, 1, 0.5);
+        img.set(0, 0, 2, 0.25);
+        let g = img.to_gray();
+        assert!((g[0] - (0.299 + 0.587 * 0.5 + 0.114 * 0.25)).abs() < 1e-6);
+    }
+}

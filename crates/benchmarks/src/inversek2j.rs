@@ -1,0 +1,246 @@
+//! `inversek2j` — inverse kinematics for a 2-joint arm (robotics).
+//!
+//! Given a target end-effector position `(x, y)`, compute joint angles
+//! `(θ1, θ2)` for a two-link arm. The whole algorithm is the candidate
+//! region — the paper calls it "an ideal case: the entire algorithm has a
+//! fixed-size input, fixed-size output, and tolerance for imprecision"
+//! (paper NN: 2→8→2, error metric: average relative error).
+
+use crate::glue::install_region;
+use crate::{App, AppVariant, Benchmark, Scale};
+use approx_ir::{CmpOp, FunctionBuilder, Program};
+use parrot::{quality, RegionSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Upper-arm link length.
+pub const L1: f32 = 0.5;
+/// Forearm link length.
+pub const L2: f32 = 0.5;
+
+/// The inverse-kinematics benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InverseK2j;
+
+/// Builds the `inversek2j` region: `(x, y) → (θ1, θ2)` via the law of
+/// cosines (one `acos`, two `atan2`, one `sqrt` — libm-heavy, which is
+/// why this benchmark benefits most from the NPU).
+fn build_region_function() -> approx_ir::Function {
+    let mut b = FunctionBuilder::new("inversek2j", 2);
+    let (x, y) = (b.param(0), b.param(1));
+    let xx = b.fmul(x, x);
+    let yy = b.fmul(y, y);
+    let d2 = b.fadd(xx, yy);
+    // cos θ2 = (d² - l1² - l2²) / (2 l1 l2), clamped to [-1, 1].
+    let lsum = b.constf(L1 * L1 + L2 * L2);
+    let num = b.fsub(d2, lsum);
+    let denom = b.constf(2.0 * L1 * L2);
+    let c2 = b.fdiv(num, denom);
+    let neg1 = b.constf(-1.0);
+    let pos1 = b.constf(1.0);
+    let c2lo = b.fmax(c2, neg1);
+    let c2c = b.fmin(c2lo, pos1);
+    let th2 = b.facos(c2c);
+    // sin θ2 = sqrt(1 - cos²θ2) (θ2 ∈ [0, π]).
+    let c2sq = b.fmul(c2c, c2c);
+    let om = b.fsub(pos1, c2sq);
+    let zero = b.constf(0.0);
+    let omc = b.fmax(om, zero);
+    let s2 = b.fsqrt(omc);
+    // θ1 = atan2(y, x) - atan2(l2 sinθ2, l1 + l2 cosθ2)
+    let l2r = b.constf(L2);
+    let k2 = b.fmul(l2r, s2);
+    let l1r = b.constf(L1);
+    let l2c2 = b.fmul(l2r, c2c);
+    let k1 = b.fadd(l1r, l2c2);
+    let a1 = b.fatan2(y, x);
+    let a2 = b.fatan2(k2, k1);
+    let th1 = b.fsub(a1, a2);
+    b.ret(&[th1, th2]);
+    b.build().expect("inversek2j region is structurally valid")
+}
+
+/// Forward kinematics (generates reachable targets and validates results).
+pub fn forward_kinematics(th1: f32, th2: f32) -> (f32, f32) {
+    (
+        L1 * th1.cos() + L2 * (th1 + th2).cos(),
+        L1 * th1.sin() + L2 * (th1 + th2).sin(),
+    )
+}
+
+/// Reference Rust implementation of the region (for tests).
+pub fn inversek2j_reference(x: f32, y: f32) -> (f32, f32) {
+    let d2 = x * x + y * y;
+    let c2 = ((d2 - L1 * L1 - L2 * L2) / (2.0 * L1 * L2)).clamp(-1.0, 1.0);
+    let th2 = c2.acos();
+    let s2 = (1.0 - c2 * c2).max(0.0).sqrt();
+    let th1 = y.atan2(x) - (L2 * s2).atan2(L1 + L2 * c2);
+    (th1, th2)
+}
+
+fn random_targets(n: usize, seed: u64) -> Vec<(f32, f32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Sample reachable targets by sampling joint angles and
+            // running forward kinematics (the paper generates "uniform
+            // random inputs in the permissible range of parameters").
+            let th1 = rng.gen_range(0.1..std::f32::consts::FRAC_PI_2);
+            let th2 = rng.gen_range(0.1..std::f32::consts::FRAC_PI_2);
+            forward_kinematics(th1, th2)
+        })
+        .collect()
+}
+
+impl Benchmark for InverseK2j {
+    fn name(&self) -> &'static str {
+        "inversek2j"
+    }
+
+    fn domain(&self) -> &'static str {
+        "robotics"
+    }
+
+    fn error_metric(&self) -> &'static str {
+        "average relative error"
+    }
+
+    fn region(&self) -> RegionSpec {
+        let mut program = Program::new();
+        let entry = program.add_function(build_region_function());
+        RegionSpec::new("inversek2j", program, entry, 2, 2).expect("valid region")
+    }
+
+    fn training_inputs(&self, scale: &Scale) -> Vec<Vec<f32>> {
+        // Paper: 10,000 random (x, y) coordinates, disjoint from the
+        // evaluation set (different seed).
+        random_targets(scale.ik_pairs.max(1000), 0x7121)
+            .into_iter()
+            .map(|(x, y)| vec![x, y])
+            .collect()
+    }
+
+    fn build_app(&self, variant: &AppVariant<'_>, scale: &Scale) -> App {
+        let n = scale.ik_pairs;
+        // Layout: targets (x, y) at 0..2n, output angles at 2n..4n.
+        let out_base = 2 * n;
+        let end = 4 * n;
+        let mut program = Program::new();
+        let installed = install_region(&mut program, variant, build_region_function(), end);
+
+        let mut b = FunctionBuilder::new("main", 0);
+        if let Some(loader) = installed.loader {
+            b.call(loader, &[], 0);
+        }
+        let one = b.consti(1);
+        let two = b.consti(2);
+        let i = b.consti(0);
+        let count = b.consti(n as i32);
+        let o0 = b.consti(out_base as i32);
+        let top = b.new_label();
+        let done = b.new_label();
+        b.bind(top);
+        let fin = b.cmpi(CmpOp::Ge, i, count);
+        b.branch_if(fin, done);
+        let base = b.imul(i, two);
+        let x = b.load(base, 0);
+        let y = b.load(base, 1);
+        let out = b.call(installed.callee, &[x, y], 2);
+        let oaddr = b.iadd(o0, base);
+        b.store(out[0], oaddr, 0);
+        b.store(out[1], oaddr, 1);
+        b.iadd_into(i, one);
+        b.jump(top);
+        b.bind(done);
+        b.ret(&[]);
+        let entry = program.add_function(b.build().expect("inversek2j main is valid"));
+
+        let mut memory = vec![0.0f32; end];
+        for (k, (x, y)) in random_targets(n, 0xE7A1_u64).iter().enumerate() {
+            memory[2 * k] = *x;
+            memory[2 * k + 1] = *y;
+        }
+        memory.extend_from_slice(&installed.extra_memory);
+        App {
+            program,
+            entry,
+            memory,
+            args: vec![],
+            needs_npu: variant.needs_npu(),
+        }
+    }
+
+    fn extract_outputs(&self, memory: &[f32], scale: &Scale) -> Vec<f32> {
+        let n = scale.ik_pairs;
+        memory[2 * n..4 * n].to_vec()
+    }
+
+    fn app_error(&self, reference: &[f32], approx: &[f32]) -> f64 {
+        quality::mean_relative_error(reference, approx, 0.05)
+    }
+
+    fn element_errors(&self, reference: &[f32], approx: &[f32]) -> Vec<f64> {
+        quality::relative_errors(reference, approx, 0.05)
+    }
+
+    fn paper_topology(&self) -> Vec<usize> {
+        vec![2, 8, 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::baseline_outputs;
+
+    #[test]
+    fn region_matches_reference() {
+        let region = InverseK2j.region();
+        for (x, y) in random_targets(20, 5) {
+            let got = region.evaluate(&[x, y]).unwrap();
+            let (t1, t2) = inversek2j_reference(x, y);
+            assert!((got[0] - t1).abs() < 1e-5, "θ1 at ({x},{y})");
+            assert!((got[1] - t2).abs() < 1e-5, "θ2 at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn inverse_inverts_forward() {
+        // IK(FK(θ)) must land the end effector back on the target.
+        for (x, y) in random_targets(50, 9) {
+            let (t1, t2) = inversek2j_reference(x, y);
+            let (fx, fy) = forward_kinematics(t1, t2);
+            assert!(
+                (fx - x).abs() < 1e-4 && (fy - y).abs() < 1e-4,
+                "target ({x},{y}) reconstructed as ({fx},{fy})"
+            );
+        }
+    }
+
+    #[test]
+    fn app_computes_angles_for_all_targets() {
+        let scale = Scale::small();
+        let out = baseline_outputs(&InverseK2j, &scale);
+        assert_eq!(out.len(), 2 * scale.ik_pairs);
+        // Every θ2 of a reachable interior target is in (0, π).
+        for pair in out.chunks_exact(2) {
+            assert!(pair[1] >= 0.0 && pair[1] <= std::f32::consts::PI + 1e-3);
+        }
+    }
+
+    #[test]
+    fn training_and_eval_sets_differ() {
+        let train = InverseK2j.training_inputs(&Scale::small());
+        let eval = random_targets(Scale::small().ik_pairs, 0xE7A1_u64);
+        assert_ne!(train[0][0], eval[0].0);
+    }
+
+    #[test]
+    fn region_is_trig_heavy() {
+        // The speedup story depends on the region being dominated by
+        // expensive libm operations.
+        let region = InverseK2j.region();
+        let counts = region.static_counts();
+        assert!(counts.instructions < 40, "region should be small");
+    }
+}

@@ -1,0 +1,816 @@
+//! `jmeint` — triangle–triangle intersection detection (3D gaming).
+//!
+//! Möller's interval-overlap test: the target code "contains the bulk of
+//! the algorithm, including many nested method calls and numerous
+//! conditionals" — the most control-heavy region in the suite. The region
+//! takes the 18 coordinates of two 3D triangles and produces a one-hot
+//! pair whose larger element is the intersect/no-intersect decision
+//! (paper NN: 18→32→8→2, error metric: miss rate).
+//!
+//! The coplanar case falls back to Möller's 2-D projection test
+//! (edge–edge crossings plus mutual containment), in both the reference
+//! and the IR implementation.
+
+use crate::glue::install_region;
+use crate::{App, AppVariant, Benchmark, Scale};
+use approx_ir::{CmpOp, FuncId, FunctionBuilder, Program, Reg};
+use parrot::{quality, RegionSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The triangle-intersection benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jmeint;
+
+// ---------------------------------------------------------------------
+// Reference implementation (Möller 1997, interval overlap method)
+// ---------------------------------------------------------------------
+
+fn sub3(a: [f32; 3], b: [f32; 3]) -> [f32; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn cross3(a: [f32; 3], b: [f32; 3]) -> [f32; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn dot3(a: [f32; 3], b: [f32; 3]) -> f32 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+/// Interval of one triangle along the intersection line.
+///
+/// `p` are the projected vertex coordinates, `d` the signed distances to
+/// the other triangle's plane. `None` signals the coplanar case.
+fn compute_intervals(p: [f32; 3], d: [f32; 3]) -> Option<(f32, f32)> {
+    let d0d1 = d[0] * d[1];
+    let d0d2 = d[0] * d[2];
+    let (a, b, c, da, db, dc) = if d0d1 > 0.0 {
+        // d0 and d1 on the same side; d2 alone: pivot on vertex 2.
+        (p[2], p[0], p[1], d[2], d[0], d[1])
+    } else if d0d2 > 0.0 {
+        (p[1], p[0], p[2], d[1], d[0], d[2])
+    } else if d[1] * d[2] > 0.0 || d[0] != 0.0 {
+        (p[0], p[1], p[2], d[0], d[1], d[2])
+    } else if d[1] != 0.0 {
+        (p[1], p[0], p[2], d[1], d[0], d[2])
+    } else if d[2] != 0.0 {
+        (p[2], p[0], p[1], d[2], d[0], d[1])
+    } else {
+        return None; // coplanar
+    };
+    let t1 = a + (b - a) * da / (da - db);
+    let t2 = a + (c - a) * da / (da - dc);
+    Some((t1, t2))
+}
+
+/// 2-D segment crossing test between edge `v0→v1` and edge `u0→u1`
+/// (division-free sign/interval arithmetic).
+fn edge_edge_2d(v0: [f32; 2], v1: [f32; 2], u0: [f32; 2], u1: [f32; 2]) -> bool {
+    let ax = v1[0] - v0[0];
+    let ay = v1[1] - v0[1];
+    let bx = u0[0] - u1[0];
+    let by = u0[1] - u1[1];
+    let cx = v0[0] - u0[0];
+    let cy = v0[1] - u0[1];
+    let f = ay * bx - ax * by;
+    let d = by * cx - bx * cy;
+    if (f > 0.0 && d >= 0.0 && d <= f) || (f < 0.0 && d <= 0.0 && d >= f) {
+        let e = ax * cy - ay * cx;
+        if f > 0.0 {
+            e >= 0.0 && e <= f
+        } else {
+            e <= 0.0 && e >= f
+        }
+    } else {
+        false
+    }
+}
+
+/// 2-D point-in-triangle test via consistent edge-side signs.
+fn point_in_tri_2d(p: [f32; 2], t0: [f32; 2], t1: [f32; 2], t2: [f32; 2]) -> bool {
+    let mut d = [0.0f32; 3];
+    for (k, (a, b)) in [(t0, t1), (t1, t2), (t2, t0)].into_iter().enumerate() {
+        let aa = b[1] - a[1];
+        let bb = -(b[0] - a[0]);
+        let cc = -aa * a[0] - bb * a[1];
+        d[k] = aa * p[0] + bb * p[1] + cc;
+    }
+    d[0] * d[1] > 0.0 && d[0] * d[2] > 0.0
+}
+
+/// Coplanar fallback: project both triangles onto the plane normal's two
+/// minor axes, then test every edge pair for crossings and finally mutual
+/// containment.
+fn coplanar_tri_tri(n: [f32; 3], v: &[[f32; 3]; 3], u: &[[f32; 3]; 3]) -> bool {
+    let a = [n[0].abs(), n[1].abs(), n[2].abs()];
+    let (i0, i1) = if a[0] >= a[1] && a[0] >= a[2] {
+        (1, 2)
+    } else if a[1] >= a[2] {
+        (0, 2)
+    } else {
+        (0, 1)
+    };
+    let proj = |p: [f32; 3]| [p[i0], p[i1]];
+    let vp = [proj(v[0]), proj(v[1]), proj(v[2])];
+    let up = [proj(u[0]), proj(u[1]), proj(u[2])];
+    for i in 0..3 {
+        for j in 0..3 {
+            if edge_edge_2d(vp[i], vp[(i + 1) % 3], up[j], up[(j + 1) % 3]) {
+                return true;
+            }
+        }
+    }
+    point_in_tri_2d(vp[0], up[0], up[1], up[2]) || point_in_tri_2d(up[0], vp[0], vp[1], vp[2])
+}
+
+/// Reference triangle–triangle intersection test.
+pub fn tri_tri_intersects(v: &[[f32; 3]; 3], u: &[[f32; 3]; 3]) -> bool {
+    // Plane of triangle V: n1 · x + d1 = 0.
+    let e1 = sub3(v[1], v[0]);
+    let e2 = sub3(v[2], v[0]);
+    let n1 = cross3(e1, e2);
+    let d1 = -dot3(n1, v[0]);
+    let du = [
+        dot3(n1, u[0]) + d1,
+        dot3(n1, u[1]) + d1,
+        dot3(n1, u[2]) + d1,
+    ];
+    if du[0] * du[1] > 0.0 && du[0] * du[2] > 0.0 {
+        return false; // U entirely on one side of V's plane
+    }
+    // Plane of triangle U.
+    let e1 = sub3(u[1], u[0]);
+    let e2 = sub3(u[2], u[0]);
+    let n2 = cross3(e1, e2);
+    let d2 = -dot3(n2, u[0]);
+    let dv = [
+        dot3(n2, v[0]) + d2,
+        dot3(n2, v[1]) + d2,
+        dot3(n2, v[2]) + d2,
+    ];
+    if dv[0] * dv[1] > 0.0 && dv[0] * dv[2] > 0.0 {
+        return false;
+    }
+    // Direction of the intersection line; project on its largest axis.
+    let dir = cross3(n1, n2);
+    let mut index = 0;
+    let mut max = dir[0].abs();
+    if dir[1].abs() > max {
+        max = dir[1].abs();
+        index = 1;
+    }
+    if dir[2].abs() > max {
+        index = 2;
+    }
+    let vp = [v[0][index], v[1][index], v[2][index]];
+    let up = [u[0][index], u[1][index], u[2][index]];
+    let Some((a1, a2)) = compute_intervals(vp, dv) else {
+        // All distances zero: the triangles are coplanar — fall back to
+        // the 2-D projection test.
+        return coplanar_tri_tri(n1, v, u);
+    };
+    let Some((b1, b2)) = compute_intervals(up, du) else {
+        return coplanar_tri_tri(n1, v, u);
+    };
+    let (i1lo, i1hi) = (a1.min(a2), a1.max(a2));
+    let (i2lo, i2hi) = (b1.min(b2), b1.max(b2));
+    !(i1hi < i2lo || i2hi < i1lo)
+}
+
+// ---------------------------------------------------------------------
+// IR implementation
+// ---------------------------------------------------------------------
+
+/// IR `compute_intervals(p0,p1,p2,d0,d1,d2) -> (t1, t2, ok)`.
+fn build_intervals_function() -> approx_ir::Function {
+    let mut b = FunctionBuilder::new("compute_intervals", 6);
+    let p: Vec<Reg> = (0..3).map(|i| b.param(i)).collect();
+    let d: Vec<Reg> = (3..6).map(|i| b.param(i)).collect();
+    let zero = b.constf(0.0);
+
+    // Result pivot registers, assigned by whichever arm runs.
+    let (ra, rb, rc) = (b.reg(), b.reg(), b.reg());
+    let (rda, rdb, rdc) = (b.reg(), b.reg(), b.reg());
+    let join = b.new_label();
+    let coplanar = b.new_label();
+
+    let assign = |b: &mut FunctionBuilder,
+                  regs: (Reg, Reg, Reg, Reg, Reg, Reg),
+                  (ia, ib, ic): (usize, usize, usize),
+                  p: &[Reg],
+                  d: &[Reg]| {
+        b.mov(regs.0, p[ia]);
+        b.mov(regs.1, p[ib]);
+        b.mov(regs.2, p[ic]);
+        b.mov(regs.3, d[ia]);
+        b.mov(regs.4, d[ib]);
+        b.mov(regs.5, d[ic]);
+    };
+    let regs = (ra, rb, rc, rda, rdb, rdc);
+
+    // if d0*d1 > 0: pivot 2
+    let d0d1 = b.fmul(d[0], d[1]);
+    let c1 = b.cmpf(CmpOp::Gt, d0d1, zero);
+    let else1 = b.new_label();
+    b.branch_if_zero(c1, else1);
+    assign(&mut b, regs, (2, 0, 1), &p, &d);
+    b.jump(join);
+    b.bind(else1);
+
+    // else if d0*d2 > 0: pivot 1
+    let d0d2 = b.fmul(d[0], d[2]);
+    let c2 = b.cmpf(CmpOp::Gt, d0d2, zero);
+    let else2 = b.new_label();
+    b.branch_if_zero(c2, else2);
+    assign(&mut b, regs, (1, 0, 2), &p, &d);
+    b.jump(join);
+    b.bind(else2);
+
+    // else if d1*d2 > 0 or d0 != 0: pivot 0
+    let d1d2 = b.fmul(d[1], d[2]);
+    let c3a = b.cmpf(CmpOp::Gt, d1d2, zero);
+    let c3b = b.cmpf(CmpOp::Ne, d[0], zero);
+    let c3 = b.ior(c3a, c3b);
+    let else3 = b.new_label();
+    b.branch_if_zero(c3, else3);
+    assign(&mut b, regs, (0, 1, 2), &p, &d);
+    b.jump(join);
+    b.bind(else3);
+
+    // else if d1 != 0: pivot 1
+    let c4 = b.cmpf(CmpOp::Ne, d[1], zero);
+    let else4 = b.new_label();
+    b.branch_if_zero(c4, else4);
+    assign(&mut b, regs, (1, 0, 2), &p, &d);
+    b.jump(join);
+    b.bind(else4);
+
+    // else if d2 != 0: pivot 2
+    let c5 = b.cmpf(CmpOp::Ne, d[2], zero);
+    b.branch_if_zero(c5, coplanar);
+    assign(&mut b, regs, (2, 0, 1), &p, &d);
+    b.jump(join);
+
+    b.bind(join);
+    // t1 = a + (b - a) * da / (da - db); t2 = a + (c - a) * da / (da - dc)
+    let bma = b.fsub(rb, ra);
+    let dadb = b.fsub(rda, rdb);
+    let q1 = b.fdiv(rda, dadb);
+    let s1 = b.fmul(bma, q1);
+    let t1 = b.fadd(ra, s1);
+    let cma = b.fsub(rc, ra);
+    let dadc = b.fsub(rda, rdc);
+    let q2 = b.fdiv(rda, dadc);
+    let s2 = b.fmul(cma, q2);
+    let t2 = b.fadd(ra, s2);
+    let ok = b.constf(1.0);
+    b.ret(&[t1, t2, ok]);
+
+    b.bind(coplanar);
+    let nok = b.constf(0.0);
+    b.ret(&[nok, nok, nok]);
+    b.build().expect("compute_intervals is structurally valid")
+}
+
+/// IR 2-D coplanar test: 12 params (projected `v` then `u` vertices as
+/// x,y pairs) → 1.0 if the coplanar triangles overlap, else 0.0.
+fn build_coplanar_function() -> approx_ir::Function {
+    let mut b = FunctionBuilder::new("coplanar_tri_tri", 12);
+    let vp: Vec<[Reg; 2]> = (0..3)
+        .map(|k| [b.param(2 * k), b.param(2 * k + 1)])
+        .collect();
+    let up: Vec<[Reg; 2]> = (0..3)
+        .map(|k| [b.param(6 + 2 * k), b.param(6 + 2 * k + 1)])
+        .collect();
+    let zero = b.constf(0.0);
+    let hit = b.new_label();
+
+    // Edge–edge crossings: every V edge against every U edge.
+    for i in 0..3 {
+        for j in 0..3 {
+            let (v0, v1) = (vp[i], vp[(i + 1) % 3]);
+            let (u0, u1) = (up[j], up[(j + 1) % 3]);
+            let ax = b.fsub(v1[0], v0[0]);
+            let ay = b.fsub(v1[1], v0[1]);
+            let bx = b.fsub(u0[0], u1[0]);
+            let by = b.fsub(u0[1], u1[1]);
+            let cx = b.fsub(v0[0], u0[0]);
+            let cy = b.fsub(v0[1], u0[1]);
+            let f1 = b.fmul(ay, bx);
+            let f2 = b.fmul(ax, by);
+            let f = b.fsub(f1, f2);
+            let d1 = b.fmul(by, cx);
+            let d2 = b.fmul(bx, cy);
+            let d = b.fsub(d1, d2);
+            // cond1: d within [0, f] with f's sign.
+            let fpos = b.cmpf(CmpOp::Gt, f, zero);
+            let dge = b.cmpf(CmpOp::Ge, d, zero);
+            let dle = b.cmpf(CmpOp::Le, d, f);
+            let t1 = b.iand(fpos, dge);
+            let pos_case = b.iand(t1, dle);
+            let fneg = b.cmpf(CmpOp::Lt, f, zero);
+            let dle0 = b.cmpf(CmpOp::Le, d, zero);
+            let dgef = b.cmpf(CmpOp::Ge, d, f);
+            let t2 = b.iand(fneg, dle0);
+            let neg_case = b.iand(t2, dgef);
+            let cond1 = b.ior(pos_case, neg_case);
+            // cond2: e within [0, f] with f's sign.
+            let e1 = b.fmul(ax, cy);
+            let e2 = b.fmul(ay, cx);
+            let e = b.fsub(e1, e2);
+            let ege = b.cmpf(CmpOp::Ge, e, zero);
+            let ele = b.cmpf(CmpOp::Le, e, f);
+            let t3 = b.iand(fpos, ege);
+            let pos2 = b.iand(t3, ele);
+            let ele0 = b.cmpf(CmpOp::Le, e, zero);
+            let egef = b.cmpf(CmpOp::Ge, e, f);
+            let t4 = b.iand(fneg, ele0);
+            let neg2 = b.iand(t4, egef);
+            let cond2 = b.ior(pos2, neg2);
+            let crossing = b.iand(cond1, cond2);
+            b.branch_if(crossing, hit);
+        }
+    }
+
+    // Containment: V0 inside U, or U0 inside V.
+    for (p, tri) in [(vp[0], &up), (up[0], &vp)] {
+        let mut d = Vec::with_capacity(3);
+        for k in 0..3 {
+            let (a, c) = (tri[k], tri[(k + 1) % 3]);
+            let aa = b.fsub(c[1], a[1]);
+            let bb0 = b.fsub(c[0], a[0]);
+            let bb = b.fneg(bb0);
+            let t1 = b.fmul(aa, a[0]);
+            let t2 = b.fmul(bb, a[1]);
+            let sum = b.fadd(t1, t2);
+            let cc = b.fneg(sum);
+            let s1 = b.fmul(aa, p[0]);
+            let s2 = b.fmul(bb, p[1]);
+            let s3 = b.fadd(s1, s2);
+            d.push(b.fadd(s3, cc));
+        }
+        let p01 = b.fmul(d[0], d[1]);
+        let p02 = b.fmul(d[0], d[2]);
+        let g1 = b.cmpf(CmpOp::Gt, p01, zero);
+        let g2 = b.cmpf(CmpOp::Gt, p02, zero);
+        let inside = b.iand(g1, g2);
+        b.branch_if(inside, hit);
+    }
+
+    b.ret(&[zero]);
+    b.bind(hit);
+    let one = b.constf(1.0);
+    b.ret(&[one]);
+    b.build().expect("coplanar test is structurally valid")
+}
+
+/// IR Möller test: 18 params → one-hot `(intersects, disjoint)`.
+fn build_region_program() -> (Program, FuncId) {
+    let mut program = Program::new();
+    let intervals = program.add_function(build_intervals_function());
+    let coplanar_fn = program.add_function(build_coplanar_function());
+
+    let mut b = FunctionBuilder::new("jmeint", 18);
+    let v: Vec<Reg> = (0..9).map(|i| b.param(i)).collect();
+    let u: Vec<Reg> = (9..18).map(|i| b.param(i)).collect();
+    let zero = b.constf(0.0);
+    let one = b.constf(1.0);
+    let no_hit = b.new_label();
+
+    // Helper closures over the builder for 3-vector math on registers.
+    let sub = |b: &mut FunctionBuilder, a: &[Reg], c: &[Reg]| -> [Reg; 3] {
+        [b.fsub(a[0], c[0]), b.fsub(a[1], c[1]), b.fsub(a[2], c[2])]
+    };
+    let cross = |b: &mut FunctionBuilder, a: &[Reg; 3], c: &[Reg; 3]| -> [Reg; 3] {
+        let x1 = b.fmul(a[1], c[2]);
+        let x2 = b.fmul(a[2], c[1]);
+        let x = b.fsub(x1, x2);
+        let y1 = b.fmul(a[2], c[0]);
+        let y2 = b.fmul(a[0], c[2]);
+        let y = b.fsub(y1, y2);
+        let z1 = b.fmul(a[0], c[1]);
+        let z2 = b.fmul(a[1], c[0]);
+        let z = b.fsub(z1, z2);
+        [x, y, z]
+    };
+    let dot = |b: &mut FunctionBuilder, a: &[Reg; 3], c: &[Reg]| -> Reg {
+        let x = b.fmul(a[0], c[0]);
+        let y = b.fmul(a[1], c[1]);
+        let z = b.fmul(a[2], c[2]);
+        let s = b.fadd(x, y);
+        b.fadd(s, z)
+    };
+
+    // Plane of V.
+    let e1 = sub(&mut b, &v[3..6], &v[0..3]);
+    let e2 = sub(&mut b, &v[6..9], &v[0..3]);
+    let n1 = cross(&mut b, &e1, &e2);
+    let n1v0 = dot(&mut b, &n1, &v[0..3]);
+    let d1 = b.fneg(n1v0);
+    let mut du = Vec::with_capacity(3);
+    for k in 0..3 {
+        let nd = dot(&mut b, &n1, &u[3 * k..3 * k + 3]);
+        du.push(b.fadd(nd, d1));
+    }
+    // Early reject: all of U on one side.
+    let du01 = b.fmul(du[0], du[1]);
+    let du02 = b.fmul(du[0], du[2]);
+    let r1 = b.cmpf(CmpOp::Gt, du01, zero);
+    let r2 = b.cmpf(CmpOp::Gt, du02, zero);
+    let both = b.iand(r1, r2);
+    b.branch_if(both, no_hit);
+
+    // Plane of U.
+    let f1 = sub(&mut b, &u[3..6], &u[0..3]);
+    let f2 = sub(&mut b, &u[6..9], &u[0..3]);
+    let n2 = cross(&mut b, &f1, &f2);
+    let n2u0 = dot(&mut b, &n2, &u[0..3]);
+    let d2 = b.fneg(n2u0);
+    let mut dv = Vec::with_capacity(3);
+    for k in 0..3 {
+        let nd = dot(&mut b, &n2, &v[3 * k..3 * k + 3]);
+        dv.push(b.fadd(nd, d2));
+    }
+    let dv01 = b.fmul(dv[0], dv[1]);
+    let dv02 = b.fmul(dv[0], dv[2]);
+    let r3 = b.cmpf(CmpOp::Gt, dv01, zero);
+    let r4 = b.cmpf(CmpOp::Gt, dv02, zero);
+    let both2 = b.iand(r3, r4);
+    b.branch_if(both2, no_hit);
+
+    // Intersection-line direction; select the dominant axis by moving the
+    // corresponding vertex components into projection registers.
+    let dir = cross(&mut b, &n1, &n2);
+    let ax = b.fabs(dir[0]);
+    let ay = b.fabs(dir[1]);
+    let az = b.fabs(dir[2]);
+    let vp = [b.reg(), b.reg(), b.reg()];
+    let up = [b.reg(), b.reg(), b.reg()];
+    let pick = |b: &mut FunctionBuilder,
+                axis: usize,
+                vp: &[Reg; 3],
+                up: &[Reg; 3],
+                v: &[Reg],
+                u: &[Reg]| {
+        for k in 0..3 {
+            b.mov(vp[k], v[3 * k + axis]);
+            b.mov(up[k], u[3 * k + axis]);
+        }
+    };
+    let proj_done = b.new_label();
+    let try_y = b.new_label();
+    let use_z = b.new_label();
+    // if ax >= ay && ax >= az -> x
+    let xge_y = b.cmpf(CmpOp::Ge, ax, ay);
+    let xge_z = b.cmpf(CmpOp::Ge, ax, az);
+    let use_x = b.iand(xge_y, xge_z);
+    b.branch_if_zero(use_x, try_y);
+    pick(&mut b, 0, &vp, &up, &v, &u);
+    b.jump(proj_done);
+    b.bind(try_y);
+    let yge_z = b.cmpf(CmpOp::Ge, ay, az);
+    b.branch_if_zero(yge_z, use_z);
+    pick(&mut b, 1, &vp, &up, &v, &u);
+    b.jump(proj_done);
+    b.bind(use_z);
+    pick(&mut b, 2, &vp, &up, &v, &u);
+    b.bind(proj_done);
+
+    // Intervals of both triangles along the line; an all-zero distance
+    // vector signals coplanarity and diverts to the 2-D fallback.
+    let coplanar_path = b.new_label();
+    let iv = b.call(intervals, &[vp[0], vp[1], vp[2], dv[0], dv[1], dv[2]], 3);
+    let okv = b.cmpf(CmpOp::Ne, iv[2], zero);
+    b.branch_if_zero(okv, coplanar_path);
+    let iu = b.call(intervals, &[up[0], up[1], up[2], du[0], du[1], du[2]], 3);
+    let oku = b.cmpf(CmpOp::Ne, iu[2], zero);
+    b.branch_if_zero(oku, coplanar_path);
+
+    // Sort and overlap-test the intervals.
+    let lo1 = b.fmin(iv[0], iv[1]);
+    let hi1 = b.fmax(iv[0], iv[1]);
+    let lo2 = b.fmin(iu[0], iu[1]);
+    let hi2 = b.fmax(iu[0], iu[1]);
+    let sep1 = b.cmpf(CmpOp::Lt, hi1, lo2);
+    let sep2 = b.cmpf(CmpOp::Lt, hi2, lo1);
+    let sep = b.ior(sep1, sep2);
+    b.branch_if(sep, no_hit);
+    b.ret(&[one, zero]);
+
+    // Coplanar fallback: project onto n1's two minor axes and run the
+    // 2-D overlap test.
+    b.bind(coplanar_path);
+    {
+        let nx = b.fabs(n1[0]);
+        let ny = b.fabs(n1[1]);
+        let nz = b.fabs(n1[2]);
+        let flat = [
+            b.reg(),
+            b.reg(),
+            b.reg(),
+            b.reg(),
+            b.reg(),
+            b.reg(),
+            b.reg(),
+            b.reg(),
+            b.reg(),
+            b.reg(),
+            b.reg(),
+            b.reg(),
+        ];
+        let fill = |b: &mut FunctionBuilder,
+                    flat: &[Reg; 12],
+                    i0: usize,
+                    i1: usize,
+                    v: &[Reg],
+                    u: &[Reg]| {
+            for k in 0..3 {
+                b.mov(flat[2 * k], v[3 * k + i0]);
+                b.mov(flat[2 * k + 1], v[3 * k + i1]);
+                b.mov(flat[6 + 2 * k], u[3 * k + i0]);
+                b.mov(flat[6 + 2 * k + 1], u[3 * k + i1]);
+            }
+        };
+        let try_y = b.new_label();
+        let use_xy = b.new_label();
+        let filled = b.new_label();
+        let xge_y = b.cmpf(CmpOp::Ge, nx, ny);
+        let xge_z = b.cmpf(CmpOp::Ge, nx, nz);
+        let x_dom = b.iand(xge_y, xge_z);
+        b.branch_if_zero(x_dom, try_y);
+        fill(&mut b, &flat, 1, 2, &v, &u);
+        b.jump(filled);
+        b.bind(try_y);
+        let yge_z = b.cmpf(CmpOp::Ge, ny, nz);
+        b.branch_if_zero(yge_z, use_xy);
+        fill(&mut b, &flat, 0, 2, &v, &u);
+        b.jump(filled);
+        b.bind(use_xy);
+        fill(&mut b, &flat, 0, 1, &v, &u);
+        b.bind(filled);
+        let overlap = b.call(coplanar_fn, &flat, 1);
+        let is_hit = b.cmpf(CmpOp::Gt, overlap[0], zero);
+        b.branch_if_zero(is_hit, no_hit);
+        b.ret(&[one, zero]);
+    }
+
+    b.bind(no_hit);
+    b.ret(&[zero, one]);
+    let entry = program.add_function(b.build().expect("jmeint region is valid"));
+    (program, entry)
+}
+
+// ---------------------------------------------------------------------
+// Inputs & benchmark wiring
+// ---------------------------------------------------------------------
+
+/// `n` random triangle pairs, 18 floats each.
+///
+/// The first triangle is uniform in the unit cube; the second is placed
+/// in its vicinity (centroid offset within a small ball). `jmeint` is a
+/// *narrow-phase* collision kernel — in its host engine it only ever runs
+/// on pairs that already passed broad-phase bounding-volume culling, so
+/// candidate pairs are nearby by construction. This also keeps the two
+/// classes balanced, as in the paper's reported miss rates.
+fn random_pairs(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut pair = vec![0.0f32; 18];
+            // Triangle V: anchored at a random point, edges within a ball.
+            let anchor: [f32; 3] = [rng.gen(), rng.gen(), rng.gen()];
+            for k in 0..3 {
+                for c in 0..3 {
+                    pair[3 * k + c] = anchor[c] + rng.gen_range(-0.3..0.3);
+                }
+            }
+            // Triangle U: near V's anchor (post-broad-phase candidate).
+            let offset: [f32; 3] = [
+                rng.gen_range(-0.25..0.25),
+                rng.gen_range(-0.25..0.25),
+                rng.gen_range(-0.25..0.25),
+            ];
+            for k in 0..3 {
+                for c in 0..3 {
+                    pair[9 + 3 * k + c] = anchor[c] + offset[c] + rng.gen_range(-0.3..0.3);
+                }
+            }
+            pair
+        })
+        .collect()
+}
+
+impl Benchmark for Jmeint {
+    fn name(&self) -> &'static str {
+        "jmeint"
+    }
+
+    fn domain(&self) -> &'static str {
+        "3d gaming"
+    }
+
+    fn error_metric(&self) -> &'static str {
+        "miss rate"
+    }
+
+    fn region(&self) -> RegionSpec {
+        let (program, entry) = build_region_program();
+        RegionSpec::new("jmeint", program, entry, 18, 2).expect("valid region")
+    }
+
+    fn training_inputs(&self, scale: &Scale) -> Vec<Vec<f32>> {
+        // Paper: a large set of random triangle-pair coordinates, disjoint
+        // from the evaluation pairs.
+        let n = if scale.tri_pairs >= 10_000 {
+            20_000
+        } else {
+            2_000
+        };
+        random_pairs(n, 0x7121)
+    }
+
+    fn build_app(&self, variant: &AppVariant<'_>, scale: &Scale) -> App {
+        let n = scale.tri_pairs;
+        let out_base = 18 * n;
+        let end = 19 * n;
+        let mut program = Program::new();
+        let installed = match variant {
+            AppVariant::Precise => {
+                // The precise region calls compute_intervals (function id
+                // 0) and the coplanar test (id 1) in its own program, so
+                // install those at the same ids here, then transplant the
+                // region function.
+                let intervals = program.add_function(build_intervals_function());
+                assert_eq!(intervals.0, 0, "intervals must keep function id 0");
+                let coplanar = program.add_function(build_coplanar_function());
+                assert_eq!(coplanar.0, 1, "coplanar test must keep function id 1");
+                let (rp, entry) = build_region_program();
+                crate::glue::InstalledRegion {
+                    callee: program.add_function(rp.function(entry).clone()),
+                    loader: None,
+                    extra_memory: Vec::new(),
+                }
+            }
+            _ => install_region(
+                &mut program,
+                variant,
+                // Variant != Precise never calls this function; pass the
+                // intervals function as a placeholder of matching shape.
+                build_intervals_function(),
+                end,
+            ),
+        };
+
+        let mut b = FunctionBuilder::new("main", 0);
+        if let Some(loader) = installed.loader {
+            b.call(loader, &[], 0);
+        }
+        let one = b.consti(1);
+        let stride = b.consti(18);
+        let i = b.consti(0);
+        let count = b.consti(n as i32);
+        let o0 = b.consti(out_base as i32);
+        let top = b.new_label();
+        let done = b.new_label();
+        b.bind(top);
+        let fin = b.cmpi(CmpOp::Ge, i, count);
+        b.branch_if(fin, done);
+        let base = b.imul(i, stride);
+        let coords: Vec<Reg> = (0..18).map(|k| b.load(base, k)).collect();
+        let out = b.call(installed.callee, &coords, 2);
+        let hit = b.cmpf(CmpOp::Gt, out[0], out[1]);
+        let decision = b.itof(hit);
+        let oaddr = b.iadd(o0, i);
+        b.store(decision, oaddr, 0);
+        b.iadd_into(i, one);
+        b.jump(top);
+        b.bind(done);
+        b.ret(&[]);
+        let entry = program.add_function(b.build().expect("jmeint main is valid"));
+
+        let mut memory = vec![0.0f32; end];
+        for (k, pair) in random_pairs(n, 0xE7A1).iter().enumerate() {
+            memory[18 * k..18 * (k + 1)].copy_from_slice(pair);
+        }
+        memory.extend_from_slice(&installed.extra_memory);
+        App {
+            program,
+            entry,
+            memory,
+            args: vec![],
+            needs_npu: variant.needs_npu(),
+        }
+    }
+
+    fn extract_outputs(&self, memory: &[f32], scale: &Scale) -> Vec<f32> {
+        let n = scale.tri_pairs;
+        memory[18 * n..19 * n].to_vec()
+    }
+
+    fn app_error(&self, reference: &[f32], approx: &[f32]) -> f64 {
+        let r: Vec<bool> = reference.iter().map(|&v| v > 0.5).collect();
+        let a: Vec<bool> = approx.iter().map(|&v| v > 0.5).collect();
+        quality::miss_rate(&r, &a)
+    }
+
+    fn element_errors(&self, reference: &[f32], approx: &[f32]) -> Vec<f64> {
+        reference
+            .iter()
+            .zip(approx)
+            .map(|(&r, &a)| if (r > 0.5) == (a > 0.5) { 0.0 } else { 1.0 })
+            .collect()
+    }
+
+    fn paper_topology(&self) -> Vec<usize> {
+        vec![18, 32, 8, 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::baseline_outputs;
+
+    fn to_tris(flat: &[f32]) -> ([[f32; 3]; 3], [[f32; 3]; 3]) {
+        let mut v = [[0.0; 3]; 3];
+        let mut u = [[0.0; 3]; 3];
+        for k in 0..3 {
+            for c in 0..3 {
+                v[k][c] = flat[3 * k + c];
+                u[k][c] = flat[9 + 3 * k + c];
+            }
+        }
+        (v, u)
+    }
+
+    #[test]
+    fn reference_detects_obvious_cases() {
+        // Two triangles crossing at the origin region.
+        let v = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]];
+        let u = [[0.2, 0.2, -0.5], [0.2, 0.2, 0.5], [0.8, 0.8, 0.0]];
+        assert!(tri_tri_intersects(&v, &u));
+        // Far apart.
+        let w = [[5.0, 5.0, 5.0], [6.0, 5.0, 5.0], [5.0, 6.0, 5.0]];
+        assert!(!tri_tri_intersects(&v, &w));
+        // Parallel planes.
+        let p = [[0.0, 0.0, 1.0], [1.0, 0.0, 1.0], [0.0, 1.0, 1.0]];
+        assert!(!tri_tri_intersects(&v, &p));
+    }
+
+    #[test]
+    fn ir_region_matches_reference_on_random_pairs() {
+        let region = Jmeint.region();
+        let pairs = random_pairs(300, 17);
+        let mut hits = 0;
+        for pair in &pairs {
+            let out = region.evaluate(pair).unwrap();
+            let ir_hit = out[0] > out[1];
+            let (v, u) = to_tris(pair);
+            let want = tri_tri_intersects(&v, &u);
+            assert_eq!(ir_hit, want, "disagreement on {pair:?}");
+            hits += usize::from(want);
+        }
+        // Random unit-cube triangles intersect reasonably often; if not,
+        // the workload (and the NN's class balance) is degenerate.
+        assert!(hits > 15, "only {hits}/300 intersecting pairs");
+    }
+
+    #[test]
+    fn region_is_control_heavy() {
+        let counts = Jmeint.region().static_counts();
+        assert!(counts.ifs >= 8, "ifs = {}", counts.ifs);
+        assert_eq!(counts.function_calls, 3); // compute_intervals x2 + coplanar
+        assert!(counts.instructions > 150);
+    }
+
+    #[test]
+    fn app_decisions_match_reference() {
+        let scale = Scale::small();
+        let out = baseline_outputs(&Jmeint, &scale);
+        let pairs = random_pairs(scale.tri_pairs, 0xE7A1);
+        for (k, pair) in pairs.iter().enumerate() {
+            let (v, u) = to_tris(pair);
+            let want = tri_tri_intersects(&v, &u);
+            assert_eq!(out[k] > 0.5, want, "pair {k}");
+        }
+    }
+
+    #[test]
+    fn shared_edge_triangles_intersect() {
+        let v = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]];
+        let u = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]];
+        assert!(tri_tri_intersects(&v, &u));
+        let flat: Vec<f32> = v
+            .iter()
+            .chain(u.iter())
+            .flat_map(|p| p.iter().copied())
+            .collect();
+        let out = Jmeint.region().evaluate(&flat).unwrap();
+        assert!(out[0] > out[1]);
+    }
+}

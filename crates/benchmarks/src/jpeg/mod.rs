@@ -1,0 +1,505 @@
+//! `jpeg` — baseline JPEG encoding (compression).
+//!
+//! The candidate region subsumes "the discrete cosine transform and
+//! quantization phases, which contain function calls and loops": one 8×8
+//! block of luma samples in, 64 quantized coefficients out (paper NN:
+//! 64→16→64, error metric: image diff of the decoded output).
+//!
+//! The IR application performs RGB→luma conversion and pushes every block
+//! through the region, producing the full quantized-coefficient stream;
+//! [`codec`] turns such a stream into a real JFIF file (zigzag,
+//! run-length, Annex K Huffman coding) and decodes it back to pixels for
+//! the quality metric. Color is encoded as luma only (grayscale JPEG) —
+//! a documented simplification; chroma would traverse the identical
+//! region code path.
+
+pub mod codec;
+pub mod tables;
+
+use crate::glue::install_region;
+use crate::image::RgbImage;
+use crate::{App, AppVariant, Benchmark, Scale};
+use approx_ir::{CmpOp, FunctionBuilder, Program, Reg};
+use parrot::RegionSpec;
+
+/// Scratch words the region needs: input block, temp block, DCT basis,
+/// quantization table.
+const SCRATCH_WORDS: usize = 256;
+
+/// Baseline JPEG operates on 8×8 macroblocks, so the benchmark works on
+/// the largest multiple-of-8 image that fits the requested dimension
+/// (the paper's 220×220 input becomes 216×216; a production encoder
+/// would pad instead).
+fn block_dim(requested: usize) -> usize {
+    (requested / 8) * 8
+}
+
+/// The JPEG encoding benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jpeg;
+
+/// Builds the `dct_quant` region: 64 samples → 64 quantized coefficients.
+/// Scratch layout at `scratch_base`: `in[0..64]`, `tmp[64..128]`,
+/// `basis[128..192]`, `quant[192..256]`.
+#[allow(clippy::needless_range_loop)] // u/x index the basis table and IR offsets together
+fn build_region_function(scratch_base: i32) -> approx_ir::Function {
+    let basis = tables::dct_basis();
+    let mut b = FunctionBuilder::new("dct_quant", 64);
+    let s_in = b.consti(scratch_base);
+    let s_tmp = b.consti(scratch_base + 64);
+    let s_basis = b.consti(scratch_base + 128);
+    let s_quant = b.consti(scratch_base + 192);
+
+    // Prologue: spill the block and load the constant tables.
+    for i in 0..64 {
+        let p = b.param(i);
+        b.store(p, s_in, i as i32);
+    }
+    for u in 0..8 {
+        for x in 0..8 {
+            let c = b.constf(basis[u][x]);
+            b.store(c, s_basis, (u * 8 + x) as i32);
+        }
+    }
+    for (i, &q) in tables::LUMA_QUANT.iter().enumerate() {
+        let c = b.constf(q);
+        b.store(c, s_quant, i as i32);
+    }
+
+    let one = b.consti(1);
+    let eight = b.consti(8);
+    let c128 = b.constf(128.0);
+    let half = b.constf(0.5);
+
+    // Row pass: tmp[y*8+u] = Σ_x (in[y*8+x] - 128) * basis[u*8+x]
+    {
+        let y = b.consti(0);
+        let ytop = b.new_label();
+        let ydone = b.new_label();
+        b.bind(ytop);
+        let yfin = b.cmpi(CmpOp::Ge, y, eight);
+        b.branch_if(yfin, ydone);
+        let yrow = b.imul(y, eight);
+        {
+            let u = b.consti(0);
+            let utop = b.new_label();
+            let udone = b.new_label();
+            b.bind(utop);
+            let ufin = b.cmpi(CmpOp::Ge, u, eight);
+            b.branch_if(ufin, udone);
+            let urow = b.imul(u, eight);
+            let acc = b.constf(0.0);
+            {
+                let x = b.consti(0);
+                let xtop = b.new_label();
+                let xdone = b.new_label();
+                b.bind(xtop);
+                let xfin = b.cmpi(CmpOp::Ge, x, eight);
+                b.branch_if(xfin, xdone);
+                let in_off = b.iadd(yrow, x);
+                let in_addr = b.iadd(s_in, in_off);
+                let f = b.load(in_addr, 0);
+                let lvl = b.fsub(f, c128);
+                let t_off = b.iadd(urow, x);
+                let t_addr = b.iadd(s_basis, t_off);
+                let t = b.load(t_addr, 0);
+                let prod = b.fmul(lvl, t);
+                b.fadd_into(acc, prod);
+                b.iadd_into(x, one);
+                b.jump(xtop);
+                b.bind(xdone);
+            }
+            let o_off = b.iadd(yrow, u);
+            let o_addr = b.iadd(s_tmp, o_off);
+            b.store(acc, o_addr, 0);
+            b.iadd_into(u, one);
+            b.jump(utop);
+            b.bind(udone);
+        }
+        b.iadd_into(y, one);
+        b.jump(ytop);
+        b.bind(ydone);
+    }
+
+    // Column pass + quantization, writing back into `in`:
+    // out[v*8+u] = floor((Σ_y tmp[y*8+u] * basis[v*8+y]) / Q[v*8+u] + 0.5)
+    {
+        let v = b.consti(0);
+        let vtop = b.new_label();
+        let vdone = b.new_label();
+        b.bind(vtop);
+        let vfin = b.cmpi(CmpOp::Ge, v, eight);
+        b.branch_if(vfin, vdone);
+        let vrow = b.imul(v, eight);
+        {
+            let u = b.consti(0);
+            let utop = b.new_label();
+            let udone = b.new_label();
+            b.bind(utop);
+            let ufin = b.cmpi(CmpOp::Ge, u, eight);
+            b.branch_if(ufin, udone);
+            let acc = b.constf(0.0);
+            {
+                let y = b.consti(0);
+                let ytop = b.new_label();
+                let ydone = b.new_label();
+                b.bind(ytop);
+                let yfin = b.cmpi(CmpOp::Ge, y, eight);
+                b.branch_if(yfin, ydone);
+                let yrow = b.imul(y, eight);
+                let t_off = b.iadd(yrow, u);
+                let t_addr = b.iadd(s_tmp, t_off);
+                let tv = b.load(t_addr, 0);
+                let b_off = b.iadd(vrow, y);
+                let b_addr = b.iadd(s_basis, b_off);
+                let bv = b.load(b_addr, 0);
+                let prod = b.fmul(tv, bv);
+                b.fadd_into(acc, prod);
+                b.iadd_into(y, one);
+                b.jump(ytop);
+                b.bind(ydone);
+            }
+            let q_off = b.iadd(vrow, u);
+            let q_addr = b.iadd(s_quant, q_off);
+            let q = b.load(q_addr, 0);
+            let scaled = b.fdiv(acc, q);
+            let biased = b.fadd(scaled, half);
+            let rounded = b.ffloor(biased);
+            let o_addr = b.iadd(s_in, q_off);
+            b.store(rounded, o_addr, 0);
+            b.iadd_into(u, one);
+            b.jump(utop);
+            b.bind(udone);
+        }
+        b.iadd_into(v, one);
+        b.jump(vtop);
+        b.bind(vdone);
+    }
+
+    // Epilogue: return the 64 coefficients.
+    let mut outs: Vec<Reg> = Vec::with_capacity(64);
+    for i in 0..64 {
+        outs.push(b.load(s_in, i));
+    }
+    b.ret(&outs);
+    b.build().expect("jpeg region is structurally valid")
+}
+
+struct Layout {
+    luma: usize,
+    coeffs: usize,
+    scratch: usize,
+    end: usize,
+}
+
+fn layout(dim: usize) -> Layout {
+    let px = dim * dim;
+    let luma = 3 * px;
+    let coeffs = luma + px;
+    let scratch = coeffs + px;
+    Layout {
+        luma,
+        coeffs,
+        scratch,
+        end: scratch + SCRATCH_WORDS,
+    }
+}
+
+/// Extracts the 8×8 luma blocks of a grayscale `[0,255]` image in
+/// block-major order (training-set construction).
+fn blocks_of(gray255: &[f32], dim: usize) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    for by in 0..dim / 8 {
+        for bx in 0..dim / 8 {
+            let mut block = Vec::with_capacity(64);
+            for y in 0..8 {
+                for x in 0..8 {
+                    block.push(gray255[(by * 8 + y) * dim + bx * 8 + x]);
+                }
+            }
+            out.push(block);
+        }
+    }
+    out
+}
+
+impl Jpeg {
+    /// Encodes a quantized coefficient stream to a complete JFIF file
+    /// (the application's real deliverable).
+    pub fn encode_file(coeffs: &[f32], dim: usize) -> Vec<u8> {
+        codec::encode_jfif(coeffs, dim)
+    }
+}
+
+impl Benchmark for Jpeg {
+    fn name(&self) -> &'static str {
+        "jpeg"
+    }
+
+    fn domain(&self) -> &'static str {
+        "compression"
+    }
+
+    fn error_metric(&self) -> &'static str {
+        "image diff"
+    }
+
+    fn region(&self) -> RegionSpec {
+        let mut program = Program::new();
+        let entry = program.add_function(build_region_function(0));
+        RegionSpec::new("dct_quant", program, entry, 64, 64)
+            .expect("valid region")
+            .with_scratch(SCRATCH_WORDS)
+    }
+
+    fn training_inputs(&self, scale: &Scale) -> Vec<Vec<f32>> {
+        // Paper: three 512×512 training images (lena/mandrill/peppers →
+        // three synthetic images with distinct seeds here).
+        let dim = if scale.image_dim >= 220 { 512 } else { 48 };
+        let mut inputs = Vec::new();
+        for seed in [0x7E61, 0x7E62, 0x7E63] {
+            let gray: Vec<f32> = RgbImage::synthetic(dim, dim, seed)
+                .to_gray()
+                .iter()
+                .map(|v| v * 255.0)
+                .collect();
+            inputs.extend(blocks_of(&gray, dim));
+        }
+        inputs
+    }
+
+    fn build_app(&self, variant: &AppVariant<'_>, scale: &Scale) -> App {
+        let dim = block_dim(scale.image_dim);
+        assert!(dim >= 8, "jpeg needs at least one 8x8 block");
+        let lay = layout(dim);
+        let px = dim * dim;
+        let mut program = Program::new();
+        let installed = install_region(
+            &mut program,
+            variant,
+            build_region_function(lay.scratch as i32),
+            lay.end,
+        );
+
+        let mut b = FunctionBuilder::new("main", 0);
+        if let Some(loader) = installed.loader {
+            b.call(loader, &[], 0);
+        }
+        let one = b.consti(1);
+        // --- RGB→luma, scaled to [0, 255]. ---
+        {
+            let i = b.consti(0);
+            let n = b.consti(px as i32);
+            let three = b.consti(3);
+            let y0 = b.consti(lay.luma as i32);
+            let cr = b.constf(0.299 * 255.0);
+            let cg = b.constf(0.587 * 255.0);
+            let cb = b.constf(0.114 * 255.0);
+            let top = b.new_label();
+            let done = b.new_label();
+            b.bind(top);
+            let fin = b.cmpi(CmpOp::Ge, i, n);
+            b.branch_if(fin, done);
+            let base = b.imul(i, three);
+            let r = b.load(base, 0);
+            let g = b.load(base, 1);
+            let bl = b.load(base, 2);
+            let tr = b.fmul(r, cr);
+            let tg = b.fmul(g, cg);
+            let tb = b.fmul(bl, cb);
+            let s1 = b.fadd(tr, tg);
+            let y = b.fadd(s1, tb);
+            let addr = b.iadd(y0, i);
+            b.store(y, addr, 0);
+            b.iadd_into(i, one);
+            b.jump(top);
+            b.bind(done);
+        }
+        // --- Per-block DCT + quantization through the region. ---
+        {
+            let blocks_per_row = dim / 8;
+            let by = b.consti(0);
+            let bmax = b.consti(blocks_per_row as i32);
+            let y0 = b.consti(lay.luma as i32);
+            let q0 = b.consti(lay.coeffs as i32);
+            let row_stride = b.consti((8 * dim) as i32);
+            let eight = b.consti(8);
+            let c64 = b.consti(64);
+            let bpr = b.consti(blocks_per_row as i32);
+            let ytop = b.new_label();
+            let ydone = b.new_label();
+            b.bind(ytop);
+            let yfin = b.cmpi(CmpOp::Ge, by, bmax);
+            b.branch_if(yfin, ydone);
+            {
+                let bx = b.consti(0);
+                let xtop = b.new_label();
+                let xdone = b.new_label();
+                b.bind(xtop);
+                let xfin = b.cmpi(CmpOp::Ge, bx, bmax);
+                b.branch_if(xfin, xdone);
+                // base = luma + by*8*dim + bx*8
+                let roff = b.imul(by, row_stride);
+                let coff = b.imul(bx, eight);
+                let t1 = b.iadd(y0, roff);
+                let base = b.iadd(t1, coff);
+                let mut block: Vec<Reg> = Vec::with_capacity(64);
+                for y in 0..8i32 {
+                    for x in 0..8i32 {
+                        block.push(b.load(base, y * dim as i32 + x));
+                    }
+                }
+                let out = b.call(installed.callee, &block, 64);
+                // qbase = coeffs + (by*bpr + bx)*64
+                let bidx0 = b.imul(by, bpr);
+                let bidx = b.iadd(bidx0, bx);
+                let qoff = b.imul(bidx, c64);
+                let qbase = b.iadd(q0, qoff);
+                for (i, &r) in out.iter().enumerate() {
+                    b.store(r, qbase, i as i32);
+                }
+                b.iadd_into(bx, one);
+                b.jump(xtop);
+                b.bind(xdone);
+            }
+            b.iadd_into(by, one);
+            b.jump(ytop);
+            b.bind(ydone);
+        }
+        b.ret(&[]);
+        let entry = program.add_function(b.build().expect("jpeg main is valid"));
+
+        let img = RgbImage::synthetic(dim, dim, 0xE7A1);
+        let mut memory = vec![0.0f32; lay.end];
+        memory[..3 * px].copy_from_slice(img.data());
+        memory.extend_from_slice(&installed.extra_memory);
+        App {
+            program,
+            entry,
+            memory,
+            args: vec![],
+            needs_npu: variant.needs_npu(),
+        }
+    }
+
+    fn extract_outputs(&self, memory: &[f32], scale: &Scale) -> Vec<f32> {
+        let dim = block_dim(scale.image_dim);
+        let lay = layout(dim);
+        memory[lay.coeffs..lay.coeffs + dim * dim].to_vec()
+    }
+
+    fn app_error(&self, reference: &[f32], approx: &[f32]) -> f64 {
+        // The paper compares *decoded output images*, so quality reflects
+        // what a viewer of the approximate JPEG actually sees.
+        let dim = (reference.len() as f64).sqrt() as usize;
+        let ref_img = codec::decode_coefficient_stream(reference, dim);
+        let approx_img = codec::decode_coefficient_stream(approx, dim);
+        parrot::quality::image_rmse(&ref_img, &approx_img, 255.0)
+    }
+
+    fn element_errors(&self, reference: &[f32], approx: &[f32]) -> Vec<f64> {
+        let dim = (reference.len() as f64).sqrt() as usize;
+        let ref_img = codec::decode_coefficient_stream(reference, dim);
+        let approx_img = codec::decode_coefficient_stream(approx, dim);
+        parrot::quality::image_errors(&ref_img, &approx_img, 255.0)
+    }
+
+    fn paper_topology(&self) -> Vec<usize> {
+        vec![64, 16, 64]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::baseline_outputs;
+
+    #[test]
+    fn region_matches_reference_dct() {
+        let region = Jpeg.region();
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 7) % 256) as f32;
+        }
+        let got = region.evaluate(&block).unwrap();
+        let want = codec::dct_quantize(&block);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!((g - w).abs() < 1e-3, "coeff {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn region_of_flat_block_is_dc_only() {
+        let region = Jpeg.region();
+        let got = region.evaluate(&[200.0f32; 64]).unwrap();
+        assert_eq!(got[0], 36.0);
+        assert!(got[1..].iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn region_has_loops_and_many_instructions() {
+        let counts = Jpeg.region().static_counts();
+        assert!(counts.loops >= 6, "loops = {}", counts.loops);
+        assert!(counts.instructions > 300, "insts = {}", counts.instructions);
+    }
+
+    #[test]
+    fn app_coefficients_match_reference_per_block() {
+        let scale = Scale::small();
+        let dim = scale.image_dim;
+        let out = baseline_outputs(&Jpeg, &scale);
+        // Recompute block 0 in Rust from the same evaluation image.
+        let gray: Vec<f32> = RgbImage::synthetic(dim, dim, 0xE7A1)
+            .to_gray()
+            .iter()
+            .map(|v| v * 255.0)
+            .collect();
+        let blocks = blocks_of(&gray, dim);
+        let mut first = [0.0f32; 64];
+        first.copy_from_slice(&blocks[0]);
+        let want = codec::dct_quantize(&first);
+        for i in 0..64 {
+            assert!(
+                (out[i] - want[i]).abs() < 1.01,
+                "coeff {i}: {} vs {} (rounding may differ by 1 at half-steps)",
+                out[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn decoded_baseline_resembles_source() {
+        let scale = Scale::small();
+        let dim = scale.image_dim;
+        let out = baseline_outputs(&Jpeg, &scale);
+        let decoded = codec::decode_coefficient_stream(&out, dim);
+        let gray: Vec<f32> = RgbImage::synthetic(dim, dim, 0xE7A1)
+            .to_gray()
+            .iter()
+            .map(|v| v * 255.0)
+            .collect();
+        let rmse = parrot::quality::image_rmse(&gray, &decoded, 255.0);
+        assert!(rmse < 0.08, "JPEG round-trip rmse = {rmse}");
+    }
+
+    #[test]
+    fn encode_file_produces_valid_jfif() {
+        let scale = Scale::small();
+        let out = baseline_outputs(&Jpeg, &scale);
+        let file = Jpeg::encode_file(&out, scale.image_dim);
+        assert_eq!(&file[..2], &[0xFF, 0xD8]);
+        assert_eq!(&file[file.len() - 2..], &[0xFF, 0xD9]);
+        assert!(file.len() > 200);
+    }
+
+    #[test]
+    fn training_blocks_have_64_samples_in_range() {
+        let inputs = Jpeg.training_inputs(&Scale::small());
+        assert!(!inputs.is_empty());
+        for block in &inputs {
+            assert_eq!(block.len(), 64);
+            assert!(block.iter().all(|&v| (0.0..=255.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Standard JPEG constants: quantization table, zigzag order, and the
+//! baseline Huffman tables from ITU-T T.81 Annex K.
+
+/// The Annex K luminance quantization table, row-major.
+pub const LUMA_QUANT: [f32; 64] = [
+    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, //
+    12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0, //
+    14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, //
+    14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0, //
+    18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, //
+    24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0, 92.0, //
+    49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, //
+    72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0,
+];
+
+/// Zigzag scan order: `ZIGZAG[k]` is the row-major index of the `k`-th
+/// coefficient in zigzag order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Annex K luminance DC Huffman table: `BITS` (codes per length 1..16).
+pub const DC_BITS: [u8; 16] = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0];
+/// Annex K luminance DC Huffman table: symbol values.
+pub const DC_VALUES: [u8; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+
+/// Annex K luminance AC Huffman table: `BITS`.
+pub const AC_BITS: [u8; 16] = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D];
+/// Annex K luminance AC Huffman table: symbol values.
+pub const AC_VALUES: [u8; 162] = [
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+    0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0,
+    0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+    0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+    0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+    0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7,
+    0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+    0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+    0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+    0xF9, 0xFA,
+];
+
+/// Per-pass 1-D DCT basis: `DCT_BASIS[u][x] = 0.5 c(u) cos((2x+1)uπ/16)`
+/// with `c(0) = 1/√2`, so two passes give the standard JPEG 2-D DCT
+/// scaling `¼ c(u) c(v)`.
+pub fn dct_basis() -> [[f32; 8]; 8] {
+    let mut t = [[0.0f32; 8]; 8];
+    for (u, row) in t.iter_mut().enumerate() {
+        let cu = if u == 0 {
+            std::f64::consts::FRAC_1_SQRT_2
+        } else {
+            1.0
+        };
+        for (x, v) in row.iter_mut().enumerate() {
+            let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            *v = (0.5 * cu * angle.cos()) as f32;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in &ZIGZAG {
+            assert!(!seen[z]);
+            seen[z] = true;
+        }
+    }
+
+    #[test]
+    fn huffman_bits_sum_to_value_counts() {
+        assert_eq!(DC_BITS.iter().map(|&b| b as usize).sum::<usize>(), 12);
+        assert_eq!(AC_BITS.iter().map(|&b| b as usize).sum::<usize>(), 162);
+    }
+
+    #[test]
+    fn dct_basis_is_orthonormal() {
+        // The ½c(u) scaling makes the 8-point basis orthogonal with unit
+        // rows, so forward-then-inverse transforms round-trip exactly.
+        let t = dct_basis();
+        for u in 0..8 {
+            for v in 0..8 {
+                let dot: f32 = (0..8).map(|x| t[u][x] * t[v][x]).sum();
+                let expected = if u == v { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-6, "rows {u},{v}: {dot}");
+            }
+        }
+    }
+}

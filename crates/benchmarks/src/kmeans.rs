@@ -1,0 +1,367 @@
+//! `kmeans` — k-means clustering of image pixels (machine learning).
+//!
+//! Lloyd's algorithm over RGB pixels; the candidate region is the
+//! Euclidean distance between a pixel and a cluster centroid — "simple
+//! and fine-grained yet frequently executed" (paper NN: 6→8→4→1, error
+//! metric: image diff). The paper reports this benchmark *slows down*
+//! under NPU acceleration: the region is so small that queue instructions
+//! and NPU latency outweigh the elided work.
+
+use crate::glue::install_region;
+use crate::image::RgbImage;
+use crate::{App, AppVariant, Benchmark, Scale};
+use approx_ir::{CmpOp, FunctionBuilder, Program};
+use parrot::{quality, RegionSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The k-means clustering benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kmeans;
+
+/// Builds the `euclidean_distance` region: pixel (r,g,b) and centroid
+/// (cr,cg,cb) → distance.
+fn build_region_function() -> approx_ir::Function {
+    let mut b = FunctionBuilder::new("euclidean_distance", 6);
+    let (r, g, bl) = (b.param(0), b.param(1), b.param(2));
+    let (cr, cg, cb) = (b.param(3), b.param(4), b.param(5));
+    let dr = b.fsub(r, cr);
+    let dg = b.fsub(g, cg);
+    let db = b.fsub(bl, cb);
+    let dr2 = b.fmul(dr, dr);
+    let dg2 = b.fmul(dg, dg);
+    let db2 = b.fmul(db, db);
+    let s1 = b.fadd(dr2, dg2);
+    let s2 = b.fadd(s1, db2);
+    let d = b.fsqrt(s2);
+    b.ret(&[d]);
+    b.build().expect("kmeans region is structurally valid")
+}
+
+/// Reference distance (for tests).
+pub fn distance_reference(p: [f32; 3], c: [f32; 3]) -> f32 {
+    ((p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2) + (p[2] - c[2]).powi(2)).sqrt()
+}
+
+struct Layout {
+    assign: usize,
+    centroids: usize,
+    sums: usize,
+    out: usize,
+    end: usize,
+}
+
+fn layout(dim: usize, k: usize) -> Layout {
+    let px = dim * dim;
+    let assign = 3 * px;
+    let centroids = assign + px;
+    let sums = centroids + 3 * k;
+    let out = sums + 4 * k;
+    Layout {
+        assign,
+        centroids,
+        sums,
+        out,
+        end: out + 3 * px,
+    }
+}
+
+impl Benchmark for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn domain(&self) -> &'static str {
+        "machine learning"
+    }
+
+    fn error_metric(&self) -> &'static str {
+        "image diff"
+    }
+
+    fn region(&self) -> RegionSpec {
+        let mut program = Program::new();
+        let entry = program.add_function(build_region_function());
+        RegionSpec::new("euclidean_distance", program, entry, 6, 1).expect("valid region")
+    }
+
+    fn training_inputs(&self, _scale: &Scale) -> Vec<Vec<f32>> {
+        // Paper: "for kmeans, we supplied random inputs to the code region
+        // to avoid overtraining on a particular test image".
+        let mut rng = StdRng::seed_from_u64(0x6B6D);
+        (0..10_000)
+            .map(|_| (0..6).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build_app(&self, variant: &AppVariant<'_>, scale: &Scale) -> App {
+        let dim = scale.image_dim;
+        let k = scale.kmeans_k;
+        let iters = scale.kmeans_iters;
+        let px = dim * dim;
+        let lay = layout(dim, k);
+        let mut program = Program::new();
+        let installed = install_region(&mut program, variant, build_region_function(), lay.end);
+
+        let mut b = FunctionBuilder::new("main", 0);
+        if let Some(loader) = installed.loader {
+            b.call(loader, &[], 0);
+        }
+        let one = b.consti(1);
+        let three = b.consti(3);
+        let four = b.consti(4);
+        let zero_f = b.constf(0.0);
+        let k_reg = b.consti(k as i32);
+        let px_reg = b.consti(px as i32);
+        let a0 = b.consti(lay.assign as i32);
+        let c0 = b.consti(lay.centroids as i32);
+        let s0 = b.consti(lay.sums as i32);
+        let o0 = b.consti(lay.out as i32);
+
+        // --- Initialize centroids from evenly spaced pixels. ---
+        {
+            let c = b.consti(0);
+            let step = b.consti((px / k) as i32);
+            let half = b.consti((px / (2 * k)) as i32);
+            let top = b.new_label();
+            let done = b.new_label();
+            b.bind(top);
+            let fin = b.cmpi(CmpOp::Ge, c, k_reg);
+            b.branch_if(fin, done);
+            let scaled = b.imul(c, step);
+            let pidx = b.iadd(scaled, half);
+            let paddr = b.imul(pidx, three);
+            let coff = b.imul(c, three);
+            let caddr = b.iadd(c0, coff);
+            for ch in 0..3 {
+                let v = b.load(paddr, ch);
+                b.store(v, caddr, ch);
+            }
+            b.iadd_into(c, one);
+            b.jump(top);
+            b.bind(done);
+        }
+
+        // --- Lloyd iterations. ---
+        let it = b.consti(0);
+        let iters_reg = b.consti(iters as i32);
+        let it_top = b.new_label();
+        let it_done = b.new_label();
+        b.bind(it_top);
+        let it_fin = b.cmpi(CmpOp::Ge, it, iters_reg);
+        b.branch_if(it_fin, it_done);
+        {
+            // Clear sums.
+            let c = b.consti(0);
+            let limit = b.consti((4 * k) as i32);
+            let top = b.new_label();
+            let done = b.new_label();
+            b.bind(top);
+            let fin = b.cmpi(CmpOp::Ge, c, limit);
+            b.branch_if(fin, done);
+            let addr = b.iadd(s0, c);
+            b.store(zero_f, addr, 0);
+            b.iadd_into(c, one);
+            b.jump(top);
+            b.bind(done);
+        }
+        {
+            // Assignment pass: nearest centroid per pixel.
+            let p = b.consti(0);
+            let ptop = b.new_label();
+            let pdone = b.new_label();
+            b.bind(ptop);
+            let pfin = b.cmpi(CmpOp::Ge, p, px_reg);
+            b.branch_if(pfin, pdone);
+            let paddr = b.imul(p, three);
+            let r = b.load(paddr, 0);
+            let g = b.load(paddr, 1);
+            let bl = b.load(paddr, 2);
+            let best_d = b.constf(f32::MAX);
+            let best_c = b.consti(0);
+            {
+                let c = b.consti(0);
+                let ctop = b.new_label();
+                let cdone = b.new_label();
+                b.bind(ctop);
+                let cfin = b.cmpi(CmpOp::Ge, c, k_reg);
+                b.branch_if(cfin, cdone);
+                let coff = b.imul(c, three);
+                let caddr = b.iadd(c0, coff);
+                let cr = b.load(caddr, 0);
+                let cg = b.load(caddr, 1);
+                let cb = b.load(caddr, 2);
+                let d = b.call(installed.callee, &[r, g, bl, cr, cg, cb], 1)[0];
+                let skip = b.new_label();
+                let ge = b.cmpf(CmpOp::Ge, d, best_d);
+                b.branch_if(ge, skip);
+                b.mov(best_d, d);
+                b.mov(best_c, c);
+                b.bind(skip);
+                b.iadd_into(c, one);
+                b.jump(ctop);
+                b.bind(cdone);
+            }
+            // Record assignment and accumulate sums.
+            let fa = b.itof(best_c);
+            let aaddr = b.iadd(a0, p);
+            b.store(fa, aaddr, 0);
+            let soff = b.imul(best_c, four);
+            let saddr = b.iadd(s0, soff);
+            for (ch, v) in [(0, r), (1, g), (2, bl)] {
+                let old = b.load(saddr, ch);
+                let new = b.fadd(old, v);
+                b.store(new, saddr, ch);
+            }
+            let onef = b.constf(1.0);
+            let oldc = b.load(saddr, 3);
+            let newc = b.fadd(oldc, onef);
+            b.store(newc, saddr, 3);
+            b.iadd_into(p, one);
+            b.jump(ptop);
+            b.bind(pdone);
+        }
+        {
+            // Update pass: centroid = sum / count (skip empty clusters).
+            let c = b.consti(0);
+            let top = b.new_label();
+            let done = b.new_label();
+            b.bind(top);
+            let fin = b.cmpi(CmpOp::Ge, c, k_reg);
+            b.branch_if(fin, done);
+            let soff = b.imul(c, four);
+            let saddr = b.iadd(s0, soff);
+            let cnt = b.load(saddr, 3);
+            let skip = b.new_label();
+            let empty = b.cmpf(CmpOp::Le, cnt, zero_f);
+            b.branch_if(empty, skip);
+            let coff = b.imul(c, three);
+            let caddr = b.iadd(c0, coff);
+            for ch in 0..3 {
+                let s = b.load(saddr, ch);
+                let m = b.fdiv(s, cnt);
+                b.store(m, caddr, ch);
+            }
+            b.bind(skip);
+            b.iadd_into(c, one);
+            b.jump(top);
+            b.bind(done);
+        }
+        b.iadd_into(it, one);
+        b.jump(it_top);
+        b.bind(it_done);
+
+        // --- Output pass: paint each pixel with its centroid's color. ---
+        {
+            let p = b.consti(0);
+            let top = b.new_label();
+            let done = b.new_label();
+            b.bind(top);
+            let fin = b.cmpi(CmpOp::Ge, p, px_reg);
+            b.branch_if(fin, done);
+            let aaddr = b.iadd(a0, p);
+            let fa = b.load(aaddr, 0);
+            let c = b.ftoi(fa);
+            let coff = b.imul(c, three);
+            let caddr = b.iadd(c0, coff);
+            let oaddr0 = b.imul(p, three);
+            let oaddr = b.iadd(o0, oaddr0);
+            for ch in 0..3 {
+                let v = b.load(caddr, ch);
+                b.store(v, oaddr, ch);
+            }
+            b.iadd_into(p, one);
+            b.jump(top);
+            b.bind(done);
+        }
+        b.ret(&[]);
+        let entry = program.add_function(b.build().expect("kmeans main is valid"));
+
+        let img = RgbImage::synthetic(dim, dim, 0xE7A1);
+        let mut memory = vec![0.0f32; lay.end];
+        memory[..3 * px].copy_from_slice(img.data());
+        memory.extend_from_slice(&installed.extra_memory);
+        App {
+            program,
+            entry,
+            memory,
+            args: vec![],
+            needs_npu: variant.needs_npu(),
+        }
+    }
+
+    fn extract_outputs(&self, memory: &[f32], scale: &Scale) -> Vec<f32> {
+        let lay = layout(scale.image_dim, scale.kmeans_k);
+        memory[lay.out..lay.end].to_vec()
+    }
+
+    fn app_error(&self, reference: &[f32], approx: &[f32]) -> f64 {
+        quality::image_rmse(reference, approx, 1.0)
+    }
+
+    fn element_errors(&self, reference: &[f32], approx: &[f32]) -> Vec<f64> {
+        quality::image_errors(reference, approx, 1.0)
+    }
+
+    fn paper_topology(&self) -> Vec<usize> {
+        vec![6, 8, 4, 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::baseline_outputs;
+
+    #[test]
+    fn region_matches_reference() {
+        let region = Kmeans.region();
+        let got = region.evaluate(&[1.0, 0.0, 0.5, 0.0, 1.0, 0.5]).unwrap()[0];
+        let want = distance_reference([1.0, 0.0, 0.5], [0.0, 1.0, 0.5]);
+        assert!((got - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn region_is_small_and_straight_line() {
+        let counts = Kmeans.region().static_counts();
+        assert_eq!(counts.loops, 0);
+        assert_eq!(counts.ifs, 0);
+        assert!(counts.instructions < 20);
+    }
+
+    #[test]
+    fn clustering_reduces_color_count() {
+        let scale = Scale::small();
+        let out = baseline_outputs(&Kmeans, &scale);
+        // Output pixels can only take centroid colors: at most k distinct.
+        let mut colors = std::collections::BTreeSet::new();
+        for p in out.chunks_exact(3) {
+            colors.insert((p[0].to_bits(), p[1].to_bits(), p[2].to_bits()));
+        }
+        assert!(
+            colors.len() <= scale.kmeans_k,
+            "{} colors for k={}",
+            colors.len(),
+            scale.kmeans_k
+        );
+        assert!(colors.len() >= 2, "clustering degenerated to one cluster");
+    }
+
+    #[test]
+    fn clustered_image_resembles_source() {
+        let scale = Scale::small();
+        let out = baseline_outputs(&Kmeans, &scale);
+        let img = RgbImage::synthetic(scale.image_dim, scale.image_dim, 0xE7A1);
+        let rmse = quality::image_rmse(img.data(), &out, 1.0);
+        // Quantizing to k colors loses detail but must stay recognizable.
+        assert!(rmse < 0.35, "rmse = {rmse}");
+    }
+
+    #[test]
+    fn training_inputs_are_random_sextuples() {
+        let inputs = Kmeans.training_inputs(&Scale::small());
+        assert_eq!(inputs.len(), 10_000);
+        assert!(inputs.iter().all(|v| v.len() == 6));
+    }
+}

@@ -1,0 +1,209 @@
+//! The MICRO 2012 Parrot benchmark suite (paper Table 1).
+//!
+//! Six applications from six domains, each with one annotated candidate
+//! region, implemented in full: the region and all surrounding
+//! application glue are IR programs executed by the `approx-ir`
+//! interpreter, so functional outputs, dynamic instruction counts
+//! (Figure 7), and cycle-level timing (Figures 8–11) all derive from the
+//! same execution.
+//!
+//! | name | domain | region | paper NN |
+//! |---|---|---|---|
+//! | [`fft`] | signal processing | twiddle factor (sin+cos) | 1→4→4→2 |
+//! | [`inversek2j`] | robotics | 2-joint inverse kinematics | 2→8→2 |
+//! | [`jmeint`] | 3D gaming | Möller triangle intersection | 18→32→8→2 |
+//! | [`jpeg`] | compression | 8×8 DCT + quantization | 64→16→64 |
+//! | [`kmeans`] | machine learning | RGB Euclidean distance | 6→8→4→1 |
+//! | [`sobel`] | image processing | 3×3 Sobel gradient | 9→8→1 |
+//!
+//! Input substitution: the paper trains on lena/mandrill/peppers and
+//! evaluates on distinct images and fresh random inputs; we use seeded
+//! procedural images ([`image`]) of the same dimensions and seeded random
+//! inputs, with disjoint seeds for training and evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fft;
+mod glue;
+pub mod image;
+pub mod inversek2j;
+pub mod jmeint;
+pub mod jpeg;
+pub mod kmeans;
+pub mod runner;
+pub mod sobel;
+
+use approx_ir::{FuncId, Program, Value};
+use parrot::{CompiledRegion, RegionSpec};
+
+/// Problem sizes for one evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Side length of square test images (paper: 220×220 evaluation
+    /// images).
+    pub image_dim: usize,
+    /// FFT size in complex points (paper: 2048 random values).
+    pub fft_points: usize,
+    /// Random coordinate pairs for `inversek2j` (paper: 10,000).
+    pub ik_pairs: usize,
+    /// Random triangle pairs for `jmeint` (paper: 10,000).
+    pub tri_pairs: usize,
+    /// Lloyd iterations for `kmeans`.
+    pub kmeans_iters: usize,
+    /// Cluster count for `kmeans`.
+    pub kmeans_k: usize,
+}
+
+impl Scale {
+    /// The paper's evaluation input sizes.
+    pub fn paper() -> Self {
+        Scale {
+            image_dim: 220,
+            fft_points: 2048,
+            ik_pairs: 10_000,
+            tri_pairs: 10_000,
+            kmeans_iters: 2,
+            kmeans_k: 6,
+        }
+    }
+
+    /// Small sizes for tests and quick demos.
+    pub fn small() -> Self {
+        Scale {
+            image_dim: 32,
+            fft_points: 256,
+            ik_pairs: 200,
+            tri_pairs: 200,
+            kmeans_iters: 1,
+            kmeans_k: 4,
+        }
+    }
+}
+
+/// Which implementation of the candidate region the application runs.
+#[derive(Debug, Clone, Copy)]
+pub enum AppVariant<'a> {
+    /// The original, precise region code (the paper's baseline).
+    Precise,
+    /// The Parrot-transformed program: config loader at start, then
+    /// `enq.d`/`deq.d` invocation stubs in place of region calls.
+    Npu(&'a CompiledRegion),
+    /// The transformed program evaluating the network *in software* on
+    /// the core (the paper's FANN comparison, Figure 9).
+    SoftwareNn(&'a CompiledRegion),
+}
+
+impl AppVariant<'_> {
+    /// The compiled region, if this variant uses one.
+    pub fn compiled(&self) -> Option<&CompiledRegion> {
+        match self {
+            AppVariant::Precise => None,
+            AppVariant::Npu(c) | AppVariant::SoftwareNn(c) => Some(c),
+        }
+    }
+
+    /// Whether the interpreter needs an NPU port attached.
+    pub fn needs_npu(&self) -> bool {
+        matches!(self, AppVariant::Npu(_))
+    }
+}
+
+/// A fully materialized application, ready to interpret.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Glue + region (or stub) functions.
+    pub program: Program,
+    /// The application's entry function.
+    pub entry: FuncId,
+    /// Initial data memory (inputs preloaded).
+    pub memory: Vec<f32>,
+    /// Entry-function arguments.
+    pub args: Vec<Value>,
+    /// Whether the program executes NPU queue instructions.
+    pub needs_npu: bool,
+}
+
+/// One benchmark of the suite.
+pub trait Benchmark {
+    /// Short name (Table 1's first column).
+    fn name(&self) -> &'static str;
+
+    /// Application domain (Table 1's "Type" column).
+    fn domain(&self) -> &'static str;
+
+    /// Human-readable error metric name (Table 1's "Error Metric").
+    fn error_metric(&self) -> &'static str;
+
+    /// The annotated candidate region.
+    fn region(&self) -> RegionSpec;
+
+    /// Region-level training inputs (the paper's training input set —
+    /// disjoint from evaluation inputs).
+    fn training_inputs(&self, scale: &Scale) -> Vec<Vec<f32>>;
+
+    /// Builds the full application in the given variant.
+    fn build_app(&self, variant: &AppVariant<'_>, scale: &Scale) -> App;
+
+    /// Extracts the application's output elements from finished memory.
+    fn extract_outputs(&self, memory: &[f32], scale: &Scale) -> Vec<f32>;
+
+    /// Whole-application error between precise and approximate outputs
+    /// (Table 1's "Error" column).
+    fn app_error(&self, reference: &[f32], approx: &[f32]) -> f64;
+
+    /// Per-output-element errors (Figure 6's CDF input).
+    fn element_errors(&self, reference: &[f32], approx: &[f32]) -> Vec<f64>;
+
+    /// The network topology the paper's search selected, as a regression
+    /// anchor for Table 1 comparisons.
+    fn paper_topology(&self) -> Vec<usize>;
+}
+
+/// All six benchmarks, in the paper's Table 1 order.
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(fft::Fft),
+        Box::new(inversek2j::InverseK2j),
+        Box::new(jmeint::Jmeint),
+        Box::new(jpeg::Jpeg),
+        Box::new(kmeans::Kmeans),
+        Box::new(sobel::Sobel),
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn benchmark_by_name(name: &str) -> Option<Box<dyn Benchmark>> {
+    all_benchmarks().into_iter().find(|b| b.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_all_six() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark_by_name("sobel").is_some());
+        assert!(benchmark_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn regions_satisfy_parrot_criteria() {
+        // Fixed-size inputs/outputs, consistent with the paper's arities.
+        for b in all_benchmarks() {
+            let r = b.region();
+            let t = b.paper_topology();
+            assert_eq!(r.n_inputs(), t[0], "{} inputs", b.name());
+            assert_eq!(r.n_outputs(), *t.last().unwrap(), "{} outputs", b.name());
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! `sobel` — Sobel edge detection (paper Figure 2's running example).
+//!
+//! The application converts an RGB image to grayscale, then slides a 3×3
+//! window over it, calling the `sobel` function per pixel to estimate the
+//! intensity gradient. The `sobel` function — nine inputs, one output,
+//! pure, hot — is the candidate region (paper NN: 9→8→1, error metric:
+//! image diff).
+
+use crate::glue::install_region;
+use crate::image::RgbImage;
+use crate::{App, AppVariant, Benchmark, Scale};
+use approx_ir::{CmpOp, FunctionBuilder, Program, Reg};
+use parrot::{quality, RegionSpec};
+
+/// The Sobel edge-detection benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sobel;
+
+/// Builds the `sobel` region: 3×3 window → gradient magnitude, clamped
+/// to 1.0 (one conditional, matching the original's single `if`).
+fn build_region_function() -> approx_ir::Function {
+    let mut b = FunctionBuilder::new("sobel", 9);
+    let p: Vec<Reg> = (0..9).map(|i| b.param(i)).collect();
+    let two = b.constf(2.0);
+    // Gx = (p2 + 2 p5 + p8) - (p0 + 2 p3 + p6)
+    let t1 = b.fmul(two, p[5]);
+    let t2 = b.fadd(p[2], t1);
+    let xp = b.fadd(t2, p[8]);
+    let t3 = b.fmul(two, p[3]);
+    let t4 = b.fadd(p[0], t3);
+    let xm = b.fadd(t4, p[6]);
+    let gx = b.fsub(xp, xm);
+    // Gy = (p6 + 2 p7 + p8) - (p0 + 2 p1 + p2)
+    let t5 = b.fmul(two, p[7]);
+    let t6 = b.fadd(p[6], t5);
+    let yp = b.fadd(t6, p[8]);
+    let t7 = b.fmul(two, p[1]);
+    let t8 = b.fadd(p[0], t7);
+    let ym = b.fadd(t8, p[2]);
+    let gy = b.fsub(yp, ym);
+    // r = sqrt(gx^2 + gy^2), clamped: if (r > 1.0) r = 1.0;
+    let gx2 = b.fmul(gx, gx);
+    let gy2 = b.fmul(gy, gy);
+    let s = b.fadd(gx2, gy2);
+    let r = b.fsqrt(s);
+    let one = b.constf(1.0);
+    let keep = b.new_label();
+    let le = b.cmpf(CmpOp::Le, r, one);
+    b.branch_if(le, keep);
+    b.mov(r, one);
+    b.bind(keep);
+    b.ret(&[r]);
+    b.build().expect("sobel region is structurally valid")
+}
+
+/// Memory layout of the sobel application (the RGB input occupies
+/// `[0, 3·dim²)`).
+struct Layout {
+    gray: usize,
+    out: usize,
+    end: usize,
+}
+
+fn layout(dim: usize) -> Layout {
+    let px = dim * dim;
+    Layout {
+        gray: 3 * px,
+        out: 3 * px + px,
+        end: 3 * px + 2 * px,
+    }
+}
+
+impl Sobel {
+    fn training_image_dim(scale: &Scale) -> usize {
+        if scale.image_dim >= 220 {
+            512
+        } else {
+            48
+        }
+    }
+}
+
+impl Benchmark for Sobel {
+    fn name(&self) -> &'static str {
+        "sobel"
+    }
+
+    fn domain(&self) -> &'static str {
+        "image processing"
+    }
+
+    fn error_metric(&self) -> &'static str {
+        "image diff"
+    }
+
+    fn region(&self) -> RegionSpec {
+        let mut program = Program::new();
+        let entry = program.add_function(build_region_function());
+        RegionSpec::new("sobel", program, entry, 9, 1).expect("valid region")
+    }
+
+    fn training_inputs(&self, scale: &Scale) -> Vec<Vec<f32>> {
+        // Paper: one 512×512 training image provides abundant samples
+        // ("training sobel on a single test image provides ~260k training
+        // data points"). We use a distinct seed from evaluation.
+        let dim = Self::training_image_dim(scale);
+        let gray = RgbImage::synthetic(dim, dim, 0x7EA1).to_gray();
+        let mut windows = Vec::new();
+        let stride = if dim >= 512 { 3 } else { 1 };
+        for y in (1..dim - 1).step_by(stride) {
+            for x in (1..dim - 1).step_by(stride) {
+                let mut w = Vec::with_capacity(9);
+                for dy in 0..3 {
+                    for dx in 0..3 {
+                        w.push(gray[(y + dy - 1) * dim + (x + dx - 1)]);
+                    }
+                }
+                windows.push(w);
+            }
+        }
+        windows
+    }
+
+    fn build_app(&self, variant: &AppVariant<'_>, scale: &Scale) -> App {
+        let dim = scale.image_dim;
+        let lay = layout(dim);
+        let mut program = Program::new();
+        let installed = install_region(&mut program, variant, build_region_function(), lay.end);
+
+        let w = dim as i32;
+        let mut b = FunctionBuilder::new("main", 0);
+        if let Some(loader) = installed.loader {
+            b.call(loader, &[], 0);
+        }
+        let one = b.consti(1);
+        // --- Grayscale pass: gray[i] = .299 r + .587 g + .114 b ---
+        {
+            let i = b.consti(0);
+            let n = b.consti((dim * dim) as i32);
+            let three = b.consti(3);
+            let g0 = b.consti(lay.gray as i32);
+            let cr = b.constf(0.299);
+            let cg = b.constf(0.587);
+            let cb = b.constf(0.114);
+            let top = b.new_label();
+            let done = b.new_label();
+            b.bind(top);
+            let fin = b.cmpi(CmpOp::Ge, i, n);
+            b.branch_if(fin, done);
+            let base = b.imul(i, three);
+            let r = b.load(base, 0);
+            let g = b.load(base, 1);
+            let bl = b.load(base, 2);
+            let tr = b.fmul(r, cr);
+            let tg = b.fmul(g, cg);
+            let tb = b.fmul(bl, cb);
+            let s1 = b.fadd(tr, tg);
+            let gray = b.fadd(s1, tb);
+            let gaddr = b.iadd(g0, i);
+            b.store(gray, gaddr, 0);
+            b.iadd_into(i, one);
+            b.jump(top);
+            b.bind(done);
+        }
+        // --- Sobel pass over interior pixels ---
+        {
+            let y = b.consti(1);
+            let ymax = b.consti((dim - 1) as i32);
+            let x_start = b.consti(1);
+            let xmax = b.consti((dim - 1) as i32);
+            let width = b.consti(w);
+            let g0 = b.consti(lay.gray as i32);
+            let o0 = b.consti(lay.out as i32);
+            let ytop = b.new_label();
+            let ydone = b.new_label();
+            b.bind(ytop);
+            let yfin = b.cmpi(CmpOp::Ge, y, ymax);
+            b.branch_if(yfin, ydone);
+            {
+                let x = b.reg();
+                b.mov(x, x_start);
+                let xtop = b.new_label();
+                let xdone = b.new_label();
+                b.bind(xtop);
+                let xfin = b.cmpi(CmpOp::Ge, x, xmax);
+                b.branch_if(xfin, xdone);
+                let row = b.imul(y, width);
+                let idx = b.iadd(row, x);
+                let base = b.iadd(g0, idx);
+                // The 3x3 window as constant offsets around the center.
+                let mut window = Vec::with_capacity(9);
+                for dy in -1i32..=1 {
+                    for dx in -1i32..=1 {
+                        window.push(b.load(base, dy * w + dx));
+                    }
+                }
+                let out = b.call(installed.callee, &window, 1);
+                let oaddr = b.iadd(o0, idx);
+                b.store(out[0], oaddr, 0);
+                b.iadd_into(x, one);
+                b.jump(xtop);
+                b.bind(xdone);
+            }
+            b.iadd_into(y, one);
+            b.jump(ytop);
+            b.bind(ydone);
+        }
+        b.ret(&[]);
+        let entry = program.add_function(b.build().expect("sobel main is valid"));
+
+        let img = RgbImage::synthetic(dim, dim, 0xE7A1); // evaluation image
+        let mut memory = vec![0.0f32; lay.end];
+        memory[..3 * dim * dim].copy_from_slice(img.data());
+        memory.extend_from_slice(&installed.extra_memory);
+        App {
+            program,
+            entry,
+            memory,
+            args: vec![],
+            needs_npu: variant.needs_npu(),
+        }
+    }
+
+    fn extract_outputs(&self, memory: &[f32], scale: &Scale) -> Vec<f32> {
+        let lay = layout(scale.image_dim);
+        memory[lay.out..lay.end].to_vec()
+    }
+
+    fn app_error(&self, reference: &[f32], approx: &[f32]) -> f64 {
+        quality::image_rmse(reference, approx, 1.0)
+    }
+
+    fn element_errors(&self, reference: &[f32], approx: &[f32]) -> Vec<f64> {
+        quality::image_errors(reference, approx, 1.0)
+    }
+
+    fn paper_topology(&self) -> Vec<usize> {
+        vec![9, 8, 1]
+    }
+}
+
+/// Reference Rust implementation of the sobel region (for tests).
+pub fn sobel_reference(p: &[f32; 9]) -> f32 {
+    let gx = (p[2] + 2.0 * p[5] + p[8]) - (p[0] + 2.0 * p[3] + p[6]);
+    let gy = (p[6] + 2.0 * p[7] + p[8]) - (p[0] + 2.0 * p[1] + p[2]);
+    (gx * gx + gy * gy).sqrt().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{baseline_outputs, run_functional};
+
+    #[test]
+    fn region_matches_reference() {
+        let region = Sobel.region();
+        let cases: [[f32; 9]; 3] = [
+            [0.0; 9],
+            [1.0, 0.0, 1.0, 0.0, 0.5, 0.0, 1.0, 0.0, 1.0],
+            [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+        ];
+        for case in cases {
+            let got = region.evaluate(&case).unwrap()[0];
+            let want = sobel_reference(&case);
+            assert!((got - want).abs() < 1e-6, "{case:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn region_clamps_large_gradients() {
+        let region = Sobel.region();
+        let case = [0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0];
+        assert_eq!(region.evaluate(&case).unwrap()[0], 1.0);
+    }
+
+    #[test]
+    fn baseline_app_detects_edges() {
+        let scale = Scale::small();
+        let out = baseline_outputs(&Sobel, &scale);
+        assert_eq!(out.len(), scale.image_dim * scale.image_dim);
+        // The synthetic image has shapes: some pixels must be edge-strong.
+        let strong = out.iter().filter(|&&v| v > 0.5).count();
+        assert!(strong > 10, "only {strong} strong edge pixels");
+        // And the borders stay zero (never written).
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn app_matches_direct_computation() {
+        // Cross-validate the IR app against a straight Rust loop.
+        let scale = Scale::small();
+        let dim = scale.image_dim;
+        let out = baseline_outputs(&Sobel, &scale);
+        let gray = RgbImage::synthetic(dim, dim, 0xE7A1).to_gray();
+        for (y, x) in [(1usize, 1usize), (5, 9), (dim - 2, dim - 2)] {
+            let mut w = [0.0f32; 9];
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    w[dy * 3 + dx] = gray[(y + dy - 1) * dim + (x + dx - 1)];
+                }
+            }
+            let want = sobel_reference(&w);
+            let got = out[y * dim + x];
+            assert!((got - want).abs() < 1e-5, "({x},{y}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn training_inputs_are_windows() {
+        let inputs = Sobel.training_inputs(&Scale::small());
+        assert!(inputs.len() > 500);
+        assert!(inputs.iter().all(|w| w.len() == 9));
+    }
+
+    #[test]
+    fn counts_report_one_if() {
+        let counts = Sobel.region().static_counts();
+        assert_eq!(counts.ifs, 1);
+        assert_eq!(counts.loops, 0);
+        assert_eq!(counts.function_calls, 0);
+    }
+
+    #[test]
+    fn identical_outputs_mean_zero_error() {
+        let out = baseline_outputs(&Sobel, &Scale::small());
+        assert_eq!(Sobel.app_error(&out, &out), 0.0);
+    }
+
+    #[test]
+    fn precise_variant_needs_no_npu() {
+        let app = Sobel.build_app(&AppVariant::Precise, &Scale::small());
+        assert!(!app.needs_npu);
+        assert!(run_functional(&app, &AppVariant::Precise).is_ok());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests: each benchmark's IR kernel agrees with its
+//! independent Rust reference over random inputs, and the codecs respect
+//! their mathematical invariants.
+
+use benchmarks::jpeg::codec;
+use benchmarks::{fft, inversek2j, jmeint, kmeans, sobel, Benchmark};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The IR sobel region equals the Rust reference on any window.
+    #[test]
+    fn sobel_ir_matches_reference(window in proptest::array::uniform9(0.0f32..1.0)) {
+        let region = sobel::Sobel.region();
+        let got = region.evaluate(&window).unwrap()[0];
+        let want = sobel::sobel_reference(&window);
+        prop_assert!((got - want).abs() < 1e-6);
+    }
+
+    /// Inverse kinematics: for any reachable target, IK then FK returns to
+    /// the target (both in Rust and through the IR region).
+    #[test]
+    fn ik_round_trips_through_fk(
+        th1 in 0.05f32..1.5,
+        th2 in 0.05f32..3.0,
+    ) {
+        let (x, y) = inversek2j::forward_kinematics(th1, th2);
+        let region = inversek2j::InverseK2j.region();
+        let out = region.evaluate(&[x, y]).unwrap();
+        let (fx, fy) = inversek2j::forward_kinematics(out[0], out[1]);
+        prop_assert!((fx - x).abs() < 1e-3 && (fy - y).abs() < 1e-3,
+            "target ({x},{y}) -> ({fx},{fy})");
+    }
+
+    /// The IR Möller test agrees with the Rust reference for arbitrary
+    /// triangles (not just the benchmark's input distribution).
+    #[test]
+    fn jmeint_ir_matches_reference(coords in proptest::collection::vec(-2.0f32..2.0, 18)) {
+        let region = jmeint::Jmeint.region();
+        let out = region.evaluate(&coords).unwrap();
+        let mut v = [[0.0f32; 3]; 3];
+        let mut u = [[0.0f32; 3]; 3];
+        for k in 0..3 {
+            for c in 0..3 {
+                v[k][c] = coords[3 * k + c];
+                u[k][c] = coords[9 + 3 * k + c];
+            }
+        }
+        let want = jmeint::tri_tri_intersects(&v, &u);
+        prop_assert_eq!(out[0] > out[1], want);
+    }
+
+    /// Triangle intersection is symmetric: swapping the triangles never
+    /// changes the answer.
+    #[test]
+    fn jmeint_is_symmetric(coords in proptest::collection::vec(-1.0f32..1.0, 18)) {
+        let mut v = [[0.0f32; 3]; 3];
+        let mut u = [[0.0f32; 3]; 3];
+        for k in 0..3 {
+            for c in 0..3 {
+                v[k][c] = coords[3 * k + c];
+                u[k][c] = coords[9 + 3 * k + c];
+            }
+        }
+        prop_assert_eq!(
+            jmeint::tri_tri_intersects(&v, &u),
+            jmeint::tri_tri_intersects(&u, &v)
+        );
+    }
+
+    /// A triangle always intersects itself.
+    #[test]
+    fn jmeint_self_intersection(coords in proptest::collection::vec(-1.0f32..1.0, 9)) {
+        let mut v = [[0.0f32; 3]; 3];
+        for k in 0..3 {
+            for c in 0..3 {
+                v[k][c] = coords[3 * k + c];
+            }
+        }
+        // Skip degenerate (near-collinear) triangles.
+        let e1 = [v[1][0]-v[0][0], v[1][1]-v[0][1], v[1][2]-v[0][2]];
+        let e2 = [v[2][0]-v[0][0], v[2][1]-v[0][1], v[2][2]-v[0][2]];
+        let n = [
+            e1[1]*e2[2]-e1[2]*e2[1],
+            e1[2]*e2[0]-e1[0]*e2[2],
+            e1[0]*e2[1]-e1[1]*e2[0],
+        ];
+        prop_assume!(n.iter().map(|x| x*x).sum::<f32>() > 1e-4);
+        prop_assert!(jmeint::tri_tri_intersects(&v, &v));
+    }
+
+    /// The kmeans distance region is a metric on random points: symmetric,
+    /// non-negative, zero on identity.
+    #[test]
+    fn kmeans_distance_is_a_metric(p in proptest::array::uniform3(0.0f32..1.0),
+                                   q in proptest::array::uniform3(0.0f32..1.0)) {
+        let region = kmeans::Kmeans.region();
+        let d_pq = region.evaluate(&[p[0], p[1], p[2], q[0], q[1], q[2]]).unwrap()[0];
+        let d_qp = region.evaluate(&[q[0], q[1], q[2], p[0], p[1], p[2]]).unwrap()[0];
+        let d_pp = region.evaluate(&[p[0], p[1], p[2], p[0], p[1], p[2]]).unwrap()[0];
+        prop_assert!((d_pq - d_qp).abs() < 1e-6);
+        prop_assert!(d_pq >= 0.0);
+        prop_assert!(d_pp.abs() < 1e-6);
+    }
+
+    /// FFT twiddle outputs always lie on the unit circle.
+    #[test]
+    fn fft_twiddle_on_unit_circle(f in 0.0f32..0.5) {
+        let region = fft::Fft.region();
+        let out = region.evaluate(&[f]).unwrap();
+        let norm = out[0] * out[0] + out[1] * out[1];
+        prop_assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    /// The reference FFT is linear: FFT(a·x) = a·FFT(x).
+    #[test]
+    fn fft_is_linear(scale in 0.1f32..5.0, seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sig: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut re1 = sig.clone();
+        let mut im1 = vec![0.0; 32];
+        fft::fft_reference(&mut re1, &mut im1);
+        let mut re2: Vec<f32> = sig.iter().map(|v| v * scale).collect();
+        let mut im2 = vec![0.0; 32];
+        fft::fft_reference(&mut re2, &mut im2);
+        for i in 0..32 {
+            prop_assert!((re2[i] - re1[i] * scale).abs() < 1e-2 * scale.max(1.0));
+            prop_assert!((im2[i] - im1[i] * scale).abs() < 1e-2 * scale.max(1.0));
+        }
+    }
+
+    /// JPEG: DCT+quant then dequant+IDCT stays within the quantization
+    /// error bound for any block.
+    #[test]
+    fn jpeg_round_trip_error_is_bounded(block in proptest::collection::vec(0.0f32..255.0, 64)) {
+        let mut arr = [0.0f32; 64];
+        arr.copy_from_slice(&block);
+        let coeffs = codec::dct_quantize(&arr);
+        let back = codec::dequantize_idct(&coeffs);
+        // Worst-case quantization error: half a quant step per
+        // coefficient, concentrated; generous pixel-domain bound.
+        for (a, b) in arr.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 120.0, "{a} vs {b}");
+        }
+        let rmse: f32 = arr.iter().zip(&back).map(|(a, b)| (a - b).powi(2)).sum::<f32>().sqrt() / 8.0;
+        prop_assert!(rmse < 32.0, "rmse {rmse}");
+    }
+
+    /// The entropy coder produces a decodable, well-formed JFIF container
+    /// for arbitrary 16x16 coefficient content.
+    #[test]
+    fn jfif_always_well_formed(blocks in proptest::collection::vec(-40.0f32..40.0, 256)) {
+        let quantized: Vec<f32> = blocks.iter().map(|v| v.round()).collect();
+        let file = codec::encode_jfif(&quantized, 16);
+        prop_assert_eq!(&file[..2], &[0xFF, 0xD8]);
+        prop_assert_eq!(&file[file.len() - 2..], &[0xFF, 0xD9]);
+        // Entropy segment never contains a bare 0xFF followed by a marker
+        // byte other than a legal one (stuffing property): every 0xFF in
+        // the scan is followed by 0x00 or a marker >= 0xD0.
+        let sos = file.windows(2).position(|w| w == [0xFF, 0xDA]).unwrap();
+        let scan = &file[sos + 10..file.len() - 2];
+        for w in scan.windows(2) {
+            if w[0] == 0xFF {
+                prop_assert!(w[1] == 0x00 || w[1] >= 0xD0, "unstuffed FF {:02X}", w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Code generation (paper Section 4.3): the NPU configuration loader and
+//! the invocation stub that replaces the original function.
+
+use approx_ir::{Function, FunctionBuilder};
+use npu::NpuConfig;
+
+/// Builds the *invocation stub*: a function with the same `f32` arity as
+/// the original region whose body is `enq.d` for every input followed by
+/// `deq.d` for every output (paper Figure 2c).
+///
+/// The transformed program calls this function wherever it used to call
+/// the region.
+///
+/// # Example
+///
+/// ```
+/// let stub = parrot::codegen::build_invocation_stub(9, 1);
+/// assert_eq!(stub.n_params(), 9);
+/// assert_eq!(stub.len(), 9 + 1 + 1); // 9 enq.d, 1 deq.d, ret
+/// ```
+pub fn build_invocation_stub(n_inputs: usize, n_outputs: usize) -> Function {
+    let mut b = FunctionBuilder::new("npu_invoke", n_inputs);
+    for i in 0..n_inputs {
+        let p = b.param(i);
+        b.enq_d(p);
+    }
+    let outs: Vec<_> = (0..n_outputs).map(|_| b.deq_d()).collect();
+    b.ret(&outs);
+    b.build().expect("stub is structurally valid")
+}
+
+/// Builds the *config loader*: a function that ships the whole NPU
+/// configuration through the config FIFO with `enq.c` instructions. "The
+/// program configures the NPU when it is first loaded by sending the
+/// topology parameters and synaptic weights to the NPU via its
+/// configuration interface."
+pub fn build_config_loader(config: &NpuConfig) -> Function {
+    let mut b = FunctionBuilder::new("npu_configure", 0);
+    for word in config.encode() {
+        let r = b.consti(word as i32);
+        b.enq_c(r);
+    }
+    b.ret(&[]);
+    b.build().expect("loader is structurally valid")
+}
+
+/// Builds the *config saver*: the OS context-switch path that reads the
+/// configuration back out with `deq.c` (paper Section 5.2, "the operating
+/// system uses deq.c instructions to save the NPU configuration during
+/// context switches"). Returns the words via `n_words` stores into
+/// scratch memory starting at address 0.
+pub fn build_config_saver(n_words: usize) -> Function {
+    let mut b = FunctionBuilder::new("npu_save_config", 0);
+    let base = b.consti(0);
+    for i in 0..n_words {
+        let w = b.deq_c();
+        // Bit-preserving move: config words are raw bit patterns, not
+        // numeric values.
+        let f = b.bits_to_f(w);
+        b.store(f, base, i as i32);
+    }
+    b.ret(&[]);
+    b.build().expect("saver is structurally valid")
+}
+
+/// The inverse of [`build_config_saver`]: re-ships `n_words` saved
+/// configuration words from data memory back to the NPU with `enq.c`
+/// (the context-switch restore path).
+pub fn build_config_restorer(n_words: usize) -> Function {
+    let mut b = FunctionBuilder::new("npu_restore_config", 0);
+    let base = b.consti(0);
+    for i in 0..n_words {
+        let f = b.load(base, i as i32);
+        let w = b.f_to_bits(f);
+        b.enq_c(w);
+    }
+    b.ret(&[]);
+    b.build().expect("restorer is structurally valid")
+}
+
+/// Builds an *all-software* replacement for the region: an IR function
+/// that evaluates the trained network on the CPU, FANN-style (paper
+/// Figure 9's configuration). Returns the function plus the weight table
+/// that must be preloaded into data memory at `weights_base`.
+///
+/// The function normalizes its inputs, walks the layers with explicit
+/// loops — loading each weight from memory, multiply-accumulating,
+/// applying `1/(1+e^{-x})` via the libm `exp` stand-in — and denormalizes
+/// its outputs. Activations ping-pong through scratch buffers at
+/// `scratch_base`.
+pub fn build_software_nn(
+    config: &NpuConfig,
+    weights_base: i32,
+    scratch_base: i32,
+) -> (Function, Vec<f32>) {
+    let t = config.topology().clone();
+    let layers = t.layers();
+    let max_width = *layers.iter().max().expect("topology has layers") as i32;
+    let buf_a = scratch_base;
+    let buf_b = scratch_base + max_width;
+
+    // Weight table: canonical layer-major / neuron-major / src-major
+    // (bias last) order — the same order `Mlp` stores.
+    let mut table = Vec::new();
+    for matrix in config.mlp().weight_matrices() {
+        table.extend_from_slice(matrix);
+    }
+
+    let mut b = FunctionBuilder::new("software_nn", t.inputs());
+    // 1. Normalize inputs into buffer A (unrolled; FANN also scales
+    // per-dimension with precomputed factors).
+    let base_a = b.consti(buf_a);
+    let zero = b.constf(0.0);
+    let one_f = b.constf(1.0);
+    for (i, &(lo, hi)) in config.input_norm().ranges().iter().enumerate() {
+        let p = b.param(i);
+        let v = if hi > lo {
+            let lo_r = b.constf(lo);
+            let inv = b.constf(1.0 / (hi - lo));
+            let d = b.fsub(p, lo_r);
+            let s = b.fmul(d, inv);
+            let c = b.fmax(s, zero);
+            b.fmin(c, one_f)
+        } else {
+            b.constf(0.5)
+        };
+        b.store(v, base_a, i as i32);
+    }
+
+    // 2. Layer loops. `wptr` walks the weight table sequentially.
+    let wptr = b.consti(weights_base);
+    let one_i = b.consti(1);
+    for l in 0..layers.len() - 1 {
+        let n_in = b.consti(layers[l] as i32);
+        let n_out = b.consti(layers[l + 1] as i32);
+        let (src, dst) = if l % 2 == 0 {
+            (buf_a, buf_b)
+        } else {
+            (buf_b, buf_a)
+        };
+        let src_base = b.consti(src);
+        let dst_base = b.consti(dst);
+
+        let neuron = b.consti(0);
+        let neuron_top = b.new_label();
+        let neuron_done = b.new_label();
+        b.bind(neuron_top);
+        let n_done = b.cmpi(approx_ir::CmpOp::Ge, neuron, n_out);
+        b.branch_if(n_done, neuron_done);
+        {
+            let acc = b.constf(0.0);
+            let j = b.consti(0);
+            let input_top = b.new_label();
+            let input_done = b.new_label();
+            b.bind(input_top);
+            let j_done = b.cmpi(approx_ir::CmpOp::Ge, j, n_in);
+            b.branch_if(j_done, input_done);
+            {
+                let w = b.load(wptr, 0);
+                let addr = b.iadd(src_base, j);
+                let x = b.load(addr, 0);
+                let prod = b.fmul(w, x);
+                b.fadd_into(acc, prod);
+                b.iadd_into(wptr, one_i);
+                b.iadd_into(j, one_i);
+                b.jump(input_top);
+            }
+            b.bind(input_done);
+            let bias = b.load(wptr, 0);
+            b.iadd_into(wptr, one_i);
+            b.fadd_into(acc, bias);
+            // sigmoid(acc) = 1 / (1 + e^{-acc})
+            let neg = b.fneg(acc);
+            let e = b.fexp(neg);
+            let denom = b.fadd(e, one_f);
+            let s = b.fdiv(one_f, denom);
+            let daddr = b.iadd(dst_base, neuron);
+            b.store(s, daddr, 0);
+            b.iadd_into(neuron, one_i);
+            b.jump(neuron_top);
+        }
+        b.bind(neuron_done);
+    }
+
+    // 3. Denormalize outputs (unrolled).
+    let out_buf = if (layers.len() - 1) % 2 == 1 {
+        buf_b
+    } else {
+        buf_a
+    };
+    let out_base = b.consti(out_buf);
+    let mut outs = Vec::with_capacity(t.outputs());
+    for (k, &(lo, hi)) in config.output_norm().ranges().iter().enumerate() {
+        let v = b.load(out_base, k as i32);
+        let y = if hi > lo {
+            let range = b.constf(hi - lo);
+            let lo_r = b.constf(lo);
+            let scaled = b.fmul(v, range);
+            b.fadd(scaled, lo_r)
+        } else {
+            b.constf(lo)
+        };
+        outs.push(y);
+    }
+    b.ret(&outs);
+    (b.build().expect("software nn is structurally valid"), table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann::{Mlp, Normalizer, Topology};
+    use approx_ir::{Inst, Interpreter, NpuPort, Program, Value};
+
+    #[test]
+    fn stub_shape() {
+        let stub = build_invocation_stub(2, 3);
+        let enqs = stub
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, Inst::EnqD { .. }))
+            .count();
+        let deqs = stub
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, Inst::DeqD { .. }))
+            .count();
+        assert_eq!((enqs, deqs), (2, 3));
+    }
+
+    #[test]
+    fn loader_ships_every_config_word() {
+        let t = Topology::new(vec![2, 2, 1]).unwrap();
+        let config = NpuConfig::new(
+            Mlp::seeded(t, 1),
+            Normalizer::identity(2),
+            Normalizer::identity(1),
+        );
+        let loader = build_config_loader(&config);
+
+        // Run the loader against a recording port and check the stream.
+        struct Recorder(Vec<u32>);
+        impl NpuPort for Recorder {
+            fn enq_config(&mut self, w: u32) {
+                self.0.push(w);
+            }
+            fn deq_config(&mut self) -> u32 {
+                0
+            }
+            fn enq_data(&mut self, _v: f32) {}
+            fn deq_data(&mut self) -> f32 {
+                0.0
+            }
+        }
+        let mut program = Program::new();
+        let f = program.add_function(loader);
+        let mut recorder = Recorder(Vec::new());
+        let mut sink = approx_ir::NullSink;
+        Interpreter::new(&program)
+            .run_full(f, &[], &mut sink, Some(&mut recorder))
+            .unwrap();
+        assert_eq!(recorder.0, config.encode());
+        // Round trip through the wire format.
+        assert_eq!(NpuConfig::decode(&recorder.0).unwrap(), config);
+    }
+
+    #[test]
+    fn software_nn_matches_functional_evaluation() {
+        let t = Topology::new(vec![3, 8, 4, 2]).unwrap();
+        let config = NpuConfig::new(
+            Mlp::seeded(t, 21),
+            Normalizer::new(vec![(0.0, 2.0), (-1.0, 1.0), (0.0, 1.0)]),
+            Normalizer::new(vec![(0.0, 10.0), (-5.0, 5.0)]),
+        );
+        let weights_base = 64;
+        let scratch_base = 0;
+        let (f, table) = build_software_nn(&config, weights_base, scratch_base);
+        let mut program = Program::new();
+        let id = program.add_function(f);
+        let mut interp =
+            Interpreter::new(&program).with_memory(weights_base as usize + table.len());
+        interp.memory_mut()[weights_base as usize..weights_base as usize + table.len()]
+            .copy_from_slice(&table);
+        let inputs = [1.3f32, -0.2, 0.7];
+        let args: Vec<Value> = inputs.iter().map(|&v| Value::F(v)).collect();
+        let out = interp.run(id, &args).unwrap();
+        // The software path uses exact exp; the NPU path a 2048-entry LUT.
+        let want = config.evaluate(&inputs);
+        for (o, w) in out.iter().zip(&want) {
+            let got = o.as_f32().unwrap();
+            assert!((got - w).abs() < 2e-2, "{got} vs {w}");
+        }
+    }
+
+    #[test]
+    fn software_nn_dynamic_cost_scales_with_weights() {
+        let t = Topology::new(vec![9, 8, 1]).unwrap();
+        let config = NpuConfig::new(
+            Mlp::seeded(t.clone(), 2),
+            Normalizer::identity(9),
+            Normalizer::identity(1),
+        );
+        let (f, table) = build_software_nn(&config, 100, 0);
+        let mut program = Program::new();
+        let id = program.add_function(f);
+        let mut interp = Interpreter::new(&program).with_memory(100 + table.len());
+        interp.memory_mut()[100..100 + table.len()].copy_from_slice(&table);
+        let args: Vec<Value> = (0..9).map(|i| Value::F(i as f32 * 0.1)).collect();
+        let mut sink = approx_ir::CountingSink::default();
+        let outcome = interp.run_traced(id, &args, &mut sink).unwrap();
+        // At least ~8 dynamic instructions per multiply-accumulate, as the
+        // paper's FANN discussion describes.
+        let macs = t.weight_count() as u64;
+        assert!(
+            outcome.executed > 6 * macs,
+            "executed {} for {} macs",
+            outcome.executed,
+            macs
+        );
+    }
+
+    #[test]
+    fn saver_reads_n_words() {
+        let saver = build_config_saver(5);
+        let deqs = saver
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, Inst::DeqC { .. }))
+            .count();
+        assert_eq!(deqs, 5);
+    }
+
+    #[test]
+    fn stub_round_trips_through_echo_port() {
+        struct Echo(Vec<f32>);
+        impl NpuPort for Echo {
+            fn enq_config(&mut self, _w: u32) {}
+            fn deq_config(&mut self) -> u32 {
+                0
+            }
+            fn enq_data(&mut self, v: f32) {
+                self.0.push(v);
+            }
+            fn deq_data(&mut self) -> f32 {
+                self.0.iter().sum()
+            }
+        }
+        let mut program = Program::new();
+        let f = program.add_function(build_invocation_stub(3, 1));
+        let mut echo = Echo(Vec::new());
+        let mut sink = approx_ir::NullSink;
+        let out = Interpreter::new(&program)
+            .run_full(
+                f,
+                &[Value::F(1.0), Value::F(2.0), Value::F(3.0)],
+                &mut sink,
+                Some(&mut echo),
+            )
+            .unwrap();
+        assert_eq!(out.outputs[0].as_f32().unwrap(), 6.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The compiler driver: observation → training → code generation.
+
+use crate::observe::normalized_dataset;
+use crate::{codegen, observe, ParrotError, RegionSpec};
+use ann::{SearchOutcome, SearchParams, TopologySearch, TrainParams};
+use approx_ir::Function;
+use npu::{NpuConfig, NpuParams, NpuSim};
+
+/// Knobs for one Parrot compilation.
+#[derive(Debug, Clone)]
+pub struct CompileParams {
+    /// Topology search space and training hyperparameters (paper defaults:
+    /// ≤ 2 hidden layers, hidden sizes ∈ powers of two ≤ 32, 70/30 split).
+    pub search: SearchParams,
+    /// Target NPU sizing (for latency costs and capacity checks).
+    pub npu: NpuParams,
+    /// Cap on observation samples used for training (large observation
+    /// logs are subsampled deterministically; the paper trains on e.g.
+    /// one 512×512 image ≈ 260k sobel samples, far more than needed).
+    pub max_training_samples: usize,
+}
+
+impl Default for CompileParams {
+    fn default() -> Self {
+        CompileParams {
+            search: SearchParams {
+                // Bound each candidate's training compute so compiling a
+                // region stays interactive even for wide topologies.
+                epoch_flops_budget: Some(1_500_000_000),
+                ..SearchParams::default()
+            },
+            npu: NpuParams::default(),
+            max_training_samples: 4_000,
+        }
+    }
+}
+
+impl CompileParams {
+    /// A reduced-cost configuration for tests and quick demos: a smaller
+    /// search space and fewer epochs, same pipeline.
+    pub fn fast() -> Self {
+        CompileParams {
+            search: SearchParams {
+                max_hidden_layers: 1,
+                max_hidden_neurons: 8,
+                train: TrainParams {
+                    epochs: 120,
+                    learning_rate: 0.2,
+                    ..TrainParams::default()
+                },
+                ..SearchParams::default()
+            },
+            npu: NpuParams::default(),
+            max_training_samples: 1_000,
+        }
+    }
+}
+
+/// The product of the Parrot transformation for one region.
+#[derive(Debug, Clone)]
+pub struct CompiledRegion {
+    region_name: String,
+    config: NpuConfig,
+    outcome: SearchOutcome,
+    invocation_stub: Function,
+    config_loader: Function,
+    npu_params: NpuParams,
+}
+
+impl CompiledRegion {
+    /// The trained NPU configuration (topology, weights, scaling ranges).
+    pub fn config(&self) -> &NpuConfig {
+        &self.config
+    }
+
+    /// The topology search outcome (selected candidate + all candidates).
+    pub fn search_outcome(&self) -> &SearchOutcome {
+        &self.outcome
+    }
+
+    /// Name of the region this replaces.
+    pub fn region_name(&self) -> &str {
+        &self.region_name
+    }
+
+    /// The replacement function: `enq.d` × inputs, `deq.d` × outputs.
+    /// Add it to the application's program and redirect calls to it.
+    pub fn invocation_stub(&self) -> &Function {
+        &self.invocation_stub
+    }
+
+    /// The program-load configuration function (`enq.c` stream).
+    pub fn config_loader(&self) -> &Function {
+        &self.config_loader
+    }
+
+    /// Functionally evaluates the compiled region on raw application
+    /// values (normalize → LUT-sigmoid MLP → denormalize). This is the
+    /// value any NPU execution of the region produces.
+    pub fn evaluate(&self, inputs: &[f32]) -> Vec<f32> {
+        self.config.evaluate(inputs)
+    }
+
+    /// Builds a configured cycle-accurate NPU for timing simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheduler's error if the network does not fit (cannot
+    /// normally happen — compilation already checked).
+    pub fn make_npu(&self) -> Result<NpuSim, npu::NpuError> {
+        let mut sim = NpuSim::new(self.npu_params.clone());
+        sim.configure(&self.config)?;
+        Ok(sim)
+    }
+
+    /// Mean squared error of the selected network on the held-out test
+    /// split (Table 1's "NN MSE" column).
+    pub fn nn_mse(&self) -> f64 {
+        self.outcome.best.test_mse
+    }
+
+    /// The NPU sizing this region was compiled for.
+    pub fn npu_params(&self) -> &NpuParams {
+        &self.npu_params
+    }
+
+    /// Builds a configured NPU with different hardware parameters (the
+    /// PE-count sensitivity study, Figure 11).
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheduler's error if the network does not fit the
+    /// given sizing — pass [`NpuParams::unbounded`] for sweeps below the
+    /// default PE count.
+    pub fn make_npu_with(&self, params: &NpuParams) -> Result<NpuSim, npu::NpuError> {
+        let mut sim = NpuSim::new(params.clone());
+        sim.configure(&self.config)?;
+        Ok(sim)
+    }
+}
+
+/// Runs the Parrot transformation.
+///
+/// After the programmer identifies a candidate region, "the Parrot
+/// transformation is completely automatic and transparent": this type
+/// performs observation, topology search, training, and code generation
+/// with no further input.
+#[derive(Debug, Clone, Default)]
+pub struct ParrotCompiler {
+    params: CompileParams,
+}
+
+impl ParrotCompiler {
+    /// Creates a compiler with the given parameters.
+    pub fn new(params: CompileParams) -> Self {
+        ParrotCompiler { params }
+    }
+
+    /// The compiler's parameters.
+    pub fn params(&self) -> &CompileParams {
+        &self.params
+    }
+
+    /// Compiles `region` using `training_inputs` as the representative
+    /// input set (paper: test-suite inputs or random inputs in the code's
+    /// permissible ranges).
+    ///
+    /// # Errors
+    ///
+    /// Fails if observation, training, or NPU placement fails.
+    pub fn compile(
+        &self,
+        region: &RegionSpec,
+        training_inputs: &[Vec<f32>],
+    ) -> Result<CompiledRegion, ParrotError> {
+        self.compile_inner(region, training_inputs, None)
+    }
+
+    /// Like [`compile`](Self::compile), but skips the topology search and
+    /// trains exactly `topology` (its input/output sizes must match the
+    /// region). Useful when the topology is already known — e.g.
+    /// replaying the paper's published Table 1 networks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if observation or training fails, if the topology's arity
+    /// does not match the region, or if it does not fit the NPU.
+    pub fn compile_with_topology(
+        &self,
+        region: &RegionSpec,
+        training_inputs: &[Vec<f32>],
+        topology: ann::Topology,
+    ) -> Result<CompiledRegion, ParrotError> {
+        if topology.inputs() != region.n_inputs() || topology.outputs() != region.n_outputs() {
+            return Err(ParrotError::InvalidRegion(format!(
+                "topology {topology} does not match region arity {}x{}",
+                region.n_inputs(),
+                region.n_outputs()
+            )));
+        }
+        self.compile_inner(region, training_inputs, Some(topology))
+    }
+
+    fn compile_inner(
+        &self,
+        region: &RegionSpec,
+        training_inputs: &[Vec<f32>],
+        forced: Option<ann::Topology>,
+    ) -> Result<CompiledRegion, ParrotError> {
+        // 1. Code observation.
+        let obs = observe(region, training_inputs)?;
+
+        // 2. Topology search + training on normalized data.
+        let full = normalized_dataset(&obs);
+        let data = full.subsample(self.params.max_training_samples, SUBSAMPLE_SEED);
+        let npu_params = self.params.npu.clone();
+        let search = TopologySearch::new(self.params.search.clone());
+        // Candidates that do not fit the NPU's structures are excluded
+        // from the search (the hardware constrains deployable networks).
+        let cost = |topology: &ann::Topology| npu::try_estimate_latency(topology, &npu_params).ok();
+        let outcome = match forced {
+            Some(t) => search.run_with_candidates(&data, vec![t], &cost)?,
+            None => search.run(&data, &cost)?,
+        };
+
+        // 3. Code generation.
+        let config = NpuConfig::new(
+            outcome.mlp.clone(),
+            obs.input_norm.clone(),
+            obs.output_norm.clone(),
+        );
+        // Validate placement eagerly so compile fails rather than run time.
+        npu::Scheduler::new(npu_params.clone()).schedule(&config)?;
+        let invocation_stub = codegen::build_invocation_stub(region.n_inputs(), region.n_outputs());
+        let config_loader = codegen::build_config_loader(&config);
+        Ok(CompiledRegion {
+            region_name: region.name().to_string(),
+            config,
+            outcome,
+            invocation_stub,
+            config_loader,
+            npu_params,
+        })
+    }
+}
+
+/// Deterministic seed for observation-log subsampling.
+const SUBSAMPLE_SEED: u64 = 0x7ea1_5eed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_ir::{FunctionBuilder, Program};
+
+    fn smooth_region() -> RegionSpec {
+        // f(x, y) = 0.5 * (x + y)
+        let mut b = FunctionBuilder::new("avg", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let s = b.fadd(x, y);
+        let half = b.constf(0.5);
+        let r = b.fmul(s, half);
+        b.ret(&[r]);
+        let mut p = Program::new();
+        let f = p.add_function(b.build().unwrap());
+        RegionSpec::new("avg", p, f, 2, 1).unwrap()
+    }
+
+    fn grid_inputs() -> Vec<Vec<f32>> {
+        let mut v = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                v.push(vec![i as f32 / 19.0, j as f32 / 19.0]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn compile_produces_accurate_network() {
+        let region = smooth_region();
+        let compiled = ParrotCompiler::new(CompileParams::fast())
+            .compile(&region, &grid_inputs())
+            .unwrap();
+        assert!(compiled.nn_mse() < 0.01, "mse = {}", compiled.nn_mse());
+        // Spot check accuracy on unseen input.
+        let approx = compiled.evaluate(&[0.33, 0.77]);
+        let precise = region.evaluate(&[0.33, 0.77]).unwrap();
+        assert!((approx[0] - precise[0]).abs() < 0.1);
+    }
+
+    #[test]
+    fn compile_emits_stub_and_loader() {
+        let region = smooth_region();
+        let compiled = ParrotCompiler::new(CompileParams::fast())
+            .compile(&region, &grid_inputs())
+            .unwrap();
+        assert_eq!(compiled.invocation_stub().n_params(), 2);
+        assert_eq!(compiled.invocation_stub().n_rets(), 1);
+        assert!(compiled.config_loader().len() > 10);
+        // The stub+config reproduce evaluate() through a real NPU.
+        let mut sim = compiled.make_npu().unwrap();
+        let got = sim.evaluate_invocation(&[0.4, 0.6]).unwrap();
+        let want = compiled.evaluate(&[0.4, 0.6]);
+        assert!((got[0] - want[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compile_requires_training_data() {
+        let region = smooth_region();
+        let err = ParrotCompiler::new(CompileParams::fast())
+            .compile(&region, &[])
+            .unwrap_err();
+        assert!(matches!(err, ParrotError::NoTrainingData));
+    }
+}

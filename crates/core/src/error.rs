@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the Parrot transformation pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParrotError {
+    /// The region violates a criterion from paper Section 3.1 (fixed-size
+    /// pure function with declared arity).
+    InvalidRegion(String),
+    /// Executing the region during observation failed.
+    Execution(approx_ir::IrError),
+    /// Training or topology search failed.
+    Training(ann::AnnError),
+    /// The trained network could not be placed on the NPU.
+    Npu(npu::NpuError),
+    /// No training inputs were provided.
+    NoTrainingData,
+}
+
+impl fmt::Display for ParrotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParrotError::InvalidRegion(why) => write!(f, "invalid candidate region: {why}"),
+            ParrotError::Execution(e) => write!(f, "region execution failed: {e}"),
+            ParrotError::Training(e) => write!(f, "training failed: {e}"),
+            ParrotError::Npu(e) => write!(f, "npu code generation failed: {e}"),
+            ParrotError::NoTrainingData => write!(f, "no training inputs provided"),
+        }
+    }
+}
+
+impl Error for ParrotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParrotError::Execution(e) => Some(e),
+            ParrotError::Training(e) => Some(e),
+            ParrotError::Npu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<approx_ir::IrError> for ParrotError {
+    fn from(e: approx_ir::IrError) -> Self {
+        ParrotError::Execution(e)
+    }
+}
+
+impl From<ann::AnnError> for ParrotError {
+    fn from(e: ann::AnnError) -> Self {
+        ParrotError::Training(e)
+    }
+}
+
+impl From<npu::NpuError> for ParrotError {
+    fn from(e: npu::NpuError) -> Self {
+        ParrotError::Npu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let e = ParrotError::from(ann::AnnError::EmptyDataset);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("training failed"));
+    }
+}

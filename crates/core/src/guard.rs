@@ -1,0 +1,315 @@
+//! Quality-control mechanisms from the paper's Section 8 ("Limitations
+//! and future directions").
+//!
+//! The paper proposes two mitigations for occasional low-quality NPU
+//! results:
+//!
+//! 1. *input guarding* — "check whether an input falls in the range of
+//!    inputs seen previously during training. If the prediction is
+//!    negative, the original code can be invoked instead of the NPU";
+//! 2. *online error sampling* — "the runtime system could occasionally
+//!    measure the error by comparing the NPU output to the original
+//!    function's output".
+//!
+//! [`RangeGuard`] implements the first and [`ErrorSampler`] the second.
+
+use crate::{CompiledRegion, ParrotError, RegionSpec};
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension input-range guard.
+///
+/// Built from the compiled region's observed input ranges (optionally
+/// widened by a tolerance); [`admits`](Self::admits) decides whether an
+/// input vector is close enough to the training distribution for the NPU
+/// result to be trusted.
+///
+/// # Example
+///
+/// ```
+/// let guard = parrot::RangeGuard::new(vec![(0.0, 1.0)], 0.1);
+/// assert!(guard.admits(&[0.5]));
+/// assert!(guard.admits(&[1.05])); // within 10% widening
+/// assert!(!guard.admits(&[2.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeGuard {
+    ranges: Vec<(f32, f32)>,
+    tolerance: f32,
+}
+
+impl RangeGuard {
+    /// Creates a guard over explicit `(min, max)` ranges, widened on each
+    /// side by `tolerance` × the range's width.
+    pub fn new(ranges: Vec<(f32, f32)>, tolerance: f32) -> Self {
+        RangeGuard { ranges, tolerance }
+    }
+
+    /// Builds the guard from a compiled region's observed input ranges.
+    pub fn from_compiled(compiled: &CompiledRegion, tolerance: f32) -> Self {
+        RangeGuard::new(compiled.config().input_norm().ranges().to_vec(), tolerance)
+    }
+
+    /// Whether every input dimension lies within its (widened) observed
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the guarded dimensionality.
+    pub fn admits(&self, inputs: &[f32]) -> bool {
+        assert_eq!(inputs.len(), self.ranges.len(), "dimension mismatch");
+        inputs.iter().zip(&self.ranges).all(|(&v, &(lo, hi))| {
+            let slack = (hi - lo).abs() * self.tolerance;
+            v >= lo - slack && v <= hi + slack
+        })
+    }
+
+    /// The guarded `(min, max)` ranges.
+    pub fn ranges(&self) -> &[(f32, f32)] {
+        &self.ranges
+    }
+}
+
+/// Statistics from a guarded execution run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardStats {
+    /// Invocations answered by the NPU.
+    pub npu_invocations: u64,
+    /// Invocations that fell back to the original precise code.
+    pub fallbacks: u64,
+}
+
+impl GuardStats {
+    /// Fraction of invocations that fell back to precise execution.
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.npu_invocations + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / total as f64
+        }
+    }
+}
+
+/// A guarded region runtime: NPU for in-distribution inputs, the original
+/// code for outliers.
+#[derive(Debug)]
+pub struct GuardedRegion<'a> {
+    region: &'a RegionSpec,
+    compiled: &'a CompiledRegion,
+    guard: RangeGuard,
+    stats: GuardStats,
+}
+
+impl<'a> GuardedRegion<'a> {
+    /// Pairs a compiled region with its original code and an input guard
+    /// widened by `tolerance`.
+    pub fn new(region: &'a RegionSpec, compiled: &'a CompiledRegion, tolerance: f32) -> Self {
+        GuardedRegion {
+            guard: RangeGuard::from_compiled(compiled, tolerance),
+            region,
+            compiled,
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// Evaluates one invocation: the NPU when the guard admits the input,
+    /// the original region otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates precise-execution errors (the NPU path cannot fail).
+    pub fn evaluate(&mut self, inputs: &[f32]) -> Result<Vec<f32>, ParrotError> {
+        if self.guard.admits(inputs) {
+            self.stats.npu_invocations += 1;
+            Ok(self.compiled.evaluate(inputs))
+        } else {
+            self.stats.fallbacks += 1;
+            self.region.evaluate(inputs)
+        }
+    }
+
+    /// Guard decision statistics so far.
+    pub fn stats(&self) -> GuardStats {
+        self.stats
+    }
+}
+
+/// Online error sampling (the paper's second §8 mechanism): every
+/// `period`-th invocation also runs the original code and records the
+/// observed error, giving the runtime an estimate of current quality
+/// ("in case the sampled error is greater than a threshold, the neural
+/// network can be retrained").
+#[derive(Debug)]
+pub struct ErrorSampler<'a> {
+    region: &'a RegionSpec,
+    compiled: &'a CompiledRegion,
+    period: u64,
+    counter: u64,
+    samples: u64,
+    total_abs_error: f64,
+    max_abs_error: f64,
+}
+
+impl<'a> ErrorSampler<'a> {
+    /// Samples every `period`-th invocation (period ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(region: &'a RegionSpec, compiled: &'a CompiledRegion, period: u64) -> Self {
+        assert!(period >= 1, "sampling period must be at least 1");
+        ErrorSampler {
+            region,
+            compiled,
+            period,
+            counter: 0,
+            samples: 0,
+            total_abs_error: 0.0,
+            max_abs_error: 0.0,
+        }
+    }
+
+    /// Evaluates on the NPU; on sampling ticks also runs the original
+    /// code and records the error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates precise-execution errors on sampling ticks.
+    pub fn evaluate(&mut self, inputs: &[f32]) -> Result<Vec<f32>, ParrotError> {
+        let approx = self.compiled.evaluate(inputs);
+        self.counter += 1;
+        if self.counter.is_multiple_of(self.period) {
+            let precise = self.region.evaluate(inputs)?;
+            for (&a, &p) in approx.iter().zip(&precise) {
+                let e = (a - p).abs() as f64;
+                self.total_abs_error += e;
+                self.max_abs_error = self.max_abs_error.max(e);
+            }
+            self.samples += 1;
+        }
+        Ok(approx)
+    }
+
+    /// Mean absolute error over sampled outputs (0 if nothing sampled).
+    pub fn mean_abs_error(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            let outputs = self.samples * self.compiled.config().topology().outputs() as u64;
+            self.total_abs_error / outputs as f64
+        }
+    }
+
+    /// Largest absolute output error observed in any sample.
+    pub fn max_abs_error(&self) -> f64 {
+        self.max_abs_error
+    }
+
+    /// Number of sampled invocations.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompileParams, ParrotCompiler};
+    use approx_ir::{FunctionBuilder, Program};
+
+    fn square_region() -> RegionSpec {
+        let mut b = FunctionBuilder::new("sq", 1);
+        let x = b.param(0);
+        let y = b.fmul(x, x);
+        b.ret(&[y]);
+        let mut p = Program::new();
+        let f = p.add_function(b.build().unwrap());
+        RegionSpec::new("sq", p, f, 1, 1).unwrap()
+    }
+
+    fn compiled_square(region: &RegionSpec) -> CompiledRegion {
+        let inputs: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32 / 199.0]).collect();
+        ParrotCompiler::new(CompileParams::fast())
+            .compile(region, &inputs)
+            .unwrap()
+    }
+
+    #[test]
+    fn guard_admits_training_range_only() {
+        let region = square_region();
+        let compiled = compiled_square(&region);
+        let guard = RangeGuard::from_compiled(&compiled, 0.0);
+        assert!(guard.admits(&[0.5]));
+        assert!(!guard.admits(&[3.0]));
+        assert!(!guard.admits(&[-1.0]));
+    }
+
+    #[test]
+    fn guarded_region_is_exact_on_outliers() {
+        let region = square_region();
+        let compiled = compiled_square(&region);
+        let mut guarded = GuardedRegion::new(&region, &compiled, 0.0);
+        // Out-of-range input: exact fallback.
+        let out = guarded.evaluate(&[5.0]).unwrap();
+        assert_eq!(out[0], 25.0);
+        // In-range input: approximate.
+        let approx = guarded.evaluate(&[0.5]).unwrap();
+        assert!((approx[0] - 0.25).abs() < 0.2);
+        let stats = guarded.stats();
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.npu_invocations, 1);
+        assert!((stats.fallback_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guard_reduces_worst_case_error() {
+        let region = square_region();
+        let compiled = compiled_square(&region);
+        let mut guarded = GuardedRegion::new(&region, &compiled, 0.0);
+        // Mixed workload: half in-distribution, half far outside.
+        let mut worst_guarded = 0.0f32;
+        let mut worst_unguarded = 0.0f32;
+        for k in 0..40 {
+            let x = if k % 2 == 0 {
+                k as f32 / 40.0
+            } else {
+                2.0 + k as f32
+            };
+            let precise = x * x;
+            let g = guarded.evaluate(&[x]).unwrap()[0];
+            let u = compiled.evaluate(&[x])[0];
+            worst_guarded = worst_guarded.max((g - precise).abs());
+            worst_unguarded = worst_unguarded.max((u - precise).abs());
+        }
+        assert!(
+            worst_guarded < worst_unguarded / 10.0,
+            "guarded {worst_guarded} vs unguarded {worst_unguarded}"
+        );
+    }
+
+    #[test]
+    fn error_sampler_estimates_real_error() {
+        let region = square_region();
+        let compiled = compiled_square(&region);
+        let mut sampler = ErrorSampler::new(&region, &compiled, 4);
+        for k in 0..100 {
+            sampler.evaluate(&[k as f32 / 99.0]).unwrap();
+        }
+        assert_eq!(sampler.samples(), 25);
+        assert!(sampler.mean_abs_error() > 0.0);
+        assert!(
+            sampler.mean_abs_error() < 0.2,
+            "{}",
+            sampler.mean_abs_error()
+        );
+        assert!(sampler.max_abs_error() >= sampler.mean_abs_error());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sampler_rejects_zero_period() {
+        let region = square_region();
+        let compiled = compiled_square(&region);
+        let _ = ErrorSampler::new(&region, &compiled, 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The **Parrot transformation**: train a neural network to mimic a region
+//! of imperative code, then replace the region with an NPU invocation.
+//!
+//! This is the primary contribution of *Neural Acceleration for
+//! General-Purpose Approximate Programs* (MICRO 2012). The workflow
+//! (paper Figure 1) is:
+//!
+//! 1. **Programming** — the developer marks a hot, pure, fixed-arity,
+//!    approximable function. Here that is constructing a [`RegionSpec`]
+//!    (the stand-in for the paper's C `[[PARROT]]` annotation).
+//! 2. **Code observation** — [`observe`] runs the instrumented region on
+//!    representative inputs, logging input–output pairs and value ranges.
+//! 3. **Training** — [`ParrotCompiler::compile`] performs the
+//!    cross-validated topology search and backpropagation training over
+//!    MLPs with at most two hidden layers.
+//! 4. **Code generation** — the compiler emits an [`npu::NpuConfig`] plus
+//!    replacement IR: a *config loader* (a series of `enq.c` instructions
+//!    run at program load) and an *invocation stub* (`enq.d` × inputs,
+//!    `deq.d` × outputs) that replaces calls to the original function.
+//! 5. **Execution** — the transformed program invokes the NPU; the
+//!    [`NpuRuntime`] adapter plugs the cycle-accurate NPU into the IR
+//!    interpreter's `NpuPort`.
+//!
+//! # Example: transform a small function end to end
+//!
+//! ```
+//! use approx_ir::{FunctionBuilder, Program};
+//! use parrot::{CompileParams, ParrotCompiler, RegionSpec};
+//!
+//! // The approximable region: f(x, y) = sqrt(x*x + y*y).
+//! let mut b = FunctionBuilder::new("norm2", 2);
+//! let (x, y) = (b.param(0), b.param(1));
+//! let xx = b.fmul(x, x);
+//! let yy = b.fmul(y, y);
+//! let s = b.fadd(xx, yy);
+//! let r = b.fsqrt(s);
+//! b.ret(&[r]);
+//! let mut program = Program::new();
+//! let entry = program.add_function(b.build()?);
+//! let region = RegionSpec::new("norm2", program, entry, 2, 1)?;
+//!
+//! // Representative training inputs (the paper's "code observation").
+//! let inputs: Vec<Vec<f32>> = (0..300)
+//!     .map(|i| vec![(i % 17) as f32 / 17.0, (i % 23) as f32 / 23.0])
+//!     .collect();
+//!
+//! let compiled = ParrotCompiler::new(CompileParams::fast())
+//!     .compile(&region, &inputs)?;
+//! let approx = compiled.evaluate(&[0.6, 0.8]);
+//! assert!((approx[0] - 1.0).abs() < 0.25); // imprecise but close
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+mod compiler;
+mod error;
+mod guard;
+mod observe;
+pub mod quality;
+mod region;
+mod runtime;
+
+pub use compiler::{CompileParams, CompiledRegion, ParrotCompiler};
+pub use error::ParrotError;
+pub use guard::{ErrorSampler, GuardStats, GuardedRegion, RangeGuard};
+pub use observe::{observe, Observation};
+pub use region::RegionSpec;
+pub use runtime::NpuRuntime;

@@ -1,0 +1,113 @@
+//! Code observation (paper Section 4.1): run the instrumented region on
+//! representative inputs and log input–output pairs plus value ranges.
+
+use crate::{ParrotError, RegionSpec};
+use ann::{Dataset, Normalizer};
+
+/// The product of the observation phase: the training dataset and the
+/// min/max ranges the NPU's scaling unit will use.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Logged input–output pairs.
+    pub data: Dataset,
+    /// Per-input-dimension `(min, max)`.
+    pub input_norm: Normalizer,
+    /// Per-output-dimension `(min, max)`.
+    pub output_norm: Normalizer,
+}
+
+/// Runs `region` on every vector in `inputs`, recording the samples "each
+/// time the candidate function executes" and measuring "the minimum and
+/// maximum value for each input and output".
+///
+/// # Errors
+///
+/// Returns [`ParrotError::NoTrainingData`] for an empty input list, a
+/// dimension error if any input has the wrong arity, or an execution error
+/// if the region faults.
+pub fn observe(region: &RegionSpec, inputs: &[Vec<f32>]) -> Result<Observation, ParrotError> {
+    if inputs.is_empty() {
+        return Err(ParrotError::NoTrainingData);
+    }
+    let mut data = Dataset::new(region.n_inputs(), region.n_outputs());
+    for input in inputs {
+        let output = region.evaluate(input)?;
+        data.push(input, &output).map_err(ParrotError::Training)?;
+    }
+    let input_norm = Normalizer::new(data.input_ranges().expect("dataset is non-empty"));
+    let output_norm = Normalizer::new(data.output_ranges().expect("dataset is non-empty"));
+    Ok(Observation {
+        data,
+        input_norm,
+        output_norm,
+    })
+}
+
+/// Builds the *normalized* training dataset (both sides mapped to `[0,1]`)
+/// from an observation — the values the network actually trains on.
+pub(crate) fn normalized_dataset(obs: &Observation) -> Dataset {
+    let mut out = Dataset::new(obs.data.n_inputs(), obs.data.n_outputs());
+    for (input, output) in obs.data.iter() {
+        let mut i = input.to_vec();
+        let mut o = output.to_vec();
+        obs.input_norm.normalize(&mut i);
+        obs.output_norm.normalize(&mut o);
+        out.push(&i, &o).expect("same dimensions");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_ir::{FunctionBuilder, Program};
+
+    fn linear_region() -> RegionSpec {
+        // f(x) = 2x + 1
+        let mut b = FunctionBuilder::new("lin", 1);
+        let x = b.param(0);
+        let two = b.constf(2.0);
+        let one = b.constf(1.0);
+        let xx = b.fmul(x, two);
+        let y = b.fadd(xx, one);
+        b.ret(&[y]);
+        let mut p = Program::new();
+        let f = p.add_function(b.build().unwrap());
+        RegionSpec::new("lin", p, f, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn observation_logs_all_samples_and_ranges() {
+        let region = linear_region();
+        let inputs: Vec<Vec<f32>> = (0..=10).map(|i| vec![i as f32]).collect();
+        let obs = observe(&region, &inputs).unwrap();
+        assert_eq!(obs.data.len(), 11);
+        assert_eq!(obs.input_norm.ranges(), &[(0.0, 10.0)]);
+        assert_eq!(obs.output_norm.ranges(), &[(1.0, 21.0)]);
+    }
+
+    #[test]
+    fn normalized_dataset_is_unit_range() {
+        let region = linear_region();
+        let inputs: Vec<Vec<f32>> = (0..=4).map(|i| vec![i as f32]).collect();
+        let obs = observe(&region, &inputs).unwrap();
+        let norm = normalized_dataset(&obs);
+        for (i, o) in norm.iter() {
+            assert!((0.0..=1.0).contains(&i[0]));
+            assert!((0.0..=1.0).contains(&o[0]));
+        }
+        // Linear function: normalized input equals normalized output.
+        for (i, o) in norm.iter() {
+            assert!((i[0] - o[0]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_an_error() {
+        let region = linear_region();
+        assert!(matches!(
+            observe(&region, &[]),
+            Err(ParrotError::NoTrainingData)
+        ));
+    }
+}

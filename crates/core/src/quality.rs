@@ -1,0 +1,220 @@
+//! Application-level output quality metrics (paper Section 7.1, Table 1's
+//! "Error Metric" column, and the Figure 6 error CDF).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean relative error between reference and approximate outputs,
+/// element-wise (used by `fft` and `inversek2j`).
+///
+/// Near-zero reference elements are guarded with `epsilon` so a tiny
+/// absolute error on a value near zero does not explode the metric.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mean_relative_error(reference: &[f32], approx: &[f32], epsilon: f32) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "output length mismatch");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (&r, &a) in reference.iter().zip(approx) {
+        let denom = r.abs().max(epsilon);
+        total += ((a - r).abs() / denom) as f64;
+    }
+    total / reference.len() as f64
+}
+
+/// Per-element relative errors (for CDF plots).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn relative_errors(reference: &[f32], approx: &[f32], epsilon: f32) -> Vec<f64> {
+    assert_eq!(reference.len(), approx.len(), "output length mismatch");
+    reference
+        .iter()
+        .zip(approx)
+        .map(|(&r, &a)| ((a - r).abs() / r.abs().max(epsilon)) as f64)
+        .collect()
+}
+
+/// Misclassification rate between boolean decisions (used by `jmeint`:
+/// "calculates whether two three-dimensional triangles intersect; we
+/// report the misclassification rate").
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn miss_rate(reference: &[bool], approx: &[bool]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "decision length mismatch");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let wrong = reference.iter().zip(approx).filter(|(r, a)| r != a).count();
+    wrong as f64 / reference.len() as f64
+}
+
+/// Average root-mean-square image difference, normalized by the value
+/// range so 1.0 means "maximally different" (used by `jpeg`, `kmeans`,
+/// and `sobel`).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `range` is not positive.
+pub fn image_rmse(reference: &[f32], approx: &[f32], range: f32) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "image size mismatch");
+    assert!(range > 0.0, "value range must be positive");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let mut sum_sq = 0.0f64;
+    for (&r, &a) in reference.iter().zip(approx) {
+        let d = ((a - r) / range) as f64;
+        sum_sq += d * d;
+    }
+    (sum_sq / reference.len() as f64).sqrt()
+}
+
+/// Per-element absolute image differences normalized by range (CDF input).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn image_errors(reference: &[f32], approx: &[f32], range: f32) -> Vec<f64> {
+    assert_eq!(reference.len(), approx.len(), "image size mismatch");
+    reference
+        .iter()
+        .zip(approx)
+        .map(|(&r, &a)| (((a - r) / range).abs()) as f64)
+        .collect()
+}
+
+/// A cumulative distribution of per-output-element errors (Figure 6:
+/// "a point (x, y) indicates that y fraction of the output elements see
+/// error less than or equal to x").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorCdf {
+    sorted: Vec<f64>,
+}
+
+impl ErrorCdf {
+    /// Builds a CDF from raw per-element errors.
+    pub fn from_errors(mut errors: Vec<f64>) -> Self {
+        errors.sort_by(f64::total_cmp);
+        ErrorCdf { sorted: errors }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of elements with error ≤ `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&e| e <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The error at a given quantile in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Samples the CDF at the given error levels, yielding `(x, y)` pairs
+    /// ready for plotting (the paper samples 0% to 100% in 10% steps).
+    pub fn sample(&self, levels: &[f64]) -> Vec<(f64, f64)> {
+        levels
+            .iter()
+            .map(|&x| (x, self.fraction_below(x)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_relative_error_basics() {
+        let e = mean_relative_error(&[2.0, 4.0], &[2.2, 3.6], 1e-6);
+        assert!((e - 0.1).abs() < 1e-6);
+        assert_eq!(mean_relative_error(&[], &[], 1e-6), 0.0);
+    }
+
+    #[test]
+    fn epsilon_guards_zero_reference() {
+        let e = mean_relative_error(&[0.0], &[0.001], 0.01);
+        assert!((e - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn miss_rate_counts_disagreements() {
+        let r = [true, false, true, true];
+        let a = [true, true, true, false];
+        assert!((miss_rate(&r, &a) - 0.5).abs() < 1e-9);
+        assert_eq!(miss_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn image_rmse_is_normalized() {
+        // Constant error of 25.5 on a 0..255 image = 0.1 normalized.
+        let r: Vec<f32> = vec![100.0; 50];
+        let a: Vec<f32> = vec![125.5; 50];
+        assert!((image_rmse(&r, &a, 255.0) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_images_have_zero_error() {
+        let img: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        assert_eq!(image_rmse(&img, &img, 255.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_fractions_and_quantiles() {
+        let cdf = ErrorCdf::from_errors(vec![0.05, 0.01, 0.2, 0.02, 0.0]);
+        assert_eq!(cdf.len(), 5);
+        assert!((cdf.fraction_below(0.02) - 0.6).abs() < 1e-9);
+        assert!((cdf.fraction_below(1.0) - 1.0).abs() < 1e-9);
+        assert_eq!(cdf.quantile(1.0), 0.2);
+        assert_eq!(cdf.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_sampling_matches_paper_plot_shape() {
+        // Most elements low-error, a few high: CDF rises steeply then
+        // flattens — the Figure 6 shape.
+        let mut errors = vec![0.01; 90];
+        errors.extend(vec![0.5; 10]);
+        let cdf = ErrorCdf::from_errors(errors);
+        let pts = cdf.sample(&[0.0, 0.1, 1.0]);
+        assert!((pts[1].1 - 0.9).abs() < 1e-9);
+        assert!((pts[2].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let cdf = ErrorCdf::from_errors(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_below(0.5), 0.0);
+        assert_eq!(cdf.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mean_relative_error(&[1.0], &[1.0, 2.0], 1e-6);
+    }
+}

@@ -1,0 +1,185 @@
+//! Candidate code regions (the paper's `[[PARROT]]`-annotated functions).
+
+use crate::ParrotError;
+use approx_ir::{static_counts, FuncId, Interpreter, Program, StaticCounts, TraceSink, Value};
+
+/// An annotated candidate region: a pure IR function with a fixed number
+/// of `f32` inputs and outputs.
+///
+/// Paper Section 3.1's criteria map to this type's invariants:
+/// *well-defined inputs and outputs* (fixed arity, checked against the IR
+/// function), *purity* (the IR has no global state; a region gets a
+/// private scratch memory whose contents do not persist across calls),
+/// and *hot / approximable* (the caller's judgement, as in the paper).
+#[derive(Debug, Clone)]
+pub struct RegionSpec {
+    name: String,
+    program: Program,
+    entry: FuncId,
+    n_inputs: usize,
+    n_outputs: usize,
+    scratch_words: usize,
+}
+
+impl RegionSpec {
+    /// Declares a region over `program`'s `entry` function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParrotError::InvalidRegion`] if the entry function's
+    /// parameter or return arity does not match `n_inputs`/`n_outputs`.
+    pub fn new(
+        name: impl Into<String>,
+        program: Program,
+        entry: FuncId,
+        n_inputs: usize,
+        n_outputs: usize,
+    ) -> Result<Self, ParrotError> {
+        let f = program
+            .function_by_index(entry.0)
+            .ok_or_else(|| ParrotError::InvalidRegion("entry function missing".into()))?;
+        if f.n_params() != n_inputs {
+            return Err(ParrotError::InvalidRegion(format!(
+                "entry takes {} params but region declares {} inputs",
+                f.n_params(),
+                n_inputs
+            )));
+        }
+        if f.n_rets() != n_outputs {
+            return Err(ParrotError::InvalidRegion(format!(
+                "entry returns {} values but region declares {} outputs",
+                f.n_rets(),
+                n_outputs
+            )));
+        }
+        Ok(RegionSpec {
+            name: name.into(),
+            program,
+            entry,
+            n_inputs,
+            n_outputs,
+            scratch_words: 0,
+        })
+    }
+
+    /// Gives the region a private scratch memory (f32 words) for regions
+    /// whose IR uses loads/stores internally, returning `self`.
+    pub fn with_scratch(mut self, words: usize) -> Self {
+        self.scratch_words = words;
+        self
+    }
+
+    /// Region name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of `f32` inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of `f32` outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// The region's IR program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The entry function id within [`program`](Self::program).
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// Scratch memory size in words.
+    pub fn scratch_words(&self) -> usize {
+        self.scratch_words
+    }
+
+    /// Executes the *original, precise* region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn evaluate(&self, inputs: &[f32]) -> Result<Vec<f32>, ParrotError> {
+        let args: Vec<Value> = inputs.iter().map(|&v| Value::F(v)).collect();
+        let out = Interpreter::new(&self.program)
+            .with_memory(self.scratch_words)
+            .run(self.entry, &args)?;
+        out.into_iter()
+            .map(|v| v.as_f32().map_err(ParrotError::from))
+            .collect()
+    }
+
+    /// Executes the precise region while emitting its dynamic trace (for
+    /// baseline timing simulation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn evaluate_traced(
+        &self,
+        inputs: &[f32],
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<f32>, ParrotError> {
+        let args: Vec<Value> = inputs.iter().map(|&v| Value::F(v)).collect();
+        let out = Interpreter::new(&self.program)
+            .with_memory(self.scratch_words)
+            .run_traced(self.entry, &args, sink)?;
+        out.outputs
+            .into_iter()
+            .map(|v| v.as_f32().map_err(ParrotError::from))
+            .collect()
+    }
+
+    /// Static characterization of the region (Table 1's calls / loops /
+    /// ifs / instruction counts).
+    pub fn static_counts(&self) -> StaticCounts {
+        static_counts(&self.program, self.entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_ir::FunctionBuilder;
+
+    fn square_region() -> RegionSpec {
+        let mut b = FunctionBuilder::new("sq", 1);
+        let x = b.param(0);
+        let y = b.fmul(x, x);
+        b.ret(&[y]);
+        let mut p = Program::new();
+        let f = p.add_function(b.build().unwrap());
+        RegionSpec::new("sq", p, f, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn evaluate_runs_the_region() {
+        let r = square_region();
+        assert_eq!(r.evaluate(&[3.0]).unwrap(), vec![9.0]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = FunctionBuilder::new("f", 2);
+        let x = b.param(0);
+        b.ret(&[x]);
+        let mut p = Program::new();
+        let f = p.add_function(b.build().unwrap());
+        // Declared 1 input but function takes 2.
+        let err = RegionSpec::new("f", p, f, 1, 1).unwrap_err();
+        assert!(matches!(err, ParrotError::InvalidRegion(_)));
+    }
+
+    #[test]
+    fn counts_are_exposed() {
+        let r = square_region();
+        let c = r.static_counts();
+        assert_eq!(c.instructions, 2);
+        assert_eq!(c.function_calls, 0);
+    }
+}

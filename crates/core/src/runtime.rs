@@ -1,0 +1,161 @@
+//! Runtime adapter: plugs the NPU simulator into the IR interpreter's
+//! queue-instruction port.
+
+use approx_ir::NpuPort;
+use npu::{NpuConfig, NpuError, NpuParams, NpuSim};
+
+/// A functional NPU runtime backing the interpreter's `enq.*`/`deq.*`
+/// instructions with the cycle-accurate simulator.
+///
+/// `enq_data` pushes (and immediately commits — the interpreter executes
+/// only correct-path instructions); `deq_data` runs the NPU forward until
+/// an output appears. This yields bit-identical values to the hardware
+/// model while letting functional execution run far ahead of any timing
+/// simulation.
+#[derive(Debug)]
+pub struct NpuRuntime {
+    sim: NpuSim,
+}
+
+impl NpuRuntime {
+    /// Creates an unconfigured runtime (configure via `enq.c` instructions
+    /// or [`configure`](Self::configure)).
+    pub fn new(params: NpuParams) -> Self {
+        NpuRuntime {
+            sim: NpuSim::new(params),
+        }
+    }
+
+    /// Creates a runtime with a configuration pre-loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheduler's error if the network does not fit.
+    pub fn configured(params: NpuParams, config: &NpuConfig) -> Result<Self, NpuError> {
+        let mut sim = NpuSim::new(params);
+        sim.configure(config)?;
+        Ok(NpuRuntime { sim })
+    }
+
+    /// Loads a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheduler's error if the network does not fit.
+    pub fn configure(&mut self, config: &NpuConfig) -> Result<(), NpuError> {
+        self.sim.configure(config)
+    }
+
+    /// Access to the underlying simulator (e.g. for statistics).
+    pub fn sim(&self) -> &NpuSim {
+        &self.sim
+    }
+
+    /// Consumes the runtime, returning the simulator.
+    pub fn into_sim(self) -> NpuSim {
+        self.sim
+    }
+}
+
+impl NpuPort for NpuRuntime {
+    fn enq_config(&mut self, word: u32) {
+        self.sim
+            .enq_config_word(word)
+            .expect("invalid configuration word stream");
+    }
+
+    fn deq_config(&mut self) -> u32 {
+        self.sim
+            .deq_config_word()
+            .expect("deq.c on an unconfigured npu")
+    }
+
+    fn enq_data(&mut self, value: f32) {
+        assert!(
+            self.sim.input_has_space(),
+            "enq.d with full input fifo in functional mode"
+        );
+        self.sim.enqueue_input(value);
+        self.sim.commit_inputs(1);
+    }
+
+    fn deq_data(&mut self) -> f32 {
+        self.sim
+            .run_until_output()
+            .expect("deq.d but the npu never produced an output")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::build_invocation_stub;
+    use ann::{Mlp, Normalizer, Topology};
+    use approx_ir::{Interpreter, NullSink, Program, Value};
+
+    fn config() -> NpuConfig {
+        let t = Topology::new(vec![2, 4, 1]).unwrap();
+        NpuConfig::new(
+            Mlp::seeded(t, 12),
+            Normalizer::identity(2),
+            Normalizer::identity(1),
+        )
+    }
+
+    #[test]
+    fn stub_through_runtime_matches_reference_evaluation() {
+        let config = config();
+        let mut runtime = NpuRuntime::configured(NpuParams::default(), &config).unwrap();
+        let mut program = Program::new();
+        let stub = program.add_function(build_invocation_stub(2, 1));
+        let mut sink = NullSink;
+        let out = Interpreter::new(&program)
+            .run_full(
+                stub,
+                &[Value::F(0.25), Value::F(0.75)],
+                &mut sink,
+                Some(&mut runtime),
+            )
+            .unwrap();
+        let expected = config.evaluate(&[0.25, 0.75]);
+        assert!((out.outputs[0].as_f32().unwrap() - expected[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn runtime_supports_config_via_enq_c() {
+        let config = config();
+        let mut runtime = NpuRuntime::new(NpuParams::default());
+        let loader = crate::codegen::build_config_loader(&config);
+        let mut program = Program::new();
+        let f = program.add_function(loader);
+        let mut sink = NullSink;
+        Interpreter::new(&program)
+            .run_full(f, &[], &mut sink, Some(&mut runtime))
+            .unwrap();
+        assert!(runtime.sim().configured());
+        assert_eq!(runtime.sim().current_config(), Some(&config));
+    }
+
+    #[test]
+    fn repeated_invocations_stay_consistent() {
+        let config = config();
+        let mut runtime = NpuRuntime::configured(NpuParams::default(), &config).unwrap();
+        let mut program = Program::new();
+        let stub = program.add_function(build_invocation_stub(2, 1));
+        for k in 0..10 {
+            let a = 0.1 * k as f32;
+            let mut sink = NullSink;
+            let out = Interpreter::new(&program)
+                .run_full(
+                    stub,
+                    &[Value::F(a), Value::F(1.0 - a)],
+                    &mut sink,
+                    Some(&mut runtime),
+                )
+                .unwrap();
+            let expected = config.evaluate(&[a, 1.0 - a]);
+            assert!((out.outputs[0].as_f32().unwrap() - expected[0]).abs() < 1e-6);
+        }
+        assert_eq!(runtime.sim().stats().invocations, 10);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the Parrot transformation's building blocks.
+
+use ann::{Mlp, Normalizer, Topology};
+use approx_ir::{Inst, Interpreter, NpuPort, NullSink, Program};
+use npu::NpuConfig;
+use parrot::codegen::{build_config_loader, build_invocation_stub};
+use parrot::{quality, RangeGuard};
+use proptest::prelude::*;
+
+proptest! {
+    /// The invocation stub always contains exactly n enq.d, m deq.d, and
+    /// one ret, in that order.
+    #[test]
+    fn stub_structure_is_exact(n_in in 1usize..32, n_out in 1usize..16) {
+        let stub = build_invocation_stub(n_in, n_out);
+        prop_assert_eq!(stub.len(), n_in + n_out + 1);
+        for (i, inst) in stub.insts().iter().enumerate() {
+            if i < n_in {
+                prop_assert!(matches!(inst, Inst::EnqD { .. }), "slot {i}");
+            } else if i < n_in + n_out {
+                prop_assert!(matches!(inst, Inst::DeqD { .. }), "slot {i}");
+            } else {
+                prop_assert!(matches!(inst, Inst::Ret { .. }), "last slot must be ret");
+            }
+        }
+    }
+
+    /// Config loader streams decode back to the exact configuration for
+    /// arbitrary networks and normalization ranges.
+    #[test]
+    fn loader_round_trips_any_config(
+        inputs in 1usize..8,
+        hidden in 1usize..12,
+        outputs in 1usize..6,
+        seed in 0u64..500,
+        lo in -50.0f32..50.0,
+        width in 0.1f32..100.0,
+    ) {
+        let t = Topology::new(vec![inputs, hidden, outputs]).unwrap();
+        let config = NpuConfig::new(
+            Mlp::seeded(t, seed),
+            Normalizer::new(vec![(lo, lo + width); inputs]),
+            Normalizer::new(vec![(lo, lo + width); outputs]),
+        );
+        struct Recorder(Vec<u32>);
+        impl NpuPort for Recorder {
+            fn enq_config(&mut self, w: u32) {
+                self.0.push(w);
+            }
+            fn deq_config(&mut self) -> u32 { 0 }
+            fn enq_data(&mut self, _v: f32) {}
+            fn deq_data(&mut self) -> f32 { 0.0 }
+        }
+        let mut program = Program::new();
+        let loader = program.add_function(build_config_loader(&config));
+        let mut recorder = Recorder(Vec::new());
+        let mut sink = NullSink;
+        Interpreter::new(&program)
+            .run_full(loader, &[], &mut sink, Some(&mut recorder))
+            .unwrap();
+        prop_assert_eq!(NpuConfig::decode(&recorder.0).unwrap(), config);
+    }
+
+    /// The range guard admits exactly the (widened) box.
+    #[test]
+    fn guard_is_a_box_predicate(
+        lo in -10.0f32..10.0,
+        width in 0.1f32..10.0,
+        tol in 0.0f32..0.5,
+        probe in -30.0f32..30.0,
+    ) {
+        let hi = lo + width;
+        let guard = RangeGuard::new(vec![(lo, hi)], tol);
+        let slack = width * tol;
+        let inside = probe >= lo - slack && probe <= hi + slack;
+        prop_assert_eq!(guard.admits(&[probe]), inside);
+    }
+
+    /// The error CDF is monotone non-decreasing and reaches 1 at the max
+    /// observed error.
+    #[test]
+    fn error_cdf_is_monotone(errors in proptest::collection::vec(0.0f64..2.0, 1..100)) {
+        let max = errors.iter().cloned().fold(0.0f64, f64::max);
+        let cdf = quality::ErrorCdf::from_errors(errors);
+        let mut prev = 0.0;
+        for k in 0..=20 {
+            let x = 2.0 * k as f64 / 20.0;
+            let y = cdf.fraction_below(x);
+            prop_assert!(y >= prev, "CDF decreased at {x}");
+            prev = y;
+        }
+        prop_assert_eq!(cdf.fraction_below(max), 1.0);
+    }
+
+    /// Mean relative error is translation-detecting: scaling the approx
+    /// away from the reference increases the metric.
+    #[test]
+    fn mre_grows_with_distortion(
+        values in proptest::collection::vec(0.5f32..10.0, 1..50),
+        distortion in 1.01f32..3.0,
+    ) {
+        let distorted: Vec<f32> = values.iter().map(|v| v * distortion).collect();
+        let more: Vec<f32> = values.iter().map(|v| v * distortion * 1.5).collect();
+        let e1 = quality::mean_relative_error(&values, &distorted, 1e-6);
+        let e2 = quality::mean_relative_error(&values, &more, 1e-6);
+        prop_assert!(e1 > 0.0);
+        prop_assert!(e2 > e1);
+        prop_assert_eq!(quality::mean_relative_error(&values, &values, 1e-6), 0.0);
+    }
+
+    /// image_rmse is a scaled L2 metric: symmetric and zero iff equal.
+    #[test]
+    fn image_rmse_is_symmetric(
+        a in proptest::collection::vec(0.0f32..1.0, 1..64),
+        seed in 0u64..100,
+    ) {
+        let b: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v + ((seed + i as u64) % 7) as f32 * 0.01).min(1.0))
+            .collect();
+        let ab = quality::image_rmse(&a, &b, 1.0);
+        let ba = quality::image_rmse(&b, &a, 1.0);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert_eq!(quality::image_rmse(&a, &a, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,530 @@
+//! Programmatic construction of IR functions.
+
+use crate::{CmpOp, FBinOp, FUnOp, FuncId, Function, IBinOp, Inst, IrError, Label, Reg};
+use std::collections::HashMap;
+
+/// Builds a [`Function`] instruction by instruction.
+///
+/// Registers are allocated with [`reg`](Self::reg) or implicitly by the
+/// arithmetic helpers, which allocate a fresh destination and return it —
+/// giving construction an expression-like feel:
+///
+/// ```
+/// use approx_ir::FunctionBuilder;
+///
+/// let mut b = FunctionBuilder::new("axpy", 3); // a, x, y
+/// let (a, x, y) = (b.param(0), b.param(1), b.param(2));
+/// let ax = b.fmul(a, x);
+/// let r = b.fadd(ax, y);
+/// b.ret(&[r]);
+/// let f = b.build()?;
+/// assert_eq!(f.len(), 3); // mul, add, ret
+/// # Ok::<(), approx_ir::IrError>(())
+/// ```
+///
+/// Control flow uses labels: create with [`new_label`](Self::new_label),
+/// place with [`bind`](Self::bind), branch with
+/// [`branch_if`](Self::branch_if) / [`jump`](Self::jump). [`build`](Self::build)
+/// fails if any referenced label is left unbound.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    n_params: usize,
+    next_reg: u16,
+    next_label: u32,
+    insts: Vec<Inst>,
+    bound: HashMap<u32, u32>,
+    rets: Vec<Reg>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `n_params` parameters (registers `r0..`).
+    pub fn new(name: impl Into<String>, n_params: usize) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            n_params,
+            next_reg: n_params as u16,
+            next_label: 0,
+            insts: Vec::new(),
+            bound: HashMap::new(),
+            rets: Vec::new(),
+        }
+    }
+
+    /// The register holding parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid parameter index.
+    pub fn param(&self, i: usize) -> Reg {
+        assert!(i < self.n_params, "parameter index out of range");
+        Reg(i as u16)
+    }
+
+    /// Allocates a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("register space exhausted");
+        r
+    }
+
+    /// Creates a new, not-yet-bound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current position (the next emitted instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let prev = self.bound.insert(label.0, self.insts.len() as u32);
+        assert!(prev.is_none(), "label bound twice");
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    // --- constants and moves -------------------------------------------
+
+    /// Emits an f32 constant, returning its register.
+    pub fn constf(&mut self, value: f32) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::ConstF { dst, value });
+        dst
+    }
+
+    /// Emits an i32 constant, returning its register.
+    pub fn consti(&mut self, value: i32) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::ConstI { dst, value });
+        dst
+    }
+
+    /// Emits a register move into an existing register.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.emit(Inst::Mov { dst, src });
+    }
+
+    // --- floating-point arithmetic --------------------------------------
+
+    fn fbin(&mut self, op: FBinOp, a: Reg, b: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::FBin { op, dst, a, b });
+        dst
+    }
+
+    /// `a + b`
+    pub fn fadd(&mut self, a: Reg, b: Reg) -> Reg {
+        self.fbin(FBinOp::Add, a, b)
+    }
+
+    /// `a - b`
+    pub fn fsub(&mut self, a: Reg, b: Reg) -> Reg {
+        self.fbin(FBinOp::Sub, a, b)
+    }
+
+    /// `a * b`
+    pub fn fmul(&mut self, a: Reg, b: Reg) -> Reg {
+        self.fbin(FBinOp::Mul, a, b)
+    }
+
+    /// `a / b`
+    pub fn fdiv(&mut self, a: Reg, b: Reg) -> Reg {
+        self.fbin(FBinOp::Div, a, b)
+    }
+
+    /// `min(a, b)`
+    pub fn fmin(&mut self, a: Reg, b: Reg) -> Reg {
+        self.fbin(FBinOp::Min, a, b)
+    }
+
+    /// `max(a, b)`
+    pub fn fmax(&mut self, a: Reg, b: Reg) -> Reg {
+        self.fbin(FBinOp::Max, a, b)
+    }
+
+    /// `atan2(a, b)`
+    pub fn fatan2(&mut self, a: Reg, b: Reg) -> Reg {
+        self.fbin(FBinOp::Atan2, a, b)
+    }
+
+    /// Accumulate in place: `dst += a` (no new register).
+    pub fn fadd_into(&mut self, dst: Reg, a: Reg) {
+        self.emit(Inst::FBin {
+            op: FBinOp::Add,
+            dst,
+            a: dst,
+            b: a,
+        });
+    }
+
+    fn fun(&mut self, op: FUnOp, a: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::FUn { op, dst, a });
+        dst
+    }
+
+    /// `-a`
+    pub fn fneg(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Neg, a)
+    }
+
+    /// `|a|`
+    pub fn fabs(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Abs, a)
+    }
+
+    /// `sqrt(a)`
+    pub fn fsqrt(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Sqrt, a)
+    }
+
+    /// `sin(a)`
+    pub fn fsin(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Sin, a)
+    }
+
+    /// `cos(a)`
+    pub fn fcos(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Cos, a)
+    }
+
+    /// `floor(a)`
+    pub fn ffloor(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Floor, a)
+    }
+
+    /// `e^a`
+    pub fn fexp(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Exp, a)
+    }
+
+    /// `acos(a)`
+    pub fn facos(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Acos, a)
+    }
+
+    /// `asin(a)`
+    pub fn fasin(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Asin, a)
+    }
+
+    /// `atan(a)`
+    pub fn fatan(&mut self, a: Reg) -> Reg {
+        self.fun(FUnOp::Atan, a)
+    }
+
+    // --- integer arithmetic ---------------------------------------------
+
+    fn ibin(&mut self, op: IBinOp, a: Reg, b: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::IBin { op, dst, a, b });
+        dst
+    }
+
+    /// `a + b` (i32)
+    pub fn iadd(&mut self, a: Reg, b: Reg) -> Reg {
+        self.ibin(IBinOp::Add, a, b)
+    }
+
+    /// `a - b` (i32)
+    pub fn isub(&mut self, a: Reg, b: Reg) -> Reg {
+        self.ibin(IBinOp::Sub, a, b)
+    }
+
+    /// `a * b` (i32)
+    pub fn imul(&mut self, a: Reg, b: Reg) -> Reg {
+        self.ibin(IBinOp::Mul, a, b)
+    }
+
+    /// `a % b` (i32)
+    pub fn irem(&mut self, a: Reg, b: Reg) -> Reg {
+        self.ibin(IBinOp::Rem, a, b)
+    }
+
+    /// `a << b` (i32)
+    pub fn ishl(&mut self, a: Reg, b: Reg) -> Reg {
+        self.ibin(IBinOp::Shl, a, b)
+    }
+
+    /// `a >> b` (i32)
+    pub fn ishr(&mut self, a: Reg, b: Reg) -> Reg {
+        self.ibin(IBinOp::Shr, a, b)
+    }
+
+    /// `a & b` (i32)
+    pub fn iand(&mut self, a: Reg, b: Reg) -> Reg {
+        self.ibin(IBinOp::And, a, b)
+    }
+
+    /// `a | b` (i32)
+    pub fn ior(&mut self, a: Reg, b: Reg) -> Reg {
+        self.ibin(IBinOp::Or, a, b)
+    }
+
+    /// Increment in place: `dst += a` (no new register).
+    pub fn iadd_into(&mut self, dst: Reg, a: Reg) {
+        self.emit(Inst::IBin {
+            op: IBinOp::Add,
+            dst,
+            a: dst,
+            b: a,
+        });
+    }
+
+    // --- compares & conversions -----------------------------------------
+
+    /// Floating compare producing 0/1.
+    pub fn cmpf(&mut self, op: CmpOp, a: Reg, b: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::CmpF { op, dst, a, b });
+        dst
+    }
+
+    /// Integer compare producing 0/1.
+    pub fn cmpi(&mut self, op: CmpOp, a: Reg, b: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::CmpI { op, dst, a, b });
+        dst
+    }
+
+    /// i32 → f32 conversion.
+    pub fn itof(&mut self, src: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::IToF { dst, src });
+        dst
+    }
+
+    /// f32 → i32 (truncating) conversion.
+    pub fn ftoi(&mut self, src: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::FToI { dst, src });
+        dst
+    }
+
+    /// Reinterprets i32 bits as f32 (lossless).
+    pub fn bits_to_f(&mut self, src: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::BitsToF { dst, src });
+        dst
+    }
+
+    /// Reinterprets f32 bits as i32 (lossless).
+    pub fn f_to_bits(&mut self, src: Reg) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::FToBits { dst, src });
+        dst
+    }
+
+    // --- memory -----------------------------------------------------------
+
+    /// Loads `mem[base + offset]` into a fresh register.
+    pub fn load(&mut self, base: Reg, offset: i32) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Load { dst, base, offset });
+        dst
+    }
+
+    /// Stores `src` to `mem[base + offset]`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i32) {
+        self.emit(Inst::Store { src, base, offset });
+    }
+
+    // --- control flow -----------------------------------------------------
+
+    /// Branch to `target` when `cond != 0`.
+    pub fn branch_if(&mut self, cond: Reg, target: Label) {
+        self.emit(Inst::Branch { cond, target });
+    }
+
+    /// Branch to `target` when `cond == 0` (emits a compare + branch).
+    pub fn branch_if_zero(&mut self, cond: Reg, target: Label) {
+        let zero = self.consti(0);
+        let is_zero = self.cmpi(CmpOp::Eq, cond, zero);
+        self.branch_if(is_zero, target);
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, target: Label) {
+        self.emit(Inst::Jump { target });
+    }
+
+    /// Calls `func` with `args`, writing returns into fresh registers.
+    pub fn call(&mut self, func: FuncId, args: &[Reg], n_rets: usize) -> Vec<Reg> {
+        let rets: Vec<Reg> = (0..n_rets).map(|_| self.reg()).collect();
+        self.emit(Inst::Call {
+            func: func.0,
+            args: args.to_vec(),
+            rets: rets.clone(),
+        });
+        rets
+    }
+
+    /// Emits `Ret`, returning the listed registers' values to the caller.
+    ///
+    /// All `ret` sites in one function must return the same number of
+    /// values; [`build`](Self::build) enforces this.
+    pub fn ret(&mut self, values: &[Reg]) {
+        self.rets = values.to_vec();
+        self.emit(Inst::Ret {
+            vals: values.to_vec(),
+        });
+    }
+
+    // --- NPU queue instructions --------------------------------------------
+
+    /// `enq.d %src`
+    pub fn enq_d(&mut self, src: Reg) {
+        self.emit(Inst::EnqD { src });
+    }
+
+    /// `deq.d` into a fresh register.
+    pub fn deq_d(&mut self) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::DeqD { dst });
+        dst
+    }
+
+    /// `enq.c %src`
+    pub fn enq_c(&mut self, src: Reg) {
+        self.emit(Inst::EnqC { src });
+    }
+
+    /// `deq.c` into a fresh register.
+    pub fn deq_c(&mut self) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::DeqC { dst });
+        dst
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Finalizes the function, resolving all labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnboundLabel`] if any branch or jump references a
+    /// label that was never [`bind`](Self::bind)-ed, and
+    /// [`IrError::MissingReturn`] if the function does not end in a
+    /// terminator.
+    pub fn build(mut self) -> Result<Function, IrError> {
+        // Every function must end with an unconditional control transfer.
+        match self.insts.last() {
+            Some(Inst::Ret { .. }) | Some(Inst::Jump { .. }) => {}
+            _ => return Err(IrError::MissingReturn(self.name.clone())),
+        }
+        // All return sites must agree on arity.
+        let arity = self.rets.len();
+        for inst in &self.insts {
+            if let Inst::Ret { vals } = inst {
+                if vals.len() != arity {
+                    return Err(IrError::ArityMismatch {
+                        expected: arity,
+                        actual: vals.len(),
+                    });
+                }
+            }
+        }
+        let bound = &self.bound;
+        for inst in &mut self.insts {
+            let target = match inst {
+                Inst::Branch { target, .. } | Inst::Jump { target } => target,
+                _ => continue,
+            };
+            match bound.get(&target.0) {
+                Some(&idx) => *target = Label(idx),
+                None => return Err(IrError::UnboundLabel(target.0)),
+            }
+        }
+        Ok(Function::from_parts(
+            self.name,
+            self.n_params,
+            self.next_reg as usize,
+            self.rets,
+            self.insts,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_resolves_labels() {
+        let mut b = FunctionBuilder::new("loop", 1);
+        let n = b.param(0);
+        let i = b.consti(0);
+        let one = b.consti(1);
+        let top = b.new_label();
+        b.bind(top);
+        b.iadd_into(i, one);
+        let done = b.cmpi(CmpOp::Ge, i, n);
+        let exit = b.new_label();
+        b.branch_if(done, exit);
+        b.jump(top);
+        b.bind(exit);
+        b.ret(&[i]);
+        let f = b.build().unwrap();
+        // Jump target must point at the bound index, not the label id.
+        let jump_target = f
+            .insts()
+            .iter()
+            .find_map(|inst| match inst {
+                Inst::Jump { target } => Some(target.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(jump_target, 2); // after the two consts
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = FunctionBuilder::new("bad", 0);
+        let l = b.new_label();
+        b.jump(l);
+        assert_eq!(b.build().unwrap_err(), IrError::UnboundLabel(0));
+    }
+
+    #[test]
+    fn missing_return_is_an_error() {
+        let mut b = FunctionBuilder::new("fallsoff", 0);
+        b.constf(1.0);
+        assert!(matches!(b.build(), Err(IrError::MissingReturn(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = FunctionBuilder::new("dup", 0);
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn params_occupy_low_registers() {
+        let mut b = FunctionBuilder::new("f", 2);
+        assert_eq!(b.param(0), Reg(0));
+        assert_eq!(b.param(1), Reg(1));
+        assert_eq!(b.reg(), Reg(2));
+    }
+}

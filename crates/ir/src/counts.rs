@@ -1,0 +1,161 @@
+//! Static characterization of candidate regions (Table 1, left half).
+
+use crate::{Function, Inst, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Static counts for a region: the paper's Table 1 reports, per transformed
+/// function, the number of function calls, loops, `if`/`else` constructs,
+/// and (x86-64) instructions — the latter excluding standard-library code,
+/// which this IR represents as single `sin`/`cos`/`sqrt` operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticCounts {
+    /// Static `Call` sites in the region (including those in callees).
+    pub function_calls: usize,
+    /// Loops, counted as backward control-flow edges.
+    pub loops: usize,
+    /// `if`/`else` constructs, counted as forward conditional branches.
+    pub ifs: usize,
+    /// Total static instructions across the region and its callees.
+    pub instructions: usize,
+}
+
+/// Computes [`StaticCounts`] for `root` and every function it transitively
+/// calls within `program`.
+///
+/// # Example
+///
+/// ```
+/// use approx_ir::{static_counts, FunctionBuilder, Program};
+///
+/// let mut b = FunctionBuilder::new("f", 1);
+/// let x = b.param(0);
+/// let y = b.fadd(x, x);
+/// b.ret(&[y]);
+/// let mut p = Program::new();
+/// let f = p.add_function(b.build()?);
+/// let c = static_counts(&p, f);
+/// assert_eq!(c.instructions, 2);
+/// assert_eq!(c.loops, 0);
+/// # Ok::<(), approx_ir::IrError>(())
+/// ```
+pub fn static_counts(program: &Program, root: crate::FuncId) -> StaticCounts {
+    let mut visited = BTreeSet::new();
+    let mut stack = vec![root.0];
+    let mut total = StaticCounts::default();
+    while let Some(id) = stack.pop() {
+        if !visited.insert(id) {
+            continue;
+        }
+        let Some(f) = program.function_by_index(id) else {
+            continue;
+        };
+        let c = function_counts(f);
+        total.function_calls += c.function_calls;
+        total.loops += c.loops;
+        total.ifs += c.ifs;
+        total.instructions += c.instructions;
+        for inst in f.insts() {
+            if let Inst::Call { func, .. } = inst {
+                stack.push(*func);
+            }
+        }
+    }
+    total
+}
+
+fn function_counts(f: &Function) -> StaticCounts {
+    let mut counts = StaticCounts {
+        instructions: f.len(),
+        ..StaticCounts::default()
+    };
+    for (idx, inst) in f.insts().iter().enumerate() {
+        match inst {
+            Inst::Call { .. } => counts.function_calls += 1,
+            Inst::Branch { target, .. } => {
+                if (target.0 as usize) <= idx {
+                    counts.loops += 1;
+                } else {
+                    counts.ifs += 1;
+                }
+            }
+            Inst::Jump { target } if (target.0 as usize) <= idx => {
+                counts.loops += 1;
+            }
+            _ => {}
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, FunctionBuilder};
+
+    #[test]
+    fn counts_loop_and_if() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let n = b.param(0);
+        let i = b.consti(0);
+        let one = b.consti(1);
+        let top = b.new_label();
+        let exit = b.new_label();
+        let skip = b.new_label();
+        b.bind(top);
+        let done = b.cmpi(CmpOp::Ge, i, n);
+        b.branch_if(done, exit); // forward conditional -> if
+        let odd = b.irem(i, one);
+        b.branch_if(odd, skip); // forward conditional -> if
+        b.bind(skip);
+        b.iadd_into(i, one);
+        b.jump(top); // backward jump -> loop
+        b.bind(exit);
+        b.ret(&[i]);
+        let mut p = Program::new();
+        let f = p.add_function(b.build().unwrap());
+        let c = static_counts(&p, f);
+        assert_eq!(c.loops, 1);
+        assert_eq!(c.ifs, 2);
+        assert_eq!(c.function_calls, 0);
+    }
+
+    #[test]
+    fn counts_follow_callees_once() {
+        let mut leaf = FunctionBuilder::new("leaf", 1);
+        let x = leaf.param(0);
+        let y = leaf.fmul(x, x);
+        leaf.ret(&[y]);
+        let mut p = Program::new();
+        let leaf_id = p.add_function(leaf.build().unwrap());
+
+        let mut root = FunctionBuilder::new("root", 1);
+        let a = root.param(0);
+        let r1 = root.call(leaf_id, &[a], 1);
+        let r2 = root.call(leaf_id, &[r1[0]], 1);
+        root.ret(&[r2[0]]);
+        let root_id = p.add_function(root.build().unwrap());
+
+        let c = static_counts(&p, root_id);
+        assert_eq!(c.function_calls, 2);
+        // root: 2 calls + ret = 3; leaf: mul + ret = 2 (counted once).
+        assert_eq!(c.instructions, 5);
+    }
+
+    #[test]
+    fn recursive_functions_terminate() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("rec", 0);
+        // Call function id 0 (itself — ids are assigned in order).
+        b.emit(crate::Inst::Call {
+            func: 0,
+            args: vec![],
+            rets: vec![],
+        });
+        b.ret(&[]);
+        let id = p.add_function(b.build().unwrap());
+        let c = static_counts(&p, id);
+        assert_eq!(c.function_calls, 1);
+        assert_eq!(c.instructions, 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Human-readable IR listings.
+//!
+//! `Function` and `Program` implement [`std::fmt::Display`] with an
+//! assembly-like syntax, one instruction per line with its index — the
+//! format a developer inspects when deciding whether a region is a good
+//! Parrot candidate or when debugging generated glue:
+//!
+//! ```text
+//! fn sobel(r0..r8) -> 1 value {
+//!    0: r9  = fconst 2
+//!    1: r10 = fmul r9, r5
+//!    ...
+//!   22: branch r24 -> 24
+//!   23: r21 = mov r22
+//!   24: ret r21
+//! }
+//! ```
+
+use crate::{CmpOp, FBinOp, FUnOp, Function, IBinOp, Inst, Program};
+use std::fmt;
+
+fn fbin_name(op: FBinOp) -> &'static str {
+    match op {
+        FBinOp::Add => "fadd",
+        FBinOp::Sub => "fsub",
+        FBinOp::Mul => "fmul",
+        FBinOp::Div => "fdiv",
+        FBinOp::Min => "fmin",
+        FBinOp::Max => "fmax",
+        FBinOp::Atan2 => "fatan2",
+    }
+}
+
+fn fun_name(op: FUnOp) -> &'static str {
+    match op {
+        FUnOp::Neg => "fneg",
+        FUnOp::Abs => "fabs",
+        FUnOp::Sqrt => "fsqrt",
+        FUnOp::Sin => "fsin",
+        FUnOp::Cos => "fcos",
+        FUnOp::Floor => "ffloor",
+        FUnOp::Exp => "fexp",
+        FUnOp::Acos => "facos",
+        FUnOp::Asin => "fasin",
+        FUnOp::Atan => "fatan",
+    }
+}
+
+fn ibin_name(op: IBinOp) -> &'static str {
+    match op {
+        IBinOp::Add => "iadd",
+        IBinOp::Sub => "isub",
+        IBinOp::Mul => "imul",
+        IBinOp::Shl => "ishl",
+        IBinOp::Shr => "ishr",
+        IBinOp::And => "iand",
+        IBinOp::Or => "ior",
+        IBinOp::Rem => "irem",
+    }
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+    }
+}
+
+fn write_inst(f: &mut fmt::Formatter<'_>, inst: &Inst) -> fmt::Result {
+    match inst {
+        Inst::ConstF { dst, value } => write!(f, "{dst} = fconst {value}"),
+        Inst::ConstI { dst, value } => write!(f, "{dst} = iconst {value}"),
+        Inst::Mov { dst, src } => write!(f, "{dst} = mov {src}"),
+        Inst::FBin { op, dst, a, b } => write!(f, "{dst} = {} {a}, {b}", fbin_name(*op)),
+        Inst::FUn { op, dst, a } => write!(f, "{dst} = {} {a}", fun_name(*op)),
+        Inst::IBin { op, dst, a, b } => write!(f, "{dst} = {} {a}, {b}", ibin_name(*op)),
+        Inst::CmpF { op, dst, a, b } => write!(f, "{dst} = fcmp.{} {a}, {b}", cmp_name(*op)),
+        Inst::CmpI { op, dst, a, b } => write!(f, "{dst} = icmp.{} {a}, {b}", cmp_name(*op)),
+        Inst::IToF { dst, src } => write!(f, "{dst} = itof {src}"),
+        Inst::FToI { dst, src } => write!(f, "{dst} = ftoi {src}"),
+        Inst::BitsToF { dst, src } => write!(f, "{dst} = bitstof {src}"),
+        Inst::FToBits { dst, src } => write!(f, "{dst} = ftobits {src}"),
+        Inst::Load { dst, base, offset } => write!(f, "{dst} = load [{base}{offset:+}]"),
+        Inst::Store { src, base, offset } => write!(f, "store {src} -> [{base}{offset:+}]"),
+        Inst::Branch { cond, target } => write!(f, "branch {cond} -> {}", target.0),
+        Inst::Jump { target } => write!(f, "jump -> {}", target.0),
+        Inst::Call { func, args, rets } => {
+            let fmt_regs = |regs: &[crate::Reg]| {
+                regs.iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            if rets.is_empty() {
+                write!(f, "call f{func}({})", fmt_regs(args))
+            } else {
+                write!(f, "{} = call f{func}({})", fmt_regs(rets), fmt_regs(args))
+            }
+        }
+        Inst::Ret { vals } => {
+            if vals.is_empty() {
+                write!(f, "ret")
+            } else {
+                let list = vals
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(f, "ret {list}")
+            }
+        }
+        Inst::EnqD { src } => write!(f, "enq.d {src}"),
+        Inst::DeqD { dst } => write!(f, "{dst} = deq.d"),
+        Inst::EnqC { src } => write!(f, "enq.c {src}"),
+        Inst::DeqC { dst } => write!(f, "{dst} = deq.c"),
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = if self.n_params() == 0 {
+            String::from("()")
+        } else if self.n_params() == 1 {
+            String::from("(r0)")
+        } else {
+            format!("(r0..r{})", self.n_params() - 1)
+        };
+        writeln!(
+            f,
+            "fn {}{params} -> {} value{} {{",
+            self.name(),
+            self.n_rets(),
+            if self.n_rets() == 1 { "" } else { "s" },
+        )?;
+        let width = self.len().saturating_sub(1).to_string().len().max(2);
+        for (idx, inst) in self.insts().iter().enumerate() {
+            write!(f, "  {idx:>width$}: ")?;
+            write_inst(f, inst)?;
+            writeln!(f)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, func) in self.functions().iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+                writeln!(f)?;
+            }
+            write!(f, "; f{i}")?;
+            writeln!(f)?;
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, FunctionBuilder};
+
+    fn sample() -> Function {
+        let mut b = FunctionBuilder::new("demo", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let s = b.fadd(x, y);
+        let zero = b.constf(0.0);
+        let neg = b.cmpf(CmpOp::Lt, s, zero);
+        let skip = b.new_label();
+        b.branch_if(neg, skip);
+        b.enq_d(s);
+        let r = b.deq_d();
+        b.ret(&[r]);
+        b.bind(skip);
+        b.ret(&[zero]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn listing_contains_every_instruction() {
+        let func = sample();
+        let text = func.to_string();
+        assert!(text.starts_with("fn demo(r0..r1) -> 1 value {"));
+        assert!(text.contains("= fadd r0, r1"));
+        assert!(text.contains("= fcmp.lt"));
+        assert!(text.contains("enq.d"));
+        assert!(text.contains("= deq.d"));
+        assert!(text.ends_with('}'));
+        assert_eq!(text.lines().count(), func.len() + 2);
+    }
+
+    #[test]
+    fn branch_targets_are_resolved_indices() {
+        let text = sample().to_string();
+        // The branch skips past the enq/deq/ret to the final ret.
+        assert!(text.contains("branch r4 -> 7"), "{text}");
+    }
+
+    #[test]
+    fn program_listing_numbers_functions() {
+        let mut p = Program::new();
+        p.add_function(sample());
+        p.add_function(sample());
+        let text = p.to_string();
+        assert!(text.contains("; f0"));
+        assert!(text.contains("; f1"));
+    }
+}

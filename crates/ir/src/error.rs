@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or interpreting IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A register held the wrong value type for the operation.
+    TypeMismatch {
+        /// What the instruction needed.
+        expected: &'static str,
+        /// Instruction index where the mismatch occurred.
+        at: usize,
+    },
+    /// A memory access fell outside the machine's data memory.
+    OutOfBoundsMemory {
+        /// The offending word address.
+        addr: i64,
+        /// Memory size in words.
+        size: usize,
+    },
+    /// An NPU queue instruction executed with no NPU attached.
+    NoNpuAttached,
+    /// A label was never bound to a position.
+    UnboundLabel(u32),
+    /// Call depth exceeded the interpreter's frame limit.
+    StackOverflow,
+    /// A `Call` referenced a function id not present in the program.
+    UnknownFunction(u32),
+    /// Execution ran past the end of a function without `Ret`.
+    MissingReturn(String),
+    /// A function was invoked with the wrong number of arguments.
+    ArityMismatch {
+        /// Parameters the function declares.
+        expected: usize,
+        /// Arguments supplied.
+        actual: usize,
+    },
+    /// The interpreter exceeded its configured instruction budget
+    /// (guards against runaway loops in tests).
+    BudgetExhausted,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::TypeMismatch { expected, at } => {
+                write!(f, "type mismatch at instruction {at}: expected {expected}")
+            }
+            IrError::OutOfBoundsMemory { addr, size } => {
+                write!(f, "memory access at word {addr} outside size {size}")
+            }
+            IrError::NoNpuAttached => write!(f, "npu queue instruction with no npu attached"),
+            IrError::UnboundLabel(l) => write!(f, "label {l} was never bound"),
+            IrError::StackOverflow => write!(f, "call depth limit exceeded"),
+            IrError::UnknownFunction(id) => write!(f, "unknown function id {id}"),
+            IrError::MissingReturn(name) => {
+                write!(f, "function '{name}' ended without a return")
+            }
+            IrError::ArityMismatch { expected, actual } => {
+                write!(f, "arity mismatch: expected {expected} args, got {actual}")
+            }
+            IrError::BudgetExhausted => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = IrError::OutOfBoundsMemory { addr: -1, size: 8 };
+        assert!(e.to_string().contains("-1"));
+        assert!(e.to_string().contains('8'));
+    }
+}

@@ -1,0 +1,77 @@
+//! Function containers.
+
+use crate::{Inst, Reg};
+use serde::{Deserialize, Serialize};
+
+/// A compiled IR function: a flat instruction list with declared parameter
+/// count and return registers.
+///
+/// Built via [`FunctionBuilder`](crate::FunctionBuilder); all labels are
+/// resolved to instruction indices by the time a `Function` exists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    name: String,
+    n_params: usize,
+    n_regs: usize,
+    rets: Vec<Reg>,
+    insts: Vec<Inst>,
+}
+
+impl Function {
+    pub(crate) fn from_parts(
+        name: String,
+        n_params: usize,
+        n_regs: usize,
+        rets: Vec<Reg>,
+        insts: Vec<Inst>,
+    ) -> Self {
+        Function {
+            name,
+            n_params,
+            n_regs,
+            rets,
+            insts,
+        }
+    }
+
+    /// The function's name (diagnostic only).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of parameters (occupying registers `r0..n_params`).
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// Total registers the function uses.
+    pub fn n_regs(&self) -> usize {
+        self.n_regs
+    }
+
+    /// Number of values the function returns (every `Ret` site agrees).
+    pub fn n_rets(&self) -> usize {
+        self.rets.len()
+    }
+
+    /// The return registers of the lexically last `ret` site (arity
+    /// reference; each `Ret` instruction carries its own registers).
+    pub fn rets(&self) -> &[Reg] {
+        &self.rets
+    }
+
+    /// The instruction list.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Static instruction count.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the function has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}

@@ -1,0 +1,326 @@
+//! Instruction definitions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register. Registers are per-function and unlimited; the first
+/// `n` registers of a function hold its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A branch target, resolved to an instruction index at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(pub u32);
+
+/// Floating-point binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FBinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `atan2(a, b)` (libm stand-in)
+    Atan2,
+}
+
+/// Floating-point unary operations. `Sqrt`, `Sin`, and `Cos` stand for
+/// libm calls (single IR ops with multi-cycle latency in the core model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FUnOp {
+    /// `-a`
+    Neg,
+    /// `|a|`
+    Abs,
+    /// `sqrt(a)`
+    Sqrt,
+    /// `sin(a)` (libm stand-in)
+    Sin,
+    /// `cos(a)` (libm stand-in)
+    Cos,
+    /// `floor(a)`
+    Floor,
+    /// `e^a` (libm stand-in)
+    Exp,
+    /// `acos(a)` (libm stand-in)
+    Acos,
+    /// `asin(a)` (libm stand-in)
+    Asin,
+    /// `atan(a)` (libm stand-in)
+    Atan,
+}
+
+/// Integer binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IBinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a << b`
+    Shl,
+    /// `a >> b` (arithmetic)
+    Shr,
+    /// `a & b`
+    And,
+    /// `a | b`
+    Or,
+    /// `a % b`
+    Rem,
+}
+
+/// Comparison predicates (work on both numeric types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the predicate to an [`std::cmp::Ordering`]-style pair.
+    pub fn eval_f32(self, a: f32, b: f32) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// Integer form of the predicate.
+    pub fn eval_i32(self, a: i32, b: i32) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// One IR instruction.
+///
+/// The mix deliberately mirrors the x86-64 subset the paper's benchmarks
+/// compile to: scalar int/fp arithmetic, loads/stores, compares, branches,
+/// calls — plus the four NPU queue instructions of Section 5.1
+/// (`enq.c`, `deq.c`, `enq.d`, `deq.d`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// Load an f32 immediate into `dst`.
+    ConstF {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: f32,
+    },
+    /// Load an i32 immediate into `dst`.
+    ConstI {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i32,
+    },
+    /// Register move.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Floating-point binary arithmetic.
+    FBin {
+        /// Operation.
+        op: FBinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Floating-point unary arithmetic.
+    FUn {
+        /// Operation.
+        op: FUnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// Integer binary arithmetic.
+    IBin {
+        /// Operation.
+        op: IBinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Floating-point compare; writes 1 or 0 (i32) to `dst`.
+    CmpF {
+        /// Predicate.
+        op: CmpOp,
+        /// Destination register (receives 0/1).
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Integer compare; writes 1 or 0 (i32) to `dst`.
+    CmpI {
+        /// Predicate.
+        op: CmpOp,
+        /// Destination register (receives 0/1).
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Convert i32 to f32.
+    IToF {
+        /// Destination register.
+        dst: Reg,
+        /// Source register (i32).
+        src: Reg,
+    },
+    /// Convert f32 to i32 (truncating).
+    FToI {
+        /// Destination register.
+        dst: Reg,
+        /// Source register (f32).
+        src: Reg,
+    },
+    /// Reinterpret i32 bits as f32 (like x86 `movd` — used to move raw
+    /// configuration words through the f32 data memory losslessly).
+    BitsToF {
+        /// Destination register.
+        dst: Reg,
+        /// Source register (i32).
+        src: Reg,
+    },
+    /// Reinterpret f32 bits as i32.
+    FToBits {
+        /// Destination register.
+        dst: Reg,
+        /// Source register (f32).
+        src: Reg,
+    },
+    /// Load `mem[base + offset]` (f32 word addressing) into `dst`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register (i32, word units).
+        base: Reg,
+        /// Constant word offset.
+        offset: i32,
+    },
+    /// Store `src` to `mem[base + offset]`.
+    Store {
+        /// Value register (f32).
+        src: Reg,
+        /// Base address register (i32, word units).
+        base: Reg,
+        /// Constant word offset.
+        offset: i32,
+    },
+    /// Conditional branch: taken when `cond != 0`.
+    Branch {
+        /// Condition register (i32).
+        cond: Reg,
+        /// Target instruction index.
+        target: Label,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target instruction index.
+        target: Label,
+    },
+    /// Call another function, copying `args` into its parameter registers
+    /// and its declared returns back into `rets`.
+    Call {
+        /// Callee identifier (index into the program's function table).
+        func: u32,
+        /// Argument registers in the caller's frame.
+        args: Vec<Reg>,
+        /// Registers in the caller's frame receiving the return values.
+        rets: Vec<Reg>,
+    },
+    /// Return from the current function, yielding the listed registers.
+    Ret {
+        /// Registers whose values are returned to the caller.
+        vals: Vec<Reg>,
+    },
+    /// `enq.d`: enqueue an f32 from `src` into the NPU input FIFO.
+    EnqD {
+        /// Source register (f32).
+        src: Reg,
+    },
+    /// `deq.d`: dequeue the head of the NPU output FIFO into `dst`.
+    DeqD {
+        /// Destination register (f32).
+        dst: Reg,
+    },
+    /// `enq.c`: enqueue a configuration word into the NPU config FIFO.
+    EnqC {
+        /// Source register (i32 configuration word).
+        src: Reg,
+    },
+    /// `deq.c`: dequeue a configuration word from the NPU config FIFO.
+    DeqC {
+        /// Destination register (i32 configuration word).
+        dst: Reg,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_predicates() {
+        assert!(CmpOp::Lt.eval_f32(1.0, 2.0));
+        assert!(!CmpOp::Lt.eval_f32(2.0, 2.0));
+        assert!(CmpOp::Le.eval_i32(2, 2));
+        assert!(CmpOp::Ne.eval_i32(1, 2));
+        assert!(CmpOp::Ge.eval_f32(3.0, 3.0));
+        assert!(!CmpOp::Eq.eval_f32(f32::NAN, f32::NAN));
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+}

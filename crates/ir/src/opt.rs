@@ -1,0 +1,488 @@
+//! Simple intra-function optimizations.
+//!
+//! The builder API encourages emitting one constant per use, which is
+//! faithful to unoptimized codegen but inflates generated functions (the
+//! software-NN replacement and config loaders especially). This module
+//! provides the two classic clean-up passes a real compiler would run
+//! before counting a region's instructions:
+//!
+//! * [`fold_constants`] — evaluates integer/float operations whose
+//!   operands are known constants, and rewires consumers;
+//! * [`eliminate_dead_code`] — removes instructions whose results are
+//!   never used and have no side effects.
+//!
+//! Both passes are conservative around control flow: any register written
+//! on more than one path (or inside a loop body) is treated as unknown.
+
+use crate::{FBinOp, FUnOp, Function, IBinOp, Inst, Label, Reg};
+use std::collections::{HashMap, HashSet};
+
+/// A known compile-time value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Known {
+    F(f32),
+    I(i32),
+}
+
+/// Returns a copy of `f` with constant-computable instructions replaced
+/// by constant loads.
+///
+/// Only registers written exactly once by a straight-line-reachable
+/// instruction are tracked, so values merged across branches or mutated
+/// in loops are never folded.
+pub fn fold_constants(f: &Function) -> Function {
+    // Registers written more than once are not SSA-like: exclude them.
+    let mut write_counts: HashMap<u16, usize> = HashMap::new();
+    for inst in f.insts() {
+        if let Some(dst) = dst_of(inst) {
+            *write_counts.entry(dst.0).or_insert(0) += 1;
+        }
+    }
+    // Instructions at or after any branch target may execute under
+    // merged control flow; constants defined before the first label are
+    // still safe to use anywhere, so we simply stop *recording* new
+    // constants once control flow begins, and stop folding instructions
+    // that are branch targets themselves.
+    let mut targets: HashSet<usize> = HashSet::new();
+    for inst in f.insts() {
+        match inst {
+            Inst::Branch { target, .. } | Inst::Jump { target } => {
+                targets.insert(target.0 as usize);
+            }
+            _ => {}
+        }
+    }
+
+    let mut known: HashMap<u16, Known> = HashMap::new();
+    let mut control_flow_seen = false;
+    let mut out: Vec<Inst> = Vec::with_capacity(f.len());
+    for (idx, inst) in f.insts().iter().enumerate() {
+        if targets.contains(&idx) {
+            control_flow_seen = true;
+        }
+        let single = |r: Reg| write_counts.get(&r.0) == Some(&1);
+        let getf = |known: &HashMap<u16, Known>, r: Reg| match known.get(&r.0) {
+            Some(Known::F(v)) => Some(*v),
+            _ => None,
+        };
+        let geti = |known: &HashMap<u16, Known>, r: Reg| match known.get(&r.0) {
+            Some(Known::I(v)) => Some(*v),
+            _ => None,
+        };
+        let record = |known: &mut HashMap<u16, Known>, dst: Reg, v: Known| {
+            if !control_flow_seen && single(dst) {
+                known.insert(dst.0, v);
+            }
+        };
+
+        let folded: Inst = match inst {
+            Inst::ConstF { dst, value } => {
+                record(&mut known, *dst, Known::F(*value));
+                inst.clone()
+            }
+            Inst::ConstI { dst, value } => {
+                record(&mut known, *dst, Known::I(*value));
+                inst.clone()
+            }
+            Inst::Mov { dst, src } => match known.get(&src.0).copied() {
+                Some(Known::F(v)) if single(*dst) => {
+                    record(&mut known, *dst, Known::F(v));
+                    Inst::ConstF {
+                        dst: *dst,
+                        value: v,
+                    }
+                }
+                Some(Known::I(v)) if single(*dst) => {
+                    record(&mut known, *dst, Known::I(v));
+                    Inst::ConstI {
+                        dst: *dst,
+                        value: v,
+                    }
+                }
+                _ => inst.clone(),
+            },
+            Inst::FBin { op, dst, a, b } => match (getf(&known, *a), getf(&known, *b)) {
+                (Some(x), Some(y)) if single(*dst) && *op != FBinOp::Atan2 => {
+                    let v = match op {
+                        FBinOp::Add => x + y,
+                        FBinOp::Sub => x - y,
+                        FBinOp::Mul => x * y,
+                        FBinOp::Div => x / y,
+                        FBinOp::Min => x.min(y),
+                        FBinOp::Max => x.max(y),
+                        FBinOp::Atan2 => unreachable!(),
+                    };
+                    record(&mut known, *dst, Known::F(v));
+                    Inst::ConstF {
+                        dst: *dst,
+                        value: v,
+                    }
+                }
+                _ => inst.clone(),
+            },
+            Inst::FUn { op, dst, a } => match getf(&known, *a) {
+                Some(x) if single(*dst) && matches!(op, FUnOp::Neg | FUnOp::Abs | FUnOp::Floor) => {
+                    let v = match op {
+                        FUnOp::Neg => -x,
+                        FUnOp::Abs => x.abs(),
+                        FUnOp::Floor => x.floor(),
+                        _ => unreachable!(),
+                    };
+                    record(&mut known, *dst, Known::F(v));
+                    Inst::ConstF {
+                        dst: *dst,
+                        value: v,
+                    }
+                }
+                _ => inst.clone(),
+            },
+            Inst::IBin { op, dst, a, b } => match (geti(&known, *a), geti(&known, *b)) {
+                (Some(x), Some(y)) if single(*dst) => {
+                    let v = match op {
+                        IBinOp::Add => x.wrapping_add(y),
+                        IBinOp::Sub => x.wrapping_sub(y),
+                        IBinOp::Mul => x.wrapping_mul(y),
+                        IBinOp::Shl => x.wrapping_shl(y as u32),
+                        IBinOp::Shr => x.wrapping_shr(y as u32),
+                        IBinOp::And => x & y,
+                        IBinOp::Or => x | y,
+                        IBinOp::Rem => {
+                            if y == 0 {
+                                0
+                            } else {
+                                x.wrapping_rem(y)
+                            }
+                        }
+                    };
+                    record(&mut known, *dst, Known::I(v));
+                    Inst::ConstI {
+                        dst: *dst,
+                        value: v,
+                    }
+                }
+                _ => inst.clone(),
+            },
+            Inst::CmpF { op, dst, a, b } => match (getf(&known, *a), getf(&known, *b)) {
+                (Some(x), Some(y)) if single(*dst) => {
+                    let v = op.eval_f32(x, y) as i32;
+                    record(&mut known, *dst, Known::I(v));
+                    Inst::ConstI {
+                        dst: *dst,
+                        value: v,
+                    }
+                }
+                _ => inst.clone(),
+            },
+            Inst::CmpI { op, dst, a, b } => match (geti(&known, *a), geti(&known, *b)) {
+                (Some(x), Some(y)) if single(*dst) => {
+                    let v = op.eval_i32(x, y) as i32;
+                    record(&mut known, *dst, Known::I(v));
+                    Inst::ConstI {
+                        dst: *dst,
+                        value: v,
+                    }
+                }
+                _ => inst.clone(),
+            },
+            Inst::IToF { dst, src } => match geti(&known, *src) {
+                Some(v) if single(*dst) => {
+                    record(&mut known, *dst, Known::F(v as f32));
+                    Inst::ConstF {
+                        dst: *dst,
+                        value: v as f32,
+                    }
+                }
+                _ => inst.clone(),
+            },
+            _ => inst.clone(),
+        };
+        out.push(folded);
+    }
+    Function::from_parts(
+        f.name().to_string(),
+        f.n_params(),
+        f.n_regs(),
+        f.rets().to_vec(),
+        out,
+    )
+}
+
+/// Returns a copy of `f` with side-effect-free instructions whose results
+/// are never read removed. Instruction indices shift, so branch targets
+/// are remapped.
+pub fn eliminate_dead_code(f: &Function) -> Function {
+    // Liveness: a register is live if any instruction reads it (across
+    // the whole function — conservative but sound with loops).
+    let mut live: HashSet<u16> = HashSet::new();
+    for inst in f.insts() {
+        for r in srcs_of(inst) {
+            live.insert(r.0);
+        }
+    }
+
+    // Decide survival per instruction.
+    let keep: Vec<bool> = f
+        .insts()
+        .iter()
+        .map(|inst| match inst {
+            Inst::ConstF { dst, .. }
+            | Inst::ConstI { dst, .. }
+            | Inst::Mov { dst, .. }
+            | Inst::FBin { dst, .. }
+            | Inst::FUn { dst, .. }
+            | Inst::IBin { dst, .. }
+            | Inst::CmpF { dst, .. }
+            | Inst::CmpI { dst, .. }
+            | Inst::IToF { dst, .. }
+            | Inst::FToI { dst, .. }
+            | Inst::BitsToF { dst, .. }
+            | Inst::FToBits { dst, .. } => live.contains(&dst.0),
+            // Loads have no side effects but can fault; keep them only if
+            // used (a real compiler would need a no-trap proof — our IR
+            // loads are the only faulting ops, so dropping dead ones only
+            // removes possible traps, never adds them; still, be
+            // conservative and keep them).
+            Inst::Load { .. } => true,
+            _ => true, // stores, control flow, calls, queue ops
+        })
+        .collect();
+
+    // Remap old indices to new ones.
+    let mut new_index = vec![0u32; f.len() + 1];
+    let mut n = 0u32;
+    for (i, &k) in keep.iter().enumerate() {
+        new_index[i] = n;
+        if k {
+            n += 1;
+        }
+    }
+    new_index[f.len()] = n;
+    // A branch to a removed instruction must land on the next surviving
+    // one; `new_index` already encodes that (the removed slot maps to the
+    // index the following instruction will take).
+
+    let mut out = Vec::with_capacity(n as usize);
+    for (i, inst) in f.insts().iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let remap = |t: &Label| Label(new_index[t.0 as usize]);
+        out.push(match inst {
+            Inst::Branch { cond, target } => Inst::Branch {
+                cond: *cond,
+                target: remap(target),
+            },
+            Inst::Jump { target } => Inst::Jump {
+                target: remap(target),
+            },
+            other => other.clone(),
+        });
+    }
+    Function::from_parts(
+        f.name().to_string(),
+        f.n_params(),
+        f.n_regs(),
+        f.rets().to_vec(),
+        out,
+    )
+}
+
+/// Folds constants, then removes the dead definitions folding exposed,
+/// iterating to a fixed point (bounded).
+pub fn optimize(f: &Function) -> Function {
+    let mut current = f.clone();
+    for _ in 0..8 {
+        let next = eliminate_dead_code(&fold_constants(&current));
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+fn dst_of(inst: &Inst) -> Option<Reg> {
+    match inst {
+        Inst::ConstF { dst, .. }
+        | Inst::ConstI { dst, .. }
+        | Inst::Mov { dst, .. }
+        | Inst::FBin { dst, .. }
+        | Inst::FUn { dst, .. }
+        | Inst::IBin { dst, .. }
+        | Inst::CmpF { dst, .. }
+        | Inst::CmpI { dst, .. }
+        | Inst::IToF { dst, .. }
+        | Inst::FToI { dst, .. }
+        | Inst::BitsToF { dst, .. }
+        | Inst::FToBits { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::DeqD { dst }
+        | Inst::DeqC { dst } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn srcs_of(inst: &Inst) -> Vec<Reg> {
+    match inst {
+        Inst::Mov { src, .. }
+        | Inst::IToF { src, .. }
+        | Inst::FToI { src, .. }
+        | Inst::BitsToF { src, .. }
+        | Inst::FToBits { src, .. } => vec![*src],
+        Inst::FBin { a, b, .. }
+        | Inst::IBin { a, b, .. }
+        | Inst::CmpF { a, b, .. }
+        | Inst::CmpI { a, b, .. } => vec![*a, *b],
+        Inst::FUn { a, .. } => vec![*a],
+        Inst::Load { base, .. } => vec![*base],
+        Inst::Store { src, base, .. } => vec![*src, *base],
+        Inst::Branch { cond, .. } => vec![*cond],
+        Inst::Call { args, .. } => args.clone(),
+        Inst::Ret { vals } => vals.clone(),
+        Inst::EnqD { src } | Inst::EnqC { src } => vec![*src],
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Interpreter, Program, Value};
+
+    fn run(f: Function, args: &[Value]) -> Vec<Value> {
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        Interpreter::new(&p).with_memory(64).run(id, args).unwrap()
+    }
+
+    #[test]
+    fn folds_straight_line_arithmetic() {
+        // (2 + 3) * 4 with no inputs: should fold to a single constant.
+        let mut b = FunctionBuilder::new("cf", 0);
+        let two = b.constf(2.0);
+        let three = b.constf(3.0);
+        let five = b.fadd(two, three);
+        let four = b.constf(4.0);
+        let twenty = b.fmul(five, four);
+        b.ret(&[twenty]);
+        let f = b.build().unwrap();
+        let opt = optimize(&f);
+        assert!(opt.len() < f.len(), "{} -> {}", f.len(), opt.len());
+        // Only the final constant and the ret survive.
+        assert_eq!(opt.len(), 2);
+        assert_eq!(run(opt, &[])[0].as_f32().unwrap(), 20.0);
+    }
+
+    #[test]
+    fn does_not_fold_values_depending_on_params() {
+        let mut b = FunctionBuilder::new("p", 1);
+        let x = b.param(0);
+        let two = b.constf(2.0);
+        let y = b.fmul(x, two);
+        b.ret(&[y]);
+        let f = b.build().unwrap();
+        let opt = optimize(&f);
+        assert_eq!(run(opt, &[Value::F(3.0)])[0].as_f32().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn preserves_loop_semantics() {
+        use crate::CmpOp;
+        let mut b = FunctionBuilder::new("loop", 1);
+        let n = b.param(0);
+        let acc = b.consti(0);
+        let i = b.consti(0);
+        let one = b.consti(1);
+        let top = b.new_label();
+        let done = b.new_label();
+        b.bind(top);
+        let fin = b.cmpi(CmpOp::Ge, i, n);
+        b.branch_if(fin, done);
+        b.iadd_into(acc, i);
+        b.iadd_into(i, one);
+        b.jump(top);
+        b.bind(done);
+        b.ret(&[acc]);
+        let f = b.build().unwrap();
+        let opt = optimize(&f);
+        // sum 0..10 = 45
+        assert_eq!(run(opt.clone(), &[Value::I(10)])[0].as_i32().unwrap(), 45);
+        assert_eq!(run(opt, &[Value::I(0)])[0].as_i32().unwrap(), 0);
+    }
+
+    #[test]
+    fn dce_removes_unused_results() {
+        let mut b = FunctionBuilder::new("dce", 1);
+        let x = b.param(0);
+        let _unused = b.fmul(x, x); // dead
+        let y = b.fadd(x, x);
+        b.ret(&[y]);
+        let f = b.build().unwrap();
+        let opt = eliminate_dead_code(&f);
+        assert_eq!(opt.len(), f.len() - 1);
+        assert_eq!(run(opt, &[Value::F(2.0)])[0].as_f32().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut b = FunctionBuilder::new("fx", 1);
+        let addr = b.param(0);
+        let v = b.constf(7.0);
+        b.store(v, addr, 0);
+        b.enq_d(v);
+        let out = b.deq_d();
+        b.ret(&[out]);
+        let f = b.build().unwrap();
+        let opt = eliminate_dead_code(&f);
+        assert_eq!(opt.len(), f.len());
+    }
+
+    #[test]
+    fn branch_targets_survive_dce_remapping() {
+        use crate::CmpOp;
+        let mut b = FunctionBuilder::new("br", 1);
+        let x = b.param(0);
+        let zero = b.constf(0.0);
+        let _dead = b.fmul(zero, zero); // dead, before the branch target
+        let c = b.cmpf(CmpOp::Lt, x, zero);
+        let skip = b.new_label();
+        b.branch_if(c, skip);
+        let pos = b.constf(1.0);
+        b.ret(&[pos]);
+        b.bind(skip);
+        let neg = b.constf(-1.0);
+        b.ret(&[neg]);
+        let f = b.build().unwrap();
+        let opt = eliminate_dead_code(&f);
+        assert!(opt.len() < f.len());
+        assert_eq!(run(opt.clone(), &[Value::F(5.0)])[0].as_f32().unwrap(), 1.0);
+        assert_eq!(run(opt, &[Value::F(-5.0)])[0].as_f32().unwrap(), -1.0);
+    }
+
+    #[test]
+    fn optimizing_generated_software_nn_shrinks_it() {
+        // The codegen'd software NN is constant-heavy; optimize() must
+        // shrink it without changing behaviour. (Constructed here via the
+        // same builder patterns codegen uses.)
+        let mut b = FunctionBuilder::new("gen", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        // Normalization-style code: (x - lo) * inv with constant lo/inv.
+        let lo = b.constf(0.0);
+        let inv = b.constf(1.0);
+        let d = b.fsub(x, lo);
+        let s = b.fmul(d, inv);
+        let lo2 = b.constf(0.0);
+        let inv2 = b.constf(1.0);
+        let d2 = b.fsub(y, lo2);
+        let s2 = b.fmul(d2, inv2);
+        let sum = b.fadd(s, s2);
+        b.ret(&[sum]);
+        let f = b.build().unwrap();
+        let opt = optimize(&f);
+        let a = run(f, &[Value::F(0.3), Value::F(0.4)])[0].as_f32().unwrap();
+        let o = run(opt, &[Value::F(0.3), Value::F(0.4)])[0]
+            .as_f32()
+            .unwrap();
+        assert_eq!(a, o);
+    }
+}

@@ -1,0 +1,174 @@
+//! Hot-code profiling (paper Section 3.1).
+//!
+//! "Like any acceleration technique, the Parrot transformation should
+//! replace hot code. … A traditional performance profiler can reveal hot
+//! code." This module is that profiler: a [`TraceSink`] that attributes
+//! dynamic instructions to the function executing them, so the programmer
+//! (or an automatic pass) can rank candidate regions by coverage before
+//! annotating one.
+
+use crate::trace::{TraceEvent, TraceSink};
+use crate::Program;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-function dynamic execution profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Dynamic instructions attributed to each function id.
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Total dynamic instructions observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Dynamic instructions attributed to function `id`.
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Fraction of all dynamic instructions spent in function `id` —
+    /// the "hotness" that makes a region worth transforming.
+    pub fn coverage(&self, id: u32) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(id) as f64 / self.total as f64
+        }
+    }
+
+    /// Function ids ranked by dynamic instruction count, hottest first.
+    pub fn ranked(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.counts.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The hottest function, if anything executed.
+    pub fn hottest(&self) -> Option<u32> {
+        self.ranked().first().map(|&(id, _)| id)
+    }
+
+    /// Renders a flat profile report with function names from `program`.
+    pub fn report(&self, program: &Program) -> String {
+        let mut out = String::from("  dyn insts      %  function\n");
+        for (id, count) in self.ranked() {
+            let name = program
+                .function_by_index(id)
+                .map(|f| f.name().to_string())
+                .unwrap_or_else(|| format!("f{id}"));
+            out.push_str(&format!(
+                "{count:>11}  {:>5.1}  {name}\n",
+                100.0 * self.coverage(id)
+            ));
+        }
+        out
+    }
+}
+
+impl TraceSink for Profile {
+    fn event(&mut self, ev: &TraceEvent) {
+        // The function id is the high half of the static PC.
+        let func = (ev.pc >> 32) as u32;
+        *self.counts.entry(func).or_insert(0) += 1;
+        self.total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, FunctionBuilder, Interpreter};
+
+    /// A program where `hot` runs in a loop and `cold` runs once.
+    fn program() -> (Program, crate::FuncId) {
+        let mut p = Program::new();
+
+        let mut hot = FunctionBuilder::new("hot", 1);
+        let x = hot.param(0);
+        let mut acc = x;
+        for _ in 0..8 {
+            acc = hot.fmul(acc, x);
+        }
+        hot.ret(&[acc]);
+        let hot_id = p.add_function(hot.build().unwrap());
+
+        let mut cold = FunctionBuilder::new("cold", 1);
+        let y = cold.param(0);
+        let d = cold.fadd(y, y);
+        cold.ret(&[d]);
+        let cold_id = p.add_function(cold.build().unwrap());
+
+        let mut main = FunctionBuilder::new("main", 0);
+        let v = main.constf(1.001);
+        let cold_out = main.call(cold_id, &[v], 1);
+        let i = main.consti(0);
+        let n = main.consti(50);
+        let one = main.consti(1);
+        let top = main.new_label();
+        let done = main.new_label();
+        main.bind(top);
+        let fin = main.cmpi(CmpOp::Ge, i, n);
+        main.branch_if(fin, done);
+        main.call(hot_id, &[cold_out[0]], 1);
+        main.iadd_into(i, one);
+        main.jump(top);
+        main.bind(done);
+        main.ret(&[]);
+        let main_id = p.add_function(main.build().unwrap());
+        (p, main_id)
+    }
+
+    #[test]
+    fn profiler_finds_the_hot_function() {
+        let (p, main_id) = program();
+        let mut profile = Profile::new();
+        Interpreter::new(&p)
+            .run_traced(main_id, &[], &mut profile)
+            .unwrap();
+        // Function ids: 0 = hot, 1 = cold, 2 = main.
+        assert_eq!(profile.hottest(), Some(0));
+        assert!(profile.coverage(0) > 0.5, "{}", profile.coverage(0));
+        assert!(profile.count(1) < profile.count(0) / 10);
+        assert_eq!(
+            profile.total(),
+            profile.count(0) + profile.count(1) + profile.count(2)
+        );
+    }
+
+    #[test]
+    fn ranked_is_descending_and_report_renders() {
+        let (p, main_id) = program();
+        let mut profile = Profile::new();
+        Interpreter::new(&p)
+            .run_traced(main_id, &[], &mut profile)
+            .unwrap();
+        let ranked = profile.ranked();
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let report = profile.report(&p);
+        assert!(report.contains("hot"));
+        assert!(report.contains("cold"));
+        assert!(report.contains("main"));
+        // The hot function is the first data row.
+        assert!(report.lines().nth(1).unwrap().contains("hot"));
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let profile = Profile::new();
+        assert_eq!(profile.total(), 0);
+        assert_eq!(profile.coverage(0), 0.0);
+        assert_eq!(profile.hottest(), None);
+    }
+}

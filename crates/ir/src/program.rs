@@ -1,0 +1,98 @@
+//! Programs: collections of functions.
+
+use crate::Function;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// A whole IR program: an indexed function table.
+///
+/// # Example
+///
+/// ```
+/// use approx_ir::{FunctionBuilder, Program};
+///
+/// let mut b = FunctionBuilder::new("id", 1);
+/// let p = b.param(0);
+/// b.ret(&[p]);
+/// let mut program = Program::new();
+/// let id = program.add_function(b.build()?);
+/// assert_eq!(program.function(id).name(), "id");
+/// # Ok::<(), approx_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a function, returning its id. Ids are stable and dense; a
+    /// `Call` instruction's `func` field is the id's index.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.functions.push(f);
+        FuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// Looks up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this program.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Fallible lookup by raw index.
+    pub fn function_by_index(&self, index: u32) -> Option<&Function> {
+        self.functions.get(index as usize)
+    }
+
+    /// Looks a function up by name.
+    pub fn function_id_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name() == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// All functions in id order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the program has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionBuilder;
+
+    #[test]
+    fn lookup_by_name() {
+        let mut program = Program::new();
+        for name in ["a", "b", "c"] {
+            let mut b = FunctionBuilder::new(name, 0);
+            b.ret(&[]);
+            program.add_function(b.build().unwrap());
+        }
+        assert_eq!(program.function_id_by_name("b"), Some(FuncId(1)));
+        assert_eq!(program.function_id_by_name("zz"), None);
+        assert_eq!(program.len(), 3);
+    }
+}

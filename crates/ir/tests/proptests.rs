@@ -1,0 +1,171 @@
+//! Property-based tests: IR interpreter semantics against direct Rust
+//! evaluation, and structural invariants of the builder.
+
+use approx_ir::{static_counts, CmpOp, FunctionBuilder, Interpreter, Program, Value, VecSink};
+use proptest::prelude::*;
+
+proptest! {
+    /// A chain of float operations evaluates exactly like the same chain
+    /// in Rust.
+    #[test]
+    fn float_arithmetic_matches_rust(
+        a in -1000.0f32..1000.0,
+        b in -1000.0f32..1000.0,
+        c in 0.001f32..1000.0,
+    ) {
+        let mut fb = FunctionBuilder::new("expr", 3);
+        let (ra, rb, rc) = (fb.param(0), fb.param(1), fb.param(2));
+        let sum = fb.fadd(ra, rb);
+        let prod = fb.fmul(sum, rc);
+        let quot = fb.fdiv(prod, rc);
+        let diff = fb.fsub(quot, ra);
+        let absd = fb.fabs(diff);
+        let root = fb.fsqrt(absd);
+        fb.ret(&[root]);
+        let mut p = Program::new();
+        let f = p.add_function(fb.build().unwrap());
+        let got = Interpreter::new(&p)
+            .run(f, &[Value::F(a), Value::F(b), Value::F(c)])
+            .unwrap()[0]
+            .as_f32()
+            .unwrap();
+        let want = (((a + b) * c / c) - a).abs().sqrt();
+        prop_assert!((got - want).abs() <= 1e-3 * want.abs().max(1.0), "{got} vs {want}");
+    }
+
+    /// Integer ops wrap exactly like Rust's wrapping semantics.
+    #[test]
+    fn integer_arithmetic_matches_rust(a in any::<i32>(), b in any::<i32>(), s in 0i32..31) {
+        let mut fb = FunctionBuilder::new("iexpr", 3);
+        let (ra, rb, rs) = (fb.param(0), fb.param(1), fb.param(2));
+        let sum = fb.iadd(ra, rb);
+        let shifted = fb.ishl(sum, rs);
+        let masked = fb.iand(shifted, rb);
+        let ord = fb.ior(masked, ra);
+        fb.ret(&[ord]);
+        let mut p = Program::new();
+        let f = p.add_function(fb.build().unwrap());
+        let got = Interpreter::new(&p)
+            .run(f, &[Value::I(a), Value::I(b), Value::I(s)])
+            .unwrap()[0]
+            .as_i32()
+            .unwrap();
+        let want = (a.wrapping_add(b).wrapping_shl(s as u32) & b) | a;
+        prop_assert_eq!(got, want);
+    }
+
+    /// A counted IR loop runs exactly n iterations for any n.
+    #[test]
+    fn loop_iteration_count_is_exact(n in 0i32..500) {
+        let mut fb = FunctionBuilder::new("count", 1);
+        let limit = fb.param(0);
+        let i = fb.consti(0);
+        let acc = fb.consti(0);
+        let one = fb.consti(1);
+        let top = fb.new_label();
+        let done = fb.new_label();
+        fb.bind(top);
+        let fin = fb.cmpi(CmpOp::Ge, i, limit);
+        fb.branch_if(fin, done);
+        fb.iadd_into(acc, one);
+        fb.iadd_into(i, one);
+        fb.jump(top);
+        fb.bind(done);
+        fb.ret(&[acc]);
+        let mut p = Program::new();
+        let f = p.add_function(fb.build().unwrap());
+        let got = Interpreter::new(&p).run(f, &[Value::I(n)]).unwrap()[0]
+            .as_i32()
+            .unwrap();
+        prop_assert_eq!(got, n);
+    }
+
+    /// Stored values read back identically from any in-bounds address.
+    #[test]
+    fn memory_is_a_faithful_store(
+        addr in 0i32..64,
+        value in -1e6f32..1e6,
+    ) {
+        let mut fb = FunctionBuilder::new("mem", 2);
+        let (ra, rv) = (fb.param(0), fb.param(1));
+        fb.store(rv, ra, 0);
+        let out = fb.load(ra, 0);
+        fb.ret(&[out]);
+        let mut p = Program::new();
+        let f = p.add_function(fb.build().unwrap());
+        let got = Interpreter::new(&p)
+            .with_memory(64)
+            .run(f, &[Value::I(addr), Value::F(value)])
+            .unwrap()[0]
+            .as_f32()
+            .unwrap();
+        prop_assert_eq!(got, value);
+    }
+
+    /// Bitcasts round-trip every bit pattern (NaNs included).
+    #[test]
+    fn bitcasts_round_trip(bits in any::<u32>()) {
+        let mut fb = FunctionBuilder::new("bits", 1);
+        let w = fb.param(0);
+        let f = fb.bits_to_f(w);
+        let back = fb.f_to_bits(f);
+        fb.ret(&[back]);
+        let mut p = Program::new();
+        let id = p.add_function(fb.build().unwrap());
+        let got = Interpreter::new(&p)
+            .run(id, &[Value::I(bits as i32)])
+            .unwrap()[0]
+            .as_i32()
+            .unwrap();
+        prop_assert_eq!(got as u32, bits);
+    }
+
+    /// Trace length equals the dynamic instruction count reported by the
+    /// interpreter, for loops of any size.
+    #[test]
+    fn trace_length_matches_executed(n in 0i32..100) {
+        let mut fb = FunctionBuilder::new("traced", 1);
+        let limit = fb.param(0);
+        let i = fb.consti(0);
+        let one = fb.consti(1);
+        let top = fb.new_label();
+        let done = fb.new_label();
+        fb.bind(top);
+        let fin = fb.cmpi(CmpOp::Ge, i, limit);
+        fb.branch_if(fin, done);
+        fb.iadd_into(i, one);
+        fb.jump(top);
+        fb.bind(done);
+        fb.ret(&[i]);
+        let mut p = Program::new();
+        let f = p.add_function(fb.build().unwrap());
+        let mut sink = VecSink::default();
+        let outcome = Interpreter::new(&p)
+            .run_traced(f, &[Value::I(n)], &mut sink)
+            .unwrap();
+        prop_assert_eq!(sink.events.len() as u64, outcome.executed);
+    }
+
+    /// Static counts never exceed the function's instruction count and
+    /// every backward edge is a loop.
+    #[test]
+    fn static_counts_are_bounded(n_ifs in 0usize..5) {
+        let mut fb = FunctionBuilder::new("counted", 1);
+        let x = fb.param(0);
+        let zero = fb.consti(0);
+        for _ in 0..n_ifs {
+            let skip = fb.new_label();
+            let c = fb.cmpi(CmpOp::Gt, x, zero);
+            fb.branch_if(c, skip);
+            fb.iadd_into(x, zero);
+            fb.bind(skip);
+        }
+        fb.ret(&[x]);
+        let mut p = Program::new();
+        let f = p.add_function(fb.build().unwrap());
+        let counts = static_counts(&p, f);
+        prop_assert_eq!(counts.ifs, n_ifs);
+        prop_assert_eq!(counts.loops, 0);
+        prop_assert!(counts.instructions >= 2 + 3 * n_ifs);
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from configuring or driving the NPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NpuError {
+    /// A data or readback operation ran before any configuration.
+    NotConfigured,
+    /// The configuration word stream failed to decode.
+    InvalidConfig(String),
+    /// A network does not fit the NPU's structures.
+    CapacityExceeded {
+        /// Which structure overflowed.
+        structure: &'static str,
+        /// Entries required by the network.
+        needed: usize,
+        /// Entries available in hardware.
+        available: usize,
+    },
+    /// An enqueue hit a full FIFO (callers should check occupancy first;
+    /// the core model stalls the instruction instead).
+    FifoFull(&'static str),
+    /// A dequeue hit an empty FIFO.
+    FifoEmpty(&'static str),
+}
+
+impl fmt::Display for NpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NpuError::NotConfigured => write!(f, "npu has not been configured"),
+            NpuError::InvalidConfig(why) => write!(f, "invalid npu configuration: {why}"),
+            NpuError::CapacityExceeded {
+                structure,
+                needed,
+                available,
+            } => write!(
+                f,
+                "network needs {needed} {structure} entries but hardware has {available}"
+            ),
+            NpuError::FifoFull(name) => write!(f, "{name} fifo is full"),
+            NpuError::FifoEmpty(name) => write!(f, "{name} fifo is empty"),
+        }
+    }
+}
+
+impl Error for NpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_message_names_structure() {
+        let e = NpuError::CapacityExceeded {
+            structure: "weight cache",
+            needed: 600,
+            available: 512,
+        };
+        assert!(e.to_string().contains("weight cache"));
+        assert!(e.to_string().contains("600"));
+    }
+}

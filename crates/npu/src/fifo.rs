@@ -1,0 +1,434 @@
+//! The speculative CPU↔NPU FIFOs (paper Section 5.2, Figure 3).
+//!
+//! The input FIFO distinguishes a *speculative tail* (entries pushed by
+//! `enq.d` instructions that have executed but not committed) from its
+//! committed prefix; entries are recycled only once their `enq.d` has
+//! committed **and** the NPU has finished the invocation that consumed
+//! them. The output FIFO keeps a *speculative head* (advanced by issued
+//! `deq.d`s) and a *non-speculative head* (advanced at commit), so a
+//! misspeculated dequeue can be replayed.
+//!
+//! The input FIFO tracks *absolute* (monotonically increasing) push,
+//! commit, read, and process counts, which makes rollback across multiple
+//! in-flight invocations straightforward for the simulator.
+
+use crate::NpuError;
+use std::collections::VecDeque;
+
+/// The CPU→NPU input FIFO with speculative-tail semantics.
+#[derive(Debug, Clone)]
+pub struct InputFifo {
+    /// Live entries (pushed, not yet freed).
+    buf: VecDeque<f32>,
+    /// Absolute count of entries freed (recycled) so far.
+    freed: u64,
+    /// Absolute count of committed pushes.
+    committed: u64,
+    /// Absolute read cursor (entries the NPU has consumed).
+    consumed: u64,
+    /// Absolute count of entries whose consuming invocation completed.
+    processed: u64,
+    capacity: usize,
+}
+
+impl InputFifo {
+    /// Creates an empty FIFO with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        InputFifo {
+            buf: VecDeque::with_capacity(capacity),
+            freed: 0,
+            committed: 0,
+            consumed: 0,
+            processed: 0,
+            capacity,
+        }
+    }
+
+    /// Absolute count of pushes so far.
+    pub fn pushed(&self) -> u64 {
+        self.freed + self.buf.len() as u64
+    }
+
+    /// Absolute count of committed pushes so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Absolute read cursor.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Occupied entries (committed + speculative).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the FIFO holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether a further `enq.d` would find space (the scheduler "only
+    /// issues an enqueue instruction if the corresponding FIFO is not
+    /// full").
+    pub fn has_space(&self) -> bool {
+        self.buf.len() < self.capacity
+    }
+
+    /// Whether the NPU has an unread entry available.
+    pub fn readable(&self) -> bool {
+        self.consumed < self.pushed()
+    }
+
+    /// Speculatively pushes a value (at `enq.d` execute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::FifoFull`] when at capacity.
+    pub fn push_spec(&mut self, value: f32) -> Result<(), NpuError> {
+        if !self.has_space() {
+            return Err(NpuError::FifoFull("input"));
+        }
+        self.buf.push_back(value);
+        Ok(())
+    }
+
+    /// Marks the oldest speculative entry committed (at `enq.d` commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no speculative entry to commit.
+    pub fn commit_push(&mut self) {
+        assert!(
+            self.committed < self.pushed(),
+            "commit without matching speculative push"
+        );
+        self.committed += 1;
+        self.try_free();
+    }
+
+    /// NPU-side: reads the next unconsumed entry, advancing the cursor.
+    pub fn read_next(&mut self) -> Option<f32> {
+        if self.readable() {
+            let idx = (self.consumed - self.freed) as usize;
+            let v = self.buf[idx];
+            self.consumed += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// NPU-side: declares that the invocation consuming the oldest `n`
+    /// read-but-unprocessed entries has completed, making them eligible
+    /// for recycling once committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of read entries.
+    pub fn mark_processed(&mut self, n: usize) {
+        assert!(
+            self.processed + n as u64 <= self.consumed,
+            "cannot process more entries than were read"
+        );
+        self.processed += n as u64;
+        self.try_free();
+    }
+
+    fn try_free(&mut self) {
+        let target = self.processed.min(self.committed);
+        while self.freed < target {
+            self.buf.pop_front();
+            self.freed += 1;
+        }
+    }
+
+    /// Misspeculation rollback: removes the youngest `n` (speculative)
+    /// entries. Returns how many of the removed entries the NPU had
+    /// already read (the caller resets in-flight state accordingly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if asked to squash committed entries.
+    pub fn squash_pushes(&mut self, n: usize) -> u64 {
+        assert!(
+            self.pushed() - self.committed >= n as u64,
+            "cannot squash committed entries"
+        );
+        let new_pushed = self.pushed() - n as u64;
+        let overrun = self.consumed.saturating_sub(new_pushed);
+        self.buf.truncate((new_pushed - self.freed) as usize);
+        self.consumed = self.consumed.min(new_pushed);
+        self.processed = self.processed.min(new_pushed);
+        overrun
+    }
+
+    /// Rewinds the read cursor to absolute position `to` (the start of a
+    /// reset invocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` points at already-freed or not-yet-pushed entries.
+    pub fn rewind_to(&mut self, to: u64) {
+        assert!(
+            to >= self.freed && to <= self.pushed(),
+            "rewind out of range"
+        );
+        self.consumed = to;
+    }
+
+    /// Entries pushed but not yet committed (speculative suffix length).
+    pub fn speculative_len(&self) -> usize {
+        (self.pushed() - self.committed) as usize
+    }
+}
+
+/// The NPU→CPU output FIFO with speculative-head semantics.
+#[derive(Debug, Clone)]
+pub struct OutputFifo {
+    buf: VecDeque<f32>,
+    /// Entries speculatively read by issued-but-uncommitted `deq.d`s.
+    spec_head: usize,
+    capacity: usize,
+}
+
+impl OutputFifo {
+    /// Creates an empty FIFO with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        OutputFifo {
+            buf: VecDeque::with_capacity(capacity),
+            spec_head: 0,
+            capacity,
+        }
+    }
+
+    /// Occupied entries (including speculatively read ones, which are
+    /// retained until their `deq.d` commits).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the FIFO holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the NPU can push another output.
+    pub fn has_space(&self) -> bool {
+        self.buf.len() < self.capacity
+    }
+
+    /// Whether a `deq.d` can issue (an unread entry exists).
+    pub fn available(&self) -> bool {
+        self.spec_head < self.buf.len()
+    }
+
+    /// NPU-side: appends a computed output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::FifoFull`] when at capacity.
+    pub fn push(&mut self, value: f32) -> Result<(), NpuError> {
+        if !self.has_space() {
+            return Err(NpuError::FifoFull("output"));
+        }
+        self.buf.push_back(value);
+        Ok(())
+    }
+
+    /// Speculatively reads the next entry (at `deq.d` issue): advances the
+    /// speculative head but preserves the value for possible replay.
+    pub fn pop_spec(&mut self) -> Option<f32> {
+        if self.available() {
+            let v = self.buf[self.spec_head];
+            self.spec_head += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Commits the oldest speculative read (at `deq.d` commit), actually
+    /// freeing the slot ("the non-speculative head pointer is only updated
+    /// when the instruction commits").
+    ///
+    /// # Panics
+    ///
+    /// Panics if no speculative read is outstanding.
+    pub fn commit_pop(&mut self) {
+        assert!(self.spec_head > 0, "commit_pop without speculative read");
+        self.buf.pop_front();
+        self.spec_head -= 1;
+    }
+
+    /// Misspeculation rollback: undoes the youngest `n` speculative reads
+    /// (restores the speculative head toward the non-speculative head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` speculative reads are outstanding.
+    pub fn squash_pops(&mut self, n: usize) {
+        assert!(n <= self.spec_head, "cannot squash committed pops");
+        self.spec_head -= n;
+    }
+
+    /// Removes the youngest `n` entries — outputs computed from inputs
+    /// that were invalidated by a squash ("adjusts the output FIFO tail
+    /// pointer to invalidate any outputs that are based on the invalidated
+    /// inputs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if that would remove speculatively read entries (run
+    /// [`squash_pops`](Self::squash_pops) first).
+    pub fn invalidate_tail(&mut self, n: usize) {
+        assert!(
+            n <= self.buf.len() - self.spec_head,
+            "invalidating entries that were already read"
+        );
+        self.buf.truncate(self.buf.len() - n);
+    }
+
+    /// Entries read speculatively but not yet committed.
+    pub fn speculative_reads(&self) -> usize {
+        self.spec_head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_fifo_basic_flow() {
+        let mut f = InputFifo::new(4);
+        f.push_spec(1.0).unwrap();
+        f.push_spec(2.0).unwrap();
+        assert_eq!(f.read_next(), Some(1.0));
+        assert_eq!(f.read_next(), Some(2.0));
+        assert_eq!(f.read_next(), None);
+        // Invocation done but nothing committed: entries stay.
+        f.mark_processed(2);
+        assert_eq!(f.len(), 2);
+        f.commit_push();
+        assert_eq!(f.len(), 1); // first freed
+        f.commit_push();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn input_fifo_commit_before_processing_frees_lazily() {
+        let mut f = InputFifo::new(4);
+        f.push_spec(1.0).unwrap();
+        f.commit_push();
+        assert_eq!(f.len(), 1); // committed but NPU hasn't finished with it
+        assert_eq!(f.read_next(), Some(1.0));
+        f.mark_processed(1);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn input_fifo_reports_full() {
+        let mut f = InputFifo::new(2);
+        f.push_spec(1.0).unwrap();
+        f.push_spec(2.0).unwrap();
+        assert_eq!(f.push_spec(3.0), Err(NpuError::FifoFull("input")));
+        assert!(!f.has_space());
+    }
+
+    #[test]
+    fn input_squash_of_unread_entries_is_clean() {
+        let mut f = InputFifo::new(8);
+        f.push_spec(1.0).unwrap();
+        f.push_spec(2.0).unwrap();
+        f.push_spec(3.0).unwrap();
+        f.commit_push();
+        assert_eq!(f.read_next(), Some(1.0));
+        // Squash the two speculative entries the NPU never read.
+        assert_eq!(f.squash_pushes(2), 0);
+        assert_eq!(f.len(), 1);
+        assert!(!f.readable());
+    }
+
+    #[test]
+    fn input_squash_of_read_entries_reports_overrun() {
+        let mut f = InputFifo::new(8);
+        for v in [1.0, 2.0, 3.0] {
+            f.push_spec(v).unwrap();
+        }
+        f.read_next();
+        f.read_next();
+        f.read_next();
+        let overrun = f.squash_pushes(2); // NPU had read all three
+        assert_eq!(overrun, 2);
+        f.rewind_to(0);
+        assert_eq!(f.read_next(), Some(1.0)); // re-reads surviving input
+    }
+
+    #[test]
+    fn absolute_counters_survive_freeing() {
+        let mut f = InputFifo::new(2);
+        for round in 0..5u32 {
+            f.push_spec(round as f32).unwrap();
+            f.commit_push();
+            assert_eq!(f.read_next(), Some(round as f32));
+            f.mark_processed(1);
+        }
+        assert_eq!(f.pushed(), 5);
+        assert_eq!(f.consumed(), 5);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot squash committed")]
+    fn input_squash_cannot_touch_committed() {
+        let mut f = InputFifo::new(8);
+        f.push_spec(1.0).unwrap();
+        f.commit_push();
+        f.squash_pushes(1);
+    }
+
+    #[test]
+    fn output_fifo_speculative_read_replay() {
+        let mut f = OutputFifo::new(4);
+        f.push(10.0).unwrap();
+        f.push(20.0).unwrap();
+        assert_eq!(f.pop_spec(), Some(10.0));
+        assert_eq!(f.pop_spec(), Some(20.0));
+        // Misspeculation: both dequeues squashed; values must replay.
+        f.squash_pops(2);
+        assert_eq!(f.pop_spec(), Some(10.0));
+        f.commit_pop();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop_spec(), Some(20.0));
+    }
+
+    #[test]
+    fn output_fifo_invalidate_tail_drops_unread() {
+        let mut f = OutputFifo::new(4);
+        f.push(1.0).unwrap();
+        f.push(2.0).unwrap();
+        f.push(3.0).unwrap();
+        assert_eq!(f.pop_spec(), Some(1.0));
+        f.invalidate_tail(2);
+        assert_eq!(f.len(), 1);
+        assert!(!f.available());
+    }
+
+    #[test]
+    #[should_panic(expected = "already read")]
+    fn output_invalidate_cannot_remove_read_entries() {
+        let mut f = OutputFifo::new(4);
+        f.push(1.0).unwrap();
+        f.pop_spec();
+        f.invalidate_tail(1);
+    }
+
+    #[test]
+    fn output_fifo_capacity() {
+        let mut f = OutputFifo::new(1);
+        f.push(1.0).unwrap();
+        assert_eq!(f.push(2.0), Err(NpuError::FifoFull("output")));
+    }
+}

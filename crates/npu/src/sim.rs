@@ -1,0 +1,907 @@
+//! The cycle-accurate NPU model.
+
+use crate::fifo::{InputFifo, OutputFifo};
+use crate::schedule::{BusDest, BusSource, NpuSchedule, Scheduler};
+use crate::{NpuConfig, NpuError, NpuParams, NpuStats};
+use ann::SigmoidLut;
+use std::collections::VecDeque;
+
+/// A sigmoid evaluation in flight inside a PE.
+#[derive(Debug, Clone, Copy)]
+struct PendingSigmoid {
+    layer: usize,
+    neuron: usize,
+    sum: f32,
+    ready_at: u64,
+}
+
+/// Per-PE execution state within one invocation.
+#[derive(Debug, Clone)]
+struct PeRun {
+    in_fifo: VecDeque<f32>,
+    task_idx: usize,
+    weight_idx: usize,
+    acc: f32,
+    pending: Option<PendingSigmoid>,
+}
+
+impl PeRun {
+    fn new() -> Self {
+        PeRun {
+            in_fifo: VecDeque::new(),
+            task_idx: 0,
+            weight_idx: 0,
+            acc: 0.0,
+            pending: None,
+        }
+    }
+}
+
+/// One in-flight network evaluation.
+#[derive(Debug, Clone)]
+struct Invocation {
+    bus_pc: usize,
+    /// Normalized inputs latched from the input FIFO (multi-round layers
+    /// re-read latched values instead of re-popping the FIFO).
+    latched_inputs: Vec<f32>,
+    /// Absolute input-FIFO position where this invocation started reading.
+    input_start: u64,
+    /// Raw FIFO entries consumed so far.
+    raw_reads: usize,
+    /// Computed neuron values per computing layer: `(value, ready_cycle)`.
+    layer_values: Vec<Vec<Option<(f32, u64)>>>,
+    outputs_pushed: usize,
+    pes: Vec<PeRun>,
+}
+
+/// A completed invocation whose inputs may still be speculative; kept so a
+/// later squash can invalidate its outputs.
+#[derive(Debug, Clone, Copy)]
+struct CompletedRecord {
+    /// Absolute input-FIFO position one past this invocation's last input.
+    input_end: u64,
+    /// Outputs it pushed.
+    outputs: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Configured {
+    config: NpuConfig,
+    schedule: NpuSchedule,
+    encoded: Vec<u32>,
+    inv: Option<Invocation>,
+    history: VecDeque<CompletedRecord>,
+}
+
+/// The cycle-accurate NPU: eight (configurable) PEs, a statically
+/// scheduled bus, a scaling unit, and the three CPU-facing FIFOs.
+///
+/// Drive it with [`tick`](Self::tick) (one cycle), feed it through the
+/// FIFO methods, and roll back misspeculation with [`squash`](Self::squash).
+/// The functional result of an invocation is bit-identical to
+/// [`NpuConfig::evaluate`] (accumulation order and LUT sigmoid match).
+#[derive(Debug)]
+pub struct NpuSim {
+    params: NpuParams,
+    lut: SigmoidLut,
+    state: Option<Configured>,
+    input_fifo: InputFifo,
+    output_fifo: OutputFifo,
+    /// Config words accumulated from `enq.c` until a full configuration
+    /// decodes.
+    cfg_accum: Vec<u32>,
+    /// Read position for `deq.c` context-switch readback.
+    readback_pos: usize,
+    cycle: u64,
+    stats: NpuStats,
+    /// xorshift64* state for deterministic fault injection.
+    fault_rng: u64,
+}
+
+impl NpuSim {
+    /// Creates an unconfigured NPU.
+    pub fn new(params: NpuParams) -> Self {
+        let lut = SigmoidLut::new(params.sigmoid_lut.max(2), 8.0);
+        NpuSim {
+            input_fifo: InputFifo::new(params.input_fifo),
+            output_fifo: OutputFifo::new(params.output_fifo),
+            lut,
+            state: None,
+            cfg_accum: Vec::new(),
+            readback_pos: 0,
+            cycle: 0,
+            stats: NpuStats::default(),
+            fault_rng: params.fault_seed | 1,
+            params,
+        }
+    }
+
+    /// The hardware parameters.
+    pub fn params(&self) -> &NpuParams {
+        &self.params
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated event statistics.
+    pub fn stats(&self) -> &NpuStats {
+        &self.stats
+    }
+
+    /// Whether a configuration is loaded.
+    pub fn configured(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Whether an invocation is in flight.
+    pub fn busy(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.inv.is_some()) || self.input_fifo.readable()
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration path
+    // ------------------------------------------------------------------
+
+    /// Loads a configuration directly (the compiler-side shortcut; the ISA
+    /// path is [`enq_config_word`](Self::enq_config_word)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a scheduling error if the network does not fit the hardware.
+    pub fn configure(&mut self, config: &NpuConfig) -> Result<(), NpuError> {
+        let schedule = Scheduler::new(self.params.clone()).schedule(config)?;
+        let encoded = config.encode();
+        self.stats.config_words += encoded.len() as u64;
+        self.state = Some(Configured {
+            config: config.clone(),
+            schedule,
+            encoded,
+            inv: None,
+            history: VecDeque::new(),
+        });
+        self.readback_pos = 0;
+        Ok(())
+    }
+
+    /// Absorbs one configuration word from `enq.c`. When the accumulated
+    /// stream forms a complete configuration, the NPU reconfigures itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::InvalidConfig`] as soon as the stream is
+    /// provably malformed, or a capacity error once complete.
+    pub fn enq_config_word(&mut self, word: u32) -> Result<(), NpuError> {
+        self.cfg_accum.push(word);
+        self.stats.config_words += 1;
+        if let Some(expected) = Self::expected_config_len(&self.cfg_accum)? {
+            if self.cfg_accum.len() == expected {
+                let words = std::mem::take(&mut self.cfg_accum);
+                let config = NpuConfig::decode(&words)?;
+                let schedule = Scheduler::new(self.params.clone()).schedule(&config)?;
+                self.state = Some(Configured {
+                    config,
+                    schedule,
+                    encoded: words,
+                    inv: None,
+                    history: VecDeque::new(),
+                });
+                self.readback_pos = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total words of a configuration stream once its header is visible.
+    fn expected_config_len(words: &[u32]) -> Result<Option<usize>, NpuError> {
+        if words.is_empty() {
+            return Ok(None);
+        }
+        if words[0] != 0x4E50_5531 {
+            return Err(NpuError::InvalidConfig("bad magic word".into()));
+        }
+        if words.len() < 2 {
+            return Ok(None);
+        }
+        let n_layers = words[1] as usize;
+        if !(2..=16).contains(&n_layers) {
+            return Err(NpuError::InvalidConfig(format!(
+                "layer count {n_layers} out of range"
+            )));
+        }
+        if words.len() < 2 + n_layers {
+            return Ok(None);
+        }
+        let layers: Vec<usize> = words[2..2 + n_layers].iter().map(|&w| w as usize).collect();
+        if layers.iter().any(|&n| n == 0 || n > 4096) {
+            return Err(NpuError::InvalidConfig("layer size out of range".into()));
+        }
+        let weights: usize = layers.windows(2).map(|w| (w[0] + 1) * w[1]).sum();
+        let ranges = 2 * (layers[0] + layers[n_layers - 1]);
+        Ok(Some(2 + n_layers + ranges + weights))
+    }
+
+    /// Reads back one configuration word (`deq.c`), used by the OS to save
+    /// NPU state on a context switch. Words stream out in the same order
+    /// `enq.c` would write them; after the full configuration is read the
+    /// position wraps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::NotConfigured`] when nothing is loaded.
+    pub fn deq_config_word(&mut self) -> Result<u32, NpuError> {
+        let state = self.state.as_ref().ok_or(NpuError::NotConfigured)?;
+        let word = state.encoded[self.readback_pos];
+        self.readback_pos = (self.readback_pos + 1) % state.encoded.len();
+        Ok(word)
+    }
+
+    /// Number of words [`deq_config_word`](Self::deq_config_word) yields
+    /// per full readback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::NotConfigured`] when nothing is loaded.
+    pub fn config_len(&self) -> Result<usize, NpuError> {
+        self.state
+            .as_ref()
+            .map(|s| s.encoded.len())
+            .ok_or(NpuError::NotConfigured)
+    }
+
+    /// The loaded configuration, if any.
+    pub fn current_config(&self) -> Option<&NpuConfig> {
+        self.state.as_ref().map(|s| &s.config)
+    }
+
+    /// The compiled schedule, if configured.
+    pub fn schedule(&self) -> Option<&NpuSchedule> {
+        self.state.as_ref().map(|s| &s.schedule)
+    }
+
+    // ------------------------------------------------------------------
+    // Data path (CPU side)
+    // ------------------------------------------------------------------
+
+    /// Whether an `enq.d` can execute (input FIFO not full).
+    pub fn input_has_space(&self) -> bool {
+        self.input_fifo.has_space()
+    }
+
+    /// Current input FIFO occupancy (issue logic accounts values still in
+    /// flight on the CPU→NPU link against the remaining space).
+    pub fn input_fifo_len(&self) -> usize {
+        self.input_fifo.len()
+    }
+
+    /// Input FIFO capacity.
+    pub fn input_fifo_capacity(&self) -> usize {
+        self.params.input_fifo
+    }
+
+    /// Current output FIFO occupancy.
+    pub fn output_fifo_len(&self) -> usize {
+        self.output_fifo.len()
+    }
+
+    /// Speculatively enqueues an input value (at `enq.d` execute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full — the issue logic must check
+    /// [`input_has_space`](Self::input_has_space) first.
+    pub fn enqueue_input(&mut self, value: f32) {
+        self.input_fifo
+            .push_spec(value)
+            .expect("enq.d issued with full input fifo");
+    }
+
+    /// Notifies the NPU that `n` `enq.d` instructions committed.
+    pub fn commit_inputs(&mut self, n: usize) {
+        for _ in 0..n {
+            self.input_fifo.commit_push();
+        }
+        self.retire_history();
+    }
+
+    /// Whether a `deq.d` can execute (an unread output exists).
+    pub fn output_available(&self) -> bool {
+        self.output_fifo.available()
+    }
+
+    /// Speculatively dequeues an output (at `deq.d` issue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output is available — check
+    /// [`output_available`](Self::output_available) first.
+    pub fn dequeue_output(&mut self) -> f32 {
+        self.output_fifo
+            .pop_spec()
+            .expect("deq.d issued with empty output fifo")
+    }
+
+    /// Notifies the NPU that `n` `deq.d` instructions committed.
+    pub fn commit_outputs(&mut self, n: usize) {
+        for _ in 0..n {
+            self.output_fifo.commit_pop();
+        }
+    }
+
+    /// Misspeculation rollback (paper Section 5.2): the core reports how
+    /// many speculative `enq.d` and `deq.d` instructions were squashed.
+    /// The NPU adjusts the input tail, restores the output FIFO's
+    /// speculative head, resets any invocation that consumed invalidated
+    /// inputs, and invalidates outputs derived from them.
+    pub fn squash(&mut self, n_enq: usize, n_deq: usize) {
+        self.output_fifo.squash_pops(n_deq);
+        let overrun = self.input_fifo.squash_pushes(n_enq);
+        if overrun == 0 {
+            return;
+        }
+        let new_pushed = self.input_fifo.pushed();
+        if let Some(state) = &mut self.state {
+            // Invalidate completed speculative invocations that lost inputs,
+            // youngest first.
+            while let Some(rec) = state.history.back() {
+                if rec.input_end > new_pushed {
+                    self.output_fifo.invalidate_tail(rec.outputs);
+                    self.stats.squashed_invocations += 1;
+                    state.history.pop_back();
+                } else {
+                    break;
+                }
+            }
+            // Reset the in-flight invocation if it read invalidated inputs.
+            if let Some(inv) = &state.inv {
+                let inv_end = inv.input_start + inv.raw_reads as u64;
+                if inv_end > new_pushed {
+                    self.output_fifo.invalidate_tail(inv.outputs_pushed);
+                    self.input_fifo.rewind_to(inv.input_start);
+                    self.stats.squashed_invocations += 1;
+                    state.inv = None;
+                }
+            }
+        }
+    }
+
+    fn retire_history(&mut self) {
+        let committed = self.input_fifo.committed();
+        if let Some(state) = &mut self.state {
+            while let Some(rec) = state.history.front() {
+                if rec.input_end <= committed {
+                    state.history.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle model
+    // ------------------------------------------------------------------
+
+    /// Advances the NPU by one cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.stats.total_cycles += 1;
+        let Some(state) = &mut self.state else {
+            return;
+        };
+        // Start a new invocation when input data arrives.
+        if state.inv.is_none() && self.input_fifo.readable() {
+            let n_pes = state.schedule.n_pes;
+            state.inv = Some(Invocation {
+                bus_pc: 0,
+                latched_inputs: Vec::new(),
+                input_start: self.input_fifo.consumed(),
+                raw_reads: 0,
+                layer_values: state.schedule.layer_sizes[1..]
+                    .iter()
+                    .map(|&n| vec![None; n])
+                    .collect(),
+                outputs_pushed: 0,
+                pes: (0..n_pes).map(|_| PeRun::new()).collect(),
+            });
+        }
+        let Some(inv) = &mut state.inv else {
+            return;
+        };
+        self.stats.active_cycles += 1;
+        let now = self.cycle;
+
+        // --- PE phase: resolve sigmoid results, then one MAC per PE. ---
+        for (pe_idx, pe) in inv.pes.iter_mut().enumerate() {
+            if let Some(p) = pe.pending {
+                if p.ready_at <= now {
+                    let y = self.lut.eval(p.sum);
+                    inv.layer_values[p.layer][p.neuron] = Some((y, now));
+                    self.stats.sigmoids += 1;
+                    pe.pending = None;
+                }
+            }
+            let tasks = &state.schedule.pe_tasks[pe_idx];
+            if pe.task_idx < tasks.len() {
+                let task = &tasks[pe.task_idx];
+                let completing = pe.weight_idx + 1 == task.weights.len();
+                // The single sigmoid unit must be free to accept a new sum.
+                let blocked = completing && pe.pending.is_some();
+                if !blocked {
+                    if let Some(x) = pe.in_fifo.front().copied() {
+                        if pe.weight_idx == 0 {
+                            pe.acc = task.bias;
+                        }
+                        pe.in_fifo.pop_front();
+                        let mut w = task.weights[pe.weight_idx];
+                        let rate = self.params.weight_fault_rate;
+                        if rate > 0.0 {
+                            // xorshift64*: deterministic, dependency-free.
+                            self.fault_rng ^= self.fault_rng << 13;
+                            self.fault_rng ^= self.fault_rng >> 7;
+                            self.fault_rng ^= self.fault_rng << 17;
+                            let draw = (self.fault_rng >> 11) as f64 / (1u64 << 53) as f64;
+                            if draw < rate {
+                                let bit = (self.fault_rng % 32) as u32;
+                                w = f32::from_bits(w.to_bits() ^ (1 << bit));
+                                self.stats.faults_injected += 1;
+                            }
+                        }
+                        pe.acc += w * x;
+                        pe.weight_idx += 1;
+                        self.stats.macs += 1;
+                        self.stats.weight_reads += 1;
+                        if pe.weight_idx == task.weights.len() {
+                            pe.pending = Some(PendingSigmoid {
+                                layer: task.layer,
+                                neuron: task.neuron,
+                                sum: pe.acc,
+                                ready_at: now + 1,
+                            });
+                            pe.task_idx += 1;
+                            pe.weight_idx = 0;
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Bus phase: at most one scheduled transfer per cycle. ---
+        if inv.bus_pc < state.schedule.entries.len() {
+            let entry = state.schedule.entries[inv.bus_pc];
+            // Destination readiness first (so we never consume a source
+            // value and then stall).
+            let dest_ready = match entry.dest {
+                BusDest::Pes(mask) => (0..state.schedule.n_pes).all(|pe| {
+                    mask & (1 << pe) == 0 || inv.pes[pe].in_fifo.len() < self.params.pe_input_fifo
+                }),
+                BusDest::OutputFifo => self.output_fifo.has_space(),
+            };
+            if dest_ready {
+                let value = match entry.src {
+                    BusSource::InputFifo { index } => {
+                        if index < inv.latched_inputs.len() {
+                            Some(inv.latched_inputs[index])
+                        } else if let Some(raw) = self.input_fifo.read_next() {
+                            debug_assert_eq!(index, inv.latched_inputs.len());
+                            let norm = state.config.input_norm().normalize_one(index, raw);
+                            inv.latched_inputs.push(norm);
+                            inv.raw_reads += 1;
+                            self.stats.input_reads += 1;
+                            Some(norm)
+                        } else {
+                            None
+                        }
+                    }
+                    BusSource::Neuron { layer, index } => inv.layer_values[layer][index]
+                        .filter(|&(_, at)| at <= now)
+                        .map(|(v, _)| v),
+                };
+                if let Some(v) = value {
+                    match entry.dest {
+                        BusDest::Pes(mask) => {
+                            for pe in 0..state.schedule.n_pes {
+                                if mask & (1 << pe) != 0 {
+                                    inv.pes[pe].in_fifo.push_back(v);
+                                }
+                            }
+                        }
+                        BusDest::OutputFifo => {
+                            let denorm = state
+                                .config
+                                .output_norm()
+                                .denormalize_one(inv.outputs_pushed, v);
+                            self.output_fifo.push(denorm).expect("space checked above");
+                            inv.outputs_pushed += 1;
+                            self.stats.outputs_produced += 1;
+                        }
+                    }
+                    inv.bus_pc += 1;
+                    self.stats.bus_transfers += 1;
+                }
+            }
+        }
+
+        // --- Completion. ---
+        let done = inv.bus_pc == state.schedule.entries.len()
+            && inv.pes.iter().enumerate().all(|(i, pe)| {
+                pe.task_idx == state.schedule.pe_tasks[i].len() && pe.pending.is_none()
+            });
+        if done {
+            let raw_reads = inv.raw_reads;
+            let outputs = inv.outputs_pushed;
+            let input_end = inv.input_start + raw_reads as u64;
+            state.inv = None;
+            state
+                .history
+                .push_back(CompletedRecord { input_end, outputs });
+            self.input_fifo.mark_processed(raw_reads);
+            self.stats.invocations += 1;
+            self.retire_history();
+        }
+    }
+
+    /// Runs until the NPU is idle (no in-flight invocation and no readable
+    /// input). Useful for functional evaluation and latency measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the NPU makes no progress for a long time (e.g. the
+    /// output FIFO is full and nobody drains it).
+    pub fn run_until_idle(&mut self) {
+        let mut stall = 0u32;
+        while self.busy() {
+            let before = (self.stats.bus_transfers, self.stats.macs);
+            self.tick();
+            if (self.stats.bus_transfers, self.stats.macs) == before {
+                stall += 1;
+                assert!(stall < 1_000_000, "npu deadlock: no progress");
+            } else {
+                stall = 0;
+            }
+        }
+    }
+
+    /// Runs until at least one output is available, then speculatively
+    /// dequeues and commits it. Returns `None` if the NPU goes idle
+    /// without producing output.
+    pub fn run_until_output(&mut self) -> Option<f32> {
+        let mut stall = 0u32;
+        while !self.output_fifo.available() {
+            if !self.busy() {
+                return None;
+            }
+            let before = self.stats.bus_transfers;
+            self.tick();
+            if self.stats.bus_transfers == before {
+                stall += 1;
+                if stall > 1_000_000 {
+                    return None;
+                }
+            } else {
+                stall = 0;
+            }
+        }
+        let v = self.output_fifo.pop_spec();
+        if v.is_some() {
+            self.output_fifo.commit_pop();
+        }
+        v
+    }
+
+    /// Convenience: evaluates one full invocation functionally (enqueue all
+    /// inputs committed, run, collect all outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::NotConfigured`] when no configuration is loaded.
+    pub fn evaluate_invocation(&mut self, inputs: &[f32]) -> Result<Vec<f32>, NpuError> {
+        let n_out = self
+            .state
+            .as_ref()
+            .ok_or(NpuError::NotConfigured)?
+            .config
+            .topology()
+            .outputs();
+        for &v in inputs {
+            self.enqueue_input(v);
+        }
+        self.commit_inputs(inputs.len());
+        let mut out = Vec::with_capacity(n_out);
+        for _ in 0..n_out {
+            match self.run_until_output() {
+                Some(v) => out.push(v),
+                None => return Err(NpuError::FifoEmpty("output")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann::{Mlp, Normalizer, Topology};
+
+    fn config_for(layers: Vec<usize>, seed: u64) -> NpuConfig {
+        let t = Topology::new(layers).unwrap();
+        let (i, o) = (t.inputs(), t.outputs());
+        NpuConfig::new(
+            Mlp::seeded(t, seed),
+            Normalizer::identity(i),
+            Normalizer::identity(o),
+        )
+    }
+
+    #[test]
+    fn sim_matches_functional_evaluation() {
+        for layers in [
+            vec![2, 4, 1],
+            vec![9, 8, 1],
+            vec![3, 8, 4, 2],
+            vec![6, 8, 4, 1],
+        ] {
+            let config = config_for(layers.clone(), 9);
+            let mut sim = NpuSim::new(NpuParams::default());
+            sim.configure(&config).unwrap();
+            let inputs: Vec<f32> = (0..config.topology().inputs())
+                .map(|i| (i as f32 * 0.17) % 1.0)
+                .collect();
+            let got = sim.evaluate_invocation(&inputs).unwrap();
+            let want = config.evaluate(&inputs);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-6, "{layers:?}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_invocations_work() {
+        let config = config_for(vec![2, 4, 1], 3);
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        for k in 0..5 {
+            let inputs = [0.1 * k as f32, 0.9 - 0.1 * k as f32];
+            let got = sim.evaluate_invocation(&inputs).unwrap();
+            let want = config.evaluate(&inputs);
+            assert!((got[0] - want[0]).abs() < 1e-6);
+        }
+        assert_eq!(sim.stats().invocations, 5);
+    }
+
+    #[test]
+    fn config_word_stream_configures() {
+        let config = config_for(vec![2, 2, 1], 5);
+        let mut sim = NpuSim::new(NpuParams::default());
+        for w in config.encode() {
+            sim.enq_config_word(w).unwrap();
+        }
+        assert!(sim.configured());
+        let got = sim.evaluate_invocation(&[0.5, 0.25]).unwrap();
+        let want = config.evaluate(&[0.5, 0.25]);
+        assert!((got[0] - want[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn config_readback_round_trips() {
+        let config = config_for(vec![3, 4, 2], 8);
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        // OS context-switch save: deq.c the whole configuration…
+        let n = sim.config_len().unwrap();
+        let words: Vec<u32> = (0..n).map(|_| sim.deq_config_word().unwrap()).collect();
+        // …and restore it into a different NPU.
+        let mut other = NpuSim::new(NpuParams::default());
+        for w in words {
+            other.enq_config_word(w).unwrap();
+        }
+        assert_eq!(other.current_config(), Some(&config));
+    }
+
+    #[test]
+    fn bad_config_stream_is_rejected_early() {
+        let mut sim = NpuSim::new(NpuParams::default());
+        assert!(matches!(
+            sim.enq_config_word(0x1234_5678),
+            Err(NpuError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn normalization_applied_in_hardware_path() {
+        let t = Topology::new(vec![1, 2, 1]).unwrap();
+        let config = NpuConfig::new(
+            Mlp::seeded(t, 4),
+            Normalizer::new(vec![(0.0, 10.0)]),
+            Normalizer::new(vec![(100.0, 200.0)]),
+        );
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        let got = sim.evaluate_invocation(&[7.0]).unwrap();
+        let want = config.evaluate(&[7.0]);
+        assert!((got[0] - want[0]).abs() < 1e-4);
+        assert!(got[0] >= 100.0 && got[0] <= 200.0);
+    }
+
+    #[test]
+    fn squash_of_unread_inputs_is_invisible() {
+        let config = config_for(vec![2, 2, 1], 6);
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        // Complete a clean invocation first.
+        let clean = sim.evaluate_invocation(&[0.2, 0.8]).unwrap();
+        // Speculatively push garbage, then squash before the NPU runs.
+        sim.enqueue_input(9.9);
+        sim.squash(1, 0);
+        // A fresh committed invocation still computes correctly.
+        let again = sim.evaluate_invocation(&[0.2, 0.8]).unwrap();
+        assert_eq!(clean, again);
+    }
+
+    #[test]
+    fn squash_mid_invocation_resets_and_replays() {
+        let config = config_for(vec![2, 2, 1], 6);
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        // Commit the first input, speculate the second.
+        sim.enqueue_input(0.3);
+        sim.commit_inputs(1);
+        sim.enqueue_input(0.7);
+        // Let the NPU consume both inputs.
+        for _ in 0..4 {
+            sim.tick();
+        }
+        // Misspeculation: the second enq.d is squashed.
+        sim.squash(1, 0);
+        assert_eq!(sim.stats().squashed_invocations, 1);
+        // The correct-path value arrives and commits.
+        sim.enqueue_input(0.4);
+        sim.commit_inputs(1);
+        let mut out = Vec::new();
+        while out.is_empty() {
+            if let Some(v) = sim.run_until_output() {
+                out.push(v);
+            }
+        }
+        let want = config.evaluate(&[0.3, 0.4]);
+        assert!((out[0] - want[0]).abs() < 1e-6, "{} vs {}", out[0], want[0]);
+    }
+
+    #[test]
+    fn squash_after_speculative_completion_invalidates_outputs() {
+        let config = config_for(vec![2, 2, 1], 6);
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        // Entire invocation runs on speculative inputs.
+        sim.enqueue_input(0.5);
+        sim.enqueue_input(0.5);
+        sim.run_until_idle();
+        assert!(sim.output_available());
+        // Both enq.d squashed: the output must disappear.
+        sim.squash(2, 0);
+        assert!(!sim.output_available());
+        // Correct path proceeds normally.
+        let got = sim.evaluate_invocation(&[0.1, 0.9]).unwrap();
+        let want = config.evaluate(&[0.1, 0.9]);
+        assert!((got[0] - want[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speculative_output_read_replay_via_squash() {
+        let config = config_for(vec![1, 2, 2], 2);
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        sim.enqueue_input(0.5);
+        sim.commit_inputs(1);
+        sim.run_until_idle();
+        let first = sim.dequeue_output();
+        let second = sim.dequeue_output();
+        // Both deq.d squashed (e.g. older branch mispredicted).
+        sim.squash(0, 2);
+        assert_eq!(sim.dequeue_output(), first);
+        assert_eq!(sim.dequeue_output(), second);
+        sim.commit_outputs(2);
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let config = config_for(vec![9, 8, 1], 1);
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        let inputs = [0.1; 9];
+        sim.evaluate_invocation(&inputs).unwrap();
+        let s = sim.stats();
+        assert_eq!(s.macs, (9 * 8 + 8) as u64);
+        assert_eq!(s.sigmoids, 9);
+        assert_eq!(s.bus_transfers, (9 + 8 + 1) as u64);
+        assert_eq!(s.input_reads, 9);
+        assert_eq!(s.outputs_produced, 1);
+        assert_eq!(s.invocations, 1);
+    }
+
+    #[test]
+    fn unconfigured_npu_reports_errors() {
+        let mut sim = NpuSim::new(NpuParams::default());
+        assert!(matches!(sim.config_len(), Err(NpuError::NotConfigured)));
+        assert!(matches!(
+            sim.deq_config_word(),
+            Err(NpuError::NotConfigured)
+        ));
+        assert!(matches!(
+            sim.evaluate_invocation(&[1.0]),
+            Err(NpuError::NotConfigured)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use ann::{Mlp, Normalizer, Topology};
+
+    fn config() -> NpuConfig {
+        let t = Topology::new(vec![4, 8, 2]).unwrap();
+        NpuConfig::new(
+            Mlp::seeded(t, 11),
+            Normalizer::identity(4),
+            Normalizer::identity(2),
+        )
+    }
+
+    #[test]
+    fn zero_fault_rate_injects_nothing() {
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config()).unwrap();
+        sim.evaluate_invocation(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(sim.stats().faults_injected, 0);
+    }
+
+    #[test]
+    fn full_fault_rate_corrupts_every_weight_read() {
+        let mut sim = NpuSim::new(NpuParams::default().with_fault_rate(1.0));
+        sim.configure(&config()).unwrap();
+        sim.evaluate_invocation(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        let s = sim.stats();
+        assert_eq!(s.faults_injected, s.macs);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = |seed: u64| {
+            let params = NpuParams {
+                fault_seed: seed,
+                ..NpuParams::default().with_fault_rate(0.05)
+            };
+            let mut sim = NpuSim::new(params);
+            sim.configure(&config()).unwrap();
+            sim.evaluate_invocation(&[0.1, 0.2, 0.3, 0.4]).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn rare_faults_leave_most_invocations_intact() {
+        // The paper's related work (Temam) argues hardware neural networks
+        // degrade gracefully under defects; with a low fault rate most
+        // outputs stay close to the fault-free values.
+        let cfg = config();
+        let mut clean = NpuSim::new(NpuParams::default());
+        clean.configure(&cfg).unwrap();
+        let mut faulty = NpuSim::new(NpuParams::default().with_fault_rate(0.001));
+        faulty.configure(&cfg).unwrap();
+        let mut close = 0;
+        let n = 100;
+        for k in 0..n {
+            let x = [0.01 * k as f32, 0.5, 1.0 - 0.01 * k as f32, 0.25];
+            let a = clean.evaluate_invocation(&x).unwrap();
+            let b = faulty.evaluate_invocation(&x).unwrap();
+            if a.iter().zip(&b).all(|(p, q)| (p - q).abs() < 0.05) {
+                close += 1;
+            }
+        }
+        assert!(close >= 85, "only {close}/{n} invocations unaffected");
+    }
+}

@@ -1,0 +1,77 @@
+//! Event statistics the energy model consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of energy-relevant NPU events.
+///
+/// One record accumulates over a simulation; the `energy` crate prices each
+/// event class (MAC, weight-buffer read, bus transfer, FIFO traffic,
+/// sigmoid LUT lookup) at 45 nm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NpuStats {
+    /// Multiply-accumulate operations executed.
+    pub macs: u64,
+    /// Sigmoid LUT evaluations.
+    pub sigmoids: u64,
+    /// Weight-buffer reads (one per MAC).
+    pub weight_reads: u64,
+    /// Bus transfers performed.
+    pub bus_transfers: u64,
+    /// Values read from the CPU-facing input FIFO (scaling-unit passes).
+    pub input_reads: u64,
+    /// Values pushed to the CPU-facing output FIFO (scaling-unit passes).
+    pub outputs_produced: u64,
+    /// Configuration words absorbed.
+    pub config_words: u64,
+    /// Completed invocations.
+    pub invocations: u64,
+    /// Invocations reset by misspeculation squashes.
+    pub squashed_invocations: u64,
+    /// Weight reads corrupted by injected faults (defect modelling).
+    pub faults_injected: u64,
+    /// Cycles with an invocation in flight.
+    pub active_cycles: u64,
+    /// Total cycles simulated.
+    pub total_cycles: u64,
+}
+
+impl NpuStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &NpuStats) {
+        self.macs += other.macs;
+        self.sigmoids += other.sigmoids;
+        self.weight_reads += other.weight_reads;
+        self.bus_transfers += other.bus_transfers;
+        self.input_reads += other.input_reads;
+        self.outputs_produced += other.outputs_produced;
+        self.config_words += other.config_words;
+        self.invocations += other.invocations;
+        self.squashed_invocations += other.squashed_invocations;
+        self.faults_injected += other.faults_injected;
+        self.active_cycles += other.active_cycles;
+        self.total_cycles += other.total_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = NpuStats {
+            macs: 5,
+            invocations: 1,
+            ..NpuStats::default()
+        };
+        let b = NpuStats {
+            macs: 7,
+            sigmoids: 3,
+            ..NpuStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.macs, 12);
+        assert_eq!(a.sigmoids, 3);
+        assert_eq!(a.invocations, 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests: the cycle-accurate NPU is functionally
+//! equivalent to the reference MLP evaluation, the static scheduler
+//! conserves work, and the speculative FIFOs never corrupt committed
+//! state.
+
+use ann::{Mlp, Normalizer, Topology};
+use npu::{BusDest, BusSource, InputFifo, NpuConfig, NpuParams, NpuSim, OutputFifo, Scheduler};
+use proptest::prelude::*;
+
+fn schedulable_topology() -> impl Strategy<Value = Topology> {
+    (
+        1usize..12,
+        proptest::collection::vec(1usize..17, 1..3),
+        1usize..8,
+    )
+        .prop_map(|(inputs, hidden, outputs)| {
+            let mut layers = vec![inputs];
+            layers.extend(hidden);
+            layers.push(outputs);
+            Topology::new(layers).expect("nonzero layers")
+        })
+}
+
+fn config_for(topology: Topology, seed: u64) -> NpuConfig {
+    let (i, o) = (topology.inputs(), topology.outputs());
+    NpuConfig::new(
+        Mlp::seeded(topology, seed),
+        Normalizer::identity(i),
+        Normalizer::identity(o),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hardware model computes exactly what `NpuConfig::evaluate`
+    /// specifies, for arbitrary schedulable networks and inputs.
+    #[test]
+    fn sim_equals_reference(
+        topology in schedulable_topology(),
+        seed in 0u64..1000,
+        input_seed in 0u64..1000,
+    ) {
+        let config = config_for(topology.clone(), seed);
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        let inputs: Vec<f32> = (0..topology.inputs())
+            .map(|i| (((input_seed + i as u64) * 2654435761) % 1000) as f32 / 1000.0)
+            .collect();
+        let got = sim.evaluate_invocation(&inputs).unwrap();
+        let want = config.evaluate(&inputs);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
+    }
+
+    /// The scheduler assigns every neuron exactly once, keeps masks
+    /// within the PE count, and ends with the output drain in order.
+    #[test]
+    fn scheduler_conserves_work(
+        topology in schedulable_topology(),
+        n_pes in 1usize..12,
+    ) {
+        let config = config_for(topology.clone(), 3);
+        let params = NpuParams::with_pes(n_pes).unbounded();
+        let schedule = Scheduler::new(params).schedule(&config).unwrap();
+        // Total MACs = weights (minus biases, which seed accumulators).
+        let macs: usize = schedule
+            .pe_tasks
+            .iter()
+            .flatten()
+            .map(|t| t.weights.len())
+            .sum();
+        let biases: usize = schedule.pe_tasks.iter().flatten().count();
+        prop_assert_eq!(macs + biases, topology.weight_count());
+        prop_assert_eq!(biases, topology.computing_neurons());
+        // Masks never address PEs beyond the configured count.
+        for entry in &schedule.entries {
+            if let BusDest::Pes(mask) = entry.dest {
+                prop_assert_eq!(mask >> n_pes, 0, "mask {:b} exceeds {} PEs", mask, n_pes);
+            }
+        }
+        // The final entries drain outputs 0..n in order.
+        let drains: Vec<usize> = schedule
+            .entries
+            .iter()
+            .filter_map(|e| match (e.src, e.dest) {
+                (BusSource::Neuron { index, .. }, BusDest::OutputFifo) => Some(index),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<usize> = (0..topology.outputs()).collect();
+        prop_assert_eq!(drains, expected);
+    }
+
+    /// Config wire encoding round-trips for arbitrary networks.
+    #[test]
+    fn config_encoding_round_trips(topology in schedulable_topology(), seed in 0u64..1000) {
+        let config = config_for(topology, seed);
+        let decoded = NpuConfig::decode(&config.encode()).unwrap();
+        prop_assert_eq!(decoded, config);
+    }
+
+    /// Input FIFO: any sequence of push/commit/read with a final squash of
+    /// the speculative suffix leaves committed data intact and re-readable.
+    #[test]
+    fn input_fifo_squash_preserves_committed(
+        values in proptest::collection::vec(-100.0f32..100.0, 1..20),
+        n_commit in 0usize..20,
+        n_read in 0usize..20,
+    ) {
+        let mut fifo = InputFifo::new(32);
+        for &v in &values {
+            fifo.push_spec(v).unwrap();
+        }
+        let n_commit = n_commit.min(values.len());
+        for _ in 0..n_commit {
+            fifo.commit_push();
+        }
+        let n_read = n_read.min(values.len());
+        for _ in 0..n_read {
+            fifo.read_next();
+        }
+        // Squash the whole speculative suffix.
+        let squashed = values.len() - n_commit;
+        let overrun = fifo.squash_pushes(squashed);
+        prop_assert_eq!(overrun as usize, n_read.saturating_sub(n_commit));
+        // Rewind and re-read: the committed prefix must be intact.
+        fifo.rewind_to(0);
+        for &expected in values.iter().take(n_commit) {
+            prop_assert_eq!(fifo.read_next(), Some(expected));
+        }
+        prop_assert_eq!(fifo.read_next(), None);
+    }
+
+    /// Output FIFO: speculative pops always replay identically after a
+    /// squash, regardless of interleaving.
+    #[test]
+    fn output_fifo_replay_is_exact(
+        values in proptest::collection::vec(-100.0f32..100.0, 1..16),
+        n_pop in 1usize..16,
+    ) {
+        let mut fifo = OutputFifo::new(32);
+        for &v in &values {
+            fifo.push(v).unwrap();
+        }
+        let n_pop = n_pop.min(values.len());
+        let first: Vec<f32> = (0..n_pop).map(|_| fifo.pop_spec().unwrap()).collect();
+        fifo.squash_pops(n_pop);
+        let second: Vec<f32> = (0..n_pop).map(|_| fifo.pop_spec().unwrap()).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Back-to-back invocations through one sim stay equivalent to the
+    /// reference — no state leaks between invocations.
+    #[test]
+    fn repeated_invocations_are_independent(
+        topology in schedulable_topology(),
+        seed in 0u64..200,
+    ) {
+        let config = config_for(topology.clone(), seed);
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        for round in 0..3u64 {
+            let inputs: Vec<f32> = (0..topology.inputs())
+                .map(|i| ((round * 13 + i as u64 * 7) % 100) as f32 / 100.0)
+                .collect();
+            let got = sim.evaluate_invocation(&inputs).unwrap();
+            let want = config.evaluate(&inputs);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-5);
+            }
+        }
+    }
+}

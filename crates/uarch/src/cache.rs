@@ -1,0 +1,219 @@
+//! Set-associative LRU cache models and the two-level hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Tags only — no data storage; the simulator needs hit/miss decisions and
+/// access counts, not contents.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    config: CacheConfig,
+    /// `sets[set]` holds up to `ways` tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    line_shift: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two set count.
+    pub fn new(config: CacheConfig) -> Self {
+        let n_lines = config.size_bytes / config.line_bytes;
+        let n_sets = n_lines / config.ways;
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(config.line_bytes.is_power_of_two());
+        CacheModel {
+            sets: vec![Vec::with_capacity(config.ways); n_sets],
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (n_sets - 1) as u64,
+            hits: 0,
+            misses: 0,
+            config,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses `addr`; returns `true` on hit. Allocates on miss
+    /// (write-allocate for stores too).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.push(t);
+            self.hits += 1;
+            true
+        } else {
+            if ways.len() == self.config.ways {
+                ways.remove(0);
+            }
+            ways.push(tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// The L1D → L2 → memory hierarchy the core's loads and stores traverse.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1d: CacheModel,
+    l2: CacheModel,
+    mem_latency: u64,
+    mem_accesses: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from per-level configs.
+    pub fn new(l1d: CacheConfig, l2: CacheConfig, mem_latency: u64) -> Self {
+        MemoryHierarchy {
+            l1d: CacheModel::new(l1d),
+            l2: CacheModel::new(l2),
+            mem_latency,
+            mem_accesses: 0,
+        }
+    }
+
+    /// Performs an access and returns its total latency in cycles.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        let mut latency = self.l1d.config().hit_latency;
+        if !self.l1d.access(addr) {
+            latency += self.l2.config().hit_latency;
+            if !self.l2.access(addr) {
+                latency += self.mem_latency;
+                self.mem_accesses += 1;
+            }
+        }
+        latency
+    }
+
+    /// L1 data cache statistics view.
+    pub fn l1d(&self) -> &CacheModel {
+        &self.l1d
+    }
+
+    /// L2 statistics view.
+    pub fn l2(&self) -> &CacheModel {
+        &self.l2
+    }
+
+    /// DRAM accesses so far.
+    pub fn mem_accesses(&self) -> u64 {
+        self.mem_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheModel {
+        CacheModel::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 3,
+        }) // 4 sets x 2 ways
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x40));
+        assert!(c.access(0x40));
+        assert!(c.access(0x44)); // same line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Three lines in the same set (set stride = 4 sets * 64 B = 256 B).
+        c.access(0x000);
+        c.access(0x100);
+        c.access(0x000); // touch A so B is LRU
+        c.access(0x200); // evicts B
+        assert!(c.access(0x000), "A should still be resident");
+        assert!(!c.access(0x100), "B should have been evicted");
+    }
+
+    #[test]
+    fn hierarchy_latencies_stack() {
+        let mut h = MemoryHierarchy::new(
+            CacheConfig {
+                size_bytes: 512,
+                line_bytes: 64,
+                ways: 2,
+                hit_latency: 3,
+            },
+            CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 64,
+                ways: 4,
+                hit_latency: 12,
+            },
+            104,
+        );
+        assert_eq!(h.access(0x1000), 3 + 12 + 104); // cold: all levels miss
+        assert_eq!(h.access(0x1000), 3); // L1 hit
+        assert_eq!(h.mem_accesses(), 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_conflict_evictions() {
+        let mut h = MemoryHierarchy::new(
+            CacheConfig {
+                size_bytes: 128,
+                line_bytes: 64,
+                ways: 1,
+                hit_latency: 3,
+            }, // 2 sets, direct mapped
+            CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 64,
+                ways: 4,
+                hit_latency: 12,
+            },
+            104,
+        );
+        h.access(0x000);
+        h.access(0x080); // evicts 0x000 from L1 (same set), lands in L2
+        assert_eq!(h.access(0x000), 3 + 12); // L1 miss, L2 hit
+    }
+}

@@ -1,0 +1,183 @@
+//! Core configuration (paper Table 2, left column).
+
+use crate::cache::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Execution latencies per operation class, in cycles.
+///
+/// `FpTrig` stands for a libm `sin`/`cos` call, which the paper's
+/// instruction statistics treat as a black box; its latency approximates a
+/// vendor-library implementation on a Penryn-class core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLatencies {
+    /// Integer ALU ops, moves, conversions.
+    pub int_alu: u64,
+    /// FP add/sub/compare/min/max.
+    pub fp_add: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide (unpipelined).
+    pub fp_div: u64,
+    /// FP square root (unpipelined).
+    pub fp_sqrt: u64,
+    /// libm trigonometry stand-in (unpipelined).
+    pub fp_trig: u64,
+    /// Branch/jump/call/return resolution.
+    pub branch: u64,
+    /// NPU queue instruction base latency (the per-instruction cycle of
+    /// pipelined communication; the link adds `npu_link_latency` on top).
+    pub npu_queue: u64,
+}
+
+impl Default for OpLatencies {
+    fn default() -> Self {
+        OpLatencies {
+            int_alu: 1,
+            fp_add: 3,
+            fp_mul: 5,
+            fp_div: 24,
+            fp_sqrt: 30,
+            fp_trig: 60,
+            branch: 1,
+            npu_queue: 1,
+        }
+    }
+}
+
+/// Microarchitectural parameters of the simulated core.
+///
+/// [`CoreConfig::penryn_like`] reproduces the paper's Table 2. Entries the
+/// OCR of the paper leaves ambiguous are noted on each field; all are
+/// plain data and can be overridden.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle (Table 2: 4).
+    pub fetch_width: usize,
+    /// Instructions dispatched into the ROB/IQ per cycle.
+    pub dispatch_width: usize,
+    /// Instructions issued to functional units per cycle (Table 2: 6).
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder buffer entries (Table 2: 96).
+    pub rob_entries: usize,
+    /// Issue queue entries (Table 2: 32).
+    pub iq_entries: usize,
+    /// Load queue entries (Table 2: 48).
+    pub lq_entries: usize,
+    /// Store queue entries (Table 2: 48).
+    pub sq_entries: usize,
+    /// Integer ALUs (Table 2: 3).
+    pub int_alus: usize,
+    /// Floating-point units (Table 2: 2).
+    pub fp_units: usize,
+    /// Load ports (Table 2: 2).
+    pub load_units: usize,
+    /// Store ports (Table 2: 2).
+    pub store_units: usize,
+    /// Front-end refill penalty after a branch misprediction resolves
+    /// (pipeline depth from fetch to rename).
+    pub mispredict_refill: u64,
+    /// Pipeline depth from fetch to dispatch (decode/rename stages).
+    pub frontend_depth: u64,
+    /// gshare history bits (models the 48 KB tournament predictor).
+    pub gshare_bits: u32,
+    /// Branch target buffer entries (Table 2: 1024 sets x 4 ways).
+    pub btb_entries: usize,
+    /// Return address stack entries (Table 2: 64).
+    pub ras_entries: usize,
+    /// L1 data cache (Table 2: 32 KB, 64 B lines, 8-way, 3-cycle hit —
+    /// the OCR shows "cycles"; 3 matches Penryn).
+    pub l1d: CacheConfig,
+    /// Unified L2 (Table 2: 2 MB, 64 B, 8-way, 12-cycle hit — OCR "2").
+    pub l2: CacheConfig,
+    /// Main memory latency in cycles (Table 2: "5 ns (4 cycles)" in the
+    /// OCR; read as 50 ns ≈ 104 cycles at 2.08 GHz).
+    pub mem_latency: u64,
+    /// One-way CPU↔NPU link latency in cycles (Figure 10 sweeps 1–16).
+    pub npu_link_latency: u64,
+    /// Execution latencies.
+    pub latencies: OpLatencies,
+    /// Core clock in GHz (paper: the 2080 MHz / 0.9 V operating point of
+    /// Galal et al.'s energy study).
+    pub frequency_ghz: f64,
+}
+
+impl CoreConfig {
+    /// The paper's Table 2 configuration.
+    pub fn penryn_like() -> Self {
+        CoreConfig {
+            fetch_width: 4,
+            dispatch_width: 4,
+            issue_width: 6,
+            commit_width: 4,
+            rob_entries: 96,
+            iq_entries: 32,
+            lq_entries: 48,
+            sq_entries: 48,
+            int_alus: 3,
+            fp_units: 2,
+            load_units: 2,
+            store_units: 2,
+            mispredict_refill: 8,
+            frontend_depth: 4,
+            gshare_bits: 14,
+            btb_entries: 4096,
+            ras_entries: 64,
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                hit_latency: 3,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                hit_latency: 12,
+            },
+            mem_latency: 104,
+            npu_link_latency: 1,
+            latencies: OpLatencies::default(),
+            frequency_ghz: 2.08,
+        }
+    }
+
+    /// The Table 2 configuration with a different CPU↔NPU link latency
+    /// (Figure 10's sensitivity axis).
+    pub fn with_npu_link_latency(latency: u64) -> Self {
+        CoreConfig {
+            npu_link_latency: latency,
+            ..CoreConfig::penryn_like()
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::penryn_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penryn_matches_table_2() {
+        let c = CoreConfig::penryn_like();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.rob_entries, 96);
+        assert_eq!(c.iq_entries, 32);
+        assert_eq!(c.lq_entries, 48);
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.npu_link_latency, 1);
+    }
+
+    #[test]
+    fn link_latency_override() {
+        assert_eq!(CoreConfig::with_npu_link_latency(16).npu_link_latency, 16);
+    }
+}

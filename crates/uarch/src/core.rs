@@ -1,0 +1,847 @@
+//! The out-of-order pipeline model.
+
+use crate::cache::MemoryHierarchy;
+use crate::npu_iface::{LinkState, NpuAttachment};
+use crate::predictor::BranchPredictor;
+use crate::{CoreConfig, SimStats};
+use approx_ir::{OpClass, TraceEvent, TraceSink};
+use npu::NpuSim;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+const FETCH_BUFFER_CAP: usize = 64;
+const FEED_HIGH_WATER: usize = 4096;
+const STALL_GUARD: u64 = 1_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Dispatched, waiting in the issue queue.
+    InIq,
+    /// Issued to a functional unit, finishing at the stored cycle.
+    Executing(u64),
+    /// Result produced; eligible to commit when it reaches the ROB head.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    class: OpClass,
+    mem_addr: Option<(u64, bool)>,
+    /// Producer slots (absolute ROB indices) this instruction waits on:
+    /// up to three register sources, plus one for store-to-load or NPU
+    /// serialization dependences.
+    deps: [Option<u64>; 4],
+    /// Load forwarded from an in-flight store (skips the cache).
+    forwarded: bool,
+    state: SlotState,
+}
+
+/// The trace-driven out-of-order core.
+///
+/// Feed it dynamic instructions (it implements
+/// [`TraceSink`](approx_ir::TraceSink), so it can be passed straight to
+/// `Interpreter::run_traced`), then call [`finish`](Core::finish) to drain
+/// the pipeline and read the final [`SimStats`].
+#[derive(Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    stats: SimStats,
+    hierarchy: MemoryHierarchy,
+    predictor: BranchPredictor,
+    npu: NpuAttachment,
+    link: LinkState,
+
+    cycle: u64,
+    /// Events fed but not yet fetched.
+    input: VecDeque<TraceEvent>,
+    /// Fetched instructions awaiting dispatch: `(event, dispatch_ready_at)`.
+    fetch_buffer: VecDeque<(TraceEvent, u64)>,
+    /// In-flight window; `rob_base` is the absolute index of `rob[0]`.
+    rob: VecDeque<Slot>,
+    rob_base: u64,
+    /// Issue queue: absolute indices of waiting slots, in age order.
+    iq: Vec<u64>,
+    /// Absolute indices finishing execution, ordered by completion cycle.
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Last in-flight writer of each (frame-tagged) register.
+    reg_producer: HashMap<u16, u64>,
+    /// Youngest in-flight store per word address.
+    store_map: HashMap<u64, u64>,
+    /// Serialization chain for NPU queue instructions.
+    last_npu: Option<u64>,
+    /// In-flight load/store queue occupancy.
+    lq_used: usize,
+    sq_used: usize,
+    /// Fetch redirect state.
+    fetch_stalled_until: u64,
+    fetch_blocked_on: Option<u64>,
+    /// Non-pipelined FP unit reservations.
+    fp_unit_busy: Vec<u64>,
+    last_commit_cycle: u64,
+}
+
+impl Core {
+    /// Creates a core with no NPU attached.
+    pub fn new(cfg: CoreConfig) -> Self {
+        Core::with_attachment(cfg, NpuAttachment::None)
+    }
+
+    /// Creates a core with a pre-configured cycle-accurate NPU. The NPU is
+    /// ticked in lockstep with the core; `enq.d` values travel the link in
+    /// `cfg.npu_link_latency` cycles each way.
+    pub fn with_npu(cfg: CoreConfig, npu: NpuSim) -> Self {
+        Core::with_attachment(cfg, NpuAttachment::Cycle(Box::new(npu)))
+    }
+
+    /// Creates a core attached to a hypothetical zero-cycle NPU for a
+    /// region with `n_inputs`/`n_outputs` (Figure 8's "Core + Ideal NPU").
+    pub fn with_ideal_npu(cfg: CoreConfig, n_inputs: usize, n_outputs: usize) -> Self {
+        Core::with_attachment(cfg, NpuAttachment::ideal(n_inputs, n_outputs))
+    }
+
+    /// Creates a core with an explicit attachment.
+    pub fn with_attachment(cfg: CoreConfig, npu: NpuAttachment) -> Self {
+        Core {
+            hierarchy: MemoryHierarchy::new(cfg.l1d, cfg.l2, cfg.mem_latency),
+            predictor: BranchPredictor::new(cfg.gshare_bits, cfg.btb_entries, cfg.ras_entries),
+            npu,
+            link: LinkState::default(),
+            stats: SimStats::default(),
+            cycle: 0,
+            input: VecDeque::new(),
+            fetch_buffer: VecDeque::new(),
+            rob: VecDeque::new(),
+            rob_base: 0,
+            iq: Vec::new(),
+            completions: BinaryHeap::new(),
+            reg_producer: HashMap::new(),
+            store_map: HashMap::new(),
+            last_npu: None,
+            lq_used: 0,
+            sq_used: 0,
+            fetch_stalled_until: 0,
+            fetch_blocked_on: None,
+            fp_unit_busy: vec![0; cfg.fp_units],
+            last_commit_cycle: 0,
+            cfg,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics so far (final values only after [`finish`](Core::finish)).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The attached NPU's statistics, if a cycle-accurate NPU is attached.
+    pub fn npu_stats(&self) -> Option<npu::NpuStats> {
+        match &self.npu {
+            NpuAttachment::Cycle(sim) => Some(*sim.stats()),
+            _ => None,
+        }
+    }
+
+    /// Feeds one dynamically executed instruction. The core advances its
+    /// pipeline as needed to keep its internal buffers bounded, so memory
+    /// use stays constant for arbitrarily long traces.
+    pub fn feed(&mut self, ev: TraceEvent) {
+        self.input.push_back(ev);
+        while self.input.len() >= FEED_HIGH_WATER {
+            self.tick();
+        }
+    }
+
+    /// Drains the pipeline and returns the final statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no commit for a very long time) —
+    /// that indicates a protocol bug, e.g. a `deq.d` with no matching NPU
+    /// output.
+    pub fn finish(&mut self) -> SimStats {
+        while !self.input.is_empty() || !self.fetch_buffer.is_empty() || !self.rob.is_empty() {
+            self.tick();
+            assert!(
+                self.cycle - self.last_commit_cycle < STALL_GUARD,
+                "pipeline deadlock at cycle {}: rob={} iq={} head={:?}",
+                self.cycle,
+                self.rob.len(),
+                self.iq.len(),
+                self.rob.front().map(|s| (s.class, s.state)),
+            );
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.bp_lookups = self.predictor.lookups();
+        self.stats.bp_mispredicts = self.predictor.mispredicts();
+        self.stats.l1d_hits = self.hierarchy.l1d().hits();
+        self.stats.l1d_misses = self.hierarchy.l1d().misses();
+        self.stats.l2_hits = self.hierarchy.l2().hits();
+        self.stats.l2_misses = self.hierarchy.l2().misses();
+        self.stats.mem_accesses = self.hierarchy.mem_accesses();
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+
+    fn slot(&self, abs: u64) -> Option<&Slot> {
+        if abs < self.rob_base {
+            return None; // already committed
+        }
+        self.rob.get((abs - self.rob_base) as usize)
+    }
+
+    fn dep_ready(&self, dep: u64) -> bool {
+        match self.slot(dep) {
+            None => true, // committed
+            Some(s) => s.state == SlotState::Done,
+        }
+    }
+
+    fn tick(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+        self.npu_tick(now);
+        self.writeback(now);
+        self.commit(now);
+        self.issue(now);
+        self.dispatch(now);
+        self.fetch(now);
+    }
+
+    /// Delivers in-flight enqueues, ticks the NPU one cycle, and records
+    /// the core-side visibility time of any new outputs.
+    fn npu_tick(&mut self, now: u64) {
+        let NpuAttachment::Cycle(sim) = &mut self.npu else {
+            return;
+        };
+        while let Some(&(at, v)) = self.link.enq_in_flight.front() {
+            if at <= now && sim.input_has_space() {
+                sim.enqueue_input(v);
+                sim.commit_inputs(1);
+                self.link.enq_in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        sim.tick();
+        let produced = sim.stats().outputs_produced;
+        while self.link.outputs_seen < produced {
+            self.link
+                .output_visible_at
+                .push_back(now + self.cfg.npu_link_latency);
+            self.link.outputs_seen += 1;
+        }
+    }
+
+    fn writeback(&mut self, now: u64) {
+        while let Some(&Reverse((done_at, abs))) = self.completions.peek() {
+            if done_at > now {
+                break;
+            }
+            self.completions.pop();
+            if let Some(idx) = abs.checked_sub(self.rob_base) {
+                if let Some(slot) = self.rob.get_mut(idx as usize) {
+                    slot.state = SlotState::Done;
+                }
+            }
+            // A resolving mispredicted branch un-blocks fetch after the
+            // front-end refill penalty.
+            if self.fetch_blocked_on == Some(abs) {
+                self.fetch_blocked_on = None;
+                self.fetch_stalled_until = now + self.cfg.mispredict_refill;
+            }
+        }
+    }
+
+    fn commit(&mut self, now: u64) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != SlotState::Done {
+                break;
+            }
+            let slot = self.rob.pop_front().expect("head exists");
+            let abs = self.rob_base;
+            self.rob_base += 1;
+            self.last_commit_cycle = now;
+            self.stats.committed += 1;
+            match slot.class {
+                OpClass::IntAlu => self.stats.int_ops += 1,
+                OpClass::FpAdd => self.stats.fp_add_ops += 1,
+                OpClass::FpMul => self.stats.fp_mul_ops += 1,
+                OpClass::FpDiv => self.stats.fp_div_ops += 1,
+                OpClass::FpSqrt => self.stats.fp_sqrt_ops += 1,
+                OpClass::FpTrig => self.stats.fp_trig_ops += 1,
+                OpClass::Load => self.stats.loads += 1,
+                OpClass::Store => self.stats.stores += 1,
+                OpClass::Branch | OpClass::Jump | OpClass::Call | OpClass::Ret => {
+                    self.stats.branches += 1
+                }
+                OpClass::NpuEnqD | OpClass::NpuDeqD | OpClass::NpuEnqC | OpClass::NpuDeqC => {
+                    self.stats.npu_queue_ops += 1
+                }
+            }
+            match slot.class {
+                OpClass::Load => self.lq_used -= 1,
+                OpClass::Store => {
+                    self.sq_used -= 1;
+                    // The store drains from the store queue to the cache at
+                    // commit (write-buffer semantics: latency is hidden).
+                    if let Some((addr, _)) = slot.mem_addr {
+                        self.hierarchy.access(addr);
+                        // Drop the disambiguation entry unless a younger
+                        // in-flight store to the same word replaced it.
+                        if self.store_map.get(&(addr / 4)) == Some(&abs) {
+                            self.store_map.remove(&(addr / 4));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn issue(&mut self, now: u64) {
+        let mut int_tokens = self.cfg.int_alus;
+        let mut fp_tokens = self.cfg.fp_units;
+        let mut load_tokens = self.cfg.load_units;
+        let mut store_tokens = self.cfg.store_units;
+        let mut budget = self.cfg.issue_width;
+        let mut issued_positions: Vec<usize> = Vec::new();
+
+        for pos in 0..self.iq.len() {
+            if budget == 0 {
+                break;
+            }
+            let abs = self.iq[pos];
+            let idx = (abs - self.rob_base) as usize;
+            let deps = self.rob[idx].deps;
+            if !deps.iter().flatten().all(|&d| self.dep_ready(d)) {
+                continue;
+            }
+            let class = self.rob[idx].class;
+            // Functional unit / structural checks.
+            let lat = self.cfg.latencies;
+            let done_at = match class {
+                OpClass::IntAlu => {
+                    if int_tokens == 0 {
+                        continue;
+                    }
+                    int_tokens -= 1;
+                    now + lat.int_alu
+                }
+                OpClass::FpAdd | OpClass::FpMul => {
+                    if fp_tokens == 0 {
+                        continue;
+                    }
+                    fp_tokens -= 1;
+                    now + if class == OpClass::FpAdd {
+                        lat.fp_add
+                    } else {
+                        lat.fp_mul
+                    }
+                }
+                OpClass::FpDiv | OpClass::FpSqrt | OpClass::FpTrig => {
+                    if fp_tokens == 0 {
+                        continue;
+                    }
+                    let latency = match class {
+                        OpClass::FpDiv => lat.fp_div,
+                        OpClass::FpSqrt => lat.fp_sqrt,
+                        _ => lat.fp_trig,
+                    };
+                    // Unpipelined: needs a unit whose divider is free.
+                    let Some(unit) = self
+                        .fp_unit_busy
+                        .iter()
+                        .position(|&busy_until| busy_until <= now)
+                    else {
+                        continue;
+                    };
+                    fp_tokens -= 1;
+                    self.fp_unit_busy[unit] = now + latency;
+                    now + latency
+                }
+                OpClass::Load => {
+                    if load_tokens == 0 {
+                        continue;
+                    }
+                    load_tokens -= 1;
+                    if self.rob[idx].forwarded {
+                        now + 1 // store-to-load forwarding
+                    } else {
+                        let addr = self.rob[idx].mem_addr.expect("load has address").0;
+                        now + self.hierarchy.access(addr)
+                    }
+                }
+                OpClass::Store => {
+                    if store_tokens == 0 {
+                        continue;
+                    }
+                    store_tokens -= 1;
+                    now + 1 // address/data into the store queue
+                }
+                OpClass::Branch | OpClass::Jump | OpClass::Call | OpClass::Ret => {
+                    if int_tokens == 0 {
+                        continue;
+                    }
+                    int_tokens -= 1;
+                    now + lat.branch
+                }
+                OpClass::NpuEnqD => {
+                    if !self.npu_enq_ready() {
+                        continue;
+                    }
+                    if int_tokens == 0 {
+                        continue;
+                    }
+                    int_tokens -= 1;
+                    self.npu_do_enq(now);
+                    now + lat.npu_queue
+                }
+                OpClass::NpuDeqD => {
+                    if !self.npu_deq_ready(now) {
+                        continue;
+                    }
+                    if int_tokens == 0 {
+                        continue;
+                    }
+                    int_tokens -= 1;
+                    self.npu_do_deq();
+                    now + lat.npu_queue
+                }
+                OpClass::NpuEnqC | OpClass::NpuDeqC => {
+                    // Non-speculative configuration traffic: one word per
+                    // cycle through the config FIFO.
+                    if int_tokens == 0 {
+                        continue;
+                    }
+                    int_tokens -= 1;
+                    now + lat.npu_queue
+                }
+            };
+            self.rob[idx].state = SlotState::Executing(done_at);
+            self.completions.push(Reverse((done_at, abs)));
+            issued_positions.push(pos);
+            budget -= 1;
+        }
+        // Remove issued entries (back to front to keep positions valid).
+        for &pos in issued_positions.iter().rev() {
+            self.iq.remove(pos);
+        }
+    }
+
+    fn npu_enq_ready(&self) -> bool {
+        match &self.npu {
+            NpuAttachment::None => true,
+            NpuAttachment::Cycle(sim) => {
+                sim.input_fifo_len() + self.link.enq_in_flight.len() < sim.input_fifo_capacity()
+            }
+            NpuAttachment::Ideal { .. } => true,
+        }
+    }
+
+    fn npu_do_enq(&mut self, now: u64) {
+        let link = self.cfg.npu_link_latency;
+        match &mut self.npu {
+            NpuAttachment::None => {}
+            NpuAttachment::Cycle(_) => {
+                // Timing model: payload values are irrelevant (functional
+                // results come from the interpreter's own NPU port).
+                self.link.enq_in_flight.push_back((now + link, 0.5));
+            }
+            NpuAttachment::Ideal {
+                n_inputs,
+                n_outputs,
+                pending_inputs,
+                ready_outputs: _,
+            } => {
+                *pending_inputs += 1;
+                if *pending_inputs == *n_inputs {
+                    *pending_inputs = 0;
+                    for _ in 0..*n_outputs {
+                        // Zero compute cycles; only the link round trip.
+                        self.link.output_visible_at.push_back(now + 2 * link);
+                    }
+                }
+            }
+        }
+    }
+
+    fn npu_deq_ready(&self, now: u64) -> bool {
+        match &self.npu {
+            NpuAttachment::None => true,
+            _ => self
+                .link
+                .output_visible_at
+                .front()
+                .is_some_and(|&at| at <= now),
+        }
+    }
+
+    fn npu_do_deq(&mut self) {
+        match &mut self.npu {
+            NpuAttachment::None => {}
+            NpuAttachment::Cycle(sim) => {
+                self.link.output_visible_at.pop_front();
+                sim.dequeue_output();
+                sim.commit_outputs(1);
+            }
+            NpuAttachment::Ideal { .. } => {
+                self.link.output_visible_at.pop_front();
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: u64) {
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(&(ev, ready_at)) = self.fetch_buffer.front() else {
+                break;
+            };
+            if ready_at > now {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_entries {
+                self.stats.rob_full_stalls += 1;
+                break;
+            }
+            if self.iq.len() >= self.cfg.iq_entries {
+                self.stats.iq_full_stalls += 1;
+                break;
+            }
+            match ev.class {
+                OpClass::Load if self.lq_used >= self.cfg.lq_entries => {
+                    self.stats.lsq_full_stalls += 1;
+                    break;
+                }
+                OpClass::Store if self.sq_used >= self.cfg.sq_entries => {
+                    self.stats.lsq_full_stalls += 1;
+                    break;
+                }
+                _ => {}
+            }
+            self.fetch_buffer.pop_front();
+            let abs = self.rob_base + self.rob.len() as u64;
+
+            let mut deps: [Option<u64>; 4] = [None; 4];
+            for (i, src) in ev.srcs.iter().enumerate() {
+                if let Some(reg) = src {
+                    if let Some(&producer) = self.reg_producer.get(reg) {
+                        if producer >= self.rob_base {
+                            deps[i] = Some(producer);
+                        }
+                    }
+                }
+            }
+            let mut forwarded = false;
+            match ev.class {
+                OpClass::Load => {
+                    self.lq_used += 1;
+                    let addr = ev.mem.expect("load has mem info").addr;
+                    if let Some(&store) = self.store_map.get(&(addr / 4)) {
+                        if store >= self.rob_base {
+                            deps[3] = Some(store);
+                            forwarded = true;
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    self.sq_used += 1;
+                    let addr = ev.mem.expect("store has mem info").addr;
+                    self.store_map.insert(addr / 4, abs);
+                }
+                c if c.is_npu_queue() => {
+                    // "The renaming logic implicitly considers every NPU
+                    // instruction to read and write a designated dummy
+                    // architectural register" — total order among them.
+                    if let Some(prev) = self.last_npu {
+                        if prev >= self.rob_base {
+                            deps[3] = Some(prev);
+                        }
+                    }
+                    self.last_npu = Some(abs);
+                }
+                _ => {}
+            }
+            if let Some(dst) = ev.dst {
+                self.reg_producer.insert(dst, abs);
+            }
+            self.rob.push_back(Slot {
+                class: ev.class,
+                mem_addr: ev.mem.map(|m| (m.addr, m.is_store)),
+                deps,
+                forwarded,
+                state: SlotState::InIq,
+            });
+            self.iq.push(abs);
+        }
+    }
+
+    fn fetch(&mut self, now: u64) {
+        if self.fetch_blocked_on.is_some() || self.fetch_stalled_until > now {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_buffer.len() >= FETCH_BUFFER_CAP {
+                break;
+            }
+            let Some(ev) = self.input.pop_front() else {
+                break;
+            };
+            let dispatch_at = now + self.cfg.frontend_depth;
+            let mut end_group = false;
+            if let Some(info) = ev.branch {
+                let prediction = self.predictor.predict_and_train(
+                    ev.pc,
+                    &info,
+                    ev.class == OpClass::Call,
+                    ev.class == OpClass::Ret,
+                );
+                if !prediction.correct {
+                    // Block fetch until this branch resolves.
+                    self.fetch_blocked_on = Some(
+                        self.rob_base + self.rob.len() as u64 + self.fetch_buffer.len() as u64,
+                    );
+                    end_group = true;
+                } else if info.taken {
+                    // Correctly predicted taken: redirect still ends the
+                    // fetch group.
+                    end_group = true;
+                }
+            }
+            self.fetch_buffer.push_back((ev, dispatch_at));
+            if end_group {
+                break;
+            }
+        }
+    }
+}
+
+impl TraceSink for Core {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.feed(*ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_ir::{BranchInfo, MemAccess};
+
+    fn alu(pc: u64, srcs: [Option<u16>; 3], dst: Option<u16>) -> TraceEvent {
+        TraceEvent::simple(pc, OpClass::IntAlu, srcs, dst)
+    }
+
+    fn run(events: Vec<TraceEvent>) -> SimStats {
+        let mut core = Core::new(CoreConfig::penryn_like());
+        for ev in events {
+            core.feed(ev);
+        }
+        core.finish()
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_high_ipc() {
+        let events: Vec<TraceEvent> = (0..4000)
+            .map(|i| alu(i % 64, [None; 3], Some((i % 50 + 10) as u16)))
+            .collect();
+        let stats = run(events);
+        assert_eq!(stats.committed, 4000);
+        // Bound by 3 integer ALUs but also fetch width 4; expect ~3 IPC.
+        assert!(stats.ipc() > 2.0, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_is_serial() {
+        // Each op reads the previous op's destination.
+        let events: Vec<TraceEvent> = (0..2000)
+            .map(|i| alu(i % 64, [Some(5), None, None], Some(5)))
+            .collect();
+        let stats = run(events);
+        // 1-cycle ALU chain: IPC can approach but not exceed ~1.
+        assert!(stats.ipc() < 1.2, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn fp_chain_is_slower_than_int_chain() {
+        let fp: Vec<TraceEvent> = (0..1000)
+            .map(|i| TraceEvent::simple(i % 64, OpClass::FpMul, [Some(5), None, None], Some(5)))
+            .collect();
+        let int: Vec<TraceEvent> = (0..1000)
+            .map(|i| alu(i % 64, [Some(5), None, None], Some(5)))
+            .collect();
+        let fp_stats = run(fp);
+        let int_stats = run(int);
+        assert!(
+            fp_stats.cycles > 4 * int_stats.cycles,
+            "fp {} vs int {}",
+            fp_stats.cycles,
+            int_stats.cycles
+        );
+    }
+
+    #[test]
+    fn cold_loads_pay_memory_latency() {
+        // Strided loads, each touching a fresh line, no reuse.
+        let events: Vec<TraceEvent> = (0..500)
+            .map(|i| TraceEvent {
+                pc: i % 16,
+                class: OpClass::Load,
+                srcs: [Some(1), None, None],
+                dst: Some(2),
+                mem: Some(MemAccess {
+                    addr: i * 64,
+                    is_store: false,
+                }),
+                branch: None,
+            })
+            .collect();
+        let stats = run(events);
+        assert_eq!(stats.loads, 500);
+        assert!(stats.l1d_misses >= 499, "misses = {}", stats.l1d_misses);
+        assert!(stats.mem_accesses >= 499);
+    }
+
+    #[test]
+    fn cached_loads_are_fast() {
+        let events: Vec<TraceEvent> = (0..2000)
+            .map(|i| TraceEvent {
+                pc: i % 16,
+                class: OpClass::Load,
+                srcs: [Some(1), None, None],
+                dst: Some((i % 40 + 8) as u16),
+                mem: Some(MemAccess {
+                    addr: (i % 8) * 64,
+                    is_store: false,
+                }),
+                branch: None,
+            })
+            .collect();
+        let stats = run(events);
+        assert!(stats.l1d_miss_rate() < 0.02);
+        assert!(stats.ipc() > 1.5, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn store_to_load_forwarding_creates_dependence() {
+        // store to X; load from X; repeat. The load must wait for the
+        // store but forwards quickly.
+        let mut events = Vec::new();
+        for i in 0..500u64 {
+            events.push(TraceEvent {
+                pc: 0,
+                class: OpClass::Store,
+                srcs: [Some(1), Some(2), None],
+                dst: None,
+                mem: Some(MemAccess {
+                    addr: 512,
+                    is_store: true,
+                }),
+                branch: None,
+            });
+            events.push(TraceEvent {
+                pc: 1,
+                class: OpClass::Load,
+                srcs: [Some(2), None, None],
+                dst: Some(3),
+                mem: Some(MemAccess {
+                    addr: 512,
+                    is_store: false,
+                }),
+                branch: None,
+            });
+            events.push(alu(2 + (i % 4), [Some(3), None, None], Some(1)));
+        }
+        let stats = run(events);
+        assert_eq!(stats.committed, 1500);
+        // Forwarded loads never touch the cache: only the stores do.
+        assert_eq!(stats.l1d_hits + stats.l1d_misses, 500);
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_cycles() {
+        // A data-dependent pseudo-random branch direction stresses the
+        // predictor; compare against an always-taken loop branch.
+        let mut x = 99u64;
+        let mut random = Vec::new();
+        let mut biased = Vec::new();
+        for i in 0..3000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let rand_taken = (x >> 62) & 1 == 1;
+            random.push(TraceEvent {
+                pc: 7,
+                class: OpClass::Branch,
+                srcs: [Some(1), None, None],
+                dst: None,
+                mem: None,
+                branch: Some(BranchInfo {
+                    taken: rand_taken,
+                    conditional: true,
+                    target: 2,
+                }),
+            });
+            random.push(alu(8 + (i % 8), [None; 3], Some(4)));
+            biased.push(TraceEvent {
+                pc: 7,
+                class: OpClass::Branch,
+                srcs: [Some(1), None, None],
+                dst: None,
+                mem: None,
+                branch: Some(BranchInfo {
+                    taken: false,
+                    conditional: true,
+                    target: 2,
+                }),
+            });
+            biased.push(alu(8 + (i % 8), [None; 3], Some(4)));
+        }
+        let r = run(random);
+        let b = run(biased);
+        assert!(r.bp_mispredicts > 500, "mispredicts = {}", r.bp_mispredicts);
+        assert!(
+            r.cycles > b.cycles * 2,
+            "random {} vs biased {}",
+            r.cycles,
+            b.cycles
+        );
+    }
+
+    #[test]
+    fn npu_instructions_serialize_in_order() {
+        // enq.d x4 with no NPU attached still execute one per cycle in
+        // order (dummy-register serialization).
+        let events: Vec<TraceEvent> = (0..100)
+            .map(|i| TraceEvent::simple(i % 8, OpClass::NpuEnqD, [Some(1), None, None], None))
+            .collect();
+        let stats = run(events);
+        assert_eq!(stats.npu_queue_ops, 100);
+        // Serialized at 1/cycle: at least ~100 cycles.
+        assert!(stats.cycles >= 100);
+    }
+
+    #[test]
+    fn stats_accumulate_by_class() {
+        let events = vec![
+            alu(0, [None; 3], Some(1)),
+            TraceEvent::simple(1, OpClass::FpDiv, [Some(1), None, None], Some(2)),
+            TraceEvent::simple(2, OpClass::FpSqrt, [Some(2), None, None], Some(3)),
+            TraceEvent::simple(3, OpClass::FpTrig, [Some(3), None, None], Some(4)),
+        ];
+        let stats = run(events);
+        assert_eq!(stats.int_ops, 1);
+        assert_eq!(stats.fp_div_ops, 1);
+        assert_eq!(stats.fp_sqrt_ops, 1);
+        assert_eq!(stats.fp_trig_ops, 1);
+        assert_eq!(stats.committed, 4);
+    }
+}

@@ -1,0 +1,58 @@
+//! Trace-driven cycle-level model of a speculative out-of-order core with
+//! the NPU queue ISA extensions.
+//!
+//! The paper evaluates on MARSSx86 configured like Intel's Penryn: a 4-wide
+//! fetch / 6-wide issue out-of-order x86-64 core with a 96-entry ROB,
+//! 32-entry issue queue, 48/48 load/store queues, tournament branch
+//! prediction, 32 KB L1 caches, and a 2 MB L2 (paper Table 2). This crate
+//! reproduces that machine as a trace-driven cycle model: the `approx-ir`
+//! interpreter pushes each dynamically executed instruction into
+//! [`Core::feed`], and the core accounts fetch/dispatch/issue/execute/
+//! commit timing, cache misses, branch mispredictions, and the NPU queue
+//! protocol of paper Section 5.
+//!
+//! Because the trace contains only correct-path instructions, wrong-path
+//! *work* is modelled as a front-end redirect penalty; the NPU's
+//! speculative-FIFO rollback machinery is exercised directly by the `npu`
+//! crate's unit tests and this crate's integration tests.
+//!
+//! # Example
+//!
+//! ```
+//! use approx_ir::{FunctionBuilder, Interpreter, Program, Value};
+//! use uarch::{Core, CoreConfig};
+//!
+//! let mut b = FunctionBuilder::new("work", 1);
+//! let x = b.param(0);
+//! let mut acc = b.constf(0.0);
+//! for _ in 0..10 {
+//!     acc = b.fadd(acc, x);
+//! }
+//! b.ret(&[acc]);
+//! let mut program = Program::new();
+//! let f = program.add_function(b.build()?);
+//!
+//! let mut core = Core::new(CoreConfig::penryn_like());
+//! Interpreter::new(&program).run_traced(f, &[Value::F(1.0)], &mut core)?;
+//! let stats = core.finish();
+//! assert_eq!(stats.committed, 12);
+//! assert!(stats.cycles > 0);
+//! # Ok::<(), approx_ir::IrError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod core;
+mod npu_iface;
+mod predictor;
+mod stats;
+
+pub use crate::core::Core;
+pub use cache::{CacheConfig, CacheModel, MemoryHierarchy};
+pub use config::{CoreConfig, OpLatencies};
+pub use npu_iface::NpuAttachment;
+pub use predictor::BranchPredictor;
+pub use stats::SimStats;

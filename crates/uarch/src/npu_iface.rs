@@ -1,0 +1,78 @@
+//! How the core's queue instructions connect to an NPU model.
+
+use npu::NpuSim;
+use std::collections::VecDeque;
+
+/// What sits on the other side of the `enq`/`deq` queues.
+#[derive(Debug)]
+pub enum NpuAttachment {
+    /// No NPU: queue instructions behave as 1-cycle no-ops (useful for
+    /// pure-CPU baselines whose traces contain no queue instructions
+    /// anyway).
+    None,
+    /// The cycle-accurate NPU, ticked in lockstep with the core (paper:
+    /// "the NPU operates at the same frequency and voltage as the main
+    /// core").
+    Cycle(Box<NpuSim>),
+    /// A hypothetical zero-latency, zero-energy NPU (the paper's
+    /// "Core + Ideal NPU" bars in Figure 8): outputs become available the
+    /// cycle the invocation's last input arrives.
+    Ideal {
+        /// Inputs per invocation.
+        n_inputs: usize,
+        /// Outputs per invocation.
+        n_outputs: usize,
+        /// Inputs received toward the current invocation.
+        pending_inputs: usize,
+        /// Outputs ready to dequeue.
+        ready_outputs: usize,
+    },
+}
+
+impl NpuAttachment {
+    /// An ideal NPU for a region with the given arity.
+    pub fn ideal(n_inputs: usize, n_outputs: usize) -> Self {
+        NpuAttachment::Ideal {
+            n_inputs,
+            n_outputs,
+            pending_inputs: 0,
+            ready_outputs: 0,
+        }
+    }
+}
+
+/// In-flight enqueue values traversing the CPU→NPU link, plus the
+/// core-side availability times of NPU outputs (modelling the n-cycle
+/// NPU→CPU link of Figure 10).
+#[derive(Debug, Default)]
+pub struct LinkState {
+    /// `(deliver_at_cycle, value)` for enqueues still on the wire.
+    pub enq_in_flight: VecDeque<(u64, f32)>,
+    /// Core-side cycle at which each not-yet-dequeued NPU output becomes
+    /// visible.
+    pub output_visible_at: VecDeque<u64>,
+    /// Outputs the NPU has pushed so far (to detect new ones after a tick).
+    pub outputs_seen: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_attachment_constructor() {
+        let a = NpuAttachment::ideal(9, 1);
+        match a {
+            NpuAttachment::Ideal {
+                n_inputs,
+                n_outputs,
+                pending_inputs,
+                ready_outputs,
+            } => {
+                assert_eq!((n_inputs, n_outputs), (9, 1));
+                assert_eq!((pending_inputs, ready_outputs), (0, 0));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+}

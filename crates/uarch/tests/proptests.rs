@@ -1,0 +1,132 @@
+//! Property-based tests for the core model: conservation of
+//! instructions, cache behaviour, and timing monotonicity.
+
+use approx_ir::{BranchInfo, MemAccess, OpClass, TraceEvent};
+use proptest::prelude::*;
+use uarch::{CacheConfig, CacheModel, Core, CoreConfig};
+
+fn random_event(kind: u8, i: u64) -> TraceEvent {
+    match kind % 5 {
+        0 => TraceEvent::simple(i % 64, OpClass::IntAlu, [Some(1), None, None], Some(2)),
+        1 => TraceEvent::simple(i % 64, OpClass::FpAdd, [Some(2), None, None], Some(3)),
+        2 => TraceEvent {
+            pc: i % 64,
+            class: OpClass::Load,
+            srcs: [Some(1), None, None],
+            dst: Some(4),
+            mem: Some(MemAccess {
+                addr: (i * 16) % 4096,
+                is_store: false,
+            }),
+            branch: None,
+        },
+        3 => TraceEvent {
+            pc: i % 64,
+            class: OpClass::Store,
+            srcs: [Some(4), Some(1), None],
+            dst: None,
+            mem: Some(MemAccess {
+                addr: (i * 16) % 4096,
+                is_store: true,
+            }),
+            branch: None,
+        },
+        _ => TraceEvent {
+            pc: i % 64,
+            class: OpClass::Branch,
+            srcs: [Some(2), None, None],
+            dst: None,
+            mem: None,
+            branch: Some(BranchInfo {
+                taken: i.is_multiple_of(3),
+                conditional: true,
+                target: (i + 7) % 64,
+            }),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every fed instruction commits exactly once, for arbitrary mixes.
+    #[test]
+    fn committed_equals_fed(kinds in proptest::collection::vec(any::<u8>(), 1..400)) {
+        let mut core = Core::new(CoreConfig::penryn_like());
+        for (i, &k) in kinds.iter().enumerate() {
+            core.feed(random_event(k, i as u64));
+        }
+        let stats = core.finish();
+        prop_assert_eq!(stats.committed, kinds.len() as u64);
+        // Per-class counts also sum to the total.
+        let by_class = stats.int_ops
+            + stats.fp_add_ops
+            + stats.fp_mul_ops
+            + stats.fp_div_ops
+            + stats.fp_sqrt_ops
+            + stats.fp_trig_ops
+            + stats.loads
+            + stats.stores
+            + stats.branches
+            + stats.npu_queue_ops;
+        prop_assert_eq!(by_class, stats.committed);
+        // A finite pipeline cannot commit faster than its width.
+        prop_assert!(stats.cycles * 4 >= stats.committed);
+    }
+
+    /// Adding instructions never reduces total cycles (prefix
+    /// monotonicity of the timing model).
+    #[test]
+    fn cycles_grow_with_work(kinds in proptest::collection::vec(any::<u8>(), 2..200)) {
+        let half = kinds.len() / 2;
+        let run = |slice: &[u8]| {
+            let mut core = Core::new(CoreConfig::penryn_like());
+            for (i, &k) in slice.iter().enumerate() {
+                core.feed(random_event(k, i as u64));
+            }
+            core.finish().cycles
+        };
+        prop_assert!(run(&kinds) >= run(&kinds[..half]));
+    }
+
+    /// Cache hits + misses equals accesses, and a repeated access always
+    /// hits immediately after.
+    #[test]
+    fn cache_accounting(addrs in proptest::collection::vec(0u64..100_000, 1..200)) {
+        let mut cache = CacheModel::new(CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 3,
+        });
+        for &a in &addrs {
+            cache.access(a);
+            prop_assert!(cache.access(a), "immediate re-access of {a} must hit");
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), 2 * addrs.len() as u64);
+        prop_assert!(cache.hits() >= addrs.len() as u64);
+    }
+
+    /// The working-set effect: streaming over a footprint larger than the
+    /// cache misses more than one that fits.
+    #[test]
+    fn capacity_misses_appear(rounds in 2usize..6) {
+        let small_footprint = 16u64; // 16 lines in a 64-line cache
+        let large_footprint = 256u64; // 4x the cache
+        let run = |lines: u64| {
+            let mut cache = CacheModel::new(CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 64,
+                ways: 4,
+                hit_latency: 3,
+            });
+            for _ in 0..rounds {
+                for l in 0..lines {
+                    cache.access(l * 64);
+                }
+            }
+            cache.misses() as f64 / (cache.hits() + cache.misses()) as f64
+        };
+        prop_assert!(run(large_footprint) > run(small_footprint));
+    }
+}

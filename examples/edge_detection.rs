@@ -1,0 +1,104 @@
+//! The paper's running example (Figure 2): Sobel edge detection with the
+//! `sobel` function replaced by an NPU invocation.
+//!
+//! Runs the full application three ways — precise, NPU-accelerated, and
+//! software-NN — and reports output quality, dynamic instruction counts,
+//! and simulated cycles, then writes the edge maps as PGM images.
+//!
+//! Run with: `cargo run --release --example edge_detection`
+
+use ann::{SearchParams, TrainParams};
+use benchmarks::runner::{run_counting, run_timed};
+use benchmarks::sobel::Sobel;
+use benchmarks::{AppVariant, Benchmark, Scale};
+use parrot::{quality, CompileParams, ParrotCompiler};
+use std::fs;
+use uarch::CoreConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale {
+        image_dim: 128,
+        ..Scale::small()
+    };
+    let bench = Sobel;
+
+    // Parrot-transform the sobel function.
+    println!("compiling the `sobel` region (observe → train → codegen)…");
+    let params = CompileParams {
+        search: SearchParams {
+            train: TrainParams {
+                epochs: 300,
+                learning_rate: 0.05,
+                ..TrainParams::default()
+            },
+            epoch_flops_budget: Some(500_000_000),
+            ..SearchParams::default()
+        },
+        max_training_samples: 1_500,
+        ..CompileParams::default()
+    };
+    let compiler = ParrotCompiler::new(params);
+    let compiled = compiler.compile(&bench.region(), &bench.training_inputs(&scale))?;
+    println!(
+        "  topology {} (test MSE {:.5})",
+        compiled.config().topology(),
+        compiled.nn_mse()
+    );
+
+    // Run the application in each configuration.
+    let precise_app = bench.build_app(&AppVariant::Precise, &scale);
+    let (precise_out, precise_counts) = run_counting(&precise_app, &AppVariant::Precise)?;
+    let (_, precise_stats, _) = run_timed(
+        &precise_app,
+        &AppVariant::Precise,
+        CoreConfig::penryn_like(),
+    )?;
+
+    let npu_variant = AppVariant::Npu(&compiled);
+    let npu_app = bench.build_app(&npu_variant, &scale);
+    let (npu_out, npu_counts) = run_counting(&npu_app, &npu_variant)?;
+    let (_, npu_stats, _) = run_timed(&npu_app, &npu_variant, CoreConfig::penryn_like())?;
+
+    let reference = bench.extract_outputs(&precise_out.memory, &scale);
+    let approx = bench.extract_outputs(&npu_out.memory, &scale);
+
+    println!("\n                    precise      core+npu");
+    println!(
+        "dynamic insts       {:<12} {:<12}",
+        precise_counts.total, npu_counts.total
+    );
+    println!(
+        "  npu queue insts   {:<12} {:<12}",
+        precise_counts.npu_queue, npu_counts.npu_queue
+    );
+    println!(
+        "cycles              {:<12} {:<12}",
+        precise_stats.cycles, npu_stats.cycles
+    );
+    println!(
+        "speedup             {:.2}x",
+        precise_stats.cycles as f64 / npu_stats.cycles as f64
+    );
+    println!(
+        "image diff (RMSE)   {:.2}%",
+        100.0 * quality::image_rmse(&reference, &approx, 1.0)
+    );
+
+    // Write both edge maps for visual inspection.
+    fs::create_dir_all("target/examples")?;
+    write_pgm(
+        "target/examples/edges_precise.pgm",
+        &reference,
+        scale.image_dim,
+    )?;
+    write_pgm("target/examples/edges_npu.pgm", &approx, scale.image_dim)?;
+    println!("\nwrote target/examples/edges_precise.pgm and edges_npu.pgm");
+    Ok(())
+}
+
+/// Writes a grayscale `[0,1]` image as a binary PGM file.
+fn write_pgm(path: &str, pixels: &[f32], dim: usize) -> std::io::Result<()> {
+    let mut data = format!("P5\n{dim} {dim}\n255\n").into_bytes();
+    data.extend(pixels.iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0) as u8));
+    fs::write(path, data)
+}

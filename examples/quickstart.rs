@@ -1,0 +1,96 @@
+//! Quickstart: apply the Parrot transformation to your own function.
+//!
+//! This walks the full pipeline from the paper's Figure 1 — annotate,
+//! observe, train, generate code, execute on the NPU — for a small
+//! user-defined approximable function.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use approx_ir::{FunctionBuilder, Program};
+use npu::estimate_latency;
+use parrot::{CompileParams, ParrotCompiler, RegionSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -----------------------------------------------------------------
+    // 1. Programming: write the candidate region and "annotate" it.
+    //
+    // The region must be pure, hot, approximable, and have fixed-size
+    // inputs/outputs (paper Section 3.1). Ours is a little radial-basis
+    // blend: f(x, y) = exp(-(x² + y²)) + 0.3 · sin(x · y).
+    // -----------------------------------------------------------------
+    let mut b = FunctionBuilder::new("blend", 2);
+    let (x, y) = (b.param(0), b.param(1));
+    let xx = b.fmul(x, x);
+    let yy = b.fmul(y, y);
+    let r2 = b.fadd(xx, yy);
+    let neg = b.fneg(r2);
+    let gauss = b.fexp(neg);
+    let xy = b.fmul(x, y);
+    let s = b.fsin(xy);
+    let w = b.constf(0.3);
+    let ripple = b.fmul(w, s);
+    let out = b.fadd(gauss, ripple);
+    b.ret(&[out]);
+
+    let mut program = Program::new();
+    let entry = program.add_function(b.build()?);
+    let region = RegionSpec::new("blend", program, entry, 2, 1)?;
+    println!("region `{}`:", region.name());
+    println!("  static counts: {:?}", region.static_counts());
+
+    // -----------------------------------------------------------------
+    // 2. Observation inputs: representative samples of the input space
+    //    (a test suite or random inputs, per paper Section 4.1).
+    // -----------------------------------------------------------------
+    let training: Vec<Vec<f32>> = (0..60)
+        .flat_map(|i| {
+            (0..60).map(move |j| vec![-2.0 + 4.0 * i as f32 / 59.0, -2.0 + 4.0 * j as f32 / 59.0])
+        })
+        .collect();
+    println!("  observing {} executions…", training.len());
+
+    // -----------------------------------------------------------------
+    // 3. Compile: observation → topology search → training → codegen.
+    // -----------------------------------------------------------------
+    let compiler = ParrotCompiler::new(CompileParams::default());
+    let compiled = compiler.compile(&region, &training)?;
+    let best = &compiled.search_outcome().best;
+    println!("  selected topology: {}", compiled.config().topology());
+    println!("  test-split MSE:    {:.6}", best.test_mse);
+    println!(
+        "  NPU latency:       {} cycles/invocation",
+        estimate_latency(compiled.config().topology(), compiled.npu_params())
+    );
+    println!(
+        "  replacement stub:  {} instructions ({} enq.d + {} deq.d + ret)",
+        compiled.invocation_stub().len(),
+        region.n_inputs(),
+        region.n_outputs()
+    );
+    println!(
+        "  config stream:     {} words via enq.c",
+        compiled.config().encoded_len()
+    );
+
+    // -----------------------------------------------------------------
+    // 4. Execute: compare precise vs. NPU results on unseen inputs.
+    // -----------------------------------------------------------------
+    println!("\n  x      y      precise   npu       |error|");
+    let mut worst = 0.0f32;
+    for &(x, y) in &[
+        (0.0f32, 0.0f32),
+        (0.5, -0.5),
+        (1.3, 0.7),
+        (-1.2, 1.0),
+        (0.33, 1.21),
+    ] {
+        let precise = region.evaluate(&[x, y])?[0];
+        let approx = compiled.evaluate(&[x, y])[0];
+        let err = (precise - approx).abs();
+        worst = worst.max(err);
+        println!("  {x:<6.2} {y:<6.2} {precise:<9.4} {approx:<9.4} {err:.4}");
+    }
+    println!("\n  worst sampled error: {worst:.4} — imprecise but acceptable,");
+    println!("  and each invocation now costs a handful of queue instructions.");
+    Ok(())
+}

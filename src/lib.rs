@@ -1,0 +1,28 @@
+//! Umbrella crate for the MICRO 2012 *Neural Acceleration for
+//! General-Purpose Approximate Programs* reproduction.
+//!
+//! This package hosts the repository-level examples and cross-crate
+//! integration tests; the functionality lives in the workspace crates,
+//! re-exported here for convenience:
+//!
+//! * [`parrot`] — the Parrot transformation (observe → train → codegen)
+//!   and quality control;
+//! * [`ann`] — MLPs, backpropagation, topology search;
+//! * [`approx_ir`] — the candidate-region IR and tracing interpreter;
+//! * [`uarch`] — the out-of-order core model with NPU queue ISA;
+//! * [`npu`] — the cycle-accurate neural processing unit;
+//! * [`energy`] — the event-based 45 nm energy model;
+//! * [`benchmarks`] — the six-application evaluation suite.
+//!
+//! Start with `examples/quickstart.rs`, or see README.md for the full
+//! tour and `crates/bench` for the table/figure harness.
+
+#![forbid(unsafe_code)]
+
+pub use ann;
+pub use approx_ir;
+pub use benchmarks;
+pub use energy;
+pub use npu;
+pub use parrot;
+pub use uarch;

@@ -1,0 +1,153 @@
+//! End-to-end integration tests: the full Parrot pipeline — observe,
+//! train, generate code, and run whole applications on the NPU — across
+//! crates.
+
+use ann::{SearchParams, TrainParams};
+use benchmarks::runner::{run_counting, run_functional};
+use benchmarks::{all_benchmarks, AppVariant, Benchmark, Scale};
+use parrot::{CompileParams, CompiledRegion, ParrotCompiler};
+
+fn fast_compile(bench: &dyn Benchmark, scale: &Scale) -> CompiledRegion {
+    let params = CompileParams {
+        search: SearchParams {
+            max_hidden_layers: 1,
+            max_hidden_neurons: 8,
+            train: TrainParams {
+                epochs: 80,
+                learning_rate: 0.1,
+                ..TrainParams::default()
+            },
+            ..SearchParams::default()
+        },
+        max_training_samples: 400,
+        ..CompileParams::default()
+    };
+    ParrotCompiler::new(params)
+        .compile(&bench.region(), &bench.training_inputs(scale))
+        .unwrap_or_else(|e| panic!("compiling {} failed: {e}", bench.name()))
+}
+
+/// Every benchmark's full transformed application runs to completion on
+/// the NPU path and produces outputs of the right shape, with a bounded
+/// error against the precise baseline.
+#[test]
+fn all_benchmarks_run_transformed_end_to_end() {
+    let scale = Scale::small();
+    for bench in all_benchmarks() {
+        let compiled = fast_compile(bench.as_ref(), &scale);
+        let precise_app = bench.build_app(&AppVariant::Precise, &scale);
+        let precise = run_functional(&precise_app, &AppVariant::Precise)
+            .unwrap_or_else(|e| panic!("{} baseline: {e}", bench.name()));
+        let variant = AppVariant::Npu(&compiled);
+        let npu_app = bench.build_app(&variant, &scale);
+        let npu = run_functional(&npu_app, &variant)
+            .unwrap_or_else(|e| panic!("{} npu app: {e}", bench.name()));
+
+        let reference = bench.extract_outputs(&precise.memory, &scale);
+        let approx = bench.extract_outputs(&npu.memory, &scale);
+        assert_eq!(
+            reference.len(),
+            approx.len(),
+            "{}: output shapes differ",
+            bench.name()
+        );
+        let error = bench.app_error(&reference, &approx);
+        // Minimal training: errors are loose but must be far from chance.
+        assert!(
+            error < 0.5,
+            "{}: whole-app error {error} out of range",
+            bench.name()
+        );
+        // And the transformation must actually change something.
+        assert!(
+            error >= 0.0 && reference != approx,
+            "{}: approximate run suspiciously identical",
+            bench.name()
+        );
+    }
+}
+
+/// The transformed program executes NPU queue instructions in exactly the
+/// ratio the region arity implies, and elides the region's work.
+#[test]
+fn queue_instruction_counts_match_region_arity() {
+    let scale = Scale::small();
+    let bench = benchmarks::sobel::Sobel;
+    let compiled = fast_compile(&bench, &scale);
+    let variant = AppVariant::Npu(&compiled);
+    let app = bench.build_app(&variant, &scale);
+    let (_, counts) = run_counting(&app, &variant).unwrap();
+    let invocations = (scale.image_dim - 2) * (scale.image_dim - 2);
+    let config_words = compiled.config().encoded_len() as u64;
+    // 9 enq.d + 1 deq.d per invocation, plus the one-time enq.c stream.
+    assert_eq!(
+        counts.npu_queue,
+        (invocations * 10) as u64 + config_words,
+        "queue instruction accounting"
+    );
+}
+
+/// The baseline application executes zero NPU queue instructions.
+#[test]
+fn baseline_never_touches_the_npu() {
+    let scale = Scale::small();
+    for bench in all_benchmarks() {
+        let app = bench.build_app(&AppVariant::Precise, &scale);
+        assert!(!app.needs_npu, "{}", bench.name());
+        let (_, counts) = run_counting(&app, &AppVariant::Precise).unwrap();
+        assert_eq!(counts.npu_queue, 0, "{}", bench.name());
+    }
+}
+
+/// The functional NPU value seen by the application equals the compiled
+/// region's reference evaluation, invocation by invocation.
+#[test]
+fn npu_application_values_match_reference_evaluation() {
+    let scale = Scale::small();
+    let bench = benchmarks::inversek2j::InverseK2j;
+    let compiled = fast_compile(&bench, &scale);
+    let variant = AppVariant::Npu(&compiled);
+    let app = bench.build_app(&variant, &scale);
+    let npu = run_functional(&app, &variant).unwrap();
+    let outputs = bench.extract_outputs(&npu.memory, &scale);
+    // Recompute the first few invocations directly from app memory inputs.
+    for k in 0..5 {
+        let x = app.memory[2 * k];
+        let y = app.memory[2 * k + 1];
+        let want = compiled.evaluate(&[x, y]);
+        assert!(
+            (outputs[2 * k] - want[0]).abs() < 1e-5 && (outputs[2 * k + 1] - want[1]).abs() < 1e-5,
+            "invocation {k}: app ({}, {}) vs reference ({}, {})",
+            outputs[2 * k],
+            outputs[2 * k + 1],
+            want[0],
+            want[1]
+        );
+    }
+}
+
+/// Software-NN variant also runs end to end and approximates the same
+/// function (Figure 9's configuration). Compared on sobel, whose
+/// per-pixel outputs are independent — kmeans would amplify the tiny
+/// LUT-vs-exact sigmoid difference through its argmin/centroid feedback.
+#[test]
+fn software_nn_variant_matches_npu_values() {
+    let scale = Scale::small();
+    let bench = benchmarks::sobel::Sobel;
+    let compiled = fast_compile(&bench, &scale);
+
+    let npu_variant = AppVariant::Npu(&compiled);
+    let npu_app = bench.build_app(&npu_variant, &scale);
+    let npu = run_functional(&npu_app, &npu_variant).unwrap();
+
+    let sw_variant = AppVariant::SoftwareNn(&compiled);
+    let sw_app = bench.build_app(&sw_variant, &scale);
+    assert!(!sw_app.needs_npu);
+    let sw = run_functional(&sw_app, &sw_variant).unwrap();
+
+    let a = bench.extract_outputs(&npu.memory, &scale);
+    let b = bench.extract_outputs(&sw.memory, &scale);
+    // Same network; only sigmoid LUT quantization differs.
+    let diff = parrot::quality::image_rmse(&a, &b, 1.0);
+    assert!(diff < 0.01, "software vs hardware NN diverge: {diff}");
+}

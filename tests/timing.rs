@@ -1,0 +1,129 @@
+//! Cross-crate timing integration: the cycle-level results must show the
+//! paper's qualitative shape even at reduced scale.
+
+use ann::{SearchParams, TrainParams};
+use benchmarks::runner::{run_timed, run_timed_ideal};
+use benchmarks::{AppVariant, Benchmark, Scale};
+use parrot::{CompileParams, CompiledRegion, ParrotCompiler};
+use uarch::CoreConfig;
+
+/// Compiles with the paper's published topology (timing shape depends on
+/// the network size, not on how well it trained, so training is minimal).
+fn fast_compile(bench: &dyn Benchmark, scale: &Scale) -> CompiledRegion {
+    let params = CompileParams {
+        search: SearchParams {
+            train: TrainParams {
+                epochs: 40,
+                learning_rate: 0.1,
+                ..TrainParams::default()
+            },
+            ..SearchParams::default()
+        },
+        max_training_samples: 300,
+        ..CompileParams::default()
+    };
+    let topology = ann::Topology::new(bench.paper_topology()).expect("paper topology");
+    ParrotCompiler::new(params)
+        .compile_with_topology(&bench.region(), &bench.training_inputs(scale), topology)
+        .unwrap_or_else(|e| panic!("compiling {} failed: {e}", bench.name()))
+}
+
+fn speedup_of(bench: &dyn Benchmark, scale: &Scale) -> (f64, f64) {
+    let compiled = fast_compile(bench, scale);
+    let base_app = bench.build_app(&AppVariant::Precise, scale);
+    let (_, base, _) =
+        run_timed(&base_app, &AppVariant::Precise, CoreConfig::penryn_like()).unwrap();
+    let variant = AppVariant::Npu(&compiled);
+    let app = bench.build_app(&variant, scale);
+    let (_, npu, _) = run_timed(&app, &variant, CoreConfig::penryn_like()).unwrap();
+    let t = compiled.config().topology();
+    let (_, ideal) = run_timed_ideal(
+        &app,
+        &variant,
+        CoreConfig::penryn_like(),
+        t.inputs(),
+        t.outputs(),
+    )
+    .unwrap();
+    (
+        base.cycles as f64 / npu.cycles as f64,
+        base.cycles as f64 / ideal.cycles as f64,
+    )
+}
+
+/// inversek2j is the paper's best case: its libm-heavy region shrinks to
+/// a four-value queue exchange, so the speedup must be large.
+#[test]
+fn inversek2j_speeds_up_substantially() {
+    let scale = Scale::small();
+    let (speedup, ideal) = speedup_of(&benchmarks::inversek2j::InverseK2j, &scale);
+    assert!(speedup > 2.0, "inversek2j speedup only {speedup:.2}x");
+    assert!(
+        ideal >= speedup * 0.99,
+        "ideal ({ideal:.2}x) must bound real ({speedup:.2}x)"
+    );
+}
+
+/// kmeans is the paper's counter-example: the region is so small that
+/// queue traffic and NPU latency outweigh the elided work, producing a
+/// slowdown.
+#[test]
+fn kmeans_slows_down() {
+    let scale = Scale::small();
+    let (speedup, _) = speedup_of(&benchmarks::kmeans::Kmeans, &scale);
+    assert!(speedup < 1.0, "kmeans should slow down, got {speedup:.2}x");
+}
+
+/// The ideal (zero-cycle) NPU bounds the real NPU's speedup for every
+/// benchmark it is measured on.
+#[test]
+fn ideal_npu_is_an_upper_bound() {
+    let scale = Scale::small();
+    for bench in [
+        &benchmarks::sobel::Sobel as &dyn Benchmark,
+        &benchmarks::fft::Fft,
+    ] {
+        let (speedup, ideal) = speedup_of(bench, &scale);
+        assert!(
+            ideal >= speedup * 0.99,
+            "{}: ideal {ideal:.2}x < real {speedup:.2}x",
+            bench.name()
+        );
+    }
+}
+
+/// Growing the CPU↔NPU link latency must monotonically (weakly) reduce
+/// inversek2j's speedup — the paper's Figure 10 trend for fine-grained
+/// regions.
+#[test]
+fn link_latency_hurts_fine_grained_regions() {
+    let scale = Scale::small();
+    let bench = benchmarks::inversek2j::InverseK2j;
+    let compiled = fast_compile(&bench, &scale);
+    let variant = AppVariant::Npu(&compiled);
+    let app = bench.build_app(&variant, &scale);
+    let mut cycles = Vec::new();
+    for lat in [1u64, 8, 32] {
+        let (_, stats, _) =
+            run_timed(&app, &variant, CoreConfig::with_npu_link_latency(lat)).unwrap();
+        cycles.push(stats.cycles);
+    }
+    assert!(
+        cycles[0] <= cycles[1] && cycles[1] < cycles[2],
+        "cycles must grow with link latency: {cycles:?}"
+    );
+}
+
+/// The NPU timing unit reports invocation counts that match the
+/// application's region call count.
+#[test]
+fn npu_invocation_count_matches_application() {
+    let scale = Scale::small();
+    let bench = benchmarks::sobel::Sobel;
+    let compiled = fast_compile(&bench, &scale);
+    let variant = AppVariant::Npu(&compiled);
+    let app = bench.build_app(&variant, &scale);
+    let (_, _, npu_stats) = run_timed(&app, &variant, CoreConfig::penryn_like()).unwrap();
+    let invocations = ((scale.image_dim - 2) * (scale.image_dim - 2)) as u64;
+    assert_eq!(npu_stats.expect("npu attached").invocations, invocations);
+}
