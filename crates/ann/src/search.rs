@@ -87,6 +87,31 @@ pub struct SearchOutcome {
     pub all_candidates: Vec<TopologyCandidate>,
 }
 
+impl SearchOutcome {
+    /// Exports the search's summary into `registry` under `prefix`
+    /// (e.g. `ann.search`): the candidate count, the selected network's
+    /// errors and latency, and per-candidate MSE/latency histograms.
+    pub fn export_metrics(&self, registry: &mut telemetry::MetricsRegistry, prefix: &str) {
+        registry.add(
+            &format!("{prefix}.candidates"),
+            self.all_candidates.len() as u64,
+        );
+        registry.set_gauge(&format!("{prefix}.best_test_mse"), self.best.test_mse);
+        registry.set_gauge(&format!("{prefix}.best_train_mse"), self.best.train_mse);
+        registry.set_gauge(
+            &format!("{prefix}.best_npu_latency"),
+            self.best.npu_latency as f64,
+        );
+        for candidate in &self.all_candidates {
+            registry.observe(&format!("{prefix}.test_mse"), candidate.test_mse);
+            registry.observe(
+                &format!("{prefix}.npu_latency"),
+                candidate.npu_latency as f64,
+            );
+        }
+    }
+}
+
 /// Enumerates, trains, and ranks candidate topologies.
 #[derive(Debug, Clone)]
 pub struct TopologySearch {
@@ -243,6 +268,17 @@ impl TopologySearch {
                         train_mse: report.final_mse,
                         topology,
                     };
+                    if telemetry::enabled(telemetry::Level::Debug) {
+                        telemetry::emit(telemetry::Level::Debug, "ann::search", || {
+                            telemetry::EventKind::CandidateTrained {
+                                topology: candidate.topology.to_string(),
+                                test_mse: candidate.test_mse,
+                                train_mse: candidate.train_mse,
+                                epochs: report.epochs_run as u64,
+                                npu_latency: candidate.npu_latency,
+                            }
+                        });
+                    }
                     results.lock().push((candidate, mlp));
                 });
             }

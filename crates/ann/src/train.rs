@@ -105,10 +105,24 @@ impl Trainer {
             .iter()
             .map(|m| vec![0.0; m.len()])
             .collect();
-        for _ in 0..self.params.epochs {
+        // The MSE learning curve costs a full-dataset evaluation per
+        // sample, so it is taken (at ~8 points) only when debug tracing
+        // is on; the training loop itself is unchanged otherwise.
+        let curve = telemetry::enabled(telemetry::Level::Debug);
+        let stride = (self.params.epochs / 8).max(1);
+        for epoch in 0..self.params.epochs {
             order.shuffle(&mut rng);
             for &i in &order {
                 self.backprop_one(mlp, data.input(i), data.output(i), &mut velocity);
+            }
+            if curve && (epoch + 1) % stride == 0 {
+                let sample = mse(mlp, data);
+                telemetry::emit(telemetry::Level::Debug, "ann::train", || {
+                    telemetry::EventKind::TrainEpoch {
+                        epoch: (epoch + 1) as u64,
+                        mse: sample,
+                    }
+                });
             }
         }
         TrainReport {

@@ -108,11 +108,69 @@ fn bench_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead on the simulator hot loops: identical work with
+/// the collector off (the default) vs. fully enabled into a black-hole
+/// sink. The disabled path must stay within noise (<2%) of the seed's
+/// uninstrumented loop — emission sites cost one relaxed atomic load.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    struct NullSink;
+    impl telemetry::Sink for NullSink {
+        fn record(&self, event: &telemetry::Event) {
+            criterion::black_box(event.seq);
+        }
+    }
+
+    let config = config_for(vec![9, 8, 1]);
+    let inputs: Vec<f32> = (0..9).map(|i| 0.1 + 0.08 * i as f32).collect();
+    let events: Vec<TraceEvent> = (0..10_000)
+        .map(|i| {
+            TraceEvent::simple(
+                i % 64,
+                OpClass::IntAlu,
+                [None; 3],
+                Some((i % 50 + 8) as u16),
+            )
+        })
+        .collect();
+    let run_core = |events: &[TraceEvent]| {
+        let mut core = Core::new(CoreConfig::penryn_like());
+        for ev in events {
+            core.feed(*ev);
+        }
+        core.finish().cycles
+    };
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    telemetry::reset();
+    group.bench_function("npu_hot_loop/disabled", |b| {
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        b.iter(|| sim.evaluate_invocation(&inputs).unwrap());
+    });
+    group.bench_function("core_sim_10k_alu/disabled", |b| {
+        b.iter(|| run_core(&events))
+    });
+
+    telemetry::add_sink(Box::new(NullSink));
+    telemetry::set_level(telemetry::Level::Trace);
+    group.bench_function("npu_hot_loop/trace_enabled", |b| {
+        let mut sim = NpuSim::new(NpuParams::default());
+        sim.configure(&config).unwrap();
+        b.iter(|| sim.evaluate_invocation(&inputs).unwrap());
+    });
+    group.bench_function("core_sim_10k_alu/trace_enabled", |b| {
+        b.iter(|| run_core(&events))
+    });
+    telemetry::reset();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_npu_invocation,
     bench_training_epoch,
     bench_core_throughput,
-    bench_forward
+    bench_forward,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

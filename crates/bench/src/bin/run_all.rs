@@ -158,5 +158,17 @@ fn main() {
         println!("  {label:<12} {:+.1}%", 100.0 * gain);
     }
 
+    // Machine-readable run reports (one JSON file per benchmark).
+    if let Some(dir) = &opts.json_out {
+        let wall_clock_us = t0.elapsed().as_micros() as u64;
+        for mut report in lab.run_reports("run_all", opts.mode()) {
+            report.wall_clock_us = wall_clock_us;
+            match report.write_into(dir) {
+                Ok(path) => eprintln!("[run_all] wrote {}", path.display()),
+                Err(e) => eprintln!("[run_all] failed to write report: {e}"),
+            }
+        }
+    }
+
     eprintln!("\n[run_all] completed in {:.1?}", t0.elapsed());
 }

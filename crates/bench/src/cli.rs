@@ -1,6 +1,8 @@
 //! Minimal argument handling shared by the experiment binaries.
 
 use benchmarks::Scale;
+use std::path::PathBuf;
+use telemetry::Level;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -9,10 +11,16 @@ pub struct Options {
     pub fast: bool,
     /// Restrict to one benchmark by name.
     pub only: Option<String>,
+    /// Structured-tracing verbosity (`--log-level`, default off).
+    pub log_level: Level,
+    /// Directory for per-benchmark JSON run reports (`--json-out`).
+    pub json_out: Option<PathBuf>,
 }
 
 impl Options {
-    /// Parses `std::env::args()`.
+    /// Parses `std::env::args()` and applies the telemetry options: the
+    /// global level is set, and a stderr event printer is installed when
+    /// tracing is enabled.
     ///
     /// # Panics
     ///
@@ -20,6 +28,8 @@ impl Options {
     pub fn from_args() -> Self {
         let mut fast = false;
         let mut only = None;
+        let mut log_level = Level::Off;
+        let mut json_out = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -28,11 +38,36 @@ impl Options {
                 "--bench" => {
                     only = Some(args.next().unwrap_or_else(|| usage("--bench needs a name")));
                 }
+                "--log-level" => {
+                    let value = args
+                        .next()
+                        .unwrap_or_else(|| usage("--log-level needs a level"));
+                    log_level = Level::parse(&value).unwrap_or_else(|| {
+                        usage(&format!(
+                            "unknown log level {value} (off|error|warn|info|debug|trace)"
+                        ))
+                    });
+                }
+                "--json-out" => {
+                    let dir = args
+                        .next()
+                        .unwrap_or_else(|| usage("--json-out needs a directory"));
+                    json_out = Some(PathBuf::from(dir));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
-        Options { fast, only }
+        telemetry::set_level(log_level);
+        if log_level > Level::Off {
+            telemetry::install_stderr_sink();
+        }
+        Options {
+            fast,
+            only,
+            log_level,
+            json_out,
+        }
     }
 
     /// The evaluation input sizes implied by the options.
@@ -53,15 +88,28 @@ impl Options {
             Scale::paper()
         }
     }
+
+    /// The run-mode name recorded in run reports.
+    pub fn mode(&self) -> &'static str {
+        if self.fast {
+            "fast"
+        } else {
+            "paper"
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <binary> [--fast|--paper] [--bench <name>]");
-    eprintln!("  --fast   reduced inputs and training budget");
-    eprintln!("  --paper  the paper's input sizes (default)");
-    eprintln!("  --bench  run a single benchmark (fft, inversek2j, jmeint, jpeg, kmeans, sobel)");
+    eprintln!("usage: <binary> [--fast|--paper] [--bench <name>] [--log-level <level>] [--json-out <dir>]");
+    eprintln!("  --fast       reduced inputs and training budget");
+    eprintln!("  --paper      the paper's input sizes (default)");
+    eprintln!(
+        "  --bench      run a single benchmark (fft, inversek2j, jmeint, jpeg, kmeans, sobel)"
+    );
+    eprintln!("  --log-level  structured tracing verbosity: off|error|warn|info|debug|trace (default off)");
+    eprintln!("  --json-out   write one JSON run report per benchmark into this directory");
     std::process::exit(2);
 }

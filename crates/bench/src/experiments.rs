@@ -123,6 +123,7 @@ pub struct Lab {
     baseline_outputs: HashMap<String, Vec<f32>>,
     npu_outputs: HashMap<String, Vec<f32>>,
     baseline_timing: HashMap<String, (SimStats, f64)>,
+    npu_timing: HashMap<String, (SimStats, Option<npu::NpuStats>)>,
 }
 
 impl Lab {
@@ -134,6 +135,7 @@ impl Lab {
             baseline_outputs: HashMap::new(),
             npu_outputs: HashMap::new(),
             baseline_timing: HashMap::new(),
+            npu_timing: HashMap::new(),
         }
     }
 
@@ -169,6 +171,7 @@ impl Lab {
             return *v;
         }
         eprintln!("[timing] {name}: baseline (core only)…");
+        let _span = telemetry::span("bench::lab", "timing.baseline");
         let app = entry
             .bench
             .build_app(&AppVariant::Precise, &self.suite.scale);
@@ -178,6 +181,56 @@ impl Lab {
         let energy_pj = self.energy.core_energy(&stats).total_pj();
         self.baseline_timing.insert(name, (stats, energy_pj));
         (stats, energy_pj)
+    }
+
+    fn npu_timing(&mut self, i: usize) -> (SimStats, Option<npu::NpuStats>) {
+        let entry = &self.suite.entries[i];
+        let name = entry.bench.name().to_string();
+        if let Some(v) = self.npu_timing.get(&name) {
+            return *v;
+        }
+        eprintln!("[timing] {name}: core + 8-PE NPU…");
+        let _span = telemetry::span("bench::lab", "timing.npu");
+        let variant = AppVariant::Npu(&entry.compiled);
+        let app = entry.bench.build_app(&variant, &self.suite.scale);
+        let (_, stats, unit_stats) =
+            runner::run_timed(&app, &variant, CoreConfig::penryn_like()).expect("npu app must run");
+        self.npu_timing.insert(name, (stats, unit_stats));
+        (stats, unit_stats)
+    }
+
+    /// Builds one JSON-serializable run report per benchmark, reusing the
+    /// cached timing runs: compilation phase timings, the unified core and
+    /// NPU counters for the baseline and transformed runs, the topology
+    /// search summary, and the headline speedup gauge.
+    pub fn run_reports(&mut self, suite_name: &str, mode: &str) -> Vec<telemetry::RunReport> {
+        let mut reports = Vec::new();
+        for i in 0..self.suite.entries.len() {
+            let (base_stats, _) = self.baseline_timing(i);
+            let (npu_stats, unit_stats) = self.npu_timing(i);
+            let entry = &self.suite.entries[i];
+            let mut report = telemetry::RunReport::new(suite_name, entry.bench.name(), mode);
+            for phase in entry.compiled.phases() {
+                report.push_phase(phase.clone());
+            }
+            base_stats.export(&mut report.metrics, "uarch.baseline");
+            npu_stats.export(&mut report.metrics, "uarch.npu");
+            if let Some(unit) = unit_stats {
+                unit.export(&mut report.metrics, "npu");
+            }
+            entry
+                .compiled
+                .search_outcome()
+                .export_metrics(&mut report.metrics, "ann.search");
+            if npu_stats.cycles > 0 {
+                report.metrics.set_gauge(
+                    "speedup",
+                    base_stats.cycles as f64 / npu_stats.cycles as f64,
+                );
+            }
+            reports.push(report);
+        }
+        reports
     }
 
     // -----------------------------------------------------------------
@@ -271,16 +324,12 @@ impl Lab {
         let mut rows = Vec::new();
         for i in 0..self.suite.entries.len() {
             let (base_stats, base_energy) = self.baseline_timing(i);
+            let (npu_stats, npu_unit_stats) = self.npu_timing(i);
             let entry = &self.suite.entries[i];
             let scale = self.suite.scale;
             let name = entry.bench.name().to_string();
-
-            eprintln!("[timing] {name}: core + 8-PE NPU…");
             let variant = AppVariant::Npu(&entry.compiled);
             let app = entry.bench.build_app(&variant, &scale);
-            let (_, npu_stats, npu_unit_stats) =
-                runner::run_timed(&app, &variant, CoreConfig::penryn_like())
-                    .expect("npu app must run");
             let npu_energy = self
                 .energy
                 .system_energy(&npu_stats, npu_unit_stats.as_ref())

@@ -586,7 +586,7 @@ fn random_pairs(n: usize, seed: u64) -> Vec<Vec<f32>> {
             let anchor: [f32; 3] = [rng.gen(), rng.gen(), rng.gen()];
             for k in 0..3 {
                 for c in 0..3 {
-                    pair[3 * k + c] = anchor[c] + rng.gen_range(-0.3..0.3);
+                    pair[3 * k + c] = anchor[c] + rng.gen_range(-0.3f32..0.3);
                 }
             }
             // Triangle U: near V's anchor (post-broad-phase candidate).
@@ -597,7 +597,7 @@ fn random_pairs(n: usize, seed: u64) -> Vec<Vec<f32>> {
             ];
             for k in 0..3 {
                 for c in 0..3 {
-                    pair[9 + 3 * k + c] = anchor[c] + offset[c] + rng.gen_range(-0.3..0.3);
+                    pair[9 + 3 * k + c] = anchor[c] + offset[c] + rng.gen_range(-0.3f32..0.3);
                 }
             }
             pair

@@ -65,6 +65,7 @@ pub struct CompiledRegion {
     invocation_stub: Function,
     config_loader: Function,
     npu_params: NpuParams,
+    phases: Vec<telemetry::PhaseTiming>,
 }
 
 impl CompiledRegion {
@@ -122,6 +123,12 @@ impl CompiledRegion {
     /// The NPU sizing this region was compiled for.
     pub fn npu_params(&self) -> &NpuParams {
         &self.npu_params
+    }
+
+    /// Wall-clock timings of the compilation phases (observe, dataset,
+    /// topology search + training, codegen), in execution order.
+    pub fn phases(&self) -> &[telemetry::PhaseTiming] {
+        &self.phases
     }
 
     /// Builds a configured NPU with different hardware parameters (the
@@ -207,12 +214,20 @@ impl ParrotCompiler {
         training_inputs: &[Vec<f32>],
         forced: Option<ann::Topology>,
     ) -> Result<CompiledRegion, ParrotError> {
+        let mut phases = Vec::new();
+
         // 1. Code observation.
+        let span = telemetry::span("parrot::compiler", "observe");
         let obs = observe(region, training_inputs)?;
+        phases.push(span.finish());
 
         // 2. Topology search + training on normalized data.
+        let span = telemetry::span("parrot::compiler", "dataset");
         let full = normalized_dataset(&obs);
         let data = full.subsample(self.params.max_training_samples, SUBSAMPLE_SEED);
+        phases.push(span.finish());
+
+        let span = telemetry::span("parrot::compiler", "topology_search");
         let npu_params = self.params.npu.clone();
         let search = TopologySearch::new(self.params.search.clone());
         // Candidates that do not fit the NPU's structures are excluded
@@ -222,8 +237,10 @@ impl ParrotCompiler {
             Some(t) => search.run_with_candidates(&data, vec![t], &cost)?,
             None => search.run(&data, &cost)?,
         };
+        phases.push(span.finish());
 
         // 3. Code generation.
+        let span = telemetry::span("parrot::compiler", "codegen");
         let config = NpuConfig::new(
             outcome.mlp.clone(),
             obs.input_norm.clone(),
@@ -233,6 +250,8 @@ impl ParrotCompiler {
         npu::Scheduler::new(npu_params.clone()).schedule(&config)?;
         let invocation_stub = codegen::build_invocation_stub(region.n_inputs(), region.n_outputs());
         let config_loader = codegen::build_config_loader(&config);
+        phases.push(span.finish());
+
         Ok(CompiledRegion {
             region_name: region.name().to_string(),
             config,
@@ -240,6 +259,7 @@ impl ParrotCompiler {
             invocation_stub,
             config_loader,
             npu_params,
+            phases,
         })
     }
 }
@@ -302,6 +322,19 @@ mod tests {
         let got = sim.evaluate_invocation(&[0.4, 0.6]).unwrap();
         let want = compiled.evaluate(&[0.4, 0.6]);
         assert!((got[0] - want[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compile_records_phase_timings() {
+        let region = smooth_region();
+        let compiled = ParrotCompiler::new(CompileParams::fast())
+            .compile(&region, &grid_inputs())
+            .unwrap();
+        let names: Vec<&str> = compiled.phases().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["observe", "dataset", "topology_search", "codegen"]);
+        // Search+training dominates compilation for any real region.
+        let search = &compiled.phases()[2];
+        assert!(search.elapsed_us > 0);
     }
 
     #[test]

@@ -336,6 +336,14 @@ impl NpuSim {
     /// speculative head, resets any invocation that consumed invalidated
     /// inputs, and invalidates outputs derived from them.
     pub fn squash(&mut self, n_enq: usize, n_deq: usize) {
+        if telemetry::enabled(telemetry::Level::Trace) {
+            telemetry::emit(telemetry::Level::Trace, "npu::sim", || {
+                telemetry::EventKind::NpuSquash {
+                    enq: n_enq as u64,
+                    deq: n_deq as u64,
+                }
+            });
+        }
         self.output_fifo.squash_pops(n_deq);
         let overrun = self.input_fifo.squash_pushes(n_enq);
         if overrun == 0 {

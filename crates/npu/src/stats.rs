@@ -36,6 +36,47 @@ pub struct NpuStats {
 }
 
 impl NpuStats {
+    /// Fraction of simulated cycles with an invocation in flight
+    /// (0 when no cycles were simulated).
+    pub fn occupancy(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.active_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Fraction of started invocations lost to misspeculation squashes
+    /// (0 when nothing ran).
+    pub fn squash_rate(&self) -> f64 {
+        let started = self.invocations + self.squashed_invocations;
+        if started == 0 {
+            0.0
+        } else {
+            self.squashed_invocations as f64 / started as f64
+        }
+    }
+
+    /// Exports every raw counter and the derived rates into `registry`
+    /// under `prefix` (e.g. `npu`).
+    pub fn export(&self, registry: &mut telemetry::MetricsRegistry, prefix: &str) {
+        let mut c = |name: &str, value: u64| registry.add(&format!("{prefix}.{name}"), value);
+        c("macs", self.macs);
+        c("sigmoids", self.sigmoids);
+        c("weight_reads", self.weight_reads);
+        c("bus_transfers", self.bus_transfers);
+        c("input_reads", self.input_reads);
+        c("outputs_produced", self.outputs_produced);
+        c("config_words", self.config_words);
+        c("invocations", self.invocations);
+        c("squashed_invocations", self.squashed_invocations);
+        c("faults_injected", self.faults_injected);
+        c("active_cycles", self.active_cycles);
+        c("total_cycles", self.total_cycles);
+        registry.set_gauge(&format!("{prefix}.occupancy"), self.occupancy());
+        registry.set_gauge(&format!("{prefix}.squash_rate"), self.squash_rate());
+    }
+
     /// Accumulates `other` into `self`.
     pub fn merge(&mut self, other: &NpuStats) {
         self.macs += other.macs;
@@ -73,5 +114,34 @@ mod tests {
         assert_eq!(a.macs, 12);
         assert_eq!(a.sigmoids, 3);
         assert_eq!(a.invocations, 1);
+    }
+
+    #[test]
+    fn occupancy_guards_division_by_zero() {
+        assert_eq!(NpuStats::default().occupancy(), 0.0);
+        assert_eq!(NpuStats::default().squash_rate(), 0.0);
+        let s = NpuStats {
+            active_cycles: 30,
+            total_cycles: 120,
+            invocations: 3,
+            squashed_invocations: 1,
+            ..NpuStats::default()
+        };
+        assert!((s.occupancy() - 0.25).abs() < 1e-12);
+        assert!((s.squash_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_namespaces_counters_and_rates() {
+        let s = NpuStats {
+            macs: 64,
+            active_cycles: 10,
+            total_cycles: 40,
+            ..NpuStats::default()
+        };
+        let mut reg = telemetry::MetricsRegistry::new();
+        s.export(&mut reg, "npu");
+        assert_eq!(reg.counter("npu.macs"), 64);
+        assert_eq!(reg.gauge("npu.occupancy"), Some(0.25));
     }
 }

@@ -1,0 +1,298 @@
+//! Workspace-wide observability: structured tracing, a unified metrics
+//! registry, and JSON run reports.
+//!
+//! Three layers, usable independently:
+//!
+//! 1. **Events** — typed records ([`EventKind`]) emitted through a global
+//!    collector to pluggable [`Sink`]s (stderr pretty-printer, JSONL
+//!    file, in-memory capture) and retained in a bounded ring buffer.
+//!    Emission is gated on a single relaxed atomic load, so
+//!    instrumentation left in simulator hot loops is effectively free
+//!    while the level is [`Level::Off`] (the default).
+//! 2. **Metrics** — a [`MetricsRegistry`] of namespaced counters, gauges,
+//!    and histograms that every subsystem (core simulator, NPU, trainer)
+//!    exports into under its own prefix, with merge and serde support.
+//! 3. **Reports** — a [`RunReport`] JSON schema combining wall-clock,
+//!    per-phase timings, and a metrics registry; the bench binaries write
+//!    one per benchmark under `results/`.
+//!
+//! # Emitting
+//!
+//! ```
+//! use telemetry::{EventKind, Level};
+//!
+//! let capture = telemetry::capture();
+//! telemetry::set_level(Level::Info);
+//! {
+//!     let _span = telemetry::span("example", "setup");
+//!     telemetry::emit(Level::Info, "example", || EventKind::Message {
+//!         text: "ready".into(),
+//!     });
+//! } // span emits PhaseEnd here
+//! assert_eq!(capture.events().len(), 3);
+//! telemetry::reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod report;
+mod ring;
+mod sink;
+mod span;
+
+pub use event::{Event, EventKind, Level};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use report::{PhaseTiming, RunReport, SCHEMA_VERSION};
+pub use ring::RingBuffer;
+pub use sink::{CaptureSink, JsonlSink, Sink, StderrSink};
+pub use span::Span;
+
+pub(crate) mod collector {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::time::Instant;
+
+    /// Collector verbosity; `0` = off. Relaxed ordering suffices: the
+    /// check is a pure fast-path filter and sinks synchronize via the
+    /// state lock.
+    static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+    static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+    const DEFAULT_RING_CAPACITY: usize = 1024;
+
+    pub(crate) struct State {
+        sinks: Vec<Box<dyn Sink>>,
+        ring: RingBuffer,
+        seq: u64,
+        epoch: Instant,
+    }
+
+    impl State {
+        fn new() -> State {
+            State {
+                sinks: Vec::new(),
+                ring: RingBuffer::new(DEFAULT_RING_CAPACITY),
+                seq: 0,
+                epoch: Instant::now(),
+            }
+        }
+    }
+
+    fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
+        let mut guard = STATE.lock();
+        f(guard.get_or_insert_with(State::new))
+    }
+
+    pub(crate) fn set_level(level: Level) {
+        LEVEL.store(level as u8, Ordering::Relaxed);
+    }
+
+    pub(crate) fn level() -> Level {
+        Level::from_u8(LEVEL.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn enabled(level: Level) -> bool {
+        level as u8 <= LEVEL.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn emit(level: Level, target: &str, build: impl FnOnce() -> EventKind) {
+        if !enabled(level) {
+            return;
+        }
+        let kind = build();
+        with_state(|state| {
+            state.seq += 1;
+            let event = Event {
+                seq: state.seq,
+                elapsed_us: state.epoch.elapsed().as_micros() as u64,
+                level,
+                target: target.to_string(),
+                kind,
+            };
+            for sink in &state.sinks {
+                sink.record(&event);
+            }
+            state.ring.push(event);
+        });
+    }
+
+    pub(crate) fn add_sink(sink: Box<dyn Sink>) {
+        with_state(|state| state.sinks.push(sink));
+    }
+
+    pub(crate) fn recent_events() -> Vec<Event> {
+        with_state(|state| state.ring.snapshot())
+    }
+
+    pub(crate) fn set_ring_capacity(capacity: usize) {
+        with_state(|state| state.ring = RingBuffer::new(capacity));
+    }
+
+    pub(crate) fn reset() {
+        LEVEL.store(0, Ordering::Relaxed);
+        *STATE.lock() = None;
+    }
+}
+
+/// Sets the global collector level. Events above it are dropped before
+/// construction.
+pub fn set_level(level: Level) {
+    collector::set_level(level);
+}
+
+/// The current collector level.
+pub fn level() -> Level {
+    collector::level()
+}
+
+/// Whether events at `level` would currently be recorded. One relaxed
+/// atomic load — safe to call in simulator hot loops.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    collector::enabled(level)
+}
+
+/// Records an event if `level` is enabled. `build` runs only when the
+/// event will actually be recorded, so payload construction (formatting,
+/// cloning) costs nothing while tracing is off.
+#[inline]
+pub fn emit(level: Level, target: &str, build: impl FnOnce() -> EventKind) {
+    collector::emit(level, target, build);
+}
+
+/// Starts a phase timer that emits `PhaseStart` now and `PhaseEnd` when
+/// finished or dropped. The span measures time regardless of the level,
+/// so run reports get phase timings even with tracing off.
+pub fn span(target: &'static str, phase: &str) -> Span {
+    Span::start(target, phase)
+}
+
+/// Registers a sink receiving every admitted event from now on.
+pub fn add_sink(sink: Box<dyn Sink>) {
+    collector::add_sink(sink);
+}
+
+/// Installs the stderr pretty-printing sink.
+pub fn install_stderr_sink() {
+    add_sink(Box::new(StderrSink));
+}
+
+/// Installs a JSONL file sink writing to `path`.
+///
+/// # Errors
+///
+/// Fails if the file cannot be created.
+pub fn install_jsonl_sink(path: &std::path::Path) -> std::io::Result<()> {
+    add_sink(Box::new(JsonlSink::create(path)?));
+    Ok(())
+}
+
+/// Installs an in-memory capture sink and returns a handle to read it —
+/// the test-facing sink.
+pub fn capture() -> CaptureSink {
+    let sink = CaptureSink::new();
+    add_sink(Box::new(sink.clone()));
+    sink
+}
+
+/// The most recent events retained by the collector's ring buffer,
+/// oldest first.
+pub fn recent_events() -> Vec<Event> {
+    collector::recent_events()
+}
+
+/// Replaces the ring buffer with one of the given capacity (discarding
+/// retained events).
+pub fn set_ring_capacity(capacity: usize) {
+    collector::set_ring_capacity(capacity);
+}
+
+/// Returns the collector to its initial state: level off, no sinks, an
+/// empty ring. Intended for tests that must not observe each other.
+pub fn reset() {
+    collector::reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global and `cargo test` runs tests
+    // concurrently, so the tests below share one exclusive lock.
+    static GUARD: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn disabled_level_drops_events_without_building_them() {
+        let _g = GUARD.lock();
+        reset();
+        let cap = capture();
+        let mut built = false;
+        emit(Level::Info, "test", || {
+            built = true;
+            EventKind::Message { text: "x".into() }
+        });
+        assert!(!built, "payload must not be built while level is off");
+        assert!(cap.events().is_empty());
+        reset();
+    }
+
+    #[test]
+    fn events_reach_sinks_and_ring_in_order() {
+        let _g = GUARD.lock();
+        reset();
+        set_level(Level::Debug);
+        let cap = capture();
+        emit(Level::Info, "a", || EventKind::Message { text: "1".into() });
+        emit(Level::Trace, "a", || EventKind::Message {
+            text: "no".into(),
+        });
+        emit(Level::Debug, "b", || EventKind::Message {
+            text: "2".into(),
+        });
+        let got = cap.events();
+        assert_eq!(got.len(), 2, "trace event must be filtered at debug level");
+        assert!(got[0].seq < got[1].seq);
+        assert_eq!(recent_events().len(), 2);
+        reset();
+    }
+
+    #[test]
+    fn span_emits_phase_pair_and_reports_timing() {
+        let _g = GUARD.lock();
+        reset();
+        set_level(Level::Info);
+        let cap = capture();
+        let timing = span("test", "work").finish();
+        assert_eq!(timing.name, "work");
+        let got = cap.events();
+        assert_eq!(got.len(), 2);
+        assert!(matches!(got[0].kind, EventKind::PhaseStart { .. }));
+        match &got[1].kind {
+            EventKind::PhaseEnd { phase, .. } => assert_eq!(phase, "work"),
+            other => panic!("expected PhaseEnd, got {other:?}"),
+        }
+        reset();
+    }
+
+    #[test]
+    fn spans_measure_time_even_when_tracing_is_off() {
+        let _g = GUARD.lock();
+        reset();
+        let span = span("test", "quiet");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let timing = span.finish();
+        assert!(
+            timing.elapsed_us >= 1_000,
+            "elapsed = {}",
+            timing.elapsed_us
+        );
+        reset();
+    }
+}

@@ -1,0 +1,237 @@
+//! The unified metrics registry: namespaced counters, gauges, and
+//! histograms with merge and serde support.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Streaming summary of observed samples (count/sum/min/max).
+///
+/// Full sample retention is deliberately avoided: simulator loops observe
+/// millions of values, and a four-word summary keeps registries cheap to
+/// merge and serialize.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the observed samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Folds `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Namespaced counters, gauges, and histograms for one run.
+///
+/// Keys are dot-separated paths (`uarch.l1d.hits`, `npu.macs`,
+/// `ann.search.candidates`); exporters prepend their subsystem prefix so
+/// one registry can hold a whole run without collisions. Insertion uses
+/// `BTreeMap` so serialization and iteration order are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the counter `key` (creating it at 0).
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Adds 1 to the counter `key`.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// The counter `key`, or 0 if never touched.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge `key`.
+    pub fn set_gauge(&mut self, key: &str, value: f64) {
+        self.gauges.insert(key.to_string(), value);
+    }
+
+    /// The gauge `key`, if set.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Records one sample into the histogram `key`.
+    pub fn observe(&mut self, key: &str, value: f64) {
+        self.histograms
+            .entry(key.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The histogram `key`, if any samples were observed.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// All counters, sorted by key.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, sorted by key.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by key.
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, histograms combine, and
+    /// `other`'s gauges win (last-writer semantics, matching how a later
+    /// pipeline stage overrides an earlier snapshot of the same gauge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut reg = MetricsRegistry::new();
+        reg.incr("a.b");
+        reg.add("a.b", 4);
+        assert_eq!(reg.counter("a.b"), 5);
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::default();
+        for v in [2.0, -1.0, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -1.0);
+        assert_eq!(h.max, 5.0);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_all_three_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.add("hits", 10);
+        a.set_gauge("rate", 0.5);
+        a.observe("lat", 1.0);
+
+        let mut b = MetricsRegistry::new();
+        b.add("hits", 5);
+        b.add("misses", 2);
+        b.set_gauge("rate", 0.75);
+        b.observe("lat", 3.0);
+
+        a.merge(&b);
+        assert_eq!(a.counter("hits"), 15);
+        assert_eq!(a.counter("misses"), 2);
+        assert_eq!(a.gauge("rate"), Some(0.75), "later gauge must win");
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = MetricsRegistry::new();
+        a.add("x", 1);
+        a.observe("h", 2.0);
+        let before = a.clone();
+        a.merge(&MetricsRegistry::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_everything() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("uarch.cycles", 123_456);
+        reg.add("npu.macs", 789);
+        reg.set_gauge("uarch.ipc", 1.75);
+        reg.observe("phase.us", 10.0);
+        reg.observe("phase.us", 30.0);
+        let json = serde::json::to_string_pretty(&reg);
+        let back: MetricsRegistry = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, reg);
+    }
+}

@@ -1,0 +1,146 @@
+//! JSON run reports: the machine-readable summary every experiment
+//! binary can emit alongside its human-readable tables.
+
+use crate::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+
+/// Version of the [`RunReport`] JSON layout. Bump on breaking changes so
+/// downstream diff tooling can refuse mismatched files.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Wall-clock duration of one named pipeline phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name (`observe`, `topology_search`, `timing.baseline`, …).
+    pub name: String,
+    /// Duration in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// Machine-readable record of one benchmark run.
+///
+/// Serialized (pretty JSON) into `results/<benchmark>.json` by the bench
+/// binaries when `--json-out` is given. Two reports from different
+/// commits can be diffed key-by-key: phase timings show where compile or
+/// simulation time moved, and the metrics registry carries every unified
+/// counter (core `SimStats`, NPU event counts, training statistics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// The suite or binary that produced the report (e.g. `run_all`).
+    pub suite: String,
+    /// Benchmark name (`fft`, `sobel`, …).
+    pub benchmark: String,
+    /// Run mode: `fast` or `paper`.
+    pub mode: String,
+    /// Whole-run wall-clock time in microseconds.
+    pub wall_clock_us: u64,
+    /// Per-phase wall-clock timings, in execution order.
+    pub phases: Vec<PhaseTiming>,
+    /// Unified counters/gauges/histograms gathered from every subsystem.
+    pub metrics: MetricsRegistry,
+}
+
+impl RunReport {
+    /// An empty report for `benchmark` produced by `suite` in `mode`.
+    pub fn new(suite: &str, benchmark: &str, mode: &str) -> RunReport {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            suite: suite.to_string(),
+            benchmark: benchmark.to_string(),
+            mode: mode.to_string(),
+            wall_clock_us: 0,
+            phases: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Appends one phase timing.
+    pub fn push_phase(&mut self, timing: PhaseTiming) {
+        self.phases.push(timing);
+    }
+
+    /// Total time across recorded phases, in microseconds.
+    pub fn phase_total_us(&self) -> u64 {
+        self.phases.iter().map(|p| p.elapsed_us).sum()
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, a missing field, or a schema version this
+    /// build does not understand.
+    pub fn from_json(s: &str) -> Result<RunReport, serde::DeError> {
+        let report: RunReport = serde::json::from_str(s)?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(serde::DeError::msg(format!(
+                "unsupported run-report schema version {} (this build reads {})",
+                report.schema_version, SCHEMA_VERSION
+            )));
+        }
+        Ok(report)
+    }
+
+    /// Writes the report as `<dir>/<benchmark>.json`, creating `dir` if
+    /// needed, and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created or the file written.
+    pub fn write_into(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.benchmark));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let mut report = RunReport::new("run_all", "fft", "fast");
+        report.wall_clock_us = 42_000;
+        report.push_phase(PhaseTiming {
+            name: "observe".into(),
+            elapsed_us: 1_000,
+        });
+        report.push_phase(PhaseTiming {
+            name: "train".into(),
+            elapsed_us: 41_000,
+        });
+        report.metrics.add("uarch.baseline.cycles", 123);
+        report.metrics.set_gauge("uarch.baseline.ipc", 2.5);
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.phase_total_us(), 42_000);
+    }
+
+    #[test]
+    fn future_schema_version_is_rejected() {
+        let mut report = RunReport::new("run_all", "fft", "fast");
+        report.schema_version = SCHEMA_VERSION + 1;
+        let err = RunReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.to_string().contains("schema version"));
+    }
+
+    #[test]
+    fn write_into_creates_dir_and_file() {
+        let dir = std::env::temp_dir().join(format!("telemetry-report-{}", std::process::id()));
+        let report = RunReport::new("table1", "sobel", "paper");
+        let path = report.write_into(&dir).unwrap();
+        assert!(path.ends_with("sobel.json"));
+        let back = RunReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,115 @@
+//! A bounded in-memory event buffer.
+
+use crate::Event;
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO of recent events: when full, pushing evicts the
+/// oldest record. The collector keeps one so the most recent activity is
+/// inspectable (e.g. on panic or in tests) even with no sink installed.
+#[derive(Debug)]
+pub struct RingBuffer {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl RingBuffer {
+    /// Creates a buffer holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// How many events are currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The buffer's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events have been evicted since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drops all retained events (the eviction count survives).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Level};
+
+    fn msg(seq: u64) -> Event {
+        Event {
+            seq,
+            elapsed_us: 0,
+            level: Level::Info,
+            target: "test".into(),
+            kind: EventKind::Message {
+                text: format!("event {seq}"),
+            },
+        }
+    }
+
+    #[test]
+    fn evicts_oldest_first() {
+        let mut ring = RingBuffer::new(3);
+        for seq in 0..5 {
+            ring.push(msg(seq));
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest two must have been evicted");
+        assert_eq!(ring.evicted(), 2);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut ring = RingBuffer::new(8);
+        for seq in 0..5 {
+            ring.push(msg(seq));
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ring.evicted(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = RingBuffer::new(0);
+        ring.push(msg(1));
+        ring.push(msg(2));
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.snapshot()[0].seq, 2);
+    }
+}

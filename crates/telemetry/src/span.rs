@@ -1,0 +1,70 @@
+//! Phase timers: RAII spans that emit `PhaseStart`/`PhaseEnd` events and
+//! report their duration.
+
+use crate::{collector, EventKind, Level, PhaseTiming};
+use std::time::Instant;
+
+/// A running phase timer.
+///
+/// Created by [`crate::span`]; emits `PhaseStart` immediately and
+/// `PhaseEnd` (with the measured duration) when finished or dropped. Call
+/// [`finish`](Span::finish) to also get the [`PhaseTiming`] back for a
+/// run report.
+#[derive(Debug)]
+pub struct Span {
+    target: &'static str,
+    phase: String,
+    start: Instant,
+    ended: bool,
+}
+
+impl Span {
+    pub(crate) fn start(target: &'static str, phase: &str) -> Span {
+        collector::emit(Level::Info, target, || EventKind::PhaseStart {
+            phase: phase.to_string(),
+        });
+        Span {
+            target,
+            phase: phase.to_string(),
+            start: Instant::now(),
+            ended: false,
+        }
+    }
+
+    /// The phase name.
+    pub fn phase(&self) -> &str {
+        &self.phase
+    }
+
+    /// Microseconds elapsed so far.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn end(&mut self) -> PhaseTiming {
+        self.ended = true;
+        let timing = PhaseTiming {
+            name: self.phase.clone(),
+            elapsed_us: self.elapsed_us(),
+        };
+        let (phase, elapsed_us) = (timing.name.clone(), timing.elapsed_us);
+        collector::emit(Level::Info, self.target, move || EventKind::PhaseEnd {
+            phase,
+            elapsed_us,
+        });
+        timing
+    }
+
+    /// Ends the span and returns its timing record.
+    pub fn finish(mut self) -> PhaseTiming {
+        self.end()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.ended {
+            self.end();
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Golden-file test: a checked-in v1 run report must keep parsing, and
+//! re-serializing it must preserve every value. This pins the external
+//! JSON schema — if this test breaks, bump `SCHEMA_VERSION` and update
+//! the diff documentation instead of silently changing the layout.
+
+use telemetry::RunReport;
+
+const GOLDEN: &str = include_str!("data/run_report_v1.json");
+
+#[test]
+fn golden_report_parses_back() {
+    let report = RunReport::from_json(GOLDEN).expect("golden v1 report must parse");
+    assert_eq!(report.schema_version, telemetry::SCHEMA_VERSION);
+    assert_eq!(report.suite, "run_all");
+    assert_eq!(report.benchmark, "fft");
+    assert_eq!(report.mode, "fast");
+    assert_eq!(report.wall_clock_us, 123_456);
+
+    assert_eq!(report.phases.len(), 3);
+    assert_eq!(report.phases[0].name, "observe");
+    assert_eq!(report.phases[1].elapsed_us, 100_000);
+    assert_eq!(report.phase_total_us(), 102_450);
+
+    assert_eq!(report.metrics.counter("uarch.baseline.cycles"), 900_000);
+    assert_eq!(report.metrics.counter("npu.macs"), 5_120);
+    assert_eq!(report.metrics.gauge("uarch.baseline.ipc"), Some(1.5));
+    let mse = report.metrics.histogram("ann.search.test_mse").unwrap();
+    assert_eq!(mse.count, 2);
+    assert_eq!(mse.min, 0.1);
+    assert_eq!(mse.max, 0.4);
+}
+
+#[test]
+fn golden_report_round_trips_unchanged() {
+    let report = RunReport::from_json(GOLDEN).unwrap();
+    let back = RunReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn missing_field_is_an_error_not_a_default() {
+    let truncated = GOLDEN.replace("\"wall_clock_us\": 123456,", "");
+    assert!(RunReport::from_json(&truncated).is_err());
+}

@@ -187,6 +187,12 @@ impl Core {
         self.stats.l2_hits = self.hierarchy.l2().hits();
         self.stats.l2_misses = self.hierarchy.l2().misses();
         self.stats.mem_accesses = self.hierarchy.mem_accesses();
+        telemetry::emit(telemetry::Level::Info, "uarch::core", || {
+            telemetry::EventKind::SimDone {
+                cycles: self.stats.cycles,
+                committed: self.stats.committed,
+            }
+        });
         self.stats
     }
 
@@ -258,6 +264,11 @@ impl Core {
             if self.fetch_blocked_on == Some(abs) {
                 self.fetch_blocked_on = None;
                 self.fetch_stalled_until = now + self.cfg.mispredict_refill;
+                if telemetry::enabled(telemetry::Level::Trace) {
+                    telemetry::emit(telemetry::Level::Trace, "uarch::core", || {
+                        telemetry::EventKind::BranchMispredict { cycle: now }
+                    });
+                }
             }
         }
     }

@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small wall-clock benchmark harness exposing the API surface this
+//! workspace uses: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark is calibrated so one sample takes roughly
+//! `CRITERION_SAMPLE_MS` milliseconds (default 10), then
+//! `CRITERION_SAMPLES` samples (default 15) are collected and the median,
+//! minimum, and maximum ns/iteration are printed. Positional command-line
+//! arguments act as substring filters on benchmark names.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; batches are always per-iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Measurement driver passed to benchmark closures.
+pub struct Bencher {
+    sample_target: Duration,
+    samples: usize,
+    result: Option<Stats>,
+}
+
+/// Summary of one benchmark's samples, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median across samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_target: Duration, samples: usize) -> Self {
+        Bencher {
+            sample_target,
+            samples,
+            result: None,
+        }
+    }
+
+    /// Measures `routine` called in a tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one sample?
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= self.sample_target / 4 || iters >= 1 << 30 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+        let per_sample = ((self.sample_target.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            sample_ns.push(t0.elapsed().as_secs_f64() * 1e9 / per_sample as f64);
+        }
+        self.result = Some(summarize(sample_ns));
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with one timed call.
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let per_iter = t0.elapsed().as_secs_f64().max(1e-9);
+        let per_sample = ((self.sample_target.as_secs_f64() / per_iter) as u64).clamp(1, 10_000);
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut measured = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                measured += t0.elapsed();
+            }
+            sample_ns.push(measured.as_secs_f64() * 1e9 / per_sample as f64);
+        }
+        self.result = Some(summarize(sample_ns));
+    }
+}
+
+fn summarize(mut sample_ns: Vec<f64>) -> Stats {
+    sample_ns.sort_by(f64::total_cmp);
+    let median_ns = sample_ns[sample_ns.len() / 2];
+    Stats {
+        median_ns,
+        min_ns: sample_ns[0],
+        max_ns: *sample_ns.last().unwrap(),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark registry and runner.
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_target: Duration,
+    samples: usize,
+    /// Results of every benchmark run so far: `(name, stats)`.
+    pub results: Vec<(String, Stats)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        let sample_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10u64);
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15usize);
+        Criterion {
+            filters,
+            sample_target: Duration::from_millis(sample_ms),
+            samples,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.matches(name) {
+            return self;
+        }
+        let mut b = Bencher::new(self.sample_target, self.samples);
+        f(&mut b);
+        if let Some(stats) = b.result {
+            println!(
+                "{name:<40} median {:>12}/iter (min {}, max {})",
+                format_ns(stats.median_ns),
+                format_ns(stats.min_ns),
+                format_ns(stats.max_ns),
+            );
+            self.results.push((name.to_string(), stats));
+        }
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("-- {name} --");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for `crossbeam`, providing [`scope`] on top of
+//! `std::thread::scope` (std has had scoped threads since 1.63, so the
+//! real crate's unsafe machinery is unnecessary here).
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A scope handle; closures spawned through it may borrow from the
+/// enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope itself so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; joins them all before
+/// returning.
+///
+/// Unlike crossbeam, a panicking child propagates its panic on join rather
+/// than surfacing it in the `Err` variant — callers that `.expect()` the
+/// result behave identically.
+///
+/// # Errors
+///
+/// Never returns `Err`; the type matches crossbeam's signature.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias used by some call sites.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = std::sync::Mutex::new(0u64);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let partial: u64 = chunk.iter().sum();
+                    *sum.lock().unwrap() += partial;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.into_inner().unwrap(), 10);
+    }
+}

@@ -1,0 +1,446 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the macro walks
+//! the raw token stream to recover the shape of the type — struct with named
+//! fields, tuple struct, unit struct, or enum with unit/tuple/struct
+//! variants — and emits impls of the stub's `Serialize`/`Deserialize`
+//! traits using serde's externally-tagged enum representation.
+//!
+//! Generic types and `#[serde(...)]` attributes are not supported; the
+//! workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it: Tokens = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute (doc comments included): skip the [...] group.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip optional (crate)/(super) restriction.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut it);
+            }
+            Some(other) => panic!("serde stub derive: unexpected token `{other}`"),
+            None => panic!("serde stub derive: no struct or enum found"),
+        }
+    }
+}
+
+fn parse_struct(it: &mut Tokens) -> Input {
+    let name = expect_ident(it);
+    reject_generics(it, &name);
+    let kind = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Kind::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+        other => panic!("serde stub derive: unexpected struct body for {name}: {other:?}"),
+    };
+    Input { name, kind }
+}
+
+fn parse_enum(it: &mut Tokens) -> Input {
+    let name = expect_ident(it);
+    reject_generics(it, &name);
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde stub derive: expected enum body for {name}: {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut vt: Tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes / doc comments before the variant.
+        while let Some(TokenTree::Punct(p)) = vt.peek() {
+            if p.as_char() == '#' {
+                vt.next();
+                vt.next();
+            } else {
+                break;
+            }
+        }
+        let vname = match vt.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stub derive: unexpected token in enum {name}: {other:?}"),
+        };
+        let fields = match vt.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                vt.next();
+                VariantFields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                vt.next();
+                VariantFields::Named(fields)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(tt) = vt.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    vt.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    vt.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    vt.next();
+                }
+                _ => {
+                    vt.next();
+                }
+            }
+        }
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+    }
+    Input {
+        name,
+        kind: Kind::Enum(variants),
+    }
+}
+
+fn expect_ident(it: &mut Tokens) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn reject_generics(it: &mut Tokens, name: &str) {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` is not supported");
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it: Tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde stub derive: expected field name, got {other:?}"),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:`, got {other:?}"),
+        }
+        // Consume the type up to a top-level comma (angle-bracket aware;
+        // commas inside (), [], {} are hidden by token groups).
+        let mut depth = 0i32;
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    it.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    it.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    it.next();
+                }
+                Some(_) => {
+                    it.next();
+                }
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields in a tuple-struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                saw_tokens = true;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Unit => "::serde::Content::Null".to_string(),
+        Kind::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})),")
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        Kind::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i}),"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{items}])")
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| gen_ser_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_ser_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => {
+            format!("{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),")
+        }
+        VariantFields::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Content::Map(::std::vec![(\
+                 \"{vname}\".to_string(), ::serde::Serialize::serialize(__f0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                .collect();
+            format!(
+                "{name}::{vname}({binds}) => ::serde::Content::Map(::std::vec![(\
+                     \"{vname}\".to_string(), ::serde::Content::Seq(::std::vec![{items}]))]),",
+                binds = binds.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize({f})),"))
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(::std::vec![(\
+                     \"{vname}\".to_string(), \
+                     ::serde::Content::Map(::std::vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__m, \"{f}\")?,"))
+                .collect();
+            format!(
+                "let __m = ::serde::__private::as_map(__c, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))")
+        }
+        Kind::Tuple(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::__private::seq_field(__s, {i})?,"))
+                .collect();
+            format!(
+                "let __s = ::serde::__private::as_seq(__c, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Kind::Enum(variants) => gen_de_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_de_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                v = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| match &v.fields {
+            VariantFields::Unit => None,
+            VariantFields::Tuple(1) => Some(format!(
+                "\"{v}\" => ::std::result::Result::Ok(\
+                     {name}::{v}(::serde::Deserialize::deserialize(__v)?)),",
+                v = v.name
+            )),
+            VariantFields::Tuple(n) => {
+                let inits: String = (0..*n)
+                    .map(|i| format!("::serde::__private::seq_field(__s, {i})?,"))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                         let __s = ::serde::__private::as_seq(__v, \"{name}::{v}\")?;\n\
+                         ::std::result::Result::Ok({name}::{v}({inits}))\n\
+                     }},",
+                    v = v.name
+                ))
+            }
+            VariantFields::Named(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(__m, \"{f}\")?,"))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                         let __m = ::serde::__private::as_map(__v, \"{name}::{v}\")?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                     }},",
+                    v = v.name
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "match __c {{\n\
+             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }},\n\
+             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 match __k.as_str() {{\n\
+                     {tagged_arms}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                         format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+             }},\n\
+             _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                 \"invalid {name} representation\")),\n\
+         }}"
+    )
+}
