@@ -1,0 +1,91 @@
+//! `parrot-lint` — runs the region safety verifier over every benchmark's
+//! candidate region and prints a diagnostics table.
+//!
+//! Usage: `parrot-lint [--deny-warnings] [benchmark…]`
+//!
+//! With no benchmark names, all six Table 1 regions are linted. The
+//! process exits non-zero if any error-severity finding exists (or any
+//! warning, under `--deny-warnings`), so CI can gate on region safety.
+
+use bench::format::render_table;
+use benchmarks::{all_benchmarks, benchmark_by_name, Benchmark};
+
+fn main() {
+    let mut deny_warnings = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("usage: parrot-lint [--deny-warnings] [benchmark…]");
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+
+    let benches: Vec<Box<dyn Benchmark>> = if names.is_empty() {
+        all_benchmarks()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                benchmark_by_name(n).unwrap_or_else(|| {
+                    eprintln!("parrot-lint: unknown benchmark '{n}'");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut totals = telemetry::LintSummary::default();
+    for bench in &benches {
+        let region = bench.region();
+        let report = region.lint();
+        for d in report.diagnostics() {
+            totals.record(&d.severity.to_string(), d.lint.name());
+            rows.push(vec![
+                d.severity.to_string(),
+                bench.name().to_string(),
+                d.lint.to_string(),
+                d.function.clone(),
+                d.inst.map_or_else(|| "-".to_string(), |i| i.to_string()),
+                d.message.clone(),
+            ]);
+        }
+    }
+
+    if rows.is_empty() {
+        println!(
+            "parrot-lint: {} region(s) linted, no findings",
+            benches.len()
+        );
+    } else {
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "severity",
+                    "benchmark",
+                    "lint",
+                    "function",
+                    "inst",
+                    "message"
+                ],
+                &rows,
+            )
+        );
+        println!(
+            "parrot-lint: {} region(s) linted: {} error(s), {} warning(s), {} info(s)",
+            benches.len(),
+            totals.errors,
+            totals.warnings,
+            totals.infos,
+        );
+    }
+
+    if totals.errors > 0 || (deny_warnings && totals.warnings > 0) {
+        std::process::exit(1);
+    }
+}

@@ -213,6 +213,9 @@ impl Lab {
             for phase in entry.compiled.phases() {
                 report.push_phase(phase.clone());
             }
+            let lint = entry.compiled.lint_summary();
+            lint.export(&mut report.metrics, "lint");
+            report.lint = lint;
             base_stats.export(&mut report.metrics, "uarch.baseline");
             npu_stats.export(&mut report.metrics, "uarch.npu");
             if let Some(unit) = unit_stats {

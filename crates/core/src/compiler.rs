@@ -3,6 +3,7 @@
 use crate::observe::normalized_dataset;
 use crate::{codegen, observe, ParrotError, RegionSpec};
 use ann::{SearchOutcome, SearchParams, TopologySearch, TrainParams};
+use approx_ir::analysis::VerifyReport;
 use approx_ir::Function;
 use npu::{NpuConfig, NpuParams, NpuSim};
 
@@ -66,6 +67,7 @@ pub struct CompiledRegion {
     config_loader: Function,
     npu_params: NpuParams,
     phases: Vec<telemetry::PhaseTiming>,
+    lint: VerifyReport,
 }
 
 impl CompiledRegion {
@@ -125,10 +127,28 @@ impl CompiledRegion {
         &self.npu_params
     }
 
-    /// Wall-clock timings of the compilation phases (observe, dataset,
-    /// topology search + training, codegen), in execution order.
+    /// Wall-clock timings of the compilation phases (verify, observe,
+    /// dataset, topology search + training, codegen), in execution order.
     pub fn phases(&self) -> &[telemetry::PhaseTiming] {
         &self.phases
+    }
+
+    /// Findings from the pre-compilation region safety verification.
+    /// Never contains error-severity findings — those abort compilation
+    /// before observation.
+    pub fn lint_report(&self) -> &VerifyReport {
+        &self.lint
+    }
+
+    /// The lint findings aggregated into a telemetry summary, ready to
+    /// embed in a [`telemetry::RunReport`] or export into a
+    /// [`telemetry::MetricsRegistry`].
+    pub fn lint_summary(&self) -> telemetry::LintSummary {
+        let mut summary = telemetry::LintSummary::default();
+        for d in self.lint.diagnostics() {
+            summary.record(&d.severity.to_string(), d.lint.name());
+        }
+        summary
     }
 
     /// Builds a configured NPU with different hardware parameters (the
@@ -216,6 +236,13 @@ impl ParrotCompiler {
     ) -> Result<CompiledRegion, ParrotError> {
         let mut phases = Vec::new();
 
+        // 0. Region safety verification (paper §3.1 admission): refuse
+        // regions the interpreter would fault on before spending any time
+        // observing or training them.
+        let span = telemetry::span("parrot::compiler", "verify");
+        let lint = region.verify()?;
+        phases.push(span.finish());
+
         // 1. Code observation.
         let span = telemetry::span("parrot::compiler", "observe");
         let obs = observe(region, training_inputs)?;
@@ -260,6 +287,7 @@ impl ParrotCompiler {
             config_loader,
             npu_params,
             phases,
+            lint,
         })
     }
 }
@@ -331,10 +359,53 @@ mod tests {
             .compile(&region, &grid_inputs())
             .unwrap();
         let names: Vec<&str> = compiled.phases().iter().map(|p| p.name.as_str()).collect();
-        assert_eq!(names, ["observe", "dataset", "topology_search", "codegen"]);
+        assert_eq!(
+            names,
+            ["verify", "observe", "dataset", "topology_search", "codegen"]
+        );
         // Search+training dominates compilation for any real region.
-        let search = &compiled.phases()[2];
+        let search = &compiled.phases()[3];
         assert!(search.elapsed_us > 0);
+    }
+
+    #[test]
+    fn compile_rejects_unsafe_region_before_observing() {
+        use approx_ir::{Function, Inst, Reg};
+        // Reads r1 uninitialized: the verifier must refuse the region
+        // before observation ever runs it.
+        let f = Function::new_unchecked(
+            "bad",
+            1,
+            3,
+            vec![Reg(2)],
+            vec![
+                Inst::FBin {
+                    op: approx_ir::FBinOp::Add,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Inst::Ret { vals: vec![Reg(2)] },
+            ],
+        );
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        let region = RegionSpec::new("bad", p, id, 1, 1).unwrap();
+        let err = ParrotCompiler::new(CompileParams::fast())
+            .compile(&region, &[vec![1.0]])
+            .unwrap_err();
+        assert!(matches!(err, ParrotError::InvalidRegion(_)), "{err}");
+        assert!(err.to_string().contains("uninit-read"), "{err}");
+    }
+
+    #[test]
+    fn compile_surfaces_clean_lint_report() {
+        let region = smooth_region();
+        let compiled = ParrotCompiler::new(CompileParams::fast())
+            .compile(&region, &grid_inputs())
+            .unwrap();
+        assert!(compiled.lint_report().is_clean());
+        assert!(compiled.lint_summary().is_clean());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Candidate code regions (the paper's `[[PARROT]]`-annotated functions).
 
 use crate::ParrotError;
+use approx_ir::analysis::{infer_types, verify_region, RegType, VerifyReport};
 use approx_ir::{static_counts, FuncId, Interpreter, Program, StaticCounts, TraceSink, Value};
 
 /// An annotated candidate region: a pure IR function with a fixed number
@@ -27,7 +28,9 @@ impl RegionSpec {
     /// # Errors
     ///
     /// Returns [`ParrotError::InvalidRegion`] if the entry function's
-    /// parameter or return arity does not match `n_inputs`/`n_outputs`.
+    /// parameter or return arity does not match `n_inputs`/`n_outputs`,
+    /// or if any entry parameter is not used as an `f32` value (the
+    /// Parrot call convention passes every region input as a float).
     pub fn new(
         name: impl Into<String>,
         program: Program,
@@ -51,6 +54,23 @@ impl RegionSpec {
                 f.n_rets(),
                 n_outputs
             )));
+        }
+        // Region inputs cross the NPU boundary as floats; a parameter the
+        // body consumes as an integer cannot be approximated.
+        let types = infer_types(&program);
+        let param_types = types[entry.0 as usize].prefix(f.n_params()).to_vec();
+        for (i, ty) in param_types.into_iter().enumerate() {
+            if matches!(ty, RegType::Int | RegType::Conflict) {
+                return Err(ParrotError::InvalidRegion(format!(
+                    "entry parameter {i} of '{}' is used as {} but region inputs must be f32",
+                    f.name(),
+                    if ty == RegType::Int {
+                        "an integer"
+                    } else {
+                        "both integer and float"
+                    }
+                )));
+            }
         }
         Ok(RegionSpec {
             name: name.into(),
@@ -140,6 +160,35 @@ impl RegionSpec {
     pub fn static_counts(&self) -> StaticCounts {
         static_counts(&self.program, self.entry)
     }
+
+    /// Runs the region safety verifier (paper §3.1 admission criteria)
+    /// over the entry function and every transitively called function,
+    /// returning all findings regardless of severity.
+    pub fn lint(&self) -> VerifyReport {
+        verify_region(&self.program, self.entry.0, self.scratch_words)
+    }
+
+    /// Verifies the region, failing on error-severity findings — programs
+    /// the interpreter would fault on along some path. Warnings and infos
+    /// are retained in the returned report. The compiler calls this
+    /// before spending any time on observation or training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParrotError::InvalidRegion`] listing every
+    /// error-severity diagnostic.
+    pub fn verify(&self) -> Result<VerifyReport, ParrotError> {
+        let report = self.lint();
+        if report.has_errors() {
+            let msgs: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+            return Err(ParrotError::InvalidRegion(format!(
+                "region '{}' failed safety verification: {}",
+                self.name,
+                msgs.join("; ")
+            )));
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +230,55 @@ mod tests {
         let c = r.static_counts();
         assert_eq!(c.instructions, 2);
         assert_eq!(c.function_calls, 0);
+    }
+
+    #[test]
+    fn integer_typed_params_rejected() {
+        // f(x) = x + 1 with integer arithmetic: not a float region.
+        let mut b = FunctionBuilder::new("iinc", 1);
+        let x = b.param(0);
+        let one = b.consti(1);
+        let y = b.iadd(x, one);
+        b.ret(&[y]);
+        let mut p = Program::new();
+        let f = p.add_function(b.build().unwrap());
+        let err = RegionSpec::new("iinc", p, f, 1, 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, ParrotError::InvalidRegion(_)));
+        assert!(msg.contains("used as an integer"), "msg: {msg}");
+    }
+
+    #[test]
+    fn clean_region_verifies_with_no_findings() {
+        let r = square_region();
+        let report = r.verify().unwrap();
+        assert!(report.is_clean(), "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn verify_rejects_uninitialized_read() {
+        use approx_ir::{Function, Inst, Reg};
+        // r1 is read before any write; the builder would refuse this, so
+        // assemble the function directly.
+        let f = Function::new_unchecked(
+            "bad",
+            1,
+            3,
+            vec![Reg(2)],
+            vec![
+                Inst::FBin {
+                    op: approx_ir::FBinOp::Add,
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                },
+                Inst::Ret { vals: vec![Reg(2)] },
+            ],
+        );
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        let r = RegionSpec::new("bad", p, id, 1, 1).unwrap();
+        let err = r.verify().unwrap_err();
+        assert!(err.to_string().contains("uninit-read"), "{err}");
     }
 }

@@ -1,0 +1,323 @@
+//! Control-flow graph recovery.
+//!
+//! The IR stores a function as a flat instruction list with branch targets
+//! already resolved to instruction indices; basic blocks are not part of
+//! the representation. This module recovers them: block leaders are the
+//! entry instruction, every branch/jump target, and every instruction
+//! following a terminator (`Branch`, `Jump`, `Ret`).
+//!
+//! Branch targets that point past the end of the instruction list are
+//! legal at build time but fault with `MissingReturn` when executed; the
+//! CFG records them as [`BasicBlock::falls_off_end`] instead of an edge so
+//! the verifier can flag the path.
+
+use crate::{Function, Inst};
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+    /// Whether control can leave this block past the end of the function
+    /// (no terminator, or a branch/jump target beyond the last
+    /// instruction) — a guaranteed `MissingReturn` fault if taken.
+    pub falls_off_end: bool,
+}
+
+impl BasicBlock {
+    /// The instruction indices covered by this block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// Block id containing each instruction.
+    block_of: Vec<usize>,
+    /// Block ids reachable from the entry, in reverse postorder.
+    rpo: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`. An empty function yields an empty graph.
+    pub fn build(f: &Function) -> Cfg {
+        let insts = f.insts();
+        let n = insts.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                rpo: Vec::new(),
+                reachable: Vec::new(),
+            };
+        }
+
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (i, inst) in insts.iter().enumerate() {
+            match inst {
+                Inst::Branch { target, .. } | Inst::Jump { target } => {
+                    if (target.0 as usize) < n {
+                        leader[target.0 as usize] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Inst::Ret { .. } if i + 1 < n => leader[i + 1] = true,
+                _ => {}
+            }
+        }
+
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for i in 0..n {
+            block_of[i] = blocks.len();
+            let is_last = i + 1 == n || leader[i + 1];
+            if is_last {
+                blocks.push(BasicBlock {
+                    start,
+                    end: i + 1,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                    falls_off_end: false,
+                });
+                start = i + 1;
+            }
+        }
+
+        for b in 0..blocks.len() {
+            let last = blocks[b].end - 1;
+            let (succs, falls) = match &insts[last] {
+                Inst::Branch { target, .. } => {
+                    let mut s = Vec::new();
+                    let mut falls = false;
+                    // Fall-through edge first, then the taken edge.
+                    if blocks[b].end < n {
+                        s.push(block_of[blocks[b].end]);
+                    } else {
+                        falls = true;
+                    }
+                    if (target.0 as usize) < n {
+                        let t = block_of[target.0 as usize];
+                        if !s.contains(&t) {
+                            s.push(t);
+                        }
+                    } else {
+                        falls = true;
+                    }
+                    (s, falls)
+                }
+                Inst::Jump { target } => {
+                    if (target.0 as usize) < n {
+                        (vec![block_of[target.0 as usize]], false)
+                    } else {
+                        (Vec::new(), true)
+                    }
+                }
+                Inst::Ret { .. } => (Vec::new(), false),
+                _ => {
+                    // Not a terminator: this is the lexically last block
+                    // (otherwise the next instruction would have started a
+                    // new one only after a terminator or as a target, and a
+                    // target still produces a fall-through edge).
+                    if blocks[b].end < n {
+                        (vec![block_of[blocks[b].end]], false)
+                    } else {
+                        (Vec::new(), true)
+                    }
+                }
+            };
+            blocks[b].falls_off_end = falls;
+            blocks[b].succs = succs;
+        }
+        for b in 0..blocks.len() {
+            for s in blocks[b].succs.clone() {
+                blocks[s].preds.push(b);
+            }
+        }
+
+        // Reachability + reverse postorder via iterative DFS from block 0.
+        let mut reachable = vec![false; blocks.len()];
+        let mut post: Vec<usize> = Vec::with_capacity(blocks.len());
+        // Stack of (block, next-successor-to-visit).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        reachable[0] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < blocks[b].succs.len() {
+                let s = blocks[b].succs[*next];
+                *next += 1;
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+
+        Cfg {
+            blocks,
+            block_of,
+            rpo: post,
+            reachable,
+        }
+    }
+
+    /// All blocks, in instruction order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing instruction `i`.
+    pub fn block_of(&self, i: usize) -> usize {
+        self.block_of[i]
+    }
+
+    /// Reachable block ids in reverse postorder (entry first).
+    pub fn rpo(&self) -> &[usize] {
+        &self.rpo
+    }
+
+    /// Whether block `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: usize) -> bool {
+        self.reachable[b]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph has no blocks (empty function).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, FunctionBuilder};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = FunctionBuilder::new("sl", 1);
+        let x = b.param(0);
+        let y = b.fadd(x, x);
+        b.ret(&[y]);
+        let cfg = Cfg::build(&b.build().unwrap());
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.blocks()[0].range(), 0..2);
+        assert!(cfg.blocks()[0].succs.is_empty());
+        assert!(!cfg.blocks()[0].falls_off_end);
+        assert_eq!(cfg.rpo(), &[0]);
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let mut b = FunctionBuilder::new("d", 1);
+        let x = b.param(0);
+        let zero = b.constf(0.0);
+        let c = b.cmpf(CmpOp::Lt, x, zero);
+        let neg = b.new_label();
+        let join = b.new_label();
+        b.branch_if(c, neg);
+        let r = b.reg();
+        b.emit(Inst::FBin {
+            op: crate::FBinOp::Add,
+            dst: r,
+            a: x,
+            b: x,
+        });
+        b.jump(join);
+        b.bind(neg);
+        b.emit(Inst::FUn {
+            op: crate::FUnOp::Neg,
+            dst: r,
+            a: x,
+        });
+        b.bind(join);
+        b.mov(r, r);
+        b.ret(&[r]);
+        let cfg = Cfg::build(&b.build().unwrap());
+        // entry / then / else / join
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.blocks()[0].succs.len(), 2);
+        assert_eq!(cfg.blocks()[3].preds.len(), 2);
+        assert_eq!(cfg.rpo()[0], 0);
+        assert_eq!(*cfg.rpo().last().unwrap(), 3);
+        assert!(cfg.rpo().iter().all(|&b| cfg.is_reachable(b)));
+    }
+
+    #[test]
+    fn loop_back_edge_and_unreachable_block() {
+        let mut b = FunctionBuilder::new("l", 1);
+        let n = b.param(0);
+        let i = b.consti(0);
+        let one = b.consti(1);
+        let top = b.new_label();
+        let exit = b.new_label();
+        b.bind(top);
+        let done = b.cmpi(CmpOp::Ge, i, n);
+        b.branch_if(done, exit);
+        b.iadd_into(i, one);
+        b.jump(top);
+        b.bind(exit);
+        b.ret(&[i]);
+        let f = b.build().unwrap();
+        let cfg = Cfg::build(&f);
+        // All blocks reachable; the loop body jumps back to the header.
+        assert!((0..cfg.len()).all(|b| cfg.is_reachable(b)));
+        let header = cfg.block_of(2);
+        let body_last = cfg
+            .blocks()
+            .iter()
+            .position(|blk| matches!(f.insts()[blk.end - 1], Inst::Jump { .. }));
+        let body = body_last.unwrap();
+        assert!(cfg.blocks()[body].succs.contains(&header));
+    }
+
+    #[test]
+    fn empty_function_yields_empty_cfg() {
+        let f = Function::new_unchecked("e", 0, 0, vec![], vec![]);
+        let cfg = Cfg::build(&f);
+        assert!(cfg.is_empty());
+        assert!(cfg.rpo().is_empty());
+    }
+
+    #[test]
+    fn branch_past_end_marks_falls_off() {
+        use crate::{Label, Reg};
+        let f = Function::new_unchecked("off", 1, 1, vec![], vec![Inst::Jump { target: Label(5) }]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.blocks()[0].falls_off_end);
+        // And a non-terminated tail:
+        let g = Function::new_unchecked(
+            "tail",
+            1,
+            2,
+            vec![],
+            vec![Inst::Mov {
+                dst: Reg(1),
+                src: Reg(0),
+            }],
+        );
+        let cfg = Cfg::build(&g);
+        assert!(cfg.blocks()[0].falls_off_end);
+    }
+}

@@ -1,0 +1,156 @@
+//! Dominator computation.
+//!
+//! Iterative dataflow formulation over reverse postorder (the
+//! Cooper–Harvey–Kennedy "engineered" algorithm): for the block counts in
+//! this IR (tens, not thousands) it beats Lengauer–Tarjan on both code
+//! size and constant factors, and converges in two passes on reducible
+//! graphs — every loop the builder can express is reducible.
+
+use super::cfg::Cfg;
+
+/// Immediate-dominator tree for one CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of block `b`; `idom[entry] = entry`;
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<usize>>,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg`. Empty graphs yield an empty tree.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (pos, &b) in cfg.rpo().iter().enumerate() {
+            rpo_pos[b] = pos;
+        }
+        if n == 0 {
+            return Dominators { idom };
+        }
+        let entry = cfg.rpo()[0];
+        idom[entry] = Some(entry);
+
+        let intersect = |idom: &[Option<usize>], rpo_pos: &[usize], a: usize, b: usize| {
+            let (mut x, mut y) = (a, b);
+            while x != y {
+                while rpo_pos[x] > rpo_pos[y] {
+                    x = idom[x].expect("processed block has idom");
+                }
+                while rpo_pos[y] > rpo_pos[x] {
+                    y = idom[y].expect("processed block has idom");
+                }
+            }
+            x
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &cfg.blocks()[b].preds {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// The immediate dominator of `b` (`b` itself for the entry, `None`
+    /// for unreachable blocks).
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        self.idom.get(b).copied().flatten()
+    }
+
+    /// Whether block `a` dominates block `b`. Unreachable blocks dominate
+    /// nothing and are dominated by nothing.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom.get(cur).copied().flatten() {
+                Some(parent) if parent != cur => cur = parent,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, FunctionBuilder};
+
+    #[test]
+    fn diamond_dominance() {
+        let mut b = FunctionBuilder::new("d", 1);
+        let x = b.param(0);
+        let zero = b.constf(0.0);
+        let c = b.cmpf(CmpOp::Lt, x, zero);
+        let other = b.new_label();
+        let join = b.new_label();
+        b.branch_if(c, other);
+        let t = b.fadd(x, x);
+        b.jump(join);
+        b.bind(other);
+        let _e = b.fneg(x);
+        b.bind(join);
+        let out = b.fmul(x, t);
+        b.ret(&[out]);
+        let f = b.build().unwrap();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(cfg.len(), 4);
+        // Entry dominates everything; neither arm dominates the join.
+        for blk in 0..4 {
+            assert!(dom.dominates(0, blk));
+        }
+        assert!(!dom.dominates(1, 3));
+        assert!(!dom.dominates(2, 3));
+        assert_eq!(dom.idom(3), Some(0));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut b = FunctionBuilder::new("l", 1);
+        let n = b.param(0);
+        let i = b.consti(0);
+        let one = b.consti(1);
+        let top = b.new_label();
+        let exit = b.new_label();
+        b.bind(top);
+        let done = b.cmpi(CmpOp::Ge, i, n);
+        b.branch_if(done, exit);
+        b.iadd_into(i, one);
+        b.jump(top);
+        b.bind(exit);
+        b.ret(&[i]);
+        let f = b.build().unwrap();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        let header = cfg.block_of(2);
+        // The back-edge source: a later block whose successors include the
+        // header.
+        let body = (0..cfg.len())
+            .find(|&blk| {
+                cfg.blocks()[blk].succs.contains(&header)
+                    && cfg.blocks()[blk].start > cfg.blocks()[header].start
+            })
+            .expect("loop body block");
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(0, header));
+    }
+}

@@ -1,0 +1,137 @@
+//! Side-effect and purity summaries.
+//!
+//! Parrot's §3.1 criteria require candidate regions to be *pure* apart
+//! from their declared scratch memory: no observable state may escape the
+//! region other than its return values and the scratch window the region
+//! owns. These summaries classify each function's effects and compose
+//! them transitively over the call graph.
+
+use crate::{Function, Inst, Program};
+
+/// What one function (or a call tree) may do besides compute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EffectSummary {
+    /// Reads the data memory (`Load`).
+    pub reads_memory: bool,
+    /// Writes the data memory (`Store`).
+    pub writes_memory: bool,
+    /// Touches the NPU queues (`enq.c`/`deq.c`/`enq.d`/`deq.d`).
+    pub uses_npu: bool,
+    /// Function ids called directly.
+    pub calls: Vec<u32>,
+    /// Contains a call to a function id not present in the program.
+    pub calls_unknown: bool,
+}
+
+impl EffectSummary {
+    /// Whether the function is pure up to its scratch memory: no NPU
+    /// traffic and no unknown callees. Memory access is *not* impurity
+    /// here — the scratch window belongs to the region and bounds are
+    /// checked separately by the verifier.
+    pub fn pure_up_to_scratch(&self) -> bool {
+        !self.uses_npu && !self.calls_unknown
+    }
+
+    fn absorb(&mut self, other: &EffectSummary) {
+        self.reads_memory |= other.reads_memory;
+        self.writes_memory |= other.writes_memory;
+        self.uses_npu |= other.uses_npu;
+        self.calls_unknown |= other.calls_unknown;
+    }
+}
+
+/// The direct (non-transitive) effects of `f`.
+pub fn function_effects(f: &Function) -> EffectSummary {
+    let mut s = EffectSummary::default();
+    for inst in f.insts() {
+        match inst {
+            Inst::Load { .. } => s.reads_memory = true,
+            Inst::Store { .. } => s.writes_memory = true,
+            Inst::EnqD { .. } | Inst::DeqD { .. } | Inst::EnqC { .. } | Inst::DeqC { .. } => {
+                s.uses_npu = true;
+            }
+            Inst::Call { func, .. } if !s.calls.contains(func) => s.calls.push(*func),
+            _ => {}
+        }
+    }
+    s
+}
+
+/// The transitive effects of calling `entry`: the function's own effects
+/// merged with those of every reachable callee. `calls` lists the full
+/// reachable callee set.
+pub fn region_effects(program: &Program, entry: u32) -> EffectSummary {
+    let mut summary = match program.function_by_index(entry) {
+        Some(f) => function_effects(f),
+        None => {
+            return EffectSummary {
+                calls_unknown: true,
+                ..EffectSummary::default()
+            }
+        }
+    };
+    let mut seen = vec![entry];
+    let mut work = summary.calls.clone();
+    while let Some(id) = work.pop() {
+        if seen.contains(&id) {
+            continue;
+        }
+        seen.push(id);
+        match program.function_by_index(id) {
+            Some(f) => {
+                let sub = function_effects(f);
+                summary.absorb(&sub);
+                for c in sub.calls {
+                    if !summary.calls.contains(&c) {
+                        summary.calls.push(c);
+                    }
+                    work.push(c);
+                }
+            }
+            None => summary.calls_unknown = true,
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionBuilder;
+
+    #[test]
+    fn transitive_effects_cross_calls() {
+        let mut leaf = FunctionBuilder::new("leaf", 1);
+        let a = leaf.param(0);
+        leaf.store(a, a, 0);
+        leaf.ret(&[]);
+        let mut p = Program::new();
+        let leaf_id = p.add_function(leaf.build().unwrap());
+
+        let mut top = FunctionBuilder::new("top", 1);
+        let x = top.param(0);
+        top.call(leaf_id, &[x], 0);
+        top.ret(&[x]);
+        let top_id = p.add_function(top.build().unwrap());
+
+        let direct = function_effects(p.function(top_id));
+        assert!(!direct.writes_memory);
+        let region = region_effects(&p, top_id.0);
+        assert!(region.writes_memory);
+        assert!(!region.uses_npu);
+        assert!(region.pure_up_to_scratch());
+    }
+
+    #[test]
+    fn npu_and_unknown_callee_break_purity() {
+        let mut b = FunctionBuilder::new("n", 1);
+        let x = b.param(0);
+        b.enq_d(x);
+        let y = b.deq_d();
+        b.ret(&[y]);
+        let mut p = Program::new();
+        let id = p.add_function(b.build().unwrap());
+        assert!(!region_effects(&p, id.0).pure_up_to_scratch());
+        assert!(region_effects(&p, 99).calls_unknown);
+    }
+}

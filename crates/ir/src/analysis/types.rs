@@ -1,0 +1,321 @@
+//! Int/float type inference per register.
+//!
+//! The interpreter is dynamically typed — every register holds either an
+//! `i32` or an `f32` and typed accessors fault on mismatch. This module
+//! recovers a static typing: each instruction contributes hard constraints
+//! (an `FBin` reads and writes floats, a `Load` base is an int address,
+//! …) and `Mov` unifies its two registers through a union-find, since a
+//! copy preserves whichever type flows through it. `Call` constraints are
+//! resolved program-wide by iterating function-local inference with the
+//! callee's parameter/return types until a fixpoint.
+//!
+//! The analysis is flow-insensitive: a register constrained both ways
+//! anywhere in the function is [`RegType::Conflict`], which the verifier
+//! reports as type confusion. The builder allocates a fresh register per
+//! value, so well-formed programs never reuse one register for both
+//! types.
+
+use crate::{Function, Inst, Program, Reg};
+
+/// The inferred type of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegType {
+    /// No constraint observed (the register is unused or only copied).
+    Unknown,
+    /// Always holds an `i32`.
+    Int,
+    /// Always holds an `f32`.
+    Float,
+    /// Constrained to both types — a runtime `TypeMismatch` waiting to
+    /// happen on some path.
+    Conflict,
+}
+
+impl RegType {
+    fn join(self, other: RegType) -> RegType {
+        match (self, other) {
+            (RegType::Unknown, t) | (t, RegType::Unknown) => t,
+            (a, b) if a == b => a,
+            _ => RegType::Conflict,
+        }
+    }
+}
+
+/// Inferred types for every register of one function.
+#[derive(Debug, Clone)]
+pub struct TypeMap {
+    types: Vec<RegType>,
+}
+
+impl TypeMap {
+    /// The type of `r` (`Unknown` for out-of-range registers).
+    pub fn get(&self, r: Reg) -> RegType {
+        self.types
+            .get(r.0 as usize)
+            .copied()
+            .unwrap_or(RegType::Unknown)
+    }
+
+    /// Types of the first `n` registers (the parameter slice when
+    /// `n = n_params`).
+    pub fn prefix(&self, n: usize) -> &[RegType] {
+        &self.types[..n.min(self.types.len())]
+    }
+
+    /// Registers holding conflicting constraints.
+    pub fn conflicts(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.types
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == RegType::Conflict)
+            .map(|(i, _)| Reg(i as u16))
+    }
+}
+
+/// Union-find over register classes with a type per class root.
+struct Classes {
+    parent: Vec<usize>,
+    ty: Vec<RegType>,
+}
+
+impl Classes {
+    fn new(n: usize) -> Classes {
+        Classes {
+            parent: (0..n).collect(),
+            ty: vec![RegType::Unknown; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn constrain(&mut self, r: Reg, t: RegType) {
+        let root = self.find(r.0 as usize);
+        self.ty[root] = self.ty[root].join(t);
+    }
+
+    fn unify(&mut self, a: Reg, b: Reg) {
+        let (ra, rb) = (self.find(a.0 as usize), self.find(b.0 as usize));
+        if ra == rb {
+            return;
+        }
+        let joined = self.ty[ra].join(self.ty[rb]);
+        self.parent[ra] = rb;
+        self.ty[rb] = joined;
+    }
+}
+
+/// Signature of a function as seen from call sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Signature {
+    params: Vec<RegType>,
+    rets: Vec<RegType>,
+}
+
+/// Infers register types for every function in `program`.
+///
+/// Returns one [`TypeMap`] per function, indexed like
+/// [`Program::functions`]. Calls to unknown function ids contribute no
+/// constraints (the verifier reports those separately).
+pub fn infer_types(program: &Program) -> Vec<TypeMap> {
+    let n_funcs = program.functions().len();
+    let mut sigs: Vec<Signature> = program
+        .functions()
+        .iter()
+        .map(|f| Signature {
+            params: vec![RegType::Unknown; f.n_params()],
+            rets: vec![RegType::Unknown; f.n_rets()],
+        })
+        .collect();
+
+    // Iterate to a fixpoint: signatures only move up the 3-level lattice
+    // Unknown → Int/Float → Conflict, so this terminates quickly.
+    let mut maps: Vec<TypeMap>;
+    loop {
+        maps = program
+            .functions()
+            .iter()
+            .map(|f| infer_function(f, program, &sigs))
+            .collect();
+        let next: Vec<Signature> = program
+            .functions()
+            .iter()
+            .zip(&maps)
+            .map(|(f, map)| Signature {
+                params: map.prefix(f.n_params()).to_vec(),
+                rets: f.rets().iter().map(|r| map.get(*r)).collect(),
+            })
+            .collect();
+        if next == sigs {
+            break;
+        }
+        sigs = next;
+    }
+    debug_assert_eq!(maps.len(), n_funcs);
+    maps
+}
+
+/// Infers types for a single function given callee signatures.
+fn infer_function(f: &Function, program: &Program, sigs: &[Signature]) -> TypeMap {
+    let n = super::liveness::reg_space(f);
+    let mut c = Classes::new(n);
+    for inst in f.insts() {
+        match inst {
+            Inst::ConstF { dst, .. } => c.constrain(*dst, RegType::Float),
+            Inst::ConstI { dst, .. } => c.constrain(*dst, RegType::Int),
+            Inst::Mov { dst, src } => c.unify(*dst, *src),
+            Inst::FBin { dst, a, b, .. } => {
+                c.constrain(*a, RegType::Float);
+                c.constrain(*b, RegType::Float);
+                c.constrain(*dst, RegType::Float);
+            }
+            Inst::FUn { dst, a, .. } => {
+                c.constrain(*a, RegType::Float);
+                c.constrain(*dst, RegType::Float);
+            }
+            Inst::IBin { dst, a, b, .. } => {
+                c.constrain(*a, RegType::Int);
+                c.constrain(*b, RegType::Int);
+                c.constrain(*dst, RegType::Int);
+            }
+            Inst::CmpF { dst, a, b, .. } => {
+                c.constrain(*a, RegType::Float);
+                c.constrain(*b, RegType::Float);
+                c.constrain(*dst, RegType::Int);
+            }
+            Inst::CmpI { dst, a, b, .. } => {
+                c.constrain(*a, RegType::Int);
+                c.constrain(*b, RegType::Int);
+                c.constrain(*dst, RegType::Int);
+            }
+            Inst::IToF { dst, src } | Inst::BitsToF { dst, src } => {
+                c.constrain(*src, RegType::Int);
+                c.constrain(*dst, RegType::Float);
+            }
+            Inst::FToI { dst, src } | Inst::FToBits { dst, src } => {
+                c.constrain(*src, RegType::Float);
+                c.constrain(*dst, RegType::Int);
+            }
+            Inst::Load { dst, base, .. } => {
+                c.constrain(*base, RegType::Int);
+                c.constrain(*dst, RegType::Float);
+            }
+            Inst::Store { src, base, .. } => {
+                c.constrain(*src, RegType::Float);
+                c.constrain(*base, RegType::Int);
+            }
+            Inst::Branch { cond, .. } => c.constrain(*cond, RegType::Int),
+            Inst::Call { func, args, rets } => {
+                if program.function_by_index(*func).is_some() {
+                    let sig = &sigs[*func as usize];
+                    for (a, t) in args.iter().zip(&sig.params) {
+                        c.constrain(*a, *t);
+                    }
+                    for (r, t) in rets.iter().zip(&sig.rets) {
+                        c.constrain(*r, *t);
+                    }
+                }
+            }
+            Inst::EnqD { src } => c.constrain(*src, RegType::Float),
+            Inst::DeqD { dst } => c.constrain(*dst, RegType::Float),
+            Inst::EnqC { src } => c.constrain(*src, RegType::Int),
+            Inst::DeqC { dst } => c.constrain(*dst, RegType::Int),
+            Inst::Jump { .. } | Inst::Ret { .. } => {}
+        }
+    }
+    let types = (0..n)
+        .map(|r| {
+            let root = c.find(r);
+            c.ty[root]
+        })
+        .collect();
+    TypeMap { types }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionBuilder;
+
+    #[test]
+    fn mov_propagates_type_through_copies() {
+        let mut b = FunctionBuilder::new("m", 1);
+        let x = b.param(0);
+        let cpy = b.reg();
+        b.mov(cpy, x);
+        let y = b.fadd(cpy, cpy);
+        b.ret(&[y]);
+        let mut p = Program::new();
+        p.add_function(b.build().unwrap());
+        let maps = infer_types(&p);
+        assert_eq!(maps[0].get(x), RegType::Float);
+        assert_eq!(maps[0].get(cpy), RegType::Float);
+    }
+
+    #[test]
+    fn int_float_mix_is_conflict() {
+        use crate::{FBinOp, IBinOp, Reg};
+        let f = Function::new_unchecked(
+            "conf",
+            1,
+            2,
+            vec![Reg(1)],
+            vec![
+                Inst::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(1),
+                    a: Reg(0),
+                    b: Reg(0),
+                },
+                Inst::FBin {
+                    op: FBinOp::Add,
+                    dst: Reg(1),
+                    a: Reg(0),
+                    b: Reg(0),
+                },
+                Inst::Ret { vals: vec![Reg(1)] },
+            ],
+        );
+        let mut p = Program::new();
+        p.add_function(f);
+        let maps = infer_types(&p);
+        assert_eq!(maps[0].get(Reg(0)), RegType::Conflict);
+        assert_eq!(maps[0].get(Reg(1)), RegType::Conflict);
+        assert_eq!(maps[0].conflicts().count(), 2);
+    }
+
+    #[test]
+    fn call_signature_types_flow_to_caller() {
+        let mut callee = FunctionBuilder::new("sq", 1);
+        let x = callee.param(0);
+        let xx = callee.fmul(x, x);
+        callee.ret(&[xx]);
+        let mut p = Program::new();
+        let sq = p.add_function(callee.build().unwrap());
+
+        let mut caller = FunctionBuilder::new("main", 1);
+        let a = caller.param(0);
+        let r = caller.call(sq, &[a], 1);
+        caller.ret(&[r[0]]);
+        p.add_function(caller.build().unwrap());
+
+        let maps = infer_types(&p);
+        // The caller never touches `a` or `r` except via the call; their
+        // types come entirely from the callee's signature.
+        assert_eq!(maps[1].get(a), RegType::Float);
+        assert_eq!(maps[1].get(r[0]), RegType::Float);
+    }
+
+    use crate::Function;
+}

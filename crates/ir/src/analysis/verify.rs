@@ -1,0 +1,1052 @@
+//! The Parrot region safety verifier (`parrot-lint`).
+//!
+//! Maps the paper's §3.1 admission criteria for approximable regions onto
+//! concrete static checks over the IR:
+//!
+//! | §3.1 criterion              | check                                     |
+//! |-----------------------------|-------------------------------------------|
+//! | well-defined inputs         | [`Lint::UninitRead`], [`Lint::NonFloatParam`] |
+//! | well-defined outputs        | [`Lint::MissingRet`], [`Lint::RetArityMismatch`] |
+//! | pure (no escaping state)    | [`Lint::ScratchOutOfBounds`], [`Lint::NpuInRegion`] |
+//! | executable / terminating    | [`Lint::InfiniteLoop`], [`Lint::UnboundedLoop`] |
+//! | structurally valid          | [`Lint::RegisterOutOfRange`], [`Lint::UnknownCallee`], [`Lint::CallArityMismatch`], [`Lint::TypeConfusion`] |
+//! | hygiene                     | [`Lint::UnreachableBlock`], [`Lint::DeadStore`] |
+//!
+//! Severity is fixed per lint. *Error* findings identify programs the
+//! interpreter will fault (or panic) on along some path; the compiler
+//! pipeline refuses to observe/train such regions. *Warning* findings are
+//! suspicious but executable; *Info* findings record what could not be
+//! proven statically (e.g. runtime-computed scratch addresses, which the
+//! interpreter still bounds-checks dynamically).
+
+use super::cfg::Cfg;
+use super::defuse::{defs_of, is_pure, uses_of, DefUse};
+use super::dom::Dominators;
+use super::effects::region_effects;
+use super::liveness::{reg_space, Liveness};
+use super::types::{infer_types, RegType, TypeMap};
+use super::RegSet;
+use crate::{Function, Inst, Program, Reg};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Unprovable statically; checked at runtime instead.
+    Info,
+    /// Suspicious but executable.
+    Warning,
+    /// Will fault (or panic) on some path; the region is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The lint catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// A register may be read before any path initializes it.
+    UninitRead,
+    /// A constant-foldable load/store address falls outside the declared
+    /// scratch window.
+    ScratchOutOfBounds,
+    /// A load/store address could not be folded to a constant; bounds are
+    /// only enforced dynamically.
+    UnprovenScratchBounds,
+    /// A register is constrained to both `i32` and `f32`.
+    TypeConfusion,
+    /// Some path leaves the function without executing `ret`.
+    MissingRet,
+    /// A `ret` yields a different number of values than the function
+    /// declares.
+    RetArityMismatch,
+    /// An instruction names a register ≥ the function's register count
+    /// (the interpreter indexes its register file unchecked).
+    RegisterOutOfRange,
+    /// A call names a function id not present in the program.
+    UnknownCallee,
+    /// A call's argument or result list disagrees with the callee's
+    /// signature.
+    CallArityMismatch,
+    /// A candidate region contains NPU queue instructions.
+    NpuInRegion,
+    /// An entry parameter is not used as `f32` (the Parrot call
+    /// convention passes all region inputs as floats).
+    NonFloatParam,
+    /// A loop with no exit: no conditional branch out and no `ret`.
+    InfiniteLoop,
+    /// A loop whose every exit condition looks loop-invariant.
+    UnboundedLoop,
+    /// A basic block no path from the entry reaches.
+    UnreachableBlock,
+    /// A side-effect-free instruction whose result no path reads.
+    DeadStore,
+}
+
+impl Lint {
+    /// The fixed severity of this lint.
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::UninitRead
+            | Lint::ScratchOutOfBounds
+            | Lint::TypeConfusion
+            | Lint::MissingRet
+            | Lint::RetArityMismatch
+            | Lint::RegisterOutOfRange
+            | Lint::UnknownCallee
+            | Lint::CallArityMismatch
+            | Lint::NpuInRegion
+            | Lint::NonFloatParam
+            | Lint::InfiniteLoop => Severity::Error,
+            Lint::UnboundedLoop | Lint::UnreachableBlock | Lint::DeadStore => Severity::Warning,
+            Lint::UnprovenScratchBounds => Severity::Info,
+        }
+    }
+
+    /// Stable kebab-case name (used in diagnostics tables and metrics
+    /// keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UninitRead => "uninit-read",
+            Lint::ScratchOutOfBounds => "scratch-out-of-bounds",
+            Lint::UnprovenScratchBounds => "unproven-scratch-bounds",
+            Lint::TypeConfusion => "type-confusion",
+            Lint::MissingRet => "missing-ret",
+            Lint::RetArityMismatch => "ret-arity-mismatch",
+            Lint::RegisterOutOfRange => "register-out-of-range",
+            Lint::UnknownCallee => "unknown-callee",
+            Lint::CallArityMismatch => "call-arity-mismatch",
+            Lint::NpuInRegion => "npu-in-region",
+            Lint::NonFloatParam => "non-float-param",
+            Lint::InfiniteLoop => "infinite-loop",
+            Lint::UnboundedLoop => "unbounded-loop",
+            Lint::UnreachableBlock => "unreachable-block",
+            Lint::DeadStore => "dead-store",
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Its severity ([`Lint::severity`], denormalized for consumers).
+    pub severity: Severity,
+    /// The function the finding is in.
+    pub function: String,
+    /// The instruction index the finding anchors to, when one exists.
+    pub inst: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inst {
+            Some(i) => write!(
+                f,
+                "{}: [{}] {} at {}:{}: {}",
+                self.severity, self.lint, self.function, self.function, i, self.message
+            ),
+            None => write!(
+                f,
+                "{}: [{}] {}: {}",
+                self.severity, self.lint, self.function, self.message
+            ),
+        }
+    }
+}
+
+/// All findings for one region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// Every finding, in function/instruction order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether any error-severity finding exists (the region is rejected).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether the report has no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    fn push(&mut self, lint: Lint, function: &str, inst: Option<usize>, message: String) {
+        self.diagnostics.push(Diagnostic {
+            lint,
+            severity: lint.severity(),
+            function: function.to_string(),
+            inst,
+            message,
+        });
+    }
+}
+
+/// Verifies the region rooted at function index `entry` against the §3.1
+/// criteria, assuming a scratch memory of `scratch_words` f32 words.
+///
+/// Checks the entry function and every transitively reachable callee.
+pub fn verify_region(program: &Program, entry: u32, scratch_words: usize) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    if program.function_by_index(entry).is_none() {
+        report.push(
+            Lint::UnknownCallee,
+            "<region>",
+            None,
+            format!("entry function id {entry} does not exist in the program"),
+        );
+        return report;
+    }
+
+    let effects = region_effects(program, entry);
+    let mut funcs: Vec<u32> = vec![entry];
+    for c in &effects.calls {
+        if !funcs.contains(c) && program.function_by_index(*c).is_some() {
+            funcs.push(*c);
+        }
+    }
+    let types = infer_types(program);
+
+    for &fid in &funcs {
+        let f = program.function(crate::FuncId(fid));
+        verify_function(
+            program,
+            f,
+            &types[fid as usize],
+            scratch_words,
+            fid == entry,
+            &mut report,
+        );
+    }
+    report
+}
+
+fn verify_function(
+    program: &Program,
+    f: &Function,
+    types: &TypeMap,
+    scratch_words: usize,
+    is_entry: bool,
+    report: &mut VerifyReport,
+) {
+    let name = f.name();
+    let insts = f.insts();
+
+    // Structural: register operands must fit the declared register file
+    // (the interpreter indexes it unchecked and would panic).
+    for (i, inst) in insts.iter().enumerate() {
+        for r in defs_of(inst).into_iter().chain(uses_of(inst)) {
+            if r.0 as usize >= f.n_regs() {
+                report.push(
+                    Lint::RegisterOutOfRange,
+                    name,
+                    Some(i),
+                    format!(
+                        "register {} out of range (function declares {})",
+                        r,
+                        f.n_regs()
+                    ),
+                );
+            }
+        }
+    }
+
+    if insts.is_empty() {
+        report.push(
+            Lint::MissingRet,
+            name,
+            None,
+            "function has no instructions; execution immediately falls off the end".to_string(),
+        );
+        return;
+    }
+
+    let cfg = Cfg::build(f);
+    let dom = Dominators::compute(&cfg);
+    let du = DefUse::build(f);
+
+    // All paths must reach `ret` with the declared arity.
+    for (b, blk) in cfg.blocks().iter().enumerate() {
+        if blk.falls_off_end && cfg.is_reachable(b) {
+            let last = blk.end - 1;
+            let how = match &insts[last] {
+                Inst::Branch { target, .. } | Inst::Jump { target } => {
+                    format!("branch target {} is past the last instruction", target.0)
+                }
+                _ => "control falls off the end of the function".to_string(),
+            };
+            report.push(
+                Lint::MissingRet,
+                name,
+                Some(last),
+                format!("{how}; this path never reaches `ret`"),
+            );
+        }
+        if !cfg.is_reachable(b) {
+            report.push(
+                Lint::UnreachableBlock,
+                name,
+                Some(blk.start),
+                format!(
+                    "block covering instructions {}..{} is unreachable from the entry",
+                    blk.start, blk.end
+                ),
+            );
+        }
+    }
+    for (i, inst) in insts.iter().enumerate() {
+        if let Inst::Ret { vals } = inst {
+            if vals.len() != f.n_rets() {
+                report.push(
+                    Lint::RetArityMismatch,
+                    name,
+                    Some(i),
+                    format!(
+                        "ret yields {} value(s) but the function declares {}",
+                        vals.len(),
+                        f.n_rets()
+                    ),
+                );
+            }
+        }
+    }
+
+    // Call-site signatures.
+    for (i, inst) in insts.iter().enumerate() {
+        if let Inst::Call { func, args, rets } = inst {
+            match program.function_by_index(*func) {
+                None => report.push(
+                    Lint::UnknownCallee,
+                    name,
+                    Some(i),
+                    format!("call to unknown function id {func}"),
+                ),
+                Some(callee) => {
+                    if args.len() != callee.n_params() {
+                        report.push(
+                            Lint::CallArityMismatch,
+                            name,
+                            Some(i),
+                            format!(
+                                "call passes {} argument(s) but `{}` takes {}",
+                                args.len(),
+                                callee.name(),
+                                callee.n_params()
+                            ),
+                        );
+                    }
+                    if rets.len() > callee.n_rets() {
+                        report.push(
+                            Lint::CallArityMismatch,
+                            name,
+                            Some(i),
+                            format!(
+                                "call receives {} value(s) but `{}` returns {}; the extra registers stay uninitialized",
+                                rets.len(),
+                                callee.name(),
+                                callee.n_rets()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // NPU queue instructions may not appear inside a candidate region:
+    // the region is the code being *replaced* by the NPU, and the
+    // observe/train interpreter runs it with no port attached.
+    for (i, inst) in insts.iter().enumerate() {
+        if matches!(
+            inst,
+            Inst::EnqD { .. } | Inst::DeqD { .. } | Inst::EnqC { .. } | Inst::DeqC { .. }
+        ) {
+            report.push(
+                Lint::NpuInRegion,
+                name,
+                Some(i),
+                "candidate regions must not contain NPU queue instructions".to_string(),
+            );
+        }
+    }
+
+    // Type consistency.
+    let space = reg_space(f);
+    for r in types.conflicts() {
+        if (r.0 as usize) < space {
+            let site = du.defs(r).first().or_else(|| du.uses(r).first()).copied();
+            report.push(
+                Lint::TypeConfusion,
+                name,
+                site,
+                format!("register {r} is used as both i32 and f32"),
+            );
+        }
+    }
+    if is_entry {
+        for (p, t) in types.prefix(f.n_params()).iter().enumerate() {
+            if *t == RegType::Int {
+                report.push(
+                    Lint::NonFloatParam,
+                    name,
+                    None,
+                    format!("entry parameter {p} is used as i32; region inputs are passed as f32"),
+                );
+            }
+        }
+    }
+
+    must_init_check(f, &cfg, program, report);
+    scratch_bounds_check(f, &du, scratch_words, report);
+    loop_check(f, &cfg, &dom, report);
+    dead_store_check(f, &cfg, report);
+}
+
+/// Forward must-initialize dataflow: intersection meet, entry seeded with
+/// the parameter registers, unvisited predecessors contribute TOP.
+fn must_init_check(f: &Function, cfg: &Cfg, program: &Program, report: &mut VerifyReport) {
+    let space = reg_space(f);
+    let insts = f.insts();
+
+    let transfer = |init: &mut RegSet, i: usize, flag: &mut Option<Vec<(usize, Reg)>>| {
+        let inst = &insts[i];
+        for r in uses_of(inst) {
+            if !init.contains(r.0) {
+                if let Some(found) = flag {
+                    found.push((i, r));
+                }
+            }
+        }
+        // A call only writes as many result registers as the callee
+        // actually returns; the rest stay uninitialized.
+        if let Inst::Call { func, rets, .. } = inst {
+            let n = program
+                .function_by_index(*func)
+                .map_or(rets.len(), crate::Function::n_rets);
+            for r in rets.iter().take(n) {
+                init.insert(r.0);
+            }
+        } else {
+            for r in defs_of(inst) {
+                init.insert(r.0);
+            }
+        }
+    };
+
+    let nb = cfg.len();
+    let mut in_sets: Vec<Option<RegSet>> = vec![None; nb];
+    let entry = match cfg.rpo().first() {
+        Some(&e) => e,
+        None => return,
+    };
+    let mut entry_init = RegSet::empty(space);
+    for p in 0..f.n_params() {
+        entry_init.insert(p as u16);
+    }
+    in_sets[entry] = Some(entry_init);
+
+    // Propagate block out-sets into successor in-sets with intersection
+    // meet. The entry's initial parameter seed acts as the virtual
+    // function-entry predecessor: intersection only shrinks sets, so a
+    // back edge into the entry block can never re-add registers the
+    // fresh-entry path leaves uninitialized.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo() {
+            let mut out = match &in_sets[b] {
+                Some(s) => s.clone(),
+                None => continue,
+            };
+            let mut no_report: Option<Vec<(usize, Reg)>> = None;
+            for i in cfg.blocks()[b].range() {
+                transfer(&mut out, i, &mut no_report);
+            }
+            for &s in &cfg.blocks()[b].succs {
+                if let Some(cur) = &mut in_sets[s] {
+                    if cur.intersect_with(&out) {
+                        changed = true;
+                    }
+                } else {
+                    in_sets[s] = Some(out.clone());
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Final reporting pass, deduplicated per (instruction, register).
+    let mut found: Vec<(usize, Reg)> = Vec::new();
+    for &b in cfg.rpo() {
+        let mut state = match &in_sets[b] {
+            Some(s) => s.clone(),
+            None => continue,
+        };
+        let mut flag = Some(Vec::new());
+        for i in cfg.blocks()[b].range() {
+            transfer(&mut state, i, &mut flag);
+        }
+        if let Some(hits) = flag {
+            for h in hits {
+                if !found.contains(&h) {
+                    found.push(h);
+                }
+            }
+        }
+    }
+    found.sort_unstable_by_key(|(i, r)| (*i, r.0));
+    for (i, r) in found {
+        report.push(
+            Lint::UninitRead,
+            f.name(),
+            Some(i),
+            format!("register {r} may be read before it is initialized on some path"),
+        );
+    }
+}
+
+/// Constant-folds a register's value through its (unique) definition
+/// chain. Sound given a clean must-init pass: a single static definition
+/// that is executed before every use yields the same constant at each.
+fn const_reg(f: &Function, du: &DefUse, r: Reg, depth: usize) -> Option<i32> {
+    if depth == 0 {
+        return None;
+    }
+    let def = du.single_def(r)?;
+    match &f.insts()[def] {
+        Inst::ConstI { value, .. } => Some(*value),
+        Inst::Mov { src, .. } => const_reg(f, du, *src, depth - 1),
+        Inst::IBin { op, a, b, .. } => {
+            let x = const_reg(f, du, *a, depth - 1)?;
+            let y = const_reg(f, du, *b, depth - 1)?;
+            Some(match op {
+                crate::IBinOp::Add => x.wrapping_add(y),
+                crate::IBinOp::Sub => x.wrapping_sub(y),
+                crate::IBinOp::Mul => x.wrapping_mul(y),
+                crate::IBinOp::Shl => x.wrapping_shl(y as u32),
+                crate::IBinOp::Shr => x.wrapping_shr(y as u32),
+                crate::IBinOp::And => x & y,
+                crate::IBinOp::Or => x | y,
+                crate::IBinOp::Rem => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_rem(y)
+                    }
+                }
+            })
+        }
+        _ => None,
+    }
+}
+
+fn scratch_bounds_check(
+    f: &Function,
+    du: &DefUse,
+    scratch_words: usize,
+    report: &mut VerifyReport,
+) {
+    for (i, inst) in f.insts().iter().enumerate() {
+        let (base, offset, what) = match inst {
+            Inst::Load { base, offset, .. } => (*base, *offset, "load"),
+            Inst::Store { base, offset, .. } => (*base, *offset, "store"),
+            _ => continue,
+        };
+        match const_reg(f, du, base, 16) {
+            Some(b) => {
+                let addr = b as i64 + offset as i64;
+                if addr < 0 || addr >= scratch_words as i64 {
+                    report.push(
+                        Lint::ScratchOutOfBounds,
+                        f.name(),
+                        Some(i),
+                        format!(
+                            "{what} address {addr} escapes the scratch window of {scratch_words} word(s)"
+                        ),
+                    );
+                }
+            }
+            None => {
+                report.push(
+                    Lint::UnprovenScratchBounds,
+                    f.name(),
+                    Some(i),
+                    format!(
+                        "{what} address is computed at runtime; bounds only checked dynamically"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Back-edge based loop screening: every natural loop must have an exit,
+/// and at least one exit condition must plausibly vary across iterations.
+fn loop_check(f: &Function, cfg: &Cfg, dom: &Dominators, report: &mut VerifyReport) {
+    let insts = f.insts();
+    // Collect back edges u -> h (h dominates u).
+    let mut headers: Vec<(usize, usize)> = Vec::new();
+    for (u, blk) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(u) {
+            continue;
+        }
+        for &s in &blk.succs {
+            if dom.dominates(s, u) {
+                headers.push((u, s));
+            }
+        }
+    }
+
+    for (latch, header) in headers {
+        // Natural loop body: blocks reaching the latch without passing
+        // the header.
+        let mut in_loop = vec![false; cfg.len()];
+        in_loop[header] = true;
+        let mut work = vec![latch];
+        while let Some(b) = work.pop() {
+            if in_loop[b] {
+                continue;
+            }
+            in_loop[b] = true;
+            for &p in &cfg.blocks()[b].preds {
+                work.push(p);
+            }
+        }
+
+        // Registers defined anywhere in the loop.
+        let mut defined_in_loop = RegSet::empty(reg_space(f));
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            if !in_loop[b] {
+                continue;
+            }
+            for i in blk.range() {
+                for r in defs_of(&insts[i]) {
+                    defined_in_loop.insert(r.0);
+                }
+            }
+        }
+
+        let mut has_exit = false;
+        let mut has_varying_exit = false;
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            if !in_loop[b] {
+                continue;
+            }
+            let last = blk.end - 1;
+            if matches!(insts[last], Inst::Ret { .. }) {
+                // Returning from inside the loop is an exit we accept
+                // unconditionally.
+                has_exit = true;
+                has_varying_exit = true;
+                continue;
+            }
+            let exits_loop = blk.succs.iter().any(|s| !in_loop[*s]);
+            if !exits_loop {
+                continue;
+            }
+            has_exit = true;
+            if let Inst::Branch { cond, .. } = &insts[last] {
+                if cond_varies(f, *cond, &defined_in_loop) {
+                    has_varying_exit = true;
+                }
+            } else {
+                // A fall-through or jump out of the loop body still exits.
+                has_varying_exit = true;
+            }
+        }
+
+        let latch_inst = cfg.blocks()[latch].end - 1;
+        if !has_exit {
+            report.push(
+                Lint::InfiniteLoop,
+                f.name(),
+                Some(latch_inst),
+                format!(
+                    "loop with header at instruction {} has no exit path",
+                    cfg.blocks()[header].start
+                ),
+            );
+        } else if !has_varying_exit {
+            report.push(
+                Lint::UnboundedLoop,
+                f.name(),
+                Some(latch_inst),
+                "every exit condition of this loop appears loop-invariant; the loop may not terminate".to_string(),
+            );
+        }
+    }
+}
+
+/// Heuristic: a branch condition can change across iterations if some
+/// definition of it reads a register that is itself (re)defined in the
+/// loop, or derives from memory/call results produced in the loop.
+fn cond_varies(f: &Function, cond: Reg, defined_in_loop: &RegSet) -> bool {
+    for inst in f.insts() {
+        let defs = defs_of(inst);
+        if !defs.contains(&cond) {
+            continue;
+        }
+        if matches!(
+            inst,
+            Inst::Load { .. } | Inst::DeqD { .. } | Inst::DeqC { .. } | Inst::Call { .. }
+        ) {
+            return true;
+        }
+        if uses_of(inst).iter().any(|u| defined_in_loop.contains(u.0)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Flags pure instructions whose result is provably never read (per-point
+/// liveness within each reachable block).
+fn dead_store_check(f: &Function, cfg: &Cfg, report: &mut VerifyReport) {
+    let lv = Liveness::compute(f, cfg);
+    let insts = f.insts();
+    for (b, blk) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let mut live = lv.live_out(b).clone();
+        let mut dead: Vec<usize> = Vec::new();
+        for i in blk.range().rev() {
+            let inst = &insts[i];
+            let defs = defs_of(inst);
+            if is_pure(inst) && !defs.is_empty() && defs.iter().all(|d| !live.contains(d.0)) {
+                dead.push(i);
+                // A dead instruction's uses do not keep anything alive.
+                continue;
+            }
+            for d in &defs {
+                live.remove(d.0);
+            }
+            for u in uses_of(inst) {
+                live.insert(u.0);
+            }
+        }
+        dead.reverse();
+        for i in dead {
+            report.push(
+                Lint::DeadStore,
+                f.name(),
+                Some(i),
+                "result of this instruction is never read on any path".to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, FunctionBuilder, Label};
+
+    fn entry_program(f: Function) -> Program {
+        let mut p = Program::new();
+        p.add_function(f);
+        p
+    }
+
+    #[test]
+    fn clean_straight_line_region_verifies() {
+        let mut b = FunctionBuilder::new("ok", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let s = b.fadd(x, y);
+        b.ret(&[s]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(report.is_clean(), "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn uninit_read_flagged_on_one_path_only() {
+        // if (p0 < 0) r = p0*p0;  return r  — `r` uninitialized on the
+        // fall-through path.
+        let mut b = FunctionBuilder::new("uninit", 1);
+        let x = b.param(0);
+        let zero = b.constf(0.0);
+        let c = b.cmpf(CmpOp::Lt, x, zero);
+        let skip = b.new_label();
+        let r = b.reg();
+        b.branch_if_zero(c, skip);
+        b.emit(Inst::FBin {
+            op: crate::FBinOp::Mul,
+            dst: r,
+            a: x,
+            b: x,
+        });
+        b.bind(skip);
+        b.ret(&[r]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(report.has_errors());
+        assert!(
+            report.errors().any(|d| d.lint == Lint::UninitRead),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn scratch_overflow_and_unproven_bounds() {
+        let mut b = FunctionBuilder::new("mem", 1);
+        let x = b.param(0);
+        let base = b.consti(30);
+        b.store(x, base, 5); // 35 >= 32: out of bounds
+        let dyn_base = b.ftoi(x); // runtime-computed
+        let v = b.load(dyn_base, 0);
+        b.ret(&[v]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 32);
+        assert!(report.errors().any(|d| d.lint == Lint::ScratchOutOfBounds));
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.lint == Lint::UnprovenScratchBounds && d.severity == Severity::Info));
+    }
+
+    #[test]
+    fn missing_ret_and_unreachable_block() {
+        use crate::Reg;
+        let f = Function::new_unchecked(
+            "bad",
+            1,
+            3,
+            vec![Reg(1)],
+            vec![
+                // 0: jump over the ret to an instruction that falls off.
+                Inst::Jump { target: Label(3) },
+                // 1..2: unreachable
+                Inst::Mov {
+                    dst: Reg(1),
+                    src: Reg(0),
+                },
+                Inst::Ret { vals: vec![Reg(1)] },
+                // 3: falls off the end
+                Inst::Mov {
+                    dst: Reg(2),
+                    src: Reg(0),
+                },
+            ],
+        );
+        let report = verify_region(&entry_program(f), 0, 0);
+        assert!(report.errors().any(|d| d.lint == Lint::MissingRet));
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.lint == Lint::UnreachableBlock));
+    }
+
+    #[test]
+    fn infinite_and_invariant_loops_flagged() {
+        // while(true) {}
+        let mut b = FunctionBuilder::new("spin", 0);
+        let top = b.new_label();
+        b.bind(top);
+        b.jump(top);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(report.errors().any(|d| d.lint == Lint::InfiniteLoop));
+
+        // Loop whose exit condition never changes inside the loop.
+        let mut b = FunctionBuilder::new("inv", 1);
+        let x = b.param(0);
+        let n = b.ftoi(x);
+        let zero = b.consti(0);
+        let top = b.new_label();
+        let exit = b.new_label();
+        b.bind(top);
+        let c = b.cmpi(CmpOp::Le, n, zero);
+        b.branch_if(c, exit);
+        b.jump(top);
+        b.bind(exit);
+        b.ret(&[x]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d| d.lint == Lint::UnboundedLoop),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn bounded_counting_loop_is_clean_of_loop_lints() {
+        let mut b = FunctionBuilder::new("count", 1);
+        let x = b.param(0);
+        let n = b.ftoi(x);
+        let i = b.consti(0);
+        let one = b.consti(1);
+        let top = b.new_label();
+        let exit = b.new_label();
+        b.bind(top);
+        let done = b.cmpi(CmpOp::Ge, i, n);
+        b.branch_if(done, exit);
+        b.iadd_into(i, one);
+        b.jump(top);
+        b.bind(exit);
+        let out = b.itof(i);
+        b.ret(&[out]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(
+            !report
+                .diagnostics()
+                .iter()
+                .any(|d| matches!(d.lint, Lint::InfiniteLoop | Lint::UnboundedLoop)),
+            "{:?}",
+            report.diagnostics()
+        );
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn type_confusion_and_register_range() {
+        use crate::{IBinOp, Reg};
+        let f = Function::new_unchecked(
+            "ty",
+            1,
+            2,
+            vec![Reg(1)],
+            vec![
+                Inst::IBin {
+                    op: IBinOp::Add,
+                    dst: Reg(1),
+                    a: Reg(0),
+                    b: Reg(0),
+                },
+                Inst::FUn {
+                    op: crate::FUnOp::Neg,
+                    dst: Reg(1),
+                    a: Reg(0),
+                },
+                Inst::Mov {
+                    dst: Reg(9),
+                    src: Reg(1),
+                },
+                Inst::Ret { vals: vec![Reg(1)] },
+            ],
+        );
+        let report = verify_region(&entry_program(f), 0, 0);
+        assert!(report.errors().any(|d| d.lint == Lint::TypeConfusion));
+        assert!(report.errors().any(|d| d.lint == Lint::RegisterOutOfRange));
+    }
+
+    #[test]
+    fn npu_instructions_rejected_in_regions() {
+        let mut b = FunctionBuilder::new("npu", 1);
+        let x = b.param(0);
+        b.enq_d(x);
+        let y = b.deq_d();
+        b.ret(&[y]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(report.errors().any(|d| d.lint == Lint::NpuInRegion));
+    }
+
+    #[test]
+    fn int_entry_param_flagged() {
+        let mut b = FunctionBuilder::new("ip", 1);
+        let x = b.param(0);
+        let one = b.consti(1);
+        let y = b.iadd(x, one);
+        let out = b.itof(y);
+        b.ret(&[out]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(report.errors().any(|d| d.lint == Lint::NonFloatParam));
+    }
+
+    #[test]
+    fn dead_store_warned_not_errored() {
+        let mut b = FunctionBuilder::new("ds", 1);
+        let x = b.param(0);
+        let _dead = b.fmul(x, x);
+        let y = b.fadd(x, x);
+        b.ret(&[y]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(!report.has_errors());
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.lint == Lint::DeadStore && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn call_arity_mismatch_detected() {
+        use crate::Reg;
+        let mut callee = FunctionBuilder::new("one", 1);
+        let a = callee.param(0);
+        callee.ret(&[a]);
+        let mut p = Program::new();
+        p.add_function(callee.build().unwrap());
+        let f = Function::new_unchecked(
+            "caller",
+            1,
+            4,
+            vec![Reg(1)],
+            vec![
+                Inst::Call {
+                    func: 0,
+                    args: vec![Reg(0), Reg(0)],
+                    rets: vec![Reg(1), Reg(2)],
+                },
+                Inst::Ret { vals: vec![Reg(1)] },
+            ],
+        );
+        p.add_function(f);
+        let report = verify_region(&p, 1, 0);
+        let arity_errors = report
+            .errors()
+            .filter(|d| d.lint == Lint::CallArityMismatch)
+            .count();
+        assert_eq!(arity_errors, 2, "{:?}", report.diagnostics());
+    }
+
+    use crate::Function;
+}

@@ -34,6 +34,26 @@ impl Function {
         }
     }
 
+    /// Assembles a function directly from raw parts, bypassing every
+    /// invariant [`FunctionBuilder`](crate::FunctionBuilder) enforces
+    /// (terminated instruction stream, uniform return arity, in-range
+    /// registers and labels).
+    ///
+    /// This exists so tests and the [`analysis`](crate::analysis) lint
+    /// suite can construct deliberately malformed IR; executing such a
+    /// function may return any [`IrError`](crate::IrError) or panic on
+    /// out-of-range registers. Run
+    /// [`analysis::verify_region`](crate::analysis::verify_region) first.
+    pub fn new_unchecked(
+        name: impl Into<String>,
+        n_params: usize,
+        n_regs: usize,
+        rets: Vec<Reg>,
+        insts: Vec<Inst>,
+    ) -> Self {
+        Function::from_parts(name.into(), n_params, n_regs, rets, insts)
+    }
+
     /// The function's name (diagnostic only).
     pub fn name(&self) -> &str {
         &self.name

@@ -1,4 +1,4 @@
-//! Simple intra-function optimizations.
+//! Intra-function optimizations.
 //!
 //! The builder API encourages emitting one constant per use, which is
 //! faithful to unoptimized codegen but inflates generated functions (the
@@ -6,16 +6,25 @@
 //! provides the two classic clean-up passes a real compiler would run
 //! before counting a region's instructions:
 //!
-//! * [`fold_constants`] — evaluates integer/float operations whose
-//!   operands are known constants, and rewires consumers;
-//! * [`eliminate_dead_code`] — removes instructions whose results are
-//!   never used and have no side effects.
+//! * [`fold_constants`] — sparse conditional-style constant propagation
+//!   over the CFG: per-block constant environments meet at joins
+//!   (intersection keeping agreeing values), so a register written the
+//!   same constant on every path still folds, and constants defined after
+//!   a join or carried around a loop propagate;
+//! * [`eliminate_dead_code`] — per-point liveness from the backward
+//!   dataflow in [`analysis::liveness`](crate::analysis::liveness):
+//!   definitions no path ever reads are deleted (including overwritten
+//!   ones), and unreachable blocks are dropped entirely.
 //!
-//! Both passes are conservative around control flow: any register written
-//! on more than one path (or inside a loop body) is treated as unknown.
+//! Earlier revisions of these passes were straight-line only — any
+//! register written on more than one path, or any instruction past the
+//! first branch target, was treated as unknown. The
+//! [`analysis`](crate::analysis) CFG and liveness results removed that
+//! over-approximation.
 
+use crate::analysis::{defs_of, is_pure, uses_of, Cfg, Liveness};
 use crate::{FBinOp, FUnOp, Function, IBinOp, Inst, Label, Reg};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A known compile-time value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,85 +33,30 @@ enum Known {
     I(i32),
 }
 
-/// Returns a copy of `f` with constant-computable instructions replaced
-/// by constant loads.
-///
-/// Only registers written exactly once by a straight-line-reachable
-/// instruction are tracked, so values merged across branches or mutated
-/// in loops are never folded.
-pub fn fold_constants(f: &Function) -> Function {
-    // Registers written more than once are not SSA-like: exclude them.
-    let mut write_counts: HashMap<u16, usize> = HashMap::new();
-    for inst in f.insts() {
-        if let Some(dst) = dst_of(inst) {
-            *write_counts.entry(dst.0).or_insert(0) += 1;
-        }
-    }
-    // Instructions at or after any branch target may execute under
-    // merged control flow; constants defined before the first label are
-    // still safe to use anywhere, so we simply stop *recording* new
-    // constants once control flow begins, and stop folding instructions
-    // that are branch targets themselves.
-    let mut targets: HashSet<usize> = HashSet::new();
-    for inst in f.insts() {
-        match inst {
-            Inst::Branch { target, .. } | Inst::Jump { target } => {
-                targets.insert(target.0 as usize);
-            }
-            _ => {}
-        }
-    }
+/// Per-block constant environment: register → known value. Absent keys
+/// are "not constant"; an unvisited block is TOP (every value possible,
+/// represented as `None` at the block level).
+type ConstEnv = HashMap<u16, Known>;
 
-    let mut known: HashMap<u16, Known> = HashMap::new();
-    let mut control_flow_seen = false;
-    let mut out: Vec<Inst> = Vec::with_capacity(f.len());
-    for (idx, inst) in f.insts().iter().enumerate() {
-        if targets.contains(&idx) {
-            control_flow_seen = true;
-        }
-        let single = |r: Reg| write_counts.get(&r.0) == Some(&1);
-        let getf = |known: &HashMap<u16, Known>, r: Reg| match known.get(&r.0) {
-            Some(Known::F(v)) => Some(*v),
-            _ => None,
-        };
-        let geti = |known: &HashMap<u16, Known>, r: Reg| match known.get(&r.0) {
-            Some(Known::I(v)) => Some(*v),
-            _ => None,
-        };
-        let record = |known: &mut HashMap<u16, Known>, dst: Reg, v: Known| {
-            if !control_flow_seen && single(dst) {
-                known.insert(dst.0, v);
-            }
-        };
+/// Applies one instruction to the constant environment, returning the
+/// replacement instruction if the result folds.
+fn transfer(inst: &Inst, env: &mut ConstEnv) -> Option<Inst> {
+    let getf = |env: &ConstEnv, r: Reg| match env.get(&r.0) {
+        Some(Known::F(v)) => Some(*v),
+        _ => None,
+    };
+    let geti = |env: &ConstEnv, r: Reg| match env.get(&r.0) {
+        Some(Known::I(v)) => Some(*v),
+        _ => None,
+    };
 
-        let folded: Inst = match inst {
-            Inst::ConstF { dst, value } => {
-                record(&mut known, *dst, Known::F(*value));
-                inst.clone()
-            }
-            Inst::ConstI { dst, value } => {
-                record(&mut known, *dst, Known::I(*value));
-                inst.clone()
-            }
-            Inst::Mov { dst, src } => match known.get(&src.0).copied() {
-                Some(Known::F(v)) if single(*dst) => {
-                    record(&mut known, *dst, Known::F(v));
-                    Inst::ConstF {
-                        dst: *dst,
-                        value: v,
-                    }
-                }
-                Some(Known::I(v)) if single(*dst) => {
-                    record(&mut known, *dst, Known::I(v));
-                    Inst::ConstI {
-                        dst: *dst,
-                        value: v,
-                    }
-                }
-                _ => inst.clone(),
-            },
-            Inst::FBin { op, dst, a, b } => match (getf(&known, *a), getf(&known, *b)) {
-                (Some(x), Some(y)) if single(*dst) && *op != FBinOp::Atan2 => {
+    let folded: Option<(Reg, Known)> = match inst {
+        Inst::ConstF { dst, value } => Some((*dst, Known::F(*value))),
+        Inst::ConstI { dst, value } => Some((*dst, Known::I(*value))),
+        Inst::Mov { dst, src } => env.get(&src.0).copied().map(|v| (*dst, v)),
+        Inst::FBin { op, dst, a, b } if *op != FBinOp::Atan2 => {
+            match (getf(env, *a), getf(env, *b)) {
+                (Some(x), Some(y)) => {
                     let v = match op {
                         FBinOp::Add => x + y,
                         FBinOp::Sub => x - y,
@@ -112,91 +66,139 @@ pub fn fold_constants(f: &Function) -> Function {
                         FBinOp::Max => x.max(y),
                         FBinOp::Atan2 => unreachable!(),
                     };
-                    record(&mut known, *dst, Known::F(v));
-                    Inst::ConstF {
-                        dst: *dst,
-                        value: v,
-                    }
+                    Some((*dst, Known::F(v)))
                 }
-                _ => inst.clone(),
-            },
-            Inst::FUn { op, dst, a } => match getf(&known, *a) {
-                Some(x) if single(*dst) && matches!(op, FUnOp::Neg | FUnOp::Abs | FUnOp::Floor) => {
-                    let v = match op {
-                        FUnOp::Neg => -x,
-                        FUnOp::Abs => x.abs(),
-                        FUnOp::Floor => x.floor(),
-                        _ => unreachable!(),
-                    };
-                    record(&mut known, *dst, Known::F(v));
-                    Inst::ConstF {
-                        dst: *dst,
-                        value: v,
-                    }
-                }
-                _ => inst.clone(),
-            },
-            Inst::IBin { op, dst, a, b } => match (geti(&known, *a), geti(&known, *b)) {
-                (Some(x), Some(y)) if single(*dst) => {
-                    let v = match op {
-                        IBinOp::Add => x.wrapping_add(y),
-                        IBinOp::Sub => x.wrapping_sub(y),
-                        IBinOp::Mul => x.wrapping_mul(y),
-                        IBinOp::Shl => x.wrapping_shl(y as u32),
-                        IBinOp::Shr => x.wrapping_shr(y as u32),
-                        IBinOp::And => x & y,
-                        IBinOp::Or => x | y,
-                        IBinOp::Rem => {
-                            if y == 0 {
-                                0
-                            } else {
-                                x.wrapping_rem(y)
-                            }
+                _ => None,
+            }
+        }
+        Inst::FUn { op, dst, a } if matches!(op, FUnOp::Neg | FUnOp::Abs | FUnOp::Floor) => {
+            getf(env, *a).map(|x| {
+                let v = match op {
+                    FUnOp::Neg => -x,
+                    FUnOp::Abs => x.abs(),
+                    FUnOp::Floor => x.floor(),
+                    _ => unreachable!(),
+                };
+                (*dst, Known::F(v))
+            })
+        }
+        Inst::IBin { op, dst, a, b } => match (geti(env, *a), geti(env, *b)) {
+            (Some(x), Some(y)) => {
+                let v = match op {
+                    IBinOp::Add => x.wrapping_add(y),
+                    IBinOp::Sub => x.wrapping_sub(y),
+                    IBinOp::Mul => x.wrapping_mul(y),
+                    IBinOp::Shl => x.wrapping_shl(y as u32),
+                    IBinOp::Shr => x.wrapping_shr(y as u32),
+                    IBinOp::And => x & y,
+                    IBinOp::Or => x | y,
+                    IBinOp::Rem => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.wrapping_rem(y)
                         }
-                    };
-                    record(&mut known, *dst, Known::I(v));
-                    Inst::ConstI {
-                        dst: *dst,
-                        value: v,
                     }
-                }
-                _ => inst.clone(),
-            },
-            Inst::CmpF { op, dst, a, b } => match (getf(&known, *a), getf(&known, *b)) {
-                (Some(x), Some(y)) if single(*dst) => {
-                    let v = op.eval_f32(x, y) as i32;
-                    record(&mut known, *dst, Known::I(v));
-                    Inst::ConstI {
-                        dst: *dst,
-                        value: v,
+                };
+                Some((*dst, Known::I(v)))
+            }
+            _ => None,
+        },
+        Inst::CmpF { op, dst, a, b } => match (getf(env, *a), getf(env, *b)) {
+            (Some(x), Some(y)) => Some((*dst, Known::I(op.eval_f32(x, y) as i32))),
+            _ => None,
+        },
+        Inst::CmpI { op, dst, a, b } => match (geti(env, *a), geti(env, *b)) {
+            (Some(x), Some(y)) => Some((*dst, Known::I(op.eval_i32(x, y) as i32))),
+            _ => None,
+        },
+        Inst::IToF { dst, src } => geti(env, *src).map(|v| (*dst, Known::F(v as f32))),
+        Inst::FToI { dst, src } => getf(env, *src).map(|v| (*dst, Known::I(v as i32))),
+        Inst::FToBits { dst, src } => getf(env, *src).map(|v| (*dst, Known::I(v.to_bits() as i32))),
+        Inst::BitsToF { dst, src } => {
+            geti(env, *src).map(|v| (*dst, Known::F(f32::from_bits(v as u32))))
+        }
+        _ => None,
+    };
+
+    match folded {
+        Some((dst, v)) => {
+            env.insert(dst.0, v);
+            match v {
+                Known::F(value) => Some(Inst::ConstF { dst, value }),
+                Known::I(value) => Some(Inst::ConstI { dst, value }),
+            }
+        }
+        None => {
+            // The instruction's results are not constant: kill its defs.
+            for d in defs_of(inst) {
+                env.remove(&d.0);
+            }
+            None
+        }
+    }
+}
+
+/// Intersection meet keeping only register/value pairs both environments
+/// agree on. `NaN` constants never agree with themselves and drop out —
+/// conservative and deterministic.
+fn meet(into: &mut ConstEnv, other: &ConstEnv) -> bool {
+    let before = into.len();
+    into.retain(|r, v| other.get(r) == Some(v));
+    into.len() != before
+}
+
+/// Returns a copy of `f` with constant-computable instructions replaced
+/// by constant loads.
+///
+/// Flow-sensitive over the CFG: a per-block constant environment is
+/// iterated to a fixpoint with intersection meet at joins. Registers
+/// written on several paths fold when every path agrees on the value;
+/// loop-carried mutation is killed by the back-edge meet.
+pub fn fold_constants(f: &Function) -> Function {
+    if f.is_empty() {
+        return f.clone();
+    }
+    let cfg = Cfg::build(f);
+    let nb = cfg.len();
+    let mut in_envs: Vec<Option<ConstEnv>> = vec![None; nb];
+    let entry = cfg.rpo()[0];
+    in_envs[entry] = Some(ConstEnv::new());
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo() {
+            let mut env = match &in_envs[b] {
+                Some(e) => e.clone(),
+                None => continue,
+            };
+            for i in cfg.blocks()[b].range() {
+                transfer(&f.insts()[i], &mut env);
+            }
+            for &s in &cfg.blocks()[b].succs {
+                if let Some(cur) = &mut in_envs[s] {
+                    if meet(cur, &env) {
+                        changed = true;
                     }
+                } else {
+                    in_envs[s] = Some(env.clone());
+                    changed = true;
                 }
-                _ => inst.clone(),
-            },
-            Inst::CmpI { op, dst, a, b } => match (geti(&known, *a), geti(&known, *b)) {
-                (Some(x), Some(y)) if single(*dst) => {
-                    let v = op.eval_i32(x, y) as i32;
-                    record(&mut known, *dst, Known::I(v));
-                    Inst::ConstI {
-                        dst: *dst,
-                        value: v,
-                    }
-                }
-                _ => inst.clone(),
-            },
-            Inst::IToF { dst, src } => match geti(&known, *src) {
-                Some(v) if single(*dst) => {
-                    record(&mut known, *dst, Known::F(v as f32));
-                    Inst::ConstF {
-                        dst: *dst,
-                        value: v as f32,
-                    }
-                }
-                _ => inst.clone(),
-            },
-            _ => inst.clone(),
-        };
-        out.push(folded);
+            }
+        }
+    }
+
+    // Rewrite with the converged environments. Unreachable blocks get an
+    // empty environment (nothing folds there; DCE removes them anyway).
+    let mut out: Vec<Inst> = f.insts().to_vec();
+    for (b, blk) in cfg.blocks().iter().enumerate() {
+        let mut env = in_envs[b].clone().unwrap_or_default();
+        for i in blk.range() {
+            if let Some(replacement) = transfer(&f.insts()[i], &mut env) {
+                out[i] = replacement;
+            }
+        }
     }
     Function::from_parts(
         f.name().to_string(),
@@ -207,47 +209,48 @@ pub fn fold_constants(f: &Function) -> Function {
     )
 }
 
-/// Returns a copy of `f` with side-effect-free instructions whose results
-/// are never read removed. Instruction indices shift, so branch targets
-/// are remapped.
+/// Returns a copy of `f` with dead instructions removed: side-effect-free
+/// definitions no path reads (per-point liveness), and every instruction
+/// in blocks unreachable from the entry. Instruction indices shift, so
+/// branch targets are remapped.
 pub fn eliminate_dead_code(f: &Function) -> Function {
-    // Liveness: a register is live if any instruction reads it (across
-    // the whole function — conservative but sound with loops).
-    let mut live: HashSet<u16> = HashSet::new();
-    for inst in f.insts() {
-        for r in srcs_of(inst) {
-            live.insert(r.0);
+    if f.is_empty() {
+        return f.clone();
+    }
+    let cfg = Cfg::build(f);
+    let liveness = Liveness::compute(f, &cfg);
+
+    let mut keep = vec![true; f.len()];
+    for (b, blk) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(b) {
+            for i in blk.range() {
+                keep[i] = false;
+            }
+            continue;
+        }
+        // Walk the block backward tracking exact per-point liveness; a
+        // pure definition that is dead right here is dead everywhere.
+        let mut live = liveness.live_out(b).clone();
+        for i in blk.range().rev() {
+            let inst = &f.insts()[i];
+            let defs = defs_of(inst);
+            if is_pure(inst) && !defs.is_empty() && defs.iter().all(|d| !live.contains(d.0)) {
+                keep[i] = false;
+                continue;
+            }
+            for d in &defs {
+                live.remove(d.0);
+            }
+            for u in uses_of(inst) {
+                live.insert(u.0);
+            }
         }
     }
 
-    // Decide survival per instruction.
-    let keep: Vec<bool> = f
-        .insts()
-        .iter()
-        .map(|inst| match inst {
-            Inst::ConstF { dst, .. }
-            | Inst::ConstI { dst, .. }
-            | Inst::Mov { dst, .. }
-            | Inst::FBin { dst, .. }
-            | Inst::FUn { dst, .. }
-            | Inst::IBin { dst, .. }
-            | Inst::CmpF { dst, .. }
-            | Inst::CmpI { dst, .. }
-            | Inst::IToF { dst, .. }
-            | Inst::FToI { dst, .. }
-            | Inst::BitsToF { dst, .. }
-            | Inst::FToBits { dst, .. } => live.contains(&dst.0),
-            // Loads have no side effects but can fault; keep them only if
-            // used (a real compiler would need a no-trap proof — our IR
-            // loads are the only faulting ops, so dropping dead ones only
-            // removes possible traps, never adds them; still, be
-            // conservative and keep them).
-            Inst::Load { .. } => true,
-            _ => true, // stores, control flow, calls, queue ops
-        })
-        .collect();
-
-    // Remap old indices to new ones.
+    // Remap old indices to new ones. A branch to a removed instruction
+    // lands on the next surviving one; `new_index` encodes that (the
+    // removed slot maps to the index the following instruction will
+    // take).
     let mut new_index = vec![0u32; f.len() + 1];
     let mut n = 0u32;
     for (i, &k) in keep.iter().enumerate() {
@@ -257,16 +260,13 @@ pub fn eliminate_dead_code(f: &Function) -> Function {
         }
     }
     new_index[f.len()] = n;
-    // A branch to a removed instruction must land on the next surviving
-    // one; `new_index` already encodes that (the removed slot maps to the
-    // index the following instruction will take).
 
     let mut out = Vec::with_capacity(n as usize);
     for (i, inst) in f.insts().iter().enumerate() {
         if !keep[i] {
             continue;
         }
-        let remap = |t: &Label| Label(new_index[t.0 as usize]);
+        let remap = |t: &Label| Label(new_index[(t.0 as usize).min(f.len())]);
         out.push(match inst {
             Inst::Branch { cond, target } => Inst::Branch {
                 cond: *cond,
@@ -299,49 +299,6 @@ pub fn optimize(f: &Function) -> Function {
         current = next;
     }
     current
-}
-
-fn dst_of(inst: &Inst) -> Option<Reg> {
-    match inst {
-        Inst::ConstF { dst, .. }
-        | Inst::ConstI { dst, .. }
-        | Inst::Mov { dst, .. }
-        | Inst::FBin { dst, .. }
-        | Inst::FUn { dst, .. }
-        | Inst::IBin { dst, .. }
-        | Inst::CmpF { dst, .. }
-        | Inst::CmpI { dst, .. }
-        | Inst::IToF { dst, .. }
-        | Inst::FToI { dst, .. }
-        | Inst::BitsToF { dst, .. }
-        | Inst::FToBits { dst, .. }
-        | Inst::Load { dst, .. }
-        | Inst::DeqD { dst }
-        | Inst::DeqC { dst } => Some(*dst),
-        _ => None,
-    }
-}
-
-fn srcs_of(inst: &Inst) -> Vec<Reg> {
-    match inst {
-        Inst::Mov { src, .. }
-        | Inst::IToF { src, .. }
-        | Inst::FToI { src, .. }
-        | Inst::BitsToF { src, .. }
-        | Inst::FToBits { src, .. } => vec![*src],
-        Inst::FBin { a, b, .. }
-        | Inst::IBin { a, b, .. }
-        | Inst::CmpF { a, b, .. }
-        | Inst::CmpI { a, b, .. } => vec![*a, *b],
-        Inst::FUn { a, .. } => vec![*a],
-        Inst::Load { base, .. } => vec![*base],
-        Inst::Store { src, base, .. } => vec![*src, *base],
-        Inst::Branch { cond, .. } => vec![*cond],
-        Inst::Call { args, .. } => args.clone(),
-        Inst::Ret { vals } => vals.clone(),
-        Inst::EnqD { src } | Inst::EnqC { src } => vec![*src],
-        _ => vec![],
-    }
 }
 
 #[cfg(test)]
@@ -484,5 +441,132 @@ mod tests {
             .as_f32()
             .unwrap();
         assert_eq!(a, o);
+    }
+
+    // ------------------------------------------------------------------
+    // CFG-aware behaviour the straight-line passes could not deliver.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn folds_register_written_same_constant_on_both_paths() {
+        use crate::CmpOp;
+        // r is written 2.0 on *both* arms of a diamond; the old pass
+        // treated any multiply-written register as unknown. The meet
+        // keeps agreeing values, so r*r after the join folds to 4.0.
+        let mut b = FunctionBuilder::new("agree", 1);
+        let x = b.param(0);
+        let zero = b.constf(0.0);
+        let c = b.cmpf(CmpOp::Lt, x, zero);
+        let other = b.new_label();
+        let join = b.new_label();
+        let r = b.reg();
+        b.branch_if(c, other);
+        b.emit(Inst::ConstF { dst: r, value: 2.0 });
+        b.jump(join);
+        b.bind(other);
+        b.emit(Inst::ConstF { dst: r, value: 2.0 });
+        b.bind(join);
+        let sq = b.fmul(r, r);
+        let out = b.fadd(sq, x);
+        b.ret(&[out]);
+        let f = b.build().unwrap();
+        let folded = fold_constants(&f);
+        let has_four = folded
+            .insts()
+            .iter()
+            .any(|i| matches!(i, Inst::ConstF { dst, value } if *dst == sq && *value == 4.0));
+        assert!(has_four, "{:?}", folded.insts());
+        assert_eq!(run(folded, &[Value::F(1.0)])[0].as_f32().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn folds_constants_defined_after_a_join() {
+        use crate::CmpOp;
+        // The old pass stopped recording constants at the first branch
+        // target; constants defined in post-join code now fold too.
+        let mut b = FunctionBuilder::new("postjoin", 1);
+        let x = b.param(0);
+        let zero = b.constf(0.0);
+        let c = b.cmpf(CmpOp::Lt, x, zero);
+        let join = b.new_label();
+        b.branch_if(c, join);
+        b.bind(join);
+        let three = b.constf(3.0);
+        let nine = b.fmul(three, three);
+        let out = b.fadd(nine, x);
+        b.ret(&[out]);
+        let f = b.build().unwrap();
+        let opt = optimize(&f);
+        assert!(
+            opt.insts()
+                .iter()
+                .any(|i| matches!(i, Inst::ConstF { value, .. } if *value == 9.0)),
+            "{:?}",
+            opt.insts()
+        );
+        // 3.0*3.0 folded away entirely: strictly fewer instructions.
+        assert!(opt.len() < f.len());
+        assert_eq!(run(opt, &[Value::F(1.0)])[0].as_f32().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn conflicting_paths_do_not_fold() {
+        use crate::CmpOp;
+        // r is 1.0 on one arm, 2.0 on the other: must NOT fold r+r.
+        let mut b = FunctionBuilder::new("conflict", 1);
+        let x = b.param(0);
+        let zero = b.constf(0.0);
+        let c = b.cmpf(CmpOp::Lt, x, zero);
+        let other = b.new_label();
+        let join = b.new_label();
+        let r = b.reg();
+        b.branch_if(c, other);
+        b.emit(Inst::ConstF { dst: r, value: 1.0 });
+        b.jump(join);
+        b.bind(other);
+        b.emit(Inst::ConstF { dst: r, value: 2.0 });
+        b.bind(join);
+        let s = b.fadd(r, r);
+        b.ret(&[s]);
+        let f = b.build().unwrap();
+        let opt = optimize(&f);
+        assert_eq!(run(opt.clone(), &[Value::F(1.0)])[0].as_f32().unwrap(), 2.0);
+        assert_eq!(run(opt, &[Value::F(-1.0)])[0].as_f32().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn dce_removes_overwritten_definitions_and_unreachable_code() {
+        use crate::{Label, Reg};
+        let f = Function::new_unchecked(
+            "over",
+            1,
+            2,
+            vec![Reg(1)],
+            vec![
+                // 0: overwritten before any read — dead under per-point
+                // liveness (the old whole-function pass kept it because
+                // r1 is "read somewhere").
+                Inst::ConstF {
+                    dst: Reg(1),
+                    value: 1.0,
+                },
+                // 1: the live definition.
+                Inst::ConstF {
+                    dst: Reg(1),
+                    value: 2.0,
+                },
+                // 2: return it.
+                Inst::Ret { vals: vec![Reg(1)] },
+                // 3: unreachable tail.
+                Inst::ConstF {
+                    dst: Reg(1),
+                    value: 3.0,
+                },
+                Inst::Jump { target: Label(3) },
+            ],
+        );
+        let opt = eliminate_dead_code(&f);
+        assert_eq!(opt.len(), 2, "{:?}", opt.insts());
+        assert_eq!(run(opt, &[Value::F(0.0)])[0].as_f32().unwrap(), 2.0);
     }
 }

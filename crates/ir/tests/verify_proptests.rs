@@ -1,0 +1,180 @@
+//! Property-based tests tying the region safety verifier to interpreter
+//! semantics, in both directions:
+//!
+//! 1. **Soundness of acceptance** — a program the verifier accepts (no
+//!    error findings and nothing left unproven) never raises a
+//!    statically-detectable fault in the interpreter: no uninitialized
+//!    `f32` read (`TypeMismatch`), no scratch access out of bounds, no
+//!    fall-off-the-end (`MissingReturn`).
+//! 2. **Completeness of flagging** — a program the interpreter faults on
+//!    with one of those errors always has a non-empty report.
+//!
+//! Programs are assembled from raw instruction lists (bypassing the
+//! builder's invariants) so that genuinely malformed IR is generated.
+
+use approx_ir::analysis::{verify_region, Lint};
+use approx_ir::{
+    CmpOp, FBinOp, FUnOp, FuncId, Function, IBinOp, Inst, Interpreter, IrError, Label, Program,
+    Reg, Value,
+};
+use proptest::prelude::*;
+
+const N_REGS: u16 = 6;
+const N_PARAMS: usize = 2;
+const SCRATCH_WORDS: usize = 8;
+const BUDGET: u64 = 20_000;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0..N_REGS).prop_map(Reg)
+}
+
+/// One random instruction, decoded from an opcode plus shared operands.
+/// Branch/jump targets may land past the end of the function — the
+/// verifier must flag that, and the interpreter reports `MissingReturn`.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (0i32..16, (reg(), reg(), reg()), -4.0f32..4.0, -4i32..12).prop_map(
+        |(opcode, (r0, r1, r2), fimm, iimm)| {
+            let target = Label(iimm.unsigned_abs() % 16);
+            match opcode {
+                0 => Inst::ConstF {
+                    dst: r0,
+                    value: fimm,
+                },
+                1 => Inst::ConstI {
+                    dst: r0,
+                    value: iimm,
+                },
+                2 => Inst::Mov { dst: r0, src: r1 },
+                3 => Inst::FBin {
+                    op: FBinOp::Add,
+                    dst: r0,
+                    a: r1,
+                    b: r2,
+                },
+                4 => Inst::FBin {
+                    op: FBinOp::Mul,
+                    dst: r0,
+                    a: r1,
+                    b: r2,
+                },
+                5 => Inst::FUn {
+                    op: FUnOp::Neg,
+                    dst: r0,
+                    a: r1,
+                },
+                6 => Inst::IBin {
+                    op: IBinOp::Add,
+                    dst: r0,
+                    a: r1,
+                    b: r2,
+                },
+                7 => Inst::CmpF {
+                    op: CmpOp::Lt,
+                    dst: r0,
+                    a: r1,
+                    b: r2,
+                },
+                8 => Inst::CmpI {
+                    op: CmpOp::Lt,
+                    dst: r0,
+                    a: r1,
+                    b: r2,
+                },
+                9 => Inst::IToF { dst: r0, src: r1 },
+                10 => Inst::FToI { dst: r0, src: r1 },
+                11 => Inst::Load {
+                    dst: r0,
+                    base: r1,
+                    offset: iimm,
+                },
+                12 => Inst::Store {
+                    src: r0,
+                    base: r1,
+                    offset: iimm,
+                },
+                13 => Inst::Branch { cond: r0, target },
+                14 => Inst::Jump { target },
+                _ => Inst::Ret { vals: vec![] },
+            }
+        },
+    )
+}
+
+/// A one-function program from raw instructions, always ending in `ret`
+/// so the empty instruction list is not trivially malformed.
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_inst(), 0..14).prop_map(|mut insts| {
+        insts.push(Inst::Ret { vals: vec![] });
+        let f = Function::new_unchecked("gen", N_PARAMS, N_REGS as usize, vec![], insts);
+        let mut p = Program::new();
+        p.add_function(f);
+        p
+    })
+}
+
+/// The fault classes the verifier claims to rule out statically.
+fn statically_detectable(err: &IrError) -> bool {
+    matches!(
+        err,
+        IrError::TypeMismatch { .. }
+            | IrError::OutOfBoundsMemory { .. }
+            | IrError::MissingReturn(_)
+    )
+}
+
+fn run(p: &Program, a: f32, b: f32) -> Result<Vec<Value>, IrError> {
+    Interpreter::new(p)
+        .with_memory(SCRATCH_WORDS)
+        .with_budget(BUDGET)
+        .run(FuncId(0), &[Value::F(a), Value::F(b)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Accepted programs never fault in a statically-detectable way.
+    /// "Accepted" means no error-severity finding *and* no
+    /// unproven-scratch-bounds info (addresses the verifier had to defer
+    /// to the interpreter's dynamic check).
+    #[test]
+    fn accepted_programs_do_not_fault(
+        p in arb_program(),
+        a in -2.0f32..2.0,
+        b in -2.0f32..2.0,
+    ) {
+        let report = verify_region(&p, 0, SCRATCH_WORDS);
+        let accepted = !report.has_errors()
+            && report
+                .diagnostics()
+                .iter()
+                .all(|d| d.lint != Lint::UnprovenScratchBounds);
+        if !accepted {
+            return Ok(());
+        }
+        if let Err(e) = run(&p, a, b) {
+            prop_assert!(
+                !statically_detectable(&e),
+                "verifier accepted a program that faults with {e}"
+            );
+        }
+    }
+
+    /// Programs that fault in a statically-detectable way are never
+    /// reported clean.
+    #[test]
+    fn faulting_programs_are_flagged(
+        p in arb_program(),
+        a in -2.0f32..2.0,
+        b in -2.0f32..2.0,
+    ) {
+        let Err(e) = run(&p, a, b) else { return Ok(()) };
+        if !statically_detectable(&e) {
+            return Ok(());
+        }
+        let report = verify_region(&p, 0, SCRATCH_WORDS);
+        prop_assert!(
+            !report.is_clean(),
+            "interpreter faulted with {e} but the verifier found nothing"
+        );
+    }
+}

@@ -3,10 +3,14 @@
 
 use crate::MetricsRegistry;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Version of the [`RunReport`] JSON layout. Bump on breaking changes so
 /// downstream diff tooling can refuse mismatched files.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 — initial layout; v2 — added the `lint` section
+/// ([`LintSummary`], the region safety verifier's findings).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Wall-clock duration of one named pipeline phase.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -15,6 +19,63 @@ pub struct PhaseTiming {
     pub name: String,
     /// Duration in microseconds.
     pub elapsed_us: u64,
+}
+
+/// Aggregated findings from the region safety verifier (`parrot-lint`),
+/// keyed per severity and per lint name.
+///
+/// The verifier itself lives in `approx-ir`; this type only carries the
+/// counts, so telemetry stays dependency-free. Severity strings are the
+/// verifier's `error` / `warning` / `info`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintSummary {
+    /// Error-severity findings (a region with any of these is rejected
+    /// before observation/training).
+    pub errors: u64,
+    /// Warning-severity findings (suspicious but executable).
+    pub warnings: u64,
+    /// Info-severity findings (statically unprovable, checked at runtime).
+    pub infos: u64,
+    /// Finding counts keyed by lint name (`uninit-read`,
+    /// `unproven-scratch-bounds`, …).
+    pub by_lint: BTreeMap<String, u64>,
+}
+
+impl LintSummary {
+    /// Records one finding of `lint` at `severity` (`"error"`,
+    /// `"warning"`, or `"info"`; anything else counts only under
+    /// [`by_lint`](Self::by_lint)).
+    pub fn record(&mut self, severity: &str, lint: &str) {
+        match severity {
+            "error" => self.errors += 1,
+            "warning" => self.warnings += 1,
+            "info" => self.infos += 1,
+            _ => {}
+        }
+        *self.by_lint.entry(lint.to_string()).or_insert(0) += 1;
+    }
+
+    /// Total findings across severities.
+    pub fn total(&self) -> u64 {
+        self.errors + self.warnings + self.infos
+    }
+
+    /// Whether no findings were recorded.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0 && self.by_lint.is_empty()
+    }
+
+    /// Exports the summary into `metrics` under `prefix`: per-severity
+    /// counters (`<prefix>.errors`, …) and one `<prefix>.by.<lint>`
+    /// counter per lint that fired.
+    pub fn export(&self, metrics: &mut MetricsRegistry, prefix: &str) {
+        metrics.add(&format!("{prefix}.errors"), self.errors);
+        metrics.add(&format!("{prefix}.warnings"), self.warnings);
+        metrics.add(&format!("{prefix}.infos"), self.infos);
+        for (lint, n) in &self.by_lint {
+            metrics.add(&format!("{prefix}.by.{lint}"), *n);
+        }
+    }
 }
 
 /// Machine-readable record of one benchmark run.
@@ -38,6 +99,8 @@ pub struct RunReport {
     pub wall_clock_us: u64,
     /// Per-phase wall-clock timings, in execution order.
     pub phases: Vec<PhaseTiming>,
+    /// Region safety-verifier findings for the benchmark's region.
+    pub lint: LintSummary,
     /// Unified counters/gauges/histograms gathered from every subsystem.
     pub metrics: MetricsRegistry,
 }
@@ -52,6 +115,7 @@ impl RunReport {
             mode: mode.to_string(),
             wall_clock_us: 0,
             phases: Vec::new(),
+            lint: LintSummary::default(),
             metrics: MetricsRegistry::new(),
         }
     }
@@ -123,6 +187,37 @@ mod tests {
         let back = RunReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
         assert_eq!(back.phase_total_us(), 42_000);
+    }
+
+    #[test]
+    fn lint_summary_records_and_exports() {
+        let mut lint = LintSummary::default();
+        assert!(lint.is_clean());
+        lint.record("error", "uninit-read");
+        lint.record("warning", "dead-store");
+        lint.record("warning", "dead-store");
+        lint.record("info", "unproven-scratch-bounds");
+        assert_eq!(lint.errors, 1);
+        assert_eq!(lint.warnings, 2);
+        assert_eq!(lint.infos, 1);
+        assert_eq!(lint.total(), 4);
+        assert_eq!(lint.by_lint["dead-store"], 2);
+
+        let mut metrics = MetricsRegistry::new();
+        lint.export(&mut metrics, "lint");
+        assert_eq!(metrics.counter("lint.errors"), 1);
+        assert_eq!(metrics.counter("lint.warnings"), 2);
+        assert_eq!(metrics.counter("lint.by.dead-store"), 2);
+        assert_eq!(metrics.counter("lint.by.uninit-read"), 1);
+    }
+
+    #[test]
+    fn lint_section_survives_the_json_round_trip() {
+        let mut report = RunReport::new("run_all", "sobel", "fast");
+        report.lint.record("warning", "unbounded-loop");
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.lint.warnings, 1);
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -1,28 +1,40 @@
-//! Golden-file test: a checked-in v1 run report must keep parsing, and
+//! Golden-file test: a checked-in v2 run report must keep parsing, and
 //! re-serializing it must preserve every value. This pins the external
 //! JSON schema — if this test breaks, bump `SCHEMA_VERSION` and update
 //! the diff documentation instead of silently changing the layout.
+//!
+//! Schema history: v1 → v2 added the required `lint` section (region
+//! safety-verifier findings). v1 reports are deliberately rejected — the
+//! check below pins that behaviour.
 
 use telemetry::RunReport;
 
-const GOLDEN: &str = include_str!("data/run_report_v1.json");
+const GOLDEN: &str = include_str!("data/run_report_v2.json");
+const GOLDEN_V1: &str = include_str!("data/run_report_v1.json");
 
 #[test]
 fn golden_report_parses_back() {
-    let report = RunReport::from_json(GOLDEN).expect("golden v1 report must parse");
+    let report = RunReport::from_json(GOLDEN).expect("golden v2 report must parse");
     assert_eq!(report.schema_version, telemetry::SCHEMA_VERSION);
     assert_eq!(report.suite, "run_all");
     assert_eq!(report.benchmark, "fft");
     assert_eq!(report.mode, "fast");
     assert_eq!(report.wall_clock_us, 123_456);
 
-    assert_eq!(report.phases.len(), 3);
-    assert_eq!(report.phases[0].name, "observe");
-    assert_eq!(report.phases[1].elapsed_us, 100_000);
-    assert_eq!(report.phase_total_us(), 102_450);
+    assert_eq!(report.phases.len(), 4);
+    assert_eq!(report.phases[0].name, "verify");
+    assert_eq!(report.phases[1].name, "observe");
+    assert_eq!(report.phases[2].elapsed_us, 100_000);
+    assert_eq!(report.phase_total_us(), 102_570);
+
+    assert_eq!(report.lint.errors, 0);
+    assert_eq!(report.lint.warnings, 1);
+    assert_eq!(report.lint.infos, 2);
+    assert_eq!(report.lint.by_lint["unproven-scratch-bounds"], 2);
 
     assert_eq!(report.metrics.counter("uarch.baseline.cycles"), 900_000);
     assert_eq!(report.metrics.counter("npu.macs"), 5_120);
+    assert_eq!(report.metrics.counter("lint.warnings"), 1);
     assert_eq!(report.metrics.gauge("uarch.baseline.ipc"), Some(1.5));
     let mse = report.metrics.histogram("ann.search.test_mse").unwrap();
     assert_eq!(mse.count, 2);
@@ -35,6 +47,17 @@ fn golden_report_round_trips_unchanged() {
     let report = RunReport::from_json(GOLDEN).unwrap();
     let back = RunReport::from_json(&report.to_json()).unwrap();
     assert_eq!(back, report);
+}
+
+#[test]
+fn v1_report_without_lint_section_is_rejected() {
+    // The required `lint` field is absent from v1 files, so parsing fails
+    // before the explicit schema-version check even runs.
+    let err = RunReport::from_json(GOLDEN_V1).unwrap_err();
+    assert!(
+        err.to_string().contains("lint") || err.to_string().contains("schema version"),
+        "unexpected rejection reason: {err}"
+    );
 }
 
 #[test]
