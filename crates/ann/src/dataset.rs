@@ -3,6 +3,7 @@
 use crate::AnnError;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// A set of input–output samples with fixed dimensionality.
 ///
@@ -21,7 +22,7 @@ use rand::SeedableRng;
 /// assert_eq!(train.len() + test.len(), 2);
 /// # Ok::<(), ann::AnnError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     n_inputs: usize,
     n_outputs: usize,

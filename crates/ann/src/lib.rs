@@ -38,6 +38,7 @@ mod error;
 mod mlp;
 mod normalize;
 mod search;
+pub mod seed;
 mod software_cost;
 mod topology;
 mod train;

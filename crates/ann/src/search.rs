@@ -22,8 +22,13 @@ pub struct SearchParams {
     /// Fraction of observed data used for training; the rest tests
     /// generalization (paper: 0.7).
     pub train_fraction: f64,
-    /// Seed for the train/test split.
-    pub split_seed: u64,
+    /// Root seed for every random choice the search makes: the train/test
+    /// split, each candidate's weight initialization, and each candidate's
+    /// per-epoch shuffle order. Child seeds are derived per consumer with
+    /// [`crate::seed::mix`], keyed by the candidate's *topology* (not its
+    /// position in the candidate list), so results are independent of
+    /// enumeration order, hardware filtering, and thread count.
+    pub seed: u64,
     /// Backpropagation hyperparameters applied to every candidate.
     pub train: TrainParams,
     /// Candidates whose test MSE is within this multiplicative slack of the
@@ -52,7 +57,7 @@ impl Default for SearchParams {
             max_hidden_layers: 2,
             max_hidden_neurons: 32,
             train_fraction: 0.7,
-            split_seed: 0xdead_beef,
+            seed: 0xdead_beef,
             train: TrainParams::default(),
             accuracy_slack: 1.05,
             accuracy_abs_slack: 0.0,
@@ -111,6 +116,13 @@ impl SearchOutcome {
         }
     }
 }
+
+/// Salt for the train/test split seed (see [`SearchParams::seed`]).
+const SPLIT_SALT: u64 = 1;
+/// Salt for per-candidate weight-initialization seeds.
+const INIT_SALT: u64 = 2;
+/// Salt for per-candidate epoch-shuffle seeds.
+const SHUFFLE_SALT: u64 = 3;
 
 /// Enumerates, trains, and ranks candidate topologies.
 #[derive(Debug, Clone)]
@@ -204,7 +216,10 @@ impl TopologySearch {
         if data.is_empty() {
             return Err(AnnError::EmptyDataset);
         }
-        let (train_set, test_set) = data.split(self.params.train_fraction, self.params.split_seed);
+        let (train_set, test_set) = data.split(
+            self.params.train_fraction,
+            crate::seed::mix(self.params.seed, SPLIT_SALT),
+        );
         // With very small datasets the 30% split can round to zero samples;
         // fall back to testing on the training data.
         let test_ref = if test_set.is_empty() {
@@ -250,11 +265,21 @@ impl TopologySearch {
                         idx
                     };
                     let (topology, latency) = topologies[idx].clone();
-                    // Deterministic per-topology seed so the search outcome
-                    // does not depend on thread scheduling.
-                    let seed = 0x9e37_79b9u64.wrapping_mul(idx as u64 + 1);
-                    let mut mlp = Mlp::seeded(topology.clone(), seed);
+                    // Seeds are keyed by topology content, not list index,
+                    // so the outcome is identical whatever subset of
+                    // candidates the hardware filter admits and however
+                    // work is distributed over threads.
+                    let topo_label = topology.to_string();
+                    let init_seed = crate::seed::mix_str(
+                        crate::seed::mix(self.params.seed, INIT_SALT),
+                        &topo_label,
+                    );
+                    let mut mlp = Mlp::seeded(topology.clone(), init_seed);
                     let mut train_params = self.params.train;
+                    train_params.shuffle_seed = crate::seed::mix_str(
+                        crate::seed::mix(self.params.seed, SHUFFLE_SALT),
+                        &topo_label,
+                    );
                     if let Some(budget) = self.params.epoch_flops_budget {
                         let per_epoch =
                             (train_set.len() * topology.weight_count() * 4).max(1) as u64;
@@ -411,6 +436,54 @@ mod tests {
             .min()
             .unwrap();
         assert_eq!(outcome.best.npu_latency, min_latency);
+    }
+
+    #[test]
+    fn seeding_is_independent_of_candidate_filtering() {
+        // The same topology must train to the same network whether or not
+        // other candidates were filtered out before it (seeds are keyed by
+        // topology content, not list position).
+        let data = linear_data();
+        let all = TopologySearch::new(fast_params())
+            .run(&data, &|t| Some(t.weight_count() as u64))
+            .unwrap();
+        let only_h4 = TopologySearch::new(fast_params())
+            .run(&data, &|t| {
+                (t.layers() == [1, 4, 1]).then(|| t.weight_count() as u64)
+            })
+            .unwrap();
+        let h4_in_all = all
+            .all_candidates
+            .iter()
+            .find(|c| c.topology.layers() == [1, 4, 1])
+            .expect("1-4-1 candidate trained");
+        assert_eq!(h4_in_all.test_mse, only_h4.best.test_mse);
+        assert_eq!(h4_in_all.train_mse, only_h4.best.train_mse);
+    }
+
+    #[test]
+    fn distinct_root_seeds_change_the_outcome_deterministically() {
+        let data = linear_data();
+        let a = TopologySearch::new(SearchParams {
+            seed: 1,
+            ..fast_params()
+        })
+        .run(&data, &|_| Some(1))
+        .unwrap();
+        let a2 = TopologySearch::new(SearchParams {
+            seed: 1,
+            ..fast_params()
+        })
+        .run(&data, &|_| Some(1))
+        .unwrap();
+        let b = TopologySearch::new(SearchParams {
+            seed: 2,
+            ..fast_params()
+        })
+        .run(&data, &|_| Some(1))
+        .unwrap();
+        assert_eq!(a.mlp, a2.mlp);
+        assert_ne!(a.mlp, b.mlp, "root seed must reach weight init");
     }
 
     #[test]

@@ -8,35 +8,43 @@
 //! region-level output degradation.
 
 use bench::format::render_table;
-use bench::{Options, Suite};
+use bench::{drive, Options};
+use benchmarks::benchmark_by_name;
+use harness::{run_sweep, Experiment};
 use npu::NpuParams;
 
 const FAULT_RATES: [f64; 5] = [0.0, 1e-5, 1e-4, 1e-3, 1e-2];
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
+    let mut spec = drive::spec("ablation_faults", &opts);
+    spec.experiments = vec![Experiment::Train];
+    let result = run_sweep(&spec).expect("sweep spec is valid");
+    if !result.ok() {
+        eprint!("{}", result.failure_summary());
+        std::process::exit(1);
+    }
 
     let mut header: Vec<String> = vec!["benchmark".into()];
     header.extend(FAULT_RATES.iter().map(|r| format!("{r:.0e}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
 
     let mut rows = Vec::new();
-    for entry in &suite.entries {
-        let region = entry.bench.region();
+    for name in &result.benches {
+        let bench = benchmark_by_name(name).expect("known benchmark");
+        let compiled = result.compiled(name).expect("train artifact");
+        let region = bench.region();
         // Probe inputs: a deterministic slice of the training distribution.
-        let inputs: Vec<Vec<f32>> = entry
-            .bench
-            .training_inputs(&suite.scale)
+        let inputs: Vec<Vec<f32>> = bench
+            .training_inputs(&spec.scale)
             .into_iter()
             .step_by(7)
             .take(300)
             .collect();
-        let mut row = vec![entry.bench.name().to_string()];
+        let mut row = vec![name.clone()];
         for &rate in &FAULT_RATES {
             let params = NpuParams::default().with_fault_rate(rate);
-            let mut sim = entry
-                .compiled
+            let mut sim = compiled
                 .make_npu_with(&params)
                 .expect("default sizing fits");
             let mut total = 0.0f64;

@@ -8,8 +8,9 @@
 //! error, and the fallback rate the guard pays.
 
 use bench::format::render_table;
-use bench::{Options, Suite};
+use bench::{drive, Options};
 use benchmarks::inversek2j::{forward_kinematics, inversek2j_reference};
+use harness::{run_sweep, Experiment};
 use parrot::GuardedRegion;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,14 +20,21 @@ const OUTLIER_FRACTIONS: [f64; 4] = [0.0, 0.05, 0.2, 0.5];
 fn main() {
     let mut opts = Options::from_args();
     opts.only = Some("inversek2j".into());
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let entry = &suite.entries[0];
-    let region = entry.bench.region();
+    let mut spec = drive::spec("ablation_guard", &opts);
+    spec.experiments = vec![Experiment::Train];
+    let result = run_sweep(&spec).expect("sweep spec is valid");
+    if !result.ok() {
+        eprint!("{}", result.failure_summary());
+        std::process::exit(1);
+    }
+    let compiled = result.compiled("inversek2j").expect("train artifact");
+    let bench = benchmarks::benchmark_by_name("inversek2j").expect("known benchmark");
+    let region = bench.region();
 
     let mut rng = StdRng::seed_from_u64(0x6A12);
     let mut rows = Vec::new();
     for &fraction in &OUTLIER_FRACTIONS {
-        let mut guarded = GuardedRegion::new(&region, &entry.compiled, 0.05);
+        let mut guarded = GuardedRegion::new(&region, &compiled, 0.05);
         let (mut sum_g, mut sum_u) = (0.0f64, 0.0f64);
         let (mut worst_g, mut worst_u) = (0.0f64, 0.0f64);
         let n = 2_000;
@@ -44,7 +52,7 @@ fn main() {
             };
             let (t1, t2) = inversek2j_reference(x, y);
             let g = guarded.evaluate(&[x, y]).expect("region runs");
-            let u = entry.compiled.evaluate(&[x, y]);
+            let u = compiled.evaluate(&[x, y]);
             let eg = rel_err(&[t1, t2], &g);
             let eu = rel_err(&[t1, t2], &u);
             sum_g += eg;

@@ -9,40 +9,50 @@
 
 use ann::SigmoidLut;
 use bench::format::render_table;
-use bench::{Lab, Options, Suite};
+use bench::{drive, Options};
 use benchmarks::runner::{baseline_outputs, run_functional};
-use benchmarks::AppVariant;
+use benchmarks::{benchmark_by_name, AppVariant, Benchmark};
+use harness::{run_sweep, Experiment};
+use parrot::CompiledRegion;
 
 const LUT_SIZES: [usize; 5] = [16, 64, 256, 1024, 2048];
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let lab = Lab::new(suite);
+    let mut spec = drive::spec("ablation_lut", &opts);
+    spec.experiments = vec![Experiment::Train];
+    let result = run_sweep(&spec).expect("sweep spec is valid");
+    if !result.ok() {
+        eprint!("{}", result.failure_summary());
+        std::process::exit(1);
+    }
 
     let mut header: Vec<String> = vec!["benchmark".into()];
     header.extend(LUT_SIZES.iter().map(|n| format!("{n}-entry")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
 
     let mut rows = Vec::new();
-    for entry in &lab.suite.entries {
-        let scale = lab.suite.scale;
-        let reference = baseline_outputs(entry.bench.as_ref(), &scale);
-        let mut row = vec![entry.bench.name().to_string()];
+    for name in &result.benches {
+        let bench = benchmark_by_name(name).expect("known benchmark");
+        let compiled = result.compiled(name).expect("train artifact");
+        let scale = spec.scale;
+        let reference = baseline_outputs(bench.as_ref(), &scale);
+        let mut row = vec![name.clone()];
         for &size in &LUT_SIZES {
             // Evaluate the application functionally with a degraded LUT:
             // recompute the region's outputs per invocation through the
             // compiled config (the app path uses the same arithmetic).
             let lut = SigmoidLut::new(size, 8.0);
-            let variant = AppVariant::Npu(&entry.compiled);
-            let app = entry.bench.build_app(&variant, &scale);
+            let variant = AppVariant::Npu(&compiled);
+            let app = bench.build_app(&variant, &scale);
             // Swap in the degraded LUT by wrapping evaluation: the sim's
             // LUT is fixed, so compare via the functional reference path.
-            let approx = evaluate_app_with_lut(&app, entry, &scale, &lut).unwrap_or_else(|| {
-                let out = run_functional(&app, &variant).expect("app runs");
-                entry.bench.extract_outputs(&out.memory, &scale)
-            });
-            let error = entry.bench.app_error(&reference, &approx);
+            let approx = evaluate_app_with_lut(&app, bench.as_ref(), &compiled, &scale, &lut)
+                .unwrap_or_else(|| {
+                    let out = run_functional(&app, &variant).expect("app runs");
+                    bench.extract_outputs(&out.memory, &scale)
+                });
+            let error = bench.app_error(&reference, &approx);
             row.push(format!("{:.2}%", 100.0 * error));
         }
         rows.push(row);
@@ -58,7 +68,8 @@ fn main() {
 /// re-running the generic app with an NPU runtime that uses `lut`).
 fn evaluate_app_with_lut(
     app: &benchmarks::App,
-    entry: &bench::SuiteEntry,
+    bench: &dyn Benchmark,
+    compiled: &CompiledRegion,
     scale: &benchmarks::Scale,
     lut: &SigmoidLut,
 ) -> Option<Vec<f32>> {
@@ -89,7 +100,7 @@ fn evaluate_app_with_lut(
     }
 
     let mut port = LutPort {
-        config: entry.compiled.config(),
+        config: compiled.config(),
         lut,
         inputs: Vec::new(),
         outputs: std::collections::VecDeque::new(),
@@ -100,5 +111,5 @@ fn evaluate_app_with_lut(
     interp
         .run_full(app.entry, &app.args, &mut sink, Some(&mut port))
         .ok()?;
-    Some(entry.bench.extract_outputs(interp.memory(), scale))
+    Some(bench.extract_outputs(interp.memory(), scale))
 }

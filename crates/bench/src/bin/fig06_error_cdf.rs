@@ -2,28 +2,10 @@
 //! error. "A point (x, y) indicates that y fraction of the output
 //! elements see error less than or equal to x."
 
-use bench::{format::render_table, Lab, Options, Suite};
+use bench::{drive, Options};
+use harness::Experiment;
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let mut lab = Lab::new(suite);
-    let rows = lab.fig6();
-    let mut header: Vec<String> = vec!["benchmark".into()];
-    if let Some(first) = rows.first() {
-        for (x, _) in &first.points {
-            header.push(format!("<={:.0}%", 100.0 * x));
-        }
-    }
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            let mut row = vec![r.name.clone()];
-            row.extend(r.points.iter().map(|(_, y)| format!("{:.1}%", 100.0 * y)));
-            row
-        })
-        .collect();
-    println!("\nFigure 6: cumulative distribution of output-element error");
-    println!("{}", render_table(&header_refs, &table));
+    std::process::exit(drive::run("fig06_error_cdf", &opts, &[Experiment::Fig6]));
 }

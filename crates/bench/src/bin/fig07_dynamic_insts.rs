@@ -2,37 +2,14 @@
 //! program (split into NPU queue instructions and other instructions)
 //! normalized to the untransformed baseline.
 
-use bench::{format::render_table, Lab, Options, Suite};
+use bench::{drive, Options};
+use harness::Experiment;
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let mut lab = Lab::new(suite);
-    let rows = lab.fig7();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                r.baseline.to_string(),
-                format!("{:.3}", r.npu_other as f64 / r.baseline as f64),
-                format!("{:.3}", r.npu_queue as f64 / r.baseline as f64),
-                format!("{:.3}", r.normalized_total()),
-            ]
-        })
-        .collect();
-    println!("\nFigure 7: normalized dynamic instructions after the Parrot transformation");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "baseline insts",
-                "other (norm)",
-                "queue (norm)",
-                "total (norm)"
-            ],
-            &table
-        )
-    );
+    std::process::exit(drive::run(
+        "fig07_dynamic_insts",
+        &opts,
+        &[Experiment::Fig7],
+    ));
 }

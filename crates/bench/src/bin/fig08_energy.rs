@@ -1,36 +1,12 @@
 //! Regenerates Figure 8b: whole-application energy reduction with an
-//! 8-PE NPU and with a hypothetical zero-energy ("ideal") NPU.
+//! 8-PE NPU and with a hypothetical zero-energy ("ideal") NPU. (The Fig8
+//! experiment prints both the speedup and energy tables; this binary and
+//! `fig08_speedup` share it.)
 
-use bench::format::{geomean, render_table};
-use bench::{Lab, Options, Suite};
+use bench::{drive, Options};
+use harness::Experiment;
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let mut lab = Lab::new(suite);
-    let rows = lab.fig8();
-    let mut table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                format!("{:.2}x", r.energy_reduction),
-                format!("{:.2}x", r.ideal_energy_reduction),
-            ]
-        })
-        .collect();
-    if rows.len() > 1 {
-        let e: Vec<f64> = rows.iter().map(|r| r.energy_reduction).collect();
-        let i: Vec<f64> = rows.iter().map(|r| r.ideal_energy_reduction).collect();
-        table.push(vec![
-            "geomean".into(),
-            format!("{:.2}x", geomean(&e)),
-            format!("{:.2}x", geomean(&i)),
-        ]);
-    }
-    println!("\nFigure 8b: total application energy reduction with 8-PE NPU");
-    println!(
-        "{}",
-        render_table(&["benchmark", "Core+NPU", "Core+Ideal NPU"], &table)
-    );
+    std::process::exit(drive::run("fig08_energy", &opts, &[Experiment::Fig8]));
 }

@@ -1,49 +1,12 @@
 //! Regenerates Figure 8a: whole-application speedup with an 8-PE NPU and
-//! with a hypothetical zero-cycle ("ideal") NPU.
+//! with a hypothetical zero-cycle ("ideal") NPU. (The Fig8 experiment
+//! prints both the speedup and energy tables; this binary and
+//! `fig08_energy` share it.)
 
-use bench::format::{geomean, render_table};
-use bench::{Lab, Options, Suite};
+use bench::{drive, Options};
+use harness::Experiment;
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let mut lab = Lab::new(suite);
-    let rows = lab.fig8();
-    let mut table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                r.baseline_cycles.to_string(),
-                r.npu_cycles.to_string(),
-                format!("{:.2}x", r.speedup),
-                format!("{:.2}x", r.ideal_speedup),
-            ]
-        })
-        .collect();
-    if rows.len() > 1 {
-        let s: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
-        let i: Vec<f64> = rows.iter().map(|r| r.ideal_speedup).collect();
-        table.push(vec![
-            "geomean".into(),
-            String::new(),
-            String::new(),
-            format!("{:.2}x", geomean(&s)),
-            format!("{:.2}x", geomean(&i)),
-        ]);
-    }
-    println!("\nFigure 8a: total application speedup with 8-PE NPU");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "baseline cycles",
-                "npu cycles",
-                "Core+NPU",
-                "Core+Ideal NPU"
-            ],
-            &table
-        )
-    );
+    std::process::exit(drive::run("fig08_speedup", &opts, &[Experiment::Fig8]));
 }

@@ -2,22 +2,10 @@
 //! the neural network in software on the CPU (the paper's FANN
 //! comparison) instead of invoking the NPU.
 
-use bench::format::{geomean, render_table};
-use bench::{Lab, Options, Suite};
+use bench::{drive, Options};
+use harness::Experiment;
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let mut lab = Lab::new(suite);
-    let rows = lab.fig9();
-    let mut table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| vec![r.name.clone(), format!("{:.2}x", r.slowdown)])
-        .collect();
-    if rows.len() > 1 {
-        let s: Vec<f64> = rows.iter().map(|r| r.slowdown).collect();
-        table.push(vec!["geomean".into(), format!("{:.2}x", geomean(&s))]);
-    }
-    println!("\nFigure 9: slowdown with software neural network execution");
-    println!("{}", render_table(&["benchmark", "slowdown"], &table));
+    std::process::exit(drive::run("fig09_software_nn", &opts, &[Experiment::Fig9]));
 }

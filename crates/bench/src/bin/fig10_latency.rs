@@ -1,27 +1,10 @@
 //! Regenerates Figure 10: sensitivity of the application speedup to the
 //! CPU↔NPU communication latency (1–16 cycles each way).
 
-use bench::format::render_table;
-use bench::{Lab, Options, Suite};
-
-const LATENCIES: [u64; 5] = [1, 2, 4, 8, 16];
+use bench::{drive, Options};
+use harness::Experiment;
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let mut lab = Lab::new(suite);
-    let rows = lab.fig10(&LATENCIES);
-    let mut header: Vec<String> = vec!["benchmark".into()];
-    header.extend(LATENCIES.iter().map(|l| format!("{l} cycle(s)")));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            let mut row = vec![r.name.clone()];
-            row.extend(r.speedups.iter().map(|(_, s)| format!("{s:.2}x")));
-            row
-        })
-        .collect();
-    println!("\nFigure 10: speedup sensitivity to NPU communication latency");
-    println!("{}", render_table(&header_refs, &table));
+    std::process::exit(drive::run("fig10_latency", &opts, &[Experiment::Fig10]));
 }

@@ -1,37 +1,10 @@
 //! Regenerates Figure 11: geometric-mean speedup gain from doubling the
 //! number of NPU processing engines (1 → 32).
 
-use bench::format::render_table;
-use bench::{Lab, Options, Suite};
-
-const PE_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+use bench::{drive, Options};
+use harness::Experiment;
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let mut lab = Lab::new(suite);
-    let result = lab.fig11(&PE_COUNTS);
-
-    let mut header: Vec<String> = vec!["benchmark".into()];
-    header.extend(PE_COUNTS.iter().map(|p| format!("{p} PEs")));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table: Vec<Vec<String>> = result
-        .per_bench
-        .iter()
-        .map(|(name, series)| {
-            let mut row = vec![name.clone()];
-            row.extend(series.iter().map(|(_, s)| format!("{s:.2}x")));
-            row
-        })
-        .collect();
-    let mut geo = vec!["geomean".to_string()];
-    geo.extend(result.geomean.iter().map(|(_, s)| format!("{s:.2}x")));
-    table.push(geo);
-    println!("\nFigure 11: speedup at each PE count");
-    println!("{}", render_table(&header_refs, &table));
-
-    println!("Geometric-mean speedup gain per doubling:");
-    for (label, gain) in &result.doubling_gains {
-        println!("  {label:<12} {:+.1}%", 100.0 * gain);
-    }
+    std::process::exit(drive::run("fig11_pe_count", &opts, &[Experiment::Fig11]));
 }

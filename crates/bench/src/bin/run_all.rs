@@ -1,174 +1,13 @@
 //! Runs every experiment in one pass, sharing the expensive training and
-//! baseline-timing work, and prints each table/figure in paper order.
+//! baseline-timing work across a parallel job DAG, and prints each
+//! table/figure in paper order. Exits non-zero with a per-benchmark
+//! failure summary if any job failed (the surviving benchmarks still
+//! print).
 
-use bench::format::{geomean, render_table};
-use bench::{Lab, Options, Suite};
+use bench::{drive, Options};
+use harness::Experiment;
 
 fn main() {
     let opts = Options::from_args();
-    let t0 = std::time::Instant::now();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let mut lab = Lab::new(suite);
-
-    // Table 1.
-    let rows = lab.table1();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                r.calls.to_string(),
-                r.loops.to_string(),
-                r.ifs.to_string(),
-                r.instructions.to_string(),
-                r.topology.clone(),
-                format!("{:.5}", r.nn_mse),
-                r.error_metric.clone(),
-                format!("{:.2}%", 100.0 * r.app_error),
-            ]
-        })
-        .collect();
-    println!("\n== Table 1: benchmark characterization and Parrot results ==");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "#calls",
-                "#loops",
-                "#ifs",
-                "#insts",
-                "topology",
-                "NN MSE",
-                "metric",
-                "error"
-            ],
-            &table
-        )
-    );
-
-    // Figure 6.
-    let rows = lab.fig6();
-    println!("== Figure 6: error CDF (fraction of elements with error <= x) ==");
-    let levels = [
-        "0%", "10%", "20%", "30%", "40%", "50%", "60%", "70%", "80%", "90%", "100%",
-    ];
-    let mut header = vec!["benchmark"];
-    header.extend(levels);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            let mut row = vec![r.name.clone()];
-            row.extend(r.points.iter().map(|(_, y)| format!("{:.1}%", 100.0 * y)));
-            row
-        })
-        .collect();
-    println!("{}", render_table(&header, &table));
-
-    // Figure 7.
-    let rows = lab.fig7();
-    println!("== Figure 7: normalized dynamic instructions ==");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                format!("{:.3}", r.npu_other as f64 / r.baseline as f64),
-                format!("{:.3}", r.npu_queue as f64 / r.baseline as f64),
-                format!("{:.3}", r.normalized_total()),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(&["benchmark", "other", "queue", "total"], &table)
-    );
-
-    // Figure 8.
-    let rows = lab.fig8();
-    println!("== Figure 8a/8b: speedup and energy reduction ==");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                format!("{:.2}x", r.speedup),
-                format!("{:.2}x", r.ideal_speedup),
-                format!("{:.2}x", r.energy_reduction),
-                format!("{:.2}x", r.ideal_energy_reduction),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "speedup",
-                "ideal speedup",
-                "energy red.",
-                "ideal energy red."
-            ],
-            &table
-        )
-    );
-    if rows.len() > 1 {
-        let s: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
-        let e: Vec<f64> = rows.iter().map(|r| r.energy_reduction).collect();
-        println!(
-            "geomean speedup {:.2}x, geomean energy reduction {:.2}x\n",
-            geomean(&s),
-            geomean(&e)
-        );
-    }
-
-    // Figure 9.
-    let rows = lab.fig9();
-    println!("== Figure 9: software NN slowdown ==");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| vec![r.name.clone(), format!("{:.2}x", r.slowdown)])
-        .collect();
-    println!("{}", render_table(&["benchmark", "slowdown"], &table));
-
-    // Figure 10.
-    let rows = lab.fig10(&[1, 2, 4, 8, 16]);
-    println!("== Figure 10: speedup vs link latency ==");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            let mut row = vec![r.name.clone()];
-            row.extend(r.speedups.iter().map(|(_, s)| format!("{s:.2}x")));
-            row
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(&["benchmark", "1", "2", "4", "8", "16"], &table)
-    );
-
-    // Figure 11.
-    let result = lab.fig11(&[1, 2, 4, 8, 16, 32]);
-    println!("== Figure 11: geomean speedup per PE count ==");
-    for (pes, s) in &result.geomean {
-        println!("  {pes:>2} PEs: {s:.2}x");
-    }
-    println!("Gain per doubling:");
-    for (label, gain) in &result.doubling_gains {
-        println!("  {label:<12} {:+.1}%", 100.0 * gain);
-    }
-
-    // Machine-readable run reports (one JSON file per benchmark).
-    if let Some(dir) = &opts.json_out {
-        let wall_clock_us = t0.elapsed().as_micros() as u64;
-        for mut report in lab.run_reports("run_all", opts.mode()) {
-            report.wall_clock_us = wall_clock_us;
-            match report.write_into(dir) {
-                Ok(path) => eprintln!("[run_all] wrote {}", path.display()),
-                Err(e) => eprintln!("[run_all] failed to write report: {e}"),
-            }
-        }
-    }
-
-    eprintln!("\n[run_all] completed in {:.1?}", t0.elapsed());
+    std::process::exit(drive::run("run_all", &opts, &Experiment::all()));
 }

@@ -1,53 +1,9 @@
 //! Regenerates Table 1: benchmark characterization and Parrot results.
 
-use bench::{format::render_table, Lab, Options, Suite};
+use bench::{drive, Options};
+use harness::Experiment;
 
 fn main() {
     let opts = Options::from_args();
-    let suite = Suite::compile(opts.scale(), opts.fast, opts.only.as_deref());
-    let mut lab = Lab::new(suite);
-    print_table1(&mut lab);
-}
-
-/// Prints Table 1 from a prepared lab (shared with `run_all`).
-pub fn print_table1(lab: &mut Lab) {
-    let rows = lab.table1();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                r.domain.clone(),
-                r.calls.to_string(),
-                r.loops.to_string(),
-                r.ifs.to_string(),
-                r.instructions.to_string(),
-                r.training_samples.to_string(),
-                r.topology.clone(),
-                format!("{:.5}", r.nn_mse),
-                r.error_metric.clone(),
-                format!("{:.2}%", 100.0 * r.app_error),
-            ]
-        })
-        .collect();
-    println!("\nTable 1: benchmarks, transformed-function characterization, and Parrot results");
-    println!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "domain",
-                "#calls",
-                "#loops",
-                "#ifs",
-                "#insts",
-                "#train",
-                "NN topology",
-                "NN MSE",
-                "error metric",
-                "error",
-            ],
-            &table
-        )
-    );
+    std::process::exit(drive::run("table1", &opts, &[Experiment::Table1]));
 }

@@ -15,6 +15,19 @@ pub struct Options {
     pub log_level: Level,
     /// Directory for per-benchmark JSON run reports (`--json-out`).
     pub json_out: Option<PathBuf>,
+    /// Worker threads for the experiment scheduler (`--jobs`, 0 = one per
+    /// core).
+    pub jobs: usize,
+    /// Content-addressed artifact-cache directory (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
+    /// Root seed every derived seed flows from (`--seed`).
+    pub seed: u64,
+    /// Exit non-zero unless every job was served from the cache
+    /// (`--require-warm`, for CI cache checks).
+    pub require_warm: bool,
+    /// Positional experiment names (`table1`, `fig8`, …); empty = the
+    /// binary's default set.
+    pub experiments: Vec<String>,
 }
 
 impl Options {
@@ -30,6 +43,11 @@ impl Options {
         let mut only = None;
         let mut log_level = Level::Off;
         let mut json_out = None;
+        let mut jobs = 0usize;
+        let mut cache_dir = None;
+        let mut seed = harness::DEFAULT_ROOT_SEED;
+        let mut require_warm = false;
+        let mut experiments = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -38,6 +56,27 @@ impl Options {
                 "--bench" => {
                     only = Some(args.next().unwrap_or_else(|| usage("--bench needs a name")));
                 }
+                "--jobs" | "-j" => {
+                    let value = args.next().unwrap_or_else(|| usage("--jobs needs a count"));
+                    jobs = value
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("--jobs: not a count: {value}")));
+                }
+                "--cache-dir" => {
+                    let dir = args
+                        .next()
+                        .unwrap_or_else(|| usage("--cache-dir needs a directory"));
+                    cache_dir = Some(PathBuf::from(dir));
+                }
+                "--seed" => {
+                    let value = args
+                        .next()
+                        .unwrap_or_else(|| usage("--seed needs a number"));
+                    seed = value
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("--seed: not a number: {value}")));
+                }
+                "--require-warm" => require_warm = true,
                 "--log-level" => {
                     let value = args
                         .next()
@@ -55,6 +94,7 @@ impl Options {
                     json_out = Some(PathBuf::from(dir));
                 }
                 "--help" | "-h" => usage(""),
+                other if !other.starts_with('-') => experiments.push(other.to_string()),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
@@ -67,6 +107,11 @@ impl Options {
             only,
             log_level,
             json_out,
+            jobs,
+            cache_dir,
+            seed,
+            require_warm,
+            experiments,
         }
     }
 
@@ -103,13 +148,22 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <binary> [--fast|--paper] [--bench <name>] [--log-level <level>] [--json-out <dir>]");
-    eprintln!("  --fast       reduced inputs and training budget");
-    eprintln!("  --paper      the paper's input sizes (default)");
+    eprintln!("usage: <binary> [experiments…] [--fast|--paper] [--bench <name>] [--jobs N]");
+    eprintln!("                [--cache-dir <dir>] [--seed N] [--require-warm]");
+    eprintln!("                [--log-level <level>] [--json-out <dir>]");
+    eprintln!("  experiments    table1 fig6 fig7 fig8 fig9 fig10 fig11 report (default: all)");
+    eprintln!("  --fast         reduced inputs and training budget");
+    eprintln!("  --paper        the paper's input sizes (default)");
     eprintln!(
-        "  --bench      run a single benchmark (fft, inversek2j, jmeint, jpeg, kmeans, sobel)"
+        "  --bench        run a single benchmark (fft, inversek2j, jmeint, jpeg, kmeans, sobel)"
     );
-    eprintln!("  --log-level  structured tracing verbosity: off|error|warn|info|debug|trace (default off)");
-    eprintln!("  --json-out   write one JSON run report per benchmark into this directory");
+    eprintln!("  --jobs, -j     scheduler worker threads (default: one per core)");
+    eprintln!("  --cache-dir    content-addressed artifact cache (re-runs become cache hits)");
+    eprintln!("  --seed         root seed for all derived randomness (default 0xdeadbeef)");
+    eprintln!("  --require-warm exit non-zero unless every job came from the cache");
+    eprintln!("  --log-level    structured tracing verbosity: off|error|warn|info|debug|trace (default off)");
+    eprintln!(
+        "  --json-out     write JSON run reports (per benchmark + sweep) into this directory"
+    );
     std::process::exit(2);
 }

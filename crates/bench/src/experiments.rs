@@ -1,12 +1,16 @@
-//! The experiments themselves: one method per table/figure.
+//! The experiments themselves: row builders turning a harness
+//! [`SweepResult`]'s artifacts into the paper's tables and figures.
+//!
+//! Every builder is a pure function of already-computed artifacts — the
+//! expensive work (training, simulation) happened inside the sweep, in
+//! parallel and behind the content-addressed cache. A benchmark whose
+//! required artifacts are missing (an upstream job failed) is simply
+//! omitted from the rows; the driver reports the failure separately.
 
 use crate::format::geomean;
-use crate::suite::Suite;
-use benchmarks::{runner, AppVariant};
-use energy::EnergyModel;
+use benchmarks::{benchmark_by_name, Scale};
+use harness::{CountsArtifact, EnergyArtifact, SweepResult, TimingArtifact, TrainArtifact};
 use parrot::quality::ErrorCdf;
-use std::collections::HashMap;
-use uarch::{CoreConfig, SimStats};
 
 /// One Table 1 row.
 #[derive(Debug, Clone)]
@@ -114,356 +118,243 @@ pub struct Fig11Result {
     pub doubling_gains: Vec<(String, f64)>,
 }
 
-/// Runs experiments over a compiled suite, caching the expensive shared
-/// pieces (baseline outputs and baseline timing).
-pub struct Lab {
-    /// The compiled suite.
-    pub suite: Suite,
-    energy: EnergyModel,
-    baseline_outputs: HashMap<String, Vec<f32>>,
-    npu_outputs: HashMap<String, Vec<f32>>,
-    baseline_timing: HashMap<String, (SimStats, f64)>,
-    npu_timing: HashMap<String, (SimStats, Option<npu::NpuStats>)>,
+// ---------------------------------------------------------------------
+// Artifact accessors
+// ---------------------------------------------------------------------
+
+fn outputs<'a>(result: &'a SweepResult, bench: &str, stage: &str) -> Option<&'a [f32]> {
+    result.artifact(bench, stage)?.as_outputs().ok()
 }
 
-impl Lab {
-    /// Wraps a compiled suite.
-    pub fn new(suite: Suite) -> Self {
-        Lab {
-            suite,
-            energy: EnergyModel::default(),
-            baseline_outputs: HashMap::new(),
-            npu_outputs: HashMap::new(),
-            baseline_timing: HashMap::new(),
-            npu_timing: HashMap::new(),
-        }
+fn counts<'a>(result: &'a SweepResult, bench: &str, stage: &str) -> Option<&'a CountsArtifact> {
+    result.artifact(bench, stage)?.as_counts().ok()
+}
+
+fn timing<'a>(result: &'a SweepResult, bench: &str, stage: &str) -> Option<&'a TimingArtifact> {
+    result.artifact(bench, stage)?.as_timing().ok()
+}
+
+fn train<'a>(result: &'a SweepResult, bench: &str) -> Option<&'a TrainArtifact> {
+    result.artifact(bench, "train")?.as_train().ok()
+}
+
+fn energy<'a>(result: &'a SweepResult, bench: &str) -> Option<&'a EnergyArtifact> {
+    result.artifact(bench, "energy")?.as_energy().ok()
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// Table 1: per-benchmark characterization, selected topology, NN MSE,
+/// and whole-application error.
+pub fn table1_rows(result: &SweepResult, scale: &Scale) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for name in &result.benches {
+        let Some(bench) = benchmark_by_name(name) else {
+            continue;
+        };
+        let (Some(reference), Some(approx), Some(trained)) = (
+            outputs(result, name, "outputs_base"),
+            outputs(result, name, "outputs_npu"),
+            train(result, name),
+        ) else {
+            continue;
+        };
+        let static_counts = bench.region().static_counts();
+        rows.push(Table1Row {
+            name: name.clone(),
+            domain: bench.domain().into(),
+            calls: static_counts.function_calls,
+            loops: static_counts.loops,
+            ifs: static_counts.ifs,
+            instructions: static_counts.instructions,
+            training_samples: bench.training_inputs(scale).len(),
+            topology: trained.outcome.mlp.topology().to_string(),
+            nn_mse: trained.outcome.best.test_mse,
+            error_metric: bench.error_metric().into(),
+            app_error: bench.app_error(reference, approx),
+        });
     }
+    rows
+}
 
-    fn baseline_output(&mut self, i: usize) -> Vec<f32> {
-        let entry = &self.suite.entries[i];
-        let name = entry.bench.name().to_string();
-        if let Some(v) = self.baseline_outputs.get(&name) {
-            return v.clone();
-        }
-        let out = runner::baseline_outputs(entry.bench.as_ref(), &self.suite.scale);
-        self.baseline_outputs.insert(name, out.clone());
-        out
+// ---------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------
+
+/// Figure 6: CDF of per-element application output error, sampled at
+/// 0 %, 10 %, …, 100 % error levels.
+pub fn fig6_rows(result: &SweepResult) -> Vec<Fig6Row> {
+    let levels: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
+    let mut rows = Vec::new();
+    for name in &result.benches {
+        let Some(bench) = benchmark_by_name(name) else {
+            continue;
+        };
+        let (Some(reference), Some(approx)) = (
+            outputs(result, name, "outputs_base"),
+            outputs(result, name, "outputs_npu"),
+        ) else {
+            continue;
+        };
+        let errors = bench.element_errors(reference, approx);
+        let cdf = ErrorCdf::from_errors(errors);
+        rows.push(Fig6Row {
+            name: name.clone(),
+            points: cdf.sample(&levels),
+        });
     }
+    rows
+}
 
-    fn npu_output(&mut self, i: usize) -> Vec<f32> {
-        let entry = &self.suite.entries[i];
-        let name = entry.bench.name().to_string();
-        if let Some(v) = self.npu_outputs.get(&name) {
-            return v.clone();
-        }
-        let variant = AppVariant::Npu(&entry.compiled);
-        let app = entry.bench.build_app(&variant, &self.suite.scale);
-        let run = runner::run_functional(&app, &variant).expect("npu app must run");
-        let out = entry.bench.extract_outputs(&run.memory, &self.suite.scale);
-        self.npu_outputs.insert(name, out.clone());
-        out
+// ---------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------
+
+/// Figure 7: dynamic instructions of the transformed application (split
+/// into queue and other) normalized to the baseline.
+pub fn fig7_rows(result: &SweepResult) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for name in &result.benches {
+        let (Some(base), Some(npu)) = (
+            counts(result, name, "counts_base"),
+            counts(result, name, "counts_npu"),
+        ) else {
+            continue;
+        };
+        rows.push(Fig7Row {
+            name: name.clone(),
+            baseline: base.total,
+            npu_other: npu.total - npu.npu_queue,
+            npu_queue: npu.npu_queue,
+        });
     }
+    rows
+}
 
-    fn baseline_timing(&mut self, i: usize) -> (SimStats, f64) {
-        let entry = &self.suite.entries[i];
-        let name = entry.bench.name().to_string();
-        if let Some(v) = self.baseline_timing.get(&name) {
-            return *v;
-        }
-        eprintln!("[timing] {name}: baseline (core only)…");
-        let _span = telemetry::span("bench::lab", "timing.baseline");
-        let app = entry
-            .bench
-            .build_app(&AppVariant::Precise, &self.suite.scale);
-        let (_, stats, _) =
-            runner::run_timed(&app, &AppVariant::Precise, CoreConfig::penryn_like())
-                .expect("baseline app must run");
-        let energy_pj = self.energy.core_energy(&stats).total_pj();
-        self.baseline_timing.insert(name, (stats, energy_pj));
-        (stats, energy_pj)
+// ---------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------
+
+/// Figure 8: whole-application speedup (8a) and energy reduction (8b)
+/// for the 8-PE NPU and the ideal zero-cost NPU.
+pub fn fig8_rows(result: &SweepResult) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for name in &result.benches {
+        let (Some(base), Some(npu), Some(ideal), Some(pj)) = (
+            timing(result, name, "sim_cpu"),
+            timing(result, name, "sim_npu"),
+            timing(result, name, "sim_ideal"),
+            energy(result, name),
+        ) else {
+            continue;
+        };
+        rows.push(Fig8Row {
+            name: name.clone(),
+            baseline_cycles: base.stats.cycles,
+            npu_cycles: npu.stats.cycles,
+            ideal_cycles: ideal.stats.cycles,
+            speedup: base.stats.cycles as f64 / npu.stats.cycles as f64,
+            ideal_speedup: base.stats.cycles as f64 / ideal.stats.cycles as f64,
+            energy_reduction: pj.baseline_pj / pj.npu_pj,
+            ideal_energy_reduction: pj.baseline_pj / pj.ideal_pj,
+        });
     }
+    rows
+}
 
-    fn npu_timing(&mut self, i: usize) -> (SimStats, Option<npu::NpuStats>) {
-        let entry = &self.suite.entries[i];
-        let name = entry.bench.name().to_string();
-        if let Some(v) = self.npu_timing.get(&name) {
-            return *v;
-        }
-        eprintln!("[timing] {name}: core + 8-PE NPU…");
-        let _span = telemetry::span("bench::lab", "timing.npu");
-        let variant = AppVariant::Npu(&entry.compiled);
-        let app = entry.bench.build_app(&variant, &self.suite.scale);
-        let (_, stats, unit_stats) =
-            runner::run_timed(&app, &variant, CoreConfig::penryn_like()).expect("npu app must run");
-        self.npu_timing.insert(name, (stats, unit_stats));
-        (stats, unit_stats)
+// ---------------------------------------------------------------------
+// Figure 9
+// ---------------------------------------------------------------------
+
+/// Figure 9: slowdown when the transformed program evaluates the network
+/// in software on the core (no NPU).
+pub fn fig9_rows(result: &SweepResult) -> Vec<Fig9Row> {
+    let mut rows = Vec::new();
+    for name in &result.benches {
+        let (Some(base), Some(soft)) = (
+            timing(result, name, "sim_cpu"),
+            timing(result, name, "sim_soft"),
+        ) else {
+            continue;
+        };
+        rows.push(Fig9Row {
+            name: name.clone(),
+            slowdown: soft.stats.cycles as f64 / base.stats.cycles as f64,
+        });
     }
+    rows
+}
 
-    /// Builds one JSON-serializable run report per benchmark, reusing the
-    /// cached timing runs: compilation phase timings, the unified core and
-    /// NPU counters for the baseline and transformed runs, the topology
-    /// search summary, and the headline speedup gauge.
-    pub fn run_reports(&mut self, suite_name: &str, mode: &str) -> Vec<telemetry::RunReport> {
-        let mut reports = Vec::new();
-        for i in 0..self.suite.entries.len() {
-            let (base_stats, _) = self.baseline_timing(i);
-            let (npu_stats, unit_stats) = self.npu_timing(i);
-            let entry = &self.suite.entries[i];
-            let mut report = telemetry::RunReport::new(suite_name, entry.bench.name(), mode);
-            for phase in entry.compiled.phases() {
-                report.push_phase(phase.clone());
-            }
-            let lint = entry.compiled.lint_summary();
-            lint.export(&mut report.metrics, "lint");
-            report.lint = lint;
-            base_stats.export(&mut report.metrics, "uarch.baseline");
-            npu_stats.export(&mut report.metrics, "uarch.npu");
-            if let Some(unit) = unit_stats {
-                unit.export(&mut report.metrics, "npu");
-            }
-            entry
-                .compiled
-                .search_outcome()
-                .export_metrics(&mut report.metrics, "ann.search");
-            if npu_stats.cycles > 0 {
-                report.metrics.set_gauge(
-                    "speedup",
-                    base_stats.cycles as f64 / npu_stats.cycles as f64,
-                );
-            }
-            reports.push(report);
-        }
-        reports
-    }
+// ---------------------------------------------------------------------
+// Figure 10
+// ---------------------------------------------------------------------
 
-    // -----------------------------------------------------------------
-    // Table 1
-    // -----------------------------------------------------------------
-
-    /// Table 1: per-benchmark characterization, selected topology, NN
-    /// MSE, and whole-application error.
-    pub fn table1(&mut self) -> Vec<Table1Row> {
-        let mut rows = Vec::new();
-        for i in 0..self.suite.entries.len() {
-            let reference = self.baseline_output(i);
-            let approx = self.npu_output(i);
-            let entry = &self.suite.entries[i];
-            let counts = entry.bench.region().static_counts();
-            let training = entry.bench.training_inputs(&self.suite.scale).len();
-            rows.push(Table1Row {
-                name: entry.bench.name().into(),
-                domain: entry.bench.domain().into(),
-                calls: counts.function_calls,
-                loops: counts.loops,
-                ifs: counts.ifs,
-                instructions: counts.instructions,
-                training_samples: training,
-                topology: entry.compiled.config().topology().to_string(),
-                nn_mse: entry.compiled.nn_mse(),
-                error_metric: entry.bench.error_metric().into(),
-                app_error: entry.bench.app_error(&reference, &approx),
-            });
-        }
-        rows
-    }
-
-    // -----------------------------------------------------------------
-    // Figure 6
-    // -----------------------------------------------------------------
-
-    /// Figure 6: CDF of per-element application output error, sampled at
-    /// 0 %, 10 %, …, 100 % error levels.
-    pub fn fig6(&mut self) -> Vec<Fig6Row> {
-        let levels: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
-        let mut rows = Vec::new();
-        for i in 0..self.suite.entries.len() {
-            let reference = self.baseline_output(i);
-            let approx = self.npu_output(i);
-            let entry = &self.suite.entries[i];
-            let errors = entry.bench.element_errors(&reference, &approx);
-            let cdf = ErrorCdf::from_errors(errors);
-            rows.push(Fig6Row {
-                name: entry.bench.name().into(),
-                points: cdf.sample(&levels),
-            });
-        }
-        rows
-    }
-
-    // -----------------------------------------------------------------
-    // Figure 7
-    // -----------------------------------------------------------------
-
-    /// Figure 7: dynamic instructions of the transformed application
-    /// (split into queue and other) normalized to the baseline.
-    pub fn fig7(&mut self) -> Vec<Fig7Row> {
-        let mut rows = Vec::new();
-        for entry in &self.suite.entries {
-            let scale = self.suite.scale;
-            let base_app = entry.bench.build_app(&AppVariant::Precise, &scale);
-            let (_, base_counts) = runner::run_counting(&base_app, &AppVariant::Precise)
-                .expect("baseline app must run");
-            let variant = AppVariant::Npu(&entry.compiled);
-            let npu_app = entry.bench.build_app(&variant, &scale);
-            let (_, npu_counts) =
-                runner::run_counting(&npu_app, &variant).expect("npu app must run");
-            rows.push(Fig7Row {
-                name: entry.bench.name().into(),
-                baseline: base_counts.total,
-                npu_other: npu_counts.total - npu_counts.npu_queue,
-                npu_queue: npu_counts.npu_queue,
-            });
-        }
-        rows
-    }
-
-    // -----------------------------------------------------------------
-    // Figure 8
-    // -----------------------------------------------------------------
-
-    /// Figure 8: whole-application speedup (8a) and energy reduction (8b)
-    /// for the 8-PE NPU and the ideal zero-cost NPU.
-    pub fn fig8(&mut self) -> Vec<Fig8Row> {
-        let mut rows = Vec::new();
-        for i in 0..self.suite.entries.len() {
-            let (base_stats, base_energy) = self.baseline_timing(i);
-            let (npu_stats, npu_unit_stats) = self.npu_timing(i);
-            let entry = &self.suite.entries[i];
-            let scale = self.suite.scale;
-            let name = entry.bench.name().to_string();
-            let variant = AppVariant::Npu(&entry.compiled);
-            let app = entry.bench.build_app(&variant, &scale);
-            let npu_energy = self
-                .energy
-                .system_energy(&npu_stats, npu_unit_stats.as_ref())
-                .total_pj();
-
-            eprintln!("[timing] {name}: core + ideal NPU…");
-            let t = entry.compiled.config().topology();
-            let (_, ideal_stats) = runner::run_timed_ideal(
-                &app,
-                &variant,
-                CoreConfig::penryn_like(),
-                t.inputs(),
-                t.outputs(),
-            )
-            .expect("ideal npu app must run");
-            let ideal_energy = self.energy.core_energy(&ideal_stats).total_pj();
-
-            rows.push(Fig8Row {
-                name,
-                baseline_cycles: base_stats.cycles,
-                npu_cycles: npu_stats.cycles,
-                ideal_cycles: ideal_stats.cycles,
-                speedup: base_stats.cycles as f64 / npu_stats.cycles as f64,
-                ideal_speedup: base_stats.cycles as f64 / ideal_stats.cycles as f64,
-                energy_reduction: base_energy / npu_energy,
-                ideal_energy_reduction: base_energy / ideal_energy,
-            });
-        }
-        rows
-    }
-
-    // -----------------------------------------------------------------
-    // Figure 9
-    // -----------------------------------------------------------------
-
-    /// Figure 9: slowdown when the transformed program evaluates the
-    /// network in software on the core (no NPU).
-    pub fn fig9(&mut self) -> Vec<Fig9Row> {
-        let mut rows = Vec::new();
-        for i in 0..self.suite.entries.len() {
-            let (base_stats, _) = self.baseline_timing(i);
-            let entry = &self.suite.entries[i];
-            eprintln!("[timing] {}: software NN…", entry.bench.name());
-            let variant = AppVariant::SoftwareNn(&entry.compiled);
-            let app = entry.bench.build_app(&variant, &self.suite.scale);
-            let (_, stats, _) = runner::run_timed(&app, &variant, CoreConfig::penryn_like())
-                .expect("software-nn app must run");
-            rows.push(Fig9Row {
-                name: entry.bench.name().into(),
-                slowdown: stats.cycles as f64 / base_stats.cycles as f64,
-            });
-        }
-        rows
-    }
-
-    // -----------------------------------------------------------------
-    // Figure 10
-    // -----------------------------------------------------------------
-
-    /// Figure 10: speedup as the one-way CPU↔NPU link latency grows.
-    pub fn fig10(&mut self, latencies: &[u64]) -> Vec<Fig10Row> {
-        let mut rows = Vec::new();
-        for i in 0..self.suite.entries.len() {
-            let (base_stats, _) = self.baseline_timing(i);
-            let entry = &self.suite.entries[i];
-            let scale = self.suite.scale;
-            let variant = AppVariant::Npu(&entry.compiled);
-            let app = entry.bench.build_app(&variant, &scale);
-            let mut speedups = Vec::new();
-            for &lat in latencies {
-                eprintln!("[timing] {}: link latency {lat}…", entry.bench.name());
-                let cfg = CoreConfig::with_npu_link_latency(lat);
-                let (_, stats, _) =
-                    runner::run_timed(&app, &variant, cfg).expect("npu app must run");
-                speedups.push((lat, base_stats.cycles as f64 / stats.cycles as f64));
-            }
-            rows.push(Fig10Row {
-                name: entry.bench.name().into(),
-                speedups,
-            });
-        }
-        rows
-    }
-
-    // -----------------------------------------------------------------
-    // Figure 11
-    // -----------------------------------------------------------------
-
-    /// Figure 11: speedup at each PE count and the geometric-mean gain
-    /// per doubling.
-    pub fn fig11(&mut self, pe_counts: &[usize]) -> Fig11Result {
-        let mut per_bench: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
-        for i in 0..self.suite.entries.len() {
-            let (base_stats, _) = self.baseline_timing(i);
-            let entry = &self.suite.entries[i];
-            let scale = self.suite.scale;
-            let variant = AppVariant::Npu(&entry.compiled);
-            let app = entry.bench.build_app(&variant, &scale);
-            let mut series = Vec::new();
-            for &pes in pe_counts {
-                eprintln!("[timing] {}: {pes} PEs…", entry.bench.name());
-                // Sweeps below/above the default need relaxed capacity
-                // checks (the paper's hardware is sized for 8 PEs).
-                let params = npu::NpuParams::with_pes(pes).unbounded();
-                let sim = entry
-                    .compiled
-                    .make_npu_with(&params)
-                    .expect("unbounded npu always schedules");
-                let (_, stats, _) =
-                    runner::run_timed_with_npu(&app, &variant, CoreConfig::penryn_like(), sim)
-                        .expect("npu app must run");
-                series.push((pes, base_stats.cycles as f64 / stats.cycles as f64));
-            }
-            per_bench.push((entry.bench.name().into(), series));
-        }
-        let geomean_series: Vec<(usize, f64)> = pe_counts
+/// Figure 10: speedup as the one-way CPU↔NPU link latency grows.
+pub fn fig10_rows(result: &SweepResult, latencies: &[u64]) -> Vec<Fig10Row> {
+    let mut rows = Vec::new();
+    for name in &result.benches {
+        let Some(base) = timing(result, name, "sim_cpu") else {
+            continue;
+        };
+        let series: Vec<(u64, f64)> = latencies
             .iter()
-            .enumerate()
-            .map(|(k, &pes)| {
-                let vals: Vec<f64> = per_bench.iter().map(|(_, s)| s[k].1).collect();
-                (pes, geomean(&vals))
+            .filter_map(|&lat| {
+                let t = timing(result, name, &format!("sim_link_{lat}"))?;
+                Some((lat, base.stats.cycles as f64 / t.stats.cycles as f64))
             })
             .collect();
-        let doubling_gains = geomean_series
-            .windows(2)
-            .map(|w| (format!("{}->{} PEs", w[0].0, w[1].0), w[1].1 / w[0].1 - 1.0))
-            .collect();
-        Fig11Result {
-            per_bench,
-            geomean: geomean_series,
-            doubling_gains,
+        if series.len() == latencies.len() {
+            rows.push(Fig10Row {
+                name: name.clone(),
+                speedups: series,
+            });
         }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 11
+// ---------------------------------------------------------------------
+
+/// Figure 11: speedup at each PE count and the geometric-mean gain per
+/// doubling. Benchmarks missing any sweep point are left out so the
+/// geomean stays comparable across PE counts.
+pub fn fig11_result(result: &SweepResult, pe_counts: &[usize]) -> Fig11Result {
+    let mut per_bench: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
+    for name in &result.benches {
+        let Some(base) = timing(result, name, "sim_cpu") else {
+            continue;
+        };
+        let series: Vec<(usize, f64)> = pe_counts
+            .iter()
+            .filter_map(|&pes| {
+                let t = timing(result, name, &format!("sim_pes_{pes}"))?;
+                Some((pes, base.stats.cycles as f64 / t.stats.cycles as f64))
+            })
+            .collect();
+        if series.len() == pe_counts.len() {
+            per_bench.push((name.clone(), series));
+        }
+    }
+    let geomean_series: Vec<(usize, f64)> = pe_counts
+        .iter()
+        .enumerate()
+        .filter(|_| !per_bench.is_empty())
+        .map(|(k, &pes)| {
+            let vals: Vec<f64> = per_bench.iter().map(|(_, s)| s[k].1).collect();
+            (pes, geomean(&vals))
+        })
+        .collect();
+    let doubling_gains = geomean_series
+        .windows(2)
+        .map(|w| (format!("{}->{} PEs", w[0].0, w[1].0), w[1].1 / w[0].1 - 1.0))
+        .collect();
+    Fig11Result {
+        per_bench,
+        geomean: geomean_series,
+        doubling_gains,
     }
 }

@@ -1,10 +1,13 @@
-//! Experiment harness: regenerates every table and figure of the paper's
-//! evaluation (Section 7).
+//! Experiment binaries: regenerate every table and figure of the paper's
+//! evaluation (Section 7) on top of the `harness` crate's parallel,
+//! cached sweep scheduler.
 //!
 //! Each `src/bin/*` binary reproduces one artifact:
 //!
 //! | binary | artifact |
 //! |---|---|
+//! | `parrot-run` | any subset of experiments (`parrot-run table1 fig8 …`) |
+//! | `run_all` | everything in one pass (shared training, parallel jobs) |
 //! | `table1` | Table 1 — benchmark characterization & Parrot results |
 //! | `table2` | Table 2 — simulated microarchitectural configuration |
 //! | `fig06_error_cdf` | Figure 6 — CDF of per-element output error |
@@ -14,19 +17,21 @@
 //! | `fig09_software_nn` | Figure 9 — slowdown with software NN execution |
 //! | `fig10_latency` | Figure 10 — speedup vs. CPU↔NPU link latency |
 //! | `fig11_pe_count` | Figure 11 — speedup gain per PE-count doubling |
-//! | `run_all` | everything above in one pass (shared training) |
 //!
-//! All binaries accept `--fast` (reduced input sizes and training budget)
-//! and `--bench <name>` (restrict to one benchmark).
+//! All binaries accept `--fast` (reduced input sizes and training
+//! budget), `--bench <name>` (restrict to one benchmark), `--jobs N`
+//! (scheduler workers), and `--cache-dir <dir>` (content-addressed
+//! artifact cache: warm re-runs do no training and no simulation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod drive;
 pub mod experiments;
 pub mod format;
+pub mod present;
 pub mod suite;
 
 pub use cli::Options;
-pub use experiments::Lab;
-pub use suite::{compile_params, Suite, SuiteEntry};
+pub use suite::compile_params;

@@ -1,11 +1,14 @@
-//! Compiling the whole benchmark suite (the expensive, shared step).
+//! The suite-wide Parrot compilation budgets.
+//!
+//! Compilation itself (observe → train → codegen) is scheduled per
+//! benchmark by the experiment harness (`crates/harness`), which caches
+//! and parallelizes it; this module only defines the parameters.
 
 use ann::{SearchParams, TrainParams};
-use benchmarks::{all_benchmarks, Benchmark, Scale};
 use npu::NpuParams;
-use parrot::{CompileParams, CompiledRegion, ParrotCompiler};
+use parrot::CompileParams;
 
-/// Parrot compilation parameters used by the harness.
+/// Parrot compilation parameters used by the experiment binaries.
 ///
 /// The paper's search space (two hidden layers, powers of two up to 32)
 /// is kept in both modes; `fast` reduces epochs, samples, and the largest
@@ -54,63 +57,5 @@ pub fn compile_params(fast: bool) -> CompileParams {
             npu: NpuParams::default(),
             max_training_samples: 10_000,
         }
-    }
-}
-
-/// One benchmark plus its Parrot compilation result.
-pub struct SuiteEntry {
-    /// The benchmark.
-    pub bench: Box<dyn Benchmark>,
-    /// The trained, placed NPU configuration and replacement code.
-    pub compiled: CompiledRegion,
-}
-
-/// The compiled suite: every benchmark trained and ready to evaluate.
-pub struct Suite {
-    /// Evaluation input sizes.
-    pub scale: Scale,
-    /// Per-benchmark entries (Table 1 order).
-    pub entries: Vec<SuiteEntry>,
-}
-
-impl Suite {
-    /// Observes, trains, and code-generates every benchmark (optionally
-    /// filtered by name). Progress goes to stderr.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a region fails to compile — that is a harness bug, not
-    /// an input condition.
-    pub fn compile(scale: Scale, fast: bool, only: Option<&str>) -> Suite {
-        let params = compile_params(fast);
-        let compiler = ParrotCompiler::new(params);
-        let mut entries = Vec::new();
-        for bench in all_benchmarks() {
-            if let Some(name) = only {
-                if bench.name() != name {
-                    continue;
-                }
-            }
-            let t0 = std::time::Instant::now();
-            eprintln!("[compile] {}: observing + training…", bench.name());
-            let region = bench.region();
-            let training = bench.training_inputs(&scale);
-            let compiled = compiler
-                .compile(&region, &training)
-                .unwrap_or_else(|e| panic!("compiling {} failed: {e}", bench.name()));
-            eprintln!(
-                "[compile] {}: {} (test mse {:.5}) in {:.1?}",
-                bench.name(),
-                compiled.config().topology(),
-                compiled.nn_mse(),
-                t0.elapsed(),
-            );
-            entries.push(SuiteEntry { bench, compiled });
-        }
-        assert!(
-            !entries.is_empty(),
-            "no benchmark matched the --bench filter"
-        );
-        Suite { scale, entries }
     }
 }

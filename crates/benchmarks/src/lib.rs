@@ -36,9 +36,13 @@ pub mod sobel;
 
 use approx_ir::{FuncId, Program, Value};
 use parrot::{CompiledRegion, RegionSpec};
+use serde::{Deserialize, Serialize};
 
 /// Problem sizes for one evaluation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable so the experiment harness can fold the evaluation sizes
+/// into its content-addressed cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Scale {
     /// Side length of square test images (paper: 220×220 evaluation
     /// images).

@@ -151,6 +151,45 @@ impl CompiledRegion {
         summary
     }
 
+    /// Rebuilds a compiled region from a cached topology-search outcome
+    /// and observation normalizers, skipping observation and training
+    /// entirely. Verification, placement, and code generation — all cheap
+    /// and deterministic — are re-run so the result is indistinguishable
+    /// from a fresh [`ParrotCompiler::compile`] that selected the same
+    /// network.
+    ///
+    /// This is the warm path of the experiment harness: the expensive
+    /// artifacts (trained weights, normalizers) come from a
+    /// content-addressed cache and only the stubs are regenerated.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not pass safety verification or the
+    /// network does not fit `npu_params`.
+    pub fn assemble(
+        region: &RegionSpec,
+        outcome: SearchOutcome,
+        input_norm: ann::Normalizer,
+        output_norm: ann::Normalizer,
+        npu_params: NpuParams,
+    ) -> Result<CompiledRegion, ParrotError> {
+        let lint = region.verify()?;
+        let config = NpuConfig::new(outcome.mlp.clone(), input_norm, output_norm);
+        npu::Scheduler::new(npu_params.clone()).schedule(&config)?;
+        let invocation_stub = codegen::build_invocation_stub(region.n_inputs(), region.n_outputs());
+        let config_loader = codegen::build_config_loader(&config);
+        Ok(CompiledRegion {
+            region_name: region.name().to_string(),
+            config,
+            outcome,
+            invocation_stub,
+            config_loader,
+            npu_params,
+            phases: Vec::new(),
+            lint,
+        })
+    }
+
     /// Builds a configured NPU with different hardware parameters (the
     /// PE-count sensitivity study, Figure 11).
     ///
@@ -251,7 +290,10 @@ impl ParrotCompiler {
         // 2. Topology search + training on normalized data.
         let span = telemetry::span("parrot::compiler", "dataset");
         let full = normalized_dataset(&obs);
-        let data = full.subsample(self.params.max_training_samples, SUBSAMPLE_SEED);
+        let data = full.subsample(
+            self.params.max_training_samples,
+            subsample_seed(self.params.search.seed),
+        );
         phases.push(span.finish());
 
         let span = telemetry::span("parrot::compiler", "topology_search");
@@ -292,8 +334,11 @@ impl ParrotCompiler {
     }
 }
 
-/// Deterministic seed for observation-log subsampling.
-const SUBSAMPLE_SEED: u64 = 0x7ea1_5eed;
+/// Derives the observation-log subsampling seed from the search's root
+/// seed, so every random choice in a compilation traces back to one seed.
+pub fn subsample_seed(root: u64) -> u64 {
+    ann::seed::mix(root, 0x7ea1_5eed)
+}
 
 #[cfg(test)]
 mod tests {

@@ -63,7 +63,7 @@ pub mod quality;
 mod region;
 mod runtime;
 
-pub use compiler::{CompileParams, CompiledRegion, ParrotCompiler};
+pub use compiler::{subsample_seed, CompileParams, CompiledRegion, ParrotCompiler};
 pub use error::ParrotError;
 pub use guard::{ErrorSampler, GuardStats, GuardedRegion, RangeGuard};
 pub use observe::{observe, Observation};

@@ -3,10 +3,14 @@
 
 use crate::{ParrotError, RegionSpec};
 use ann::{Dataset, Normalizer};
+use serde::{Deserialize, Serialize};
 
 /// The product of the observation phase: the training dataset and the
 /// min/max ranges the NPU's scaling unit will use.
-#[derive(Debug, Clone)]
+///
+/// Serializable so an experiment harness can cache one observation pass
+/// and reuse it across training configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Observation {
     /// Logged input–output pairs.
     pub data: Dataset,
@@ -43,18 +47,26 @@ pub fn observe(region: &RegionSpec, inputs: &[Vec<f32>]) -> Result<Observation, 
     })
 }
 
-/// Builds the *normalized* training dataset (both sides mapped to `[0,1]`)
-/// from an observation — the values the network actually trains on.
-pub(crate) fn normalized_dataset(obs: &Observation) -> Dataset {
-    let mut out = Dataset::new(obs.data.n_inputs(), obs.data.n_outputs());
-    for (input, output) in obs.data.iter() {
-        let mut i = input.to_vec();
-        let mut o = output.to_vec();
-        obs.input_norm.normalize(&mut i);
-        obs.output_norm.normalize(&mut o);
-        out.push(&i, &o).expect("same dimensions");
+impl Observation {
+    /// Builds the *normalized* training dataset (both sides mapped to
+    /// `[0,1]`) — the values the network actually trains on.
+    pub fn normalized(&self) -> Dataset {
+        let mut out = Dataset::new(self.data.n_inputs(), self.data.n_outputs());
+        for (input, output) in self.data.iter() {
+            let mut i = input.to_vec();
+            let mut o = output.to_vec();
+            self.input_norm.normalize(&mut i);
+            self.output_norm.normalize(&mut o);
+            out.push(&i, &o).expect("same dimensions");
+        }
+        out
     }
-    out
+}
+
+/// Builds the normalized training dataset from an observation (method
+/// alias kept for the compiler's internal call site).
+pub(crate) fn normalized_dataset(obs: &Observation) -> Dataset {
+    obs.normalized()
 }
 
 #[cfg(test)]

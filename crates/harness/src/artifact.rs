@@ -1,0 +1,182 @@
+//! The typed payloads jobs produce and the cache persists.
+//!
+//! Every variant is JSON-serializable so an artifact written by one sweep
+//! can be loaded by a later one (resume) or by a re-run with the same
+//! inputs (warm cache). Artifacts carry *data*, never closures or handles:
+//! anything cheap and deterministic (code generation, report formatting)
+//! is recomputed from them instead of stored.
+
+use parrot::Observation;
+use serde::{Deserialize, Serialize};
+
+/// The trained-network artifact: everything needed to reassemble a
+/// [`parrot::CompiledRegion`] without re-observing or re-training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainArtifact {
+    /// The topology-search outcome (selected network + all candidates).
+    pub outcome: ann::SearchOutcome,
+    /// Input-side normalization ranges from the observation.
+    pub input_norm: ann::Normalizer,
+    /// Output-side normalization ranges from the observation.
+    pub output_norm: ann::Normalizer,
+}
+
+/// Dynamic instruction counts from one counting run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CountsArtifact {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// NPU queue instructions among them.
+    pub npu_queue: u64,
+}
+
+/// Core (and optionally NPU) statistics from one cycle-level run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingArtifact {
+    /// Final core statistics.
+    pub stats: uarch::SimStats,
+    /// NPU statistics when a cycle-accurate NPU was attached.
+    pub npu: Option<npu::NpuStats>,
+}
+
+/// Whole-system energy for the baseline, NPU, and ideal-NPU runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyArtifact {
+    /// Baseline (core-only) energy in picojoules.
+    pub baseline_pj: f64,
+    /// Core + 8-PE-NPU energy in picojoules.
+    pub npu_pj: f64,
+    /// Core + ideal (zero-cost) NPU energy in picojoules.
+    pub ideal_pj: f64,
+}
+
+/// One job's output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Artifact {
+    /// Code observation: logged samples + value ranges.
+    Observe(Observation),
+    /// Topology search + training result.
+    Train(TrainArtifact),
+    /// Application output elements from a functional run.
+    Outputs(Vec<f32>),
+    /// Dynamic instruction counts.
+    Counts(CountsArtifact),
+    /// Cycle-level timing statistics.
+    Timing(TimingArtifact),
+    /// Energy totals.
+    Energy(EnergyArtifact),
+    /// A per-benchmark run report.
+    Report(telemetry::RunReport),
+}
+
+impl Artifact {
+    /// Short variant name (used in error messages and job labels).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Artifact::Observe(_) => "observe",
+            Artifact::Train(_) => "train",
+            Artifact::Outputs(_) => "outputs",
+            Artifact::Counts(_) => "counts",
+            Artifact::Timing(_) => "timing",
+            Artifact::Energy(_) => "energy",
+            Artifact::Report(_) => "report",
+        }
+    }
+
+    /// The train payload, or an error naming the actual kind.
+    pub fn as_train(&self) -> Result<&TrainArtifact, String> {
+        match self {
+            Artifact::Train(t) => Ok(t),
+            other => Err(format!("expected train artifact, got {}", other.kind())),
+        }
+    }
+
+    /// The observation payload, or an error naming the actual kind.
+    pub fn as_observe(&self) -> Result<&Observation, String> {
+        match self {
+            Artifact::Observe(o) => Ok(o),
+            other => Err(format!("expected observe artifact, got {}", other.kind())),
+        }
+    }
+
+    /// The outputs payload, or an error naming the actual kind.
+    pub fn as_outputs(&self) -> Result<&[f32], String> {
+        match self {
+            Artifact::Outputs(v) => Ok(v),
+            other => Err(format!("expected outputs artifact, got {}", other.kind())),
+        }
+    }
+
+    /// The counts payload, or an error naming the actual kind.
+    pub fn as_counts(&self) -> Result<&CountsArtifact, String> {
+        match self {
+            Artifact::Counts(c) => Ok(c),
+            other => Err(format!("expected counts artifact, got {}", other.kind())),
+        }
+    }
+
+    /// The timing payload, or an error naming the actual kind.
+    pub fn as_timing(&self) -> Result<&TimingArtifact, String> {
+        match self {
+            Artifact::Timing(t) => Ok(t),
+            other => Err(format!("expected timing artifact, got {}", other.kind())),
+        }
+    }
+
+    /// The energy payload, or an error naming the actual kind.
+    pub fn as_energy(&self) -> Result<&EnergyArtifact, String> {
+        match self {
+            Artifact::Energy(e) => Ok(e),
+            other => Err(format!("expected energy artifact, got {}", other.kind())),
+        }
+    }
+
+    /// The report payload, or an error naming the actual kind.
+    pub fn as_report(&self) -> Result<&telemetry::RunReport, String> {
+        match self {
+            Artifact::Report(r) => Ok(r),
+            other => Err(format!("expected report artifact, got {}", other.kind())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_round_trip_through_json() {
+        let cases = vec![
+            Artifact::Outputs(vec![0.25, -1.5, 3.0]),
+            Artifact::Counts(CountsArtifact {
+                total: 1000,
+                npu_queue: 12,
+            }),
+            Artifact::Timing(TimingArtifact {
+                stats: uarch::SimStats {
+                    cycles: 77,
+                    committed: 55,
+                    ..uarch::SimStats::default()
+                },
+                npu: None,
+            }),
+            Artifact::Energy(EnergyArtifact {
+                baseline_pj: 10.0,
+                npu_pj: 4.0,
+                ideal_pj: 3.5,
+            }),
+        ];
+        for artifact in cases {
+            let json = serde::json::to_string(&artifact);
+            let back: Artifact = serde::json::from_str(&json).unwrap();
+            assert_eq!(back, artifact);
+        }
+    }
+
+    #[test]
+    fn accessors_reject_wrong_kind() {
+        let a = Artifact::Outputs(vec![]);
+        assert!(a.as_train().is_err());
+        assert!(a.as_outputs().is_ok());
+    }
+}

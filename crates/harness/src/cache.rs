@@ -1,0 +1,149 @@
+//! The content-addressed artifact cache.
+//!
+//! Layout: `<dir>/<stage>/<key>.json`, one JSON-serialized [`Artifact`]
+//! per file. Keys are [`crate::hash::KeyHasher`] digests over everything
+//! that determines the artifact's content — so a key match *is* a
+//! semantic match, files never need invalidation timestamps, and a
+//! partially-completed sweep resumes by simply hitting the keys it
+//! already produced.
+//!
+//! Writes go through a temp file + rename so an interrupted run never
+//! leaves a torn artifact behind; unreadable or unparsable files are
+//! treated as misses (and overwritten on store).
+
+use crate::artifact::Artifact;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free cache-traffic counters (shared across worker threads).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found a valid artifact.
+    pub hits: AtomicU64,
+    /// Lookups that found nothing (or an unreadable file).
+    pub misses: AtomicU64,
+    /// Artifacts written back.
+    pub writes: AtomicU64,
+}
+
+impl CacheStats {
+    /// Snapshot of `(hits, misses, writes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A directory of content-addressed artifacts.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+    stats: CacheStats,
+}
+
+impl ArtifactCache {
+    /// Opens (and lazily creates) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> ArtifactCache {
+        ArtifactCache {
+            dir: dir.into(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cache's traffic counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn path_for(&self, stage: &str, key: &str) -> PathBuf {
+        self.dir.join(stage).join(format!("{key}.json"))
+    }
+
+    /// Loads the artifact stored under `(stage, key)`, if any. Counts a
+    /// hit or miss; a file that exists but does not parse is a miss.
+    pub fn load(&self, stage: &str, key: &str) -> Option<Artifact> {
+        let path = self.path_for(stage, key);
+        let loaded = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde::json::from_str::<Artifact>(&text).ok());
+        match loaded {
+            Some(artifact) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(artifact)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `artifact` under `(stage, key)` atomically (temp file +
+    /// rename). Errors are reported, not fatal: a failed store only costs
+    /// a future cache miss.
+    pub fn store(&self, stage: &str, key: &str, artifact: &Artifact) -> std::io::Result<()> {
+        let path = self.path_for(stage, key);
+        let parent = path.parent().expect("cache paths always have a parent");
+        std::fs::create_dir_all(parent)?;
+        let tmp = parent.join(format!(".{key}.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, serde::json::to_string(artifact))?;
+        std::fs::rename(&tmp, &path)?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::CountsArtifact;
+
+    fn temp_cache(tag: &str) -> ArtifactCache {
+        let dir = std::env::temp_dir().join(format!("harness-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::new(dir)
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = temp_cache("roundtrip");
+        let artifact = Artifact::Counts(CountsArtifact {
+            total: 9,
+            npu_queue: 2,
+        });
+        assert!(cache.load("counts", "abc").is_none());
+        cache.store("counts", "abc", &artifact).unwrap();
+        assert_eq!(cache.load("counts", "abc"), Some(artifact));
+        assert_eq!(cache.stats().snapshot(), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_file_is_a_miss() {
+        let cache = temp_cache("corrupt");
+        let path = cache.dir().join("train").join("bad.json");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(cache.load("train", "bad").is_none());
+        assert_eq!(cache.stats().snapshot(), (0, 1, 0));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn keys_are_namespaced_by_stage() {
+        let cache = temp_cache("stages");
+        let artifact = Artifact::Outputs(vec![1.0]);
+        cache.store("observe", "k", &artifact).unwrap();
+        assert!(cache.load("train", "k").is_none());
+        assert!(cache.load("observe", "k").is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

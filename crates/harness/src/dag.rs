@@ -1,0 +1,131 @@
+//! The job DAG: every experiment step is a node with explicit data
+//! dependencies, a content-addressed cache key, and a pure body.
+//!
+//! A body receives its dependencies' artifacts (in declaration order) and
+//! returns its own artifact. Bodies must be deterministic functions of
+//! those inputs — that is what makes the cache key sound and parallel
+//! execution bit-identical to serial execution.
+
+use crate::artifact::Artifact;
+use std::sync::Arc;
+
+/// Index of a job within its DAG.
+pub type JobId = usize;
+
+/// A job body: dependencies' artifacts in, own artifact out.
+pub type JobFn = Box<dyn Fn(&[Arc<Artifact>]) -> Result<Artifact, String> + Send + Sync>;
+
+/// One node of the DAG.
+pub struct Job {
+    /// Pipeline stage name (`observe`, `train`, `sim_npu`, …) — the cache
+    /// namespace and the per-stage wall-clock bucket.
+    pub stage: String,
+    /// The benchmark this job belongs to (or a pseudo-name for shared
+    /// jobs).
+    pub bench: String,
+    /// Content-addressed cache key (32 hex digits); `None` disables
+    /// caching for this job.
+    pub key: Option<String>,
+    /// Jobs whose artifacts this body consumes, in the order the body
+    /// expects them.
+    pub deps: Vec<JobId>,
+    /// The body.
+    pub run: JobFn,
+}
+
+/// A dependency-ordered set of jobs under construction.
+#[derive(Default)]
+pub struct JobDag {
+    jobs: Vec<Job>,
+}
+
+impl JobDag {
+    /// An empty DAG.
+    pub fn new() -> JobDag {
+        JobDag::default()
+    }
+
+    /// Adds a job and returns its id. Dependencies must already be in the
+    /// DAG (ids are handed out in insertion order), which makes cycles
+    /// unrepresentable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id is out of range (a harness bug).
+    pub fn add(
+        &mut self,
+        stage: impl Into<String>,
+        bench: impl Into<String>,
+        key: Option<String>,
+        deps: Vec<JobId>,
+        run: JobFn,
+    ) -> JobId {
+        let id = self.jobs.len();
+        for &d in &deps {
+            assert!(d < id, "job dependency {d} not yet added (adding {id})");
+        }
+        self.jobs.push(Job {
+            stage: stage.into(),
+            bench: bench.into(),
+            key,
+            deps,
+            run,
+        });
+        id
+    }
+
+    /// The jobs, indexed by id.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_insertion_ordered() {
+        let mut dag = JobDag::new();
+        let a = dag.add(
+            "s",
+            "b",
+            None,
+            vec![],
+            Box::new(|_| Ok(Artifact::Outputs(vec![]))),
+        );
+        let b = dag.add(
+            "s",
+            "b",
+            None,
+            vec![a],
+            Box::new(|_| Ok(Artifact::Outputs(vec![]))),
+        );
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(dag.len(), 2);
+        assert_eq!(dag.jobs()[b].deps, vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet added")]
+    fn forward_dependencies_are_rejected() {
+        let mut dag = JobDag::new();
+        dag.add(
+            "s",
+            "b",
+            None,
+            vec![5],
+            Box::new(|_| Ok(Artifact::Outputs(vec![]))),
+        );
+    }
+}

@@ -1,0 +1,430 @@
+//! The work-stealing executor.
+//!
+//! Workers each own a local deque of ready jobs; a job finishing pushes
+//! its newly-unblocked dependents onto the finishing worker's deque
+//! (keeping a benchmark's pipeline hot on one worker), idle workers pull
+//! from a shared injector first and then steal from the busiest peer.
+//! Because every job body is a pure function of its dependencies'
+//! artifacts, execution order and worker count cannot change any result —
+//! only the wall clock.
+//!
+//! Cache interaction is centralized here: before running a body the
+//! executor consults the [`ArtifactCache`] under the job's `(stage, key)`
+//! and skips execution on a hit; after a successful run it stores the
+//! artifact back. Failures propagate: dependents of a failed job are
+//! marked skipped without running.
+
+use crate::artifact::Artifact;
+use crate::cache::ArtifactCache;
+use crate::dag::{JobDag, JobId};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Terminal state of one job.
+#[derive(Debug, Clone)]
+pub enum JobResult {
+    /// The job produced (or loaded) its artifact.
+    Done {
+        /// The artifact.
+        artifact: Arc<Artifact>,
+        /// Whether it came from the cache instead of running the body.
+        from_cache: bool,
+    },
+    /// The body returned an error.
+    Failed(String),
+    /// An upstream dependency failed, so the body never ran.
+    Skipped,
+}
+
+/// Aggregate counters from one executor run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs whose body ran.
+    pub executed: u64,
+    /// Jobs served from the cache.
+    pub from_cache: u64,
+    /// Jobs whose body failed.
+    pub failed: u64,
+    /// Jobs skipped due to upstream failure.
+    pub skipped: u64,
+    /// High-water mark of simultaneously-ready jobs.
+    pub max_queue_depth: u64,
+    /// Wall clock of the whole run, microseconds.
+    pub wall_clock_us: u64,
+    /// Per-stage wall clock, microseconds, summed over jobs (cache hits
+    /// contribute their load time).
+    pub stage_wall_us: BTreeMap<String, u64>,
+}
+
+struct Shared<'d> {
+    dag: &'d JobDag,
+    cache: Option<&'d ArtifactCache>,
+    results: Vec<Mutex<Option<JobResult>>>,
+    pending: Vec<AtomicUsize>,
+    dependents: Vec<Vec<JobId>>,
+    remaining: AtomicUsize,
+    injector: Mutex<VecDeque<JobId>>,
+    locals: Vec<Mutex<VecDeque<JobId>>>,
+    ready: AtomicUsize,
+    max_ready: AtomicUsize,
+    executed: AtomicU64,
+    from_cache: AtomicU64,
+    failed: AtomicU64,
+    skipped: AtomicU64,
+    stage_wall: Mutex<BTreeMap<String, u64>>,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl Shared<'_> {
+    fn push_ready(&self, worker: usize, job: JobId) {
+        self.locals[worker]
+            .lock()
+            .expect("deque lock")
+            .push_back(job);
+        let now = self.ready.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_ready.fetch_max(now, Ordering::Relaxed);
+        self.idle_cv.notify_one();
+    }
+
+    fn pop_job(&self, worker: usize) -> Option<JobId> {
+        // Own deque first (LIFO: keeps a pipeline's data warm), then the
+        // injector, then steal FIFO from any peer.
+        if let Some(j) = self.locals[worker].lock().expect("deque lock").pop_back() {
+            self.ready.fetch_sub(1, Ordering::Relaxed);
+            return Some(j);
+        }
+        if let Some(j) = self.injector.lock().expect("injector lock").pop_front() {
+            self.ready.fetch_sub(1, Ordering::Relaxed);
+            return Some(j);
+        }
+        for (i, peer) in self.locals.iter().enumerate() {
+            if i == worker {
+                continue;
+            }
+            if let Some(j) = peer.lock().expect("deque lock").pop_front() {
+                self.ready.fetch_sub(1, Ordering::Relaxed);
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    fn finalize(&self, worker: usize, job: JobId, result: JobResult) {
+        *self.results[job].lock().expect("result lock") = Some(result);
+        for &dep in &self.dependents[job] {
+            if self.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.push_ready(worker, dep);
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last job: wake everyone so idle workers can exit.
+            self.idle_cv.notify_all();
+        }
+    }
+
+    fn run_job(&self, worker: usize, job: JobId) {
+        let node = &self.dag.jobs()[job];
+
+        // Gather dependencies; any non-success upstream skips this job.
+        let mut deps = Vec::with_capacity(node.deps.len());
+        for &d in &node.deps {
+            let dep_result = self.results[d].lock().expect("result lock");
+            match dep_result.as_ref() {
+                Some(JobResult::Done { artifact, .. }) => deps.push(Arc::clone(artifact)),
+                Some(JobResult::Failed(_)) | Some(JobResult::Skipped) => {
+                    self.skipped.fetch_add(1, Ordering::Relaxed);
+                    drop(dep_result);
+                    self.finalize(worker, job, JobResult::Skipped);
+                    return;
+                }
+                None => unreachable!("dependency completed before dependent became ready"),
+            }
+        }
+
+        let span = telemetry::span("harness::exec", &format!("{}.{}", node.stage, node.bench));
+        let t0 = Instant::now();
+
+        // Warm path: serve from the cache without running the body.
+        if let (Some(cache), Some(key)) = (self.cache, node.key.as_deref()) {
+            if let Some(artifact) = cache.load(&node.stage, key) {
+                self.from_cache.fetch_add(1, Ordering::Relaxed);
+                self.record_stage(&node.stage, t0);
+                drop(span);
+                self.finalize(
+                    worker,
+                    job,
+                    JobResult::Done {
+                        artifact: Arc::new(artifact),
+                        from_cache: true,
+                    },
+                );
+                return;
+            }
+        }
+
+        let result = match (node.run)(&deps) {
+            Ok(artifact) => {
+                if let (Some(cache), Some(key)) = (self.cache, node.key.as_deref()) {
+                    if let Err(e) = cache.store(&node.stage, key, &artifact) {
+                        eprintln!(
+                            "[harness] warning: failed to cache {}/{key}: {e}",
+                            node.stage
+                        );
+                    }
+                }
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                JobResult::Done {
+                    artifact: Arc::new(artifact),
+                    from_cache: false,
+                }
+            }
+            Err(e) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                JobResult::Failed(e)
+            }
+        };
+        self.record_stage(&node.stage, t0);
+        drop(span);
+        self.finalize(worker, job, result);
+    }
+
+    fn record_stage(&self, stage: &str, t0: Instant) {
+        let us = t0.elapsed().as_micros() as u64;
+        *self
+            .stage_wall
+            .lock()
+            .expect("stage lock")
+            .entry(stage.to_string())
+            .or_insert(0) += us;
+    }
+
+    fn worker_loop(&self, worker: usize) {
+        loop {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            match self.pop_job(worker) {
+                Some(job) => self.run_job(worker, job),
+                None => {
+                    // Nothing runnable right now; sleep until a finishing
+                    // job signals. The timeout guards against a lost
+                    // wakeup racing the emptiness check.
+                    let guard = self.idle_lock.lock().expect("idle lock");
+                    let _ = self
+                        .idle_cv
+                        .wait_timeout(guard, Duration::from_millis(5))
+                        .expect("idle wait");
+                }
+            }
+        }
+    }
+}
+
+/// Runs every job of `dag` on `workers` threads (clamped to at least 1)
+/// and returns per-job results plus aggregate statistics.
+pub fn execute(
+    dag: &JobDag,
+    cache: Option<&ArtifactCache>,
+    workers: usize,
+) -> (Vec<JobResult>, ExecStats) {
+    let n = dag.len();
+    let workers = workers.max(1).min(n.max(1));
+    let t0 = Instant::now();
+
+    let mut dependents = vec![Vec::new(); n];
+    for (id, job) in dag.jobs().iter().enumerate() {
+        for &d in &job.deps {
+            dependents[d].push(id);
+        }
+    }
+    let shared = Shared {
+        dag,
+        cache,
+        results: (0..n).map(|_| Mutex::new(None)).collect(),
+        pending: dag
+            .jobs()
+            .iter()
+            .map(|j| AtomicUsize::new(j.deps.len()))
+            .collect(),
+        dependents,
+        remaining: AtomicUsize::new(n),
+        injector: Mutex::new(VecDeque::new()),
+        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        ready: AtomicUsize::new(0),
+        max_ready: AtomicUsize::new(0),
+        executed: AtomicU64::new(0),
+        from_cache: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        skipped: AtomicU64::new(0),
+        stage_wall: Mutex::new(BTreeMap::new()),
+        idle_lock: Mutex::new(()),
+        idle_cv: Condvar::new(),
+    };
+
+    // Seed the injector with every dependency-free job.
+    {
+        let mut injector = shared.injector.lock().expect("injector lock");
+        for (id, job) in dag.jobs().iter().enumerate() {
+            if job.deps.is_empty() {
+                injector.push_back(id);
+            }
+        }
+        let seeded = injector.len();
+        shared.ready.store(seeded, Ordering::Relaxed);
+        shared.max_ready.store(seeded, Ordering::Relaxed);
+    }
+
+    if n > 0 {
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let shared = &shared;
+                scope.spawn(move || shared.worker_loop(worker));
+            }
+        });
+    }
+
+    let results: Vec<JobResult> = shared
+        .results
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .expect("result lock")
+                .clone()
+                .expect("every job reaches a terminal state")
+        })
+        .collect();
+    let stats = ExecStats {
+        workers,
+        executed: shared.executed.load(Ordering::Relaxed),
+        from_cache: shared.from_cache.load(Ordering::Relaxed),
+        failed: shared.failed.load(Ordering::Relaxed),
+        skipped: shared.skipped.load(Ordering::Relaxed),
+        max_queue_depth: shared.max_ready.load(Ordering::Relaxed) as u64,
+        wall_clock_us: t0.elapsed().as_micros() as u64,
+        stage_wall_us: shared.stage_wall.into_inner().expect("stage lock"),
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(v: f32) -> Artifact {
+        Artifact::Outputs(vec![v])
+    }
+
+    fn first(deps: &[Arc<Artifact>]) -> f32 {
+        deps[0].as_outputs().unwrap()[0]
+    }
+
+    #[test]
+    fn diamond_dag_runs_in_dependency_order() {
+        // a → (b, c) → d; d sums b and c.
+        let mut dag = JobDag::new();
+        let a = dag.add("s", "t", None, vec![], Box::new(|_| Ok(out(1.0))));
+        let b = dag.add(
+            "s",
+            "t",
+            None,
+            vec![a],
+            Box::new(|d: &[Arc<Artifact>]| Ok(out(first(d) + 10.0))),
+        );
+        let c = dag.add(
+            "s",
+            "t",
+            None,
+            vec![a],
+            Box::new(|d: &[Arc<Artifact>]| Ok(out(first(d) + 100.0))),
+        );
+        let d = dag.add(
+            "s",
+            "t",
+            None,
+            vec![b, c],
+            Box::new(|d: &[Arc<Artifact>]| Ok(out(first(d) + d[1].as_outputs().unwrap()[0]))),
+        );
+        for workers in [1, 4] {
+            let (results, stats) = execute(&dag, None, workers);
+            match &results[d] {
+                JobResult::Done { artifact, .. } => {
+                    assert_eq!(artifact.as_outputs().unwrap(), &[112.0]);
+                }
+                other => panic!("unexpected result: {other:?}"),
+            }
+            assert_eq!(stats.executed, 4);
+            assert_eq!(stats.failed + stats.skipped, 0);
+        }
+    }
+
+    #[test]
+    fn failure_skips_all_transitive_dependents() {
+        // fail → mid → leaf, plus an independent job that must still run.
+        let mut dag = JobDag::new();
+        let f = dag.add("s", "t", None, vec![], Box::new(|_| Err("boom".into())));
+        let mid = dag.add("s", "t", None, vec![f], Box::new(|_| Ok(out(0.0))));
+        let leaf = dag.add("s", "t", None, vec![mid], Box::new(|_| Ok(out(0.0))));
+        let solo = dag.add("s", "t", None, vec![], Box::new(|_| Ok(out(7.0))));
+        let (results, stats) = execute(&dag, None, 2);
+        assert!(matches!(&results[f], JobResult::Failed(e) if e == "boom"));
+        assert!(matches!(results[mid], JobResult::Skipped));
+        assert!(matches!(results[leaf], JobResult::Skipped));
+        assert!(matches!(results[solo], JobResult::Done { .. }));
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.skipped, 2);
+        assert_eq!(stats.executed, 1);
+    }
+
+    #[test]
+    fn cache_hit_skips_the_body() {
+        let dir = std::env::temp_dir().join(format!("harness-exec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::new(&dir);
+        let mut dag = JobDag::new();
+        dag.add(
+            "stage",
+            "t",
+            Some("deadbeef".into()),
+            vec![],
+            Box::new(|_| Ok(out(3.0))),
+        );
+        let (_, cold) = execute(&dag, Some(&cache), 1);
+        assert_eq!((cold.executed, cold.from_cache), (1, 0));
+        let (results, warm) = execute(&dag, Some(&cache), 1);
+        assert_eq!((warm.executed, warm.from_cache), (0, 1));
+        match &results[0] {
+            JobResult::Done {
+                artifact,
+                from_cache,
+            } => {
+                assert!(from_cache);
+                assert_eq!(artifact.as_outputs().unwrap(), &[3.0]);
+            }
+            other => panic!("unexpected result: {other:?}"),
+        }
+        assert_eq!(cache.stats().snapshot(), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wide_fanout_saturates_queue_depth() {
+        let mut dag = JobDag::new();
+        let root = dag.add("s", "t", None, vec![], Box::new(|_| Ok(out(0.0))));
+        for _ in 0..16 {
+            dag.add("s", "t", None, vec![root], Box::new(|_| Ok(out(1.0))));
+        }
+        let (results, stats) = execute(&dag, None, 4);
+        assert_eq!(results.len(), 17);
+        assert!(results.iter().all(|r| matches!(r, JobResult::Done { .. })));
+        assert!(
+            stats.max_queue_depth >= 4,
+            "depth {}",
+            stats.max_queue_depth
+        );
+    }
+}

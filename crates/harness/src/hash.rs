@@ -1,0 +1,156 @@
+//! Content hashing for cache keys: a 128-bit digest built from two
+//! independent 64-bit FNV-1a streams.
+//!
+//! Cache keys only need collision resistance against *accidental*
+//! collisions among a few thousand artifacts, not adversaries; two FNV
+//! streams with different offset bases give 128 bits of well-mixed state
+//! with no dependencies. Keys are rendered as 32 lowercase hex digits and
+//! used as file names under the cache directory.
+
+use std::fmt::Write as _;
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental content hasher producing a 128-bit hex digest.
+///
+/// Every `update_*` call also mixes in a length/tag byte sequence, so
+/// `update_str("ab"); update_str("c")` and `update_str("abc")` produce
+/// different digests (no concatenation ambiguity between fields).
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    a: u64,
+    b: u64,
+}
+
+impl KeyHasher {
+    /// A fresh hasher, domain-separated by `tag` (typically the stage
+    /// name) so equal payloads hashed for different purposes never
+    /// collide.
+    pub fn new(tag: &str) -> KeyHasher {
+        let mut h = KeyHasher {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        };
+        h.update_str(tag);
+        h
+    }
+
+    fn update_bytes_raw(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            // The second stream sees each byte rotated so the two streams
+            // stay decorrelated even on repetitive input.
+            self.b = (self.b ^ u64::from(byte.rotate_left(3))).wrapping_mul(FNV_PRIME);
+            self.b = self.b.rotate_left(1);
+        }
+    }
+
+    /// Mixes in a length-prefixed byte string.
+    pub fn update_bytes(&mut self, bytes: &[u8]) {
+        self.update_bytes_raw(&(bytes.len() as u64).to_le_bytes());
+        self.update_bytes_raw(bytes);
+    }
+
+    /// Mixes in a length-prefixed UTF-8 string.
+    pub fn update_str(&mut self, s: &str) {
+        self.update_bytes(s.as_bytes());
+    }
+
+    /// Mixes in an unsigned integer.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update_bytes_raw(&v.to_le_bytes());
+    }
+
+    /// Mixes in a float's exact bit pattern (no text round-trip).
+    pub fn update_f32(&mut self, v: f32) {
+        self.update_bytes_raw(&v.to_bits().to_le_bytes());
+    }
+
+    /// Mixes in a whole `f32` slice (length-prefixed).
+    pub fn update_f32s(&mut self, vs: &[f32]) {
+        self.update_u64(vs.len() as u64);
+        for &v in vs {
+            self.update_f32(v);
+        }
+    }
+
+    /// Mixes in any serializable value via its canonical JSON rendering.
+    pub fn update_json<T: serde::Serialize>(&mut self, value: &T) {
+        self.update_str(&serde::json::to_string(value));
+    }
+
+    /// The 32-hex-digit digest.
+    pub fn digest(&self) -> String {
+        let mut out = String::with_capacity(32);
+        let _ = write!(out, "{:016x}{:016x}", self.a, self.b);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_hex() {
+        let mut h = KeyHasher::new("observe");
+        h.update_str("sobel");
+        h.update_u64(42);
+        let d = h.digest();
+        assert_eq!(d.len(), 32);
+        assert!(d.chars().all(|c| c.is_ascii_hexdigit()));
+        // Same inputs, same digest.
+        let mut h2 = KeyHasher::new("observe");
+        h2.update_str("sobel");
+        h2.update_u64(42);
+        assert_eq!(d, h2.digest());
+    }
+
+    #[test]
+    fn tag_and_field_boundaries_matter() {
+        let mut a = KeyHasher::new("observe");
+        a.update_str("sobel");
+        let mut b = KeyHasher::new("train");
+        b.update_str("sobel");
+        assert_ne!(a.digest(), b.digest(), "stage tag must separate domains");
+
+        let mut c = KeyHasher::new("t");
+        c.update_str("ab");
+        c.update_str("c");
+        let mut d = KeyHasher::new("t");
+        d.update_str("a");
+        d.update_str("bc");
+        assert_ne!(c.digest(), d.digest(), "field boundaries must be hashed");
+    }
+
+    #[test]
+    fn float_bits_are_hashed_exactly() {
+        let mut a = KeyHasher::new("t");
+        a.update_f32s(&[0.1, -0.0]);
+        let mut b = KeyHasher::new("t");
+        b.update_f32s(&[0.1, 0.0]);
+        assert_ne!(a.digest(), b.digest(), "-0.0 and 0.0 differ in bits");
+    }
+
+    #[test]
+    fn json_update_covers_nested_values() {
+        #[derive(serde::Serialize)]
+        struct P {
+            x: u32,
+            label: String,
+        }
+        let mut a = KeyHasher::new("t");
+        a.update_json(&P {
+            x: 1,
+            label: "q".into(),
+        });
+        let mut b = KeyHasher::new("t");
+        b.update_json(&P {
+            x: 2,
+            label: "q".into(),
+        });
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,585 @@
+//! Building one benchmark's job pipeline inside the sweep DAG.
+//!
+//! The canonical chain is
+//!
+//! ```text
+//! observe ──► train ──► outputs_npu / counts_npu / sim_npu / sim_ideal /
+//!                        sim_soft / sim_link_* / sim_pes_*
+//! outputs_base / counts_base / sim_cpu            (no training needed)
+//! energy  ◄── sim_cpu + sim_npu + sim_ideal
+//! report  ◄── train + sim_cpu + sim_npu
+//! ```
+//!
+//! Cache keys are Merkle-style: every downstream key folds in its
+//! upstream keys, so changing a training hyperparameter re-keys `train`
+//! and everything after it while `observe` (whose key holds only the
+//! region IR, the dataset digest, and the scale) still hits.
+
+use crate::artifact::{Artifact, CountsArtifact, EnergyArtifact, TimingArtifact, TrainArtifact};
+use crate::dag::JobDag;
+use crate::hash::KeyHasher;
+use crate::sweep::StagePlan;
+use benchmarks::{benchmark_by_name, runner, AppVariant, Benchmark, Scale};
+use energy::{EnergyModel, EnergyParams};
+use parrot::{CompileParams, CompiledRegion};
+use std::sync::Arc;
+use uarch::CoreConfig;
+
+/// Bumped whenever simulator, application-glue, or artifact semantics
+/// change in a way the other key inputs cannot see; folded into every
+/// cache key so stale artifacts from older pipeline versions never hit.
+pub const PIPELINE_VERSION: u64 = 1;
+
+fn base_hasher(tag: &str) -> KeyHasher {
+    let mut h = KeyHasher::new(tag);
+    h.update_u64(PIPELINE_VERSION);
+    h
+}
+
+/// Canonical search parameters for hashing: the thread count steers only
+/// the parallelism of candidate training (results are thread-count
+/// independent), so it is zeroed to keep keys identical across `--jobs`
+/// settings and machines.
+fn canonical_search(params: &CompileParams) -> ann::SearchParams {
+    let mut search = params.search.clone();
+    search.threads = 0;
+    search
+}
+
+fn lookup(name: &str) -> Result<Box<dyn Benchmark>, String> {
+    benchmark_by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))
+}
+
+fn assemble(
+    name: &str,
+    train: &TrainArtifact,
+    params: &CompileParams,
+) -> Result<(Box<dyn Benchmark>, CompiledRegion), String> {
+    let bench = lookup(name)?;
+    let region = bench.region();
+    let compiled = CompiledRegion::assemble(
+        &region,
+        train.outcome.clone(),
+        train.input_norm.clone(),
+        train.output_norm.clone(),
+        params.npu.clone(),
+    )
+    .map_err(|e| format!("{name}: assemble failed: {e}"))?;
+    Ok((bench, compiled))
+}
+
+fn timed(
+    bench: &dyn Benchmark,
+    variant: &AppVariant<'_>,
+    scale: &Scale,
+    cfg: CoreConfig,
+) -> Result<TimingArtifact, String> {
+    let app = bench.build_app(variant, scale);
+    let (_, stats, npu) =
+        runner::run_timed(&app, variant, cfg).map_err(|e| format!("timed run failed: {e}"))?;
+    Ok(TimingArtifact { stats, npu })
+}
+
+/// The per-benchmark inputs of [`add_benchmark_jobs`].
+pub struct BenchJobs<'a> {
+    /// Benchmark name.
+    pub name: &'a str,
+    /// Input scale.
+    pub scale: Scale,
+    /// Compile parameters carrying the benchmark's derived search seed.
+    pub params: Arc<CompileParams>,
+    /// Energy-model parameters.
+    pub energy: EnergyParams,
+    /// Suite name stamped into the run report.
+    pub suite: &'a str,
+    /// Run mode stamped into the run report.
+    pub mode: &'a str,
+}
+
+/// Adds every job `plan` requires for `spec.name` to `dag`.
+pub fn add_benchmark_jobs(
+    dag: &mut JobDag,
+    spec: BenchJobs<'_>,
+    plan: &StagePlan,
+) -> Result<(), String> {
+    let BenchJobs {
+        name,
+        scale,
+        params,
+        energy,
+        suite,
+        mode,
+    } = spec;
+    let bench = lookup(name)?;
+    let region = bench.region();
+    let ir_text = region.program().to_string();
+    let core_cfg_json = serde::json::to_string(&CoreConfig::penryn_like());
+    let name_owned = name.to_string();
+
+    // ---- observe ----------------------------------------------------
+    let observe_key = {
+        let mut h = base_hasher("observe");
+        h.update_str(name);
+        h.update_str(&ir_text);
+        h.update_json(&scale);
+        // Dataset digest: the exact training inputs, bit for bit.
+        let training = bench.training_inputs(&scale);
+        h.update_u64(training.len() as u64);
+        for row in &training {
+            h.update_f32s(row);
+        }
+        h.digest()
+    };
+    let observe_id = if plan.train {
+        let job_name = name_owned.clone();
+        Some(dag.add(
+            "observe",
+            name,
+            Some(observe_key.clone()),
+            vec![],
+            Box::new(move |_| {
+                let bench = lookup(&job_name)?;
+                let region = bench.region();
+                region
+                    .verify()
+                    .map_err(|e| format!("{job_name}: region rejected: {e}"))?;
+                let training = bench.training_inputs(&scale);
+                let obs = parrot::observe(&region, &training)
+                    .map_err(|e| format!("{job_name}: observation failed: {e}"))?;
+                Ok(Artifact::Observe(obs))
+            }),
+        ))
+    } else {
+        None
+    };
+
+    // ---- train ------------------------------------------------------
+    let train_key = {
+        let mut h = base_hasher("train");
+        h.update_str(&observe_key);
+        h.update_json(&canonical_search(&params));
+        h.update_u64(params.max_training_samples as u64);
+        h.update_json(&params.npu);
+        h.digest()
+    };
+    let train_id = observe_id.map(|obs_id| {
+        let job_name = name_owned.clone();
+        let params = Arc::clone(&params);
+        dag.add(
+            "train",
+            name,
+            Some(train_key.clone()),
+            vec![obs_id],
+            Box::new(move |deps| {
+                let obs = deps[0].as_observe()?;
+                let data = obs.normalized().subsample(
+                    params.max_training_samples,
+                    parrot::subsample_seed(params.search.seed),
+                );
+                let npu_params = params.npu.clone();
+                let cost = |t: &ann::Topology| npu::try_estimate_latency(t, &npu_params).ok();
+                let outcome = ann::TopologySearch::new(params.search.clone())
+                    .run(&data, &cost)
+                    .map_err(|e| format!("{job_name}: training failed: {e}"))?;
+                Ok(Artifact::Train(TrainArtifact {
+                    outcome,
+                    input_norm: obs.input_norm.clone(),
+                    output_norm: obs.output_norm.clone(),
+                }))
+            }),
+        )
+    });
+
+    // ---- functional outputs (Table 1, Figure 6) ---------------------
+    if plan.outputs {
+        let key = {
+            let mut h = base_hasher("outputs_base");
+            h.update_str(name);
+            h.update_str(&ir_text);
+            h.update_json(&scale);
+            h.digest()
+        };
+        let job_name = name_owned.clone();
+        dag.add(
+            "outputs_base",
+            name,
+            Some(key),
+            vec![],
+            Box::new(move |_| {
+                let bench = lookup(&job_name)?;
+                Ok(Artifact::Outputs(runner::baseline_outputs(
+                    bench.as_ref(),
+                    &scale,
+                )))
+            }),
+        );
+
+        let key = {
+            let mut h = base_hasher("outputs_npu");
+            h.update_str(&train_key);
+            h.update_json(&scale);
+            h.digest()
+        };
+        let job_name = name_owned.clone();
+        let job_params = Arc::clone(&params);
+        dag.add(
+            "outputs_npu",
+            name,
+            Some(key),
+            vec![train_id.expect("outputs_npu requires train")],
+            Box::new(move |deps| {
+                let (bench, compiled) = assemble(&job_name, deps[0].as_train()?, &job_params)?;
+                let variant = AppVariant::Npu(&compiled);
+                let app = bench.build_app(&variant, &scale);
+                let run = runner::run_functional(&app, &variant)
+                    .map_err(|e| format!("{job_name}: npu run failed: {e}"))?;
+                Ok(Artifact::Outputs(
+                    bench.extract_outputs(&run.memory, &scale),
+                ))
+            }),
+        );
+    }
+
+    // ---- instruction counts (Figure 7) ------------------------------
+    if plan.counts {
+        let key = {
+            let mut h = base_hasher("counts_base");
+            h.update_str(name);
+            h.update_str(&ir_text);
+            h.update_json(&scale);
+            h.digest()
+        };
+        let job_name = name_owned.clone();
+        dag.add(
+            "counts_base",
+            name,
+            Some(key),
+            vec![],
+            Box::new(move |_| {
+                let bench = lookup(&job_name)?;
+                let app = bench.build_app(&AppVariant::Precise, &scale);
+                let (_, counts) = runner::run_counting(&app, &AppVariant::Precise)
+                    .map_err(|e| format!("{job_name}: counting run failed: {e}"))?;
+                Ok(Artifact::Counts(CountsArtifact {
+                    total: counts.total,
+                    npu_queue: counts.npu_queue,
+                }))
+            }),
+        );
+
+        let key = {
+            let mut h = base_hasher("counts_npu");
+            h.update_str(&train_key);
+            h.update_json(&scale);
+            h.digest()
+        };
+        let job_name = name_owned.clone();
+        let job_params = Arc::clone(&params);
+        dag.add(
+            "counts_npu",
+            name,
+            Some(key),
+            vec![train_id.expect("counts_npu requires train")],
+            Box::new(move |deps| {
+                let (bench, compiled) = assemble(&job_name, deps[0].as_train()?, &job_params)?;
+                let variant = AppVariant::Npu(&compiled);
+                let app = bench.build_app(&variant, &scale);
+                let (_, counts) = runner::run_counting(&app, &variant)
+                    .map_err(|e| format!("{job_name}: counting run failed: {e}"))?;
+                Ok(Artifact::Counts(CountsArtifact {
+                    total: counts.total,
+                    npu_queue: counts.npu_queue,
+                }))
+            }),
+        );
+    }
+
+    // ---- cycle-level timing -----------------------------------------
+    let sim_cpu_key = {
+        let mut h = base_hasher("sim_cpu");
+        h.update_str(name);
+        h.update_str(&ir_text);
+        h.update_json(&scale);
+        h.update_str(&core_cfg_json);
+        h.digest()
+    };
+    let sim_cpu_id = if plan.sim_cpu {
+        let job_name = name_owned.clone();
+        Some(dag.add(
+            "sim_cpu",
+            name,
+            Some(sim_cpu_key.clone()),
+            vec![],
+            Box::new(move |_| {
+                let bench = lookup(&job_name)?;
+                timed(
+                    bench.as_ref(),
+                    &AppVariant::Precise,
+                    &scale,
+                    CoreConfig::penryn_like(),
+                )
+                .map(Artifact::Timing)
+                .map_err(|e| format!("{job_name}: {e}"))
+            }),
+        ))
+    } else {
+        None
+    };
+
+    let sim_npu_key = {
+        let mut h = base_hasher("sim_npu");
+        h.update_str(&train_key);
+        h.update_json(&scale);
+        h.update_str(&core_cfg_json);
+        h.digest()
+    };
+    let sim_npu_id = if plan.sim_npu {
+        let job_name = name_owned.clone();
+        let job_params = Arc::clone(&params);
+        Some(dag.add(
+            "sim_npu",
+            name,
+            Some(sim_npu_key.clone()),
+            vec![train_id.expect("sim_npu requires train")],
+            Box::new(move |deps| {
+                let (bench, compiled) = assemble(&job_name, deps[0].as_train()?, &job_params)?;
+                timed(
+                    bench.as_ref(),
+                    &AppVariant::Npu(&compiled),
+                    &scale,
+                    CoreConfig::penryn_like(),
+                )
+                .map(Artifact::Timing)
+                .map_err(|e| format!("{job_name}: {e}"))
+            }),
+        ))
+    } else {
+        None
+    };
+
+    let sim_ideal_key = {
+        let mut h = base_hasher("sim_ideal");
+        h.update_str(&train_key);
+        h.update_json(&scale);
+        h.update_str(&core_cfg_json);
+        h.digest()
+    };
+    let sim_ideal_id = if plan.sim_ideal {
+        let job_name = name_owned.clone();
+        let job_params = Arc::clone(&params);
+        Some(dag.add(
+            "sim_ideal",
+            name,
+            Some(sim_ideal_key.clone()),
+            vec![train_id.expect("sim_ideal requires train")],
+            Box::new(move |deps| {
+                let (bench, compiled) = assemble(&job_name, deps[0].as_train()?, &job_params)?;
+                let variant = AppVariant::Npu(&compiled);
+                let app = bench.build_app(&variant, &scale);
+                let t = compiled.config().topology();
+                let (_, stats) = runner::run_timed_ideal(
+                    &app,
+                    &variant,
+                    CoreConfig::penryn_like(),
+                    t.inputs(),
+                    t.outputs(),
+                )
+                .map_err(|e| format!("{job_name}: ideal run failed: {e}"))?;
+                Ok(Artifact::Timing(TimingArtifact { stats, npu: None }))
+            }),
+        ))
+    } else {
+        None
+    };
+
+    if plan.sim_soft {
+        let key = {
+            let mut h = base_hasher("sim_soft");
+            h.update_str(&train_key);
+            h.update_json(&scale);
+            h.update_str(&core_cfg_json);
+            h.digest()
+        };
+        let job_name = name_owned.clone();
+        let job_params = Arc::clone(&params);
+        dag.add(
+            "sim_soft",
+            name,
+            Some(key),
+            vec![train_id.expect("sim_soft requires train")],
+            Box::new(move |deps| {
+                let (bench, compiled) = assemble(&job_name, deps[0].as_train()?, &job_params)?;
+                timed(
+                    bench.as_ref(),
+                    &AppVariant::SoftwareNn(&compiled),
+                    &scale,
+                    CoreConfig::penryn_like(),
+                )
+                .map(Artifact::Timing)
+                .map_err(|e| format!("{job_name}: {e}"))
+            }),
+        );
+    }
+
+    for &lat in &plan.link_latencies {
+        let stage = format!("sim_link_{lat}");
+        let key = {
+            let mut h = base_hasher(&stage);
+            h.update_str(&train_key);
+            h.update_json(&scale);
+            h.update_u64(lat);
+            h.digest()
+        };
+        let job_name = name_owned.clone();
+        let job_params = Arc::clone(&params);
+        dag.add(
+            stage,
+            name,
+            Some(key),
+            vec![train_id.expect("sim_link requires train")],
+            Box::new(move |deps| {
+                let (bench, compiled) = assemble(&job_name, deps[0].as_train()?, &job_params)?;
+                timed(
+                    bench.as_ref(),
+                    &AppVariant::Npu(&compiled),
+                    &scale,
+                    CoreConfig::with_npu_link_latency(lat),
+                )
+                .map(Artifact::Timing)
+                .map_err(|e| format!("{job_name}: {e}"))
+            }),
+        );
+    }
+
+    for &pes in &plan.pe_counts {
+        let stage = format!("sim_pes_{pes}");
+        let sweep_params = npu::NpuParams::with_pes(pes).unbounded();
+        let key = {
+            let mut h = base_hasher(&stage);
+            h.update_str(&train_key);
+            h.update_json(&scale);
+            h.update_json(&sweep_params);
+            h.digest()
+        };
+        let job_name = name_owned.clone();
+        let job_params = Arc::clone(&params);
+        dag.add(
+            stage,
+            name,
+            Some(key),
+            vec![train_id.expect("sim_pes requires train")],
+            Box::new(move |deps| {
+                let (bench, compiled) = assemble(&job_name, deps[0].as_train()?, &job_params)?;
+                let variant = AppVariant::Npu(&compiled);
+                let app = bench.build_app(&variant, &scale);
+                let sim = compiled
+                    .make_npu_with(&sweep_params)
+                    .map_err(|e| format!("{job_name}: npu sizing failed: {e}"))?;
+                let (_, stats, npu) =
+                    runner::run_timed_with_npu(&app, &variant, CoreConfig::penryn_like(), sim)
+                        .map_err(|e| format!("{job_name}: pe sweep run failed: {e}"))?;
+                Ok(Artifact::Timing(TimingArtifact { stats, npu }))
+            }),
+        );
+    }
+
+    // ---- energy (Figure 8b) -----------------------------------------
+    if plan.energy {
+        let key = {
+            let mut h = base_hasher("energy");
+            h.update_str(&sim_cpu_key);
+            h.update_str(&sim_npu_key);
+            h.update_str(&sim_ideal_key);
+            h.update_json(&energy);
+            h.digest()
+        };
+        dag.add(
+            "energy",
+            name,
+            Some(key),
+            vec![
+                sim_cpu_id.expect("energy requires sim_cpu"),
+                sim_npu_id.expect("energy requires sim_npu"),
+                sim_ideal_id.expect("energy requires sim_ideal"),
+            ],
+            Box::new(move |deps| {
+                let base = deps[0].as_timing()?;
+                let with_npu = deps[1].as_timing()?;
+                let ideal = deps[2].as_timing()?;
+                let model = EnergyModel::new(energy);
+                Ok(Artifact::Energy(EnergyArtifact {
+                    baseline_pj: model.core_energy(&base.stats).total_pj(),
+                    npu_pj: model
+                        .system_energy(&with_npu.stats, with_npu.npu.as_ref())
+                        .total_pj(),
+                    ideal_pj: model.core_energy(&ideal.stats).total_pj(),
+                }))
+            }),
+        );
+    }
+
+    // ---- per-benchmark run report -----------------------------------
+    if plan.report {
+        let key = {
+            let mut h = base_hasher("report");
+            h.update_str(suite);
+            h.update_str(mode);
+            h.update_str(&train_key);
+            h.update_str(&sim_cpu_key);
+            h.update_str(&sim_npu_key);
+            h.digest()
+        };
+        let job_name = name_owned.clone();
+        let (suite, mode) = (suite.to_string(), mode.to_string());
+        dag.add(
+            "report",
+            name,
+            Some(key),
+            vec![
+                train_id.expect("report requires train"),
+                sim_cpu_id.expect("report requires sim_cpu"),
+                sim_npu_id.expect("report requires sim_npu"),
+            ],
+            Box::new(move |deps| {
+                let train = deps[0].as_train()?;
+                let base = deps[1].as_timing()?;
+                let with_npu = deps[2].as_timing()?;
+                let bench = lookup(&job_name)?;
+                let verify = bench
+                    .region()
+                    .verify()
+                    .map_err(|e| format!("{job_name}: region rejected: {e}"))?;
+
+                // Deterministic by construction: no wall-clock, no phase
+                // timings, a zeroed scheduler section. Anything timing-
+                // dependent lives in the sweep-level report instead, so
+                // this report is byte-identical across `--jobs` settings
+                // and across warm/cold runs.
+                let mut report = telemetry::RunReport::new(&suite, &job_name, &mode);
+                let mut lint = telemetry::LintSummary::default();
+                for d in verify.diagnostics() {
+                    lint.record(&d.severity.to_string(), d.lint.name());
+                }
+                lint.export(&mut report.metrics, "lint");
+                report.lint = lint;
+                base.stats.export(&mut report.metrics, "uarch.baseline");
+                with_npu.stats.export(&mut report.metrics, "uarch.npu");
+                if let Some(unit) = &with_npu.npu {
+                    unit.export(&mut report.metrics, "npu");
+                }
+                train
+                    .outcome
+                    .export_metrics(&mut report.metrics, "ann.search");
+                if with_npu.stats.cycles > 0 {
+                    report.metrics.set_gauge(
+                        "speedup",
+                        base.stats.cycles as f64 / with_npu.stats.cycles as f64,
+                    );
+                }
+                Ok(Artifact::Report(report))
+            }),
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Cache semantics: a warm re-run does zero work, and invalidation is
+//! exactly as wide as the Merkle key chain implies.
+
+mod common;
+
+use harness::run_sweep;
+
+#[test]
+fn warm_run_hits_everything_and_hyperparameter_change_invalidates_downstream_only() {
+    let dir = common::temp_dir("invalidation");
+    let mut spec = common::tiny_spec(&["sobel"]);
+    spec.jobs = 2;
+    spec.cache_dir = Some(dir.clone());
+
+    // Cold: every job executes and is written back.
+    // The Report experiment schedules observe, train, sim_cpu, sim_npu,
+    // and report — five jobs.
+    let cold = run_sweep(&spec).expect("cold sweep runs");
+    assert!(cold.ok(), "cold failures:\n{}", cold.failure_summary());
+    assert_eq!(cold.scheduler.jobs_total, 5);
+    assert_eq!(cold.scheduler.jobs_executed, 5);
+    assert_eq!(cold.scheduler.jobs_from_cache, 0);
+    assert_eq!(cold.scheduler.cache_writes, 5);
+
+    // Warm: identical spec, zero bodies run, reports byte-identical.
+    let warm = run_sweep(&spec).expect("warm sweep runs");
+    assert!(warm.ok(), "warm failures:\n{}", warm.failure_summary());
+    assert!(warm.scheduler.fully_warm(), "{:?}", warm.scheduler);
+    assert_eq!(warm.scheduler.jobs_executed, 0);
+    assert_eq!(warm.scheduler.cache_hits, 5);
+    assert!((warm.scheduler.hit_rate() - 1.0).abs() < 1e-12);
+    assert_eq!(
+        cold.reports()[0].to_json(),
+        warm.reports()[0].to_json(),
+        "warm report must match the cold one byte for byte"
+    );
+
+    // Change one training hyperparameter: observe's key holds only the
+    // region IR, dataset digest, and scale, and sim_cpu's key has no
+    // training input at all — both must still hit. train, sim_npu, and
+    // report sit downstream of the changed config and must re-run.
+    let mut changed = spec.clone();
+    changed.compile.search.train.epochs += 1;
+    let partial = run_sweep(&changed).expect("partial sweep runs");
+    assert!(
+        partial.ok(),
+        "partial failures:\n{}",
+        partial.failure_summary()
+    );
+    assert_eq!(
+        partial.scheduler.jobs_from_cache, 2,
+        "observe and sim_cpu must hit: {:?}",
+        partial.scheduler
+    );
+    assert_eq!(
+        partial.scheduler.jobs_executed, 3,
+        "train, sim_npu, report must re-run: {:?}",
+        partial.scheduler
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

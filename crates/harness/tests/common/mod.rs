@@ -1,0 +1,46 @@
+//! Shared helpers for the harness integration tests: a deliberately tiny
+//! training budget so debug-mode sweeps stay fast.
+
+// Each integration-test binary compiles its own copy of this module and
+// not all of them use every helper.
+#![allow(dead_code)]
+
+use ann::{SearchParams, TrainParams};
+use benchmarks::Scale;
+use harness::{Experiment, SweepSpec};
+use npu::NpuParams;
+use parrot::CompileParams;
+use std::path::PathBuf;
+
+pub fn tiny_params() -> CompileParams {
+    CompileParams {
+        search: SearchParams {
+            max_hidden_layers: 1,
+            max_hidden_neurons: 4,
+            train: TrainParams {
+                epochs: 20,
+                learning_rate: 0.05,
+                momentum: 0.9,
+                ..TrainParams::default()
+            },
+            epoch_flops_budget: None,
+            ..SearchParams::default()
+        },
+        npu: NpuParams::default(),
+        max_training_samples: 120,
+    }
+}
+
+pub fn tiny_spec(benches: &[&str]) -> SweepSpec {
+    let mut spec = SweepSpec::new("harness-test", "fast", Scale::small(), tiny_params());
+    spec.benches = benches.iter().map(|s| (*s).to_string()).collect();
+    spec.experiments = vec![Experiment::Report];
+    spec
+}
+
+/// A fresh (removed-if-present) temp directory unique to `tag`.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("harness-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

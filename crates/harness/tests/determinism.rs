@@ -1,0 +1,57 @@
+//! The harness's determinism contract: worker count changes wall-clock,
+//! never results.
+
+mod common;
+
+use harness::run_sweep;
+
+#[test]
+fn jobs_4_sweep_is_byte_identical_to_jobs_1() {
+    let spec = common::tiny_spec(&["fft", "sobel"]);
+
+    let mut serial_spec = spec.clone();
+    serial_spec.jobs = 1;
+    let serial = run_sweep(&serial_spec).expect("serial sweep runs");
+    assert!(
+        serial.ok(),
+        "serial failures:\n{}",
+        serial.failure_summary()
+    );
+
+    let mut parallel_spec = spec;
+    parallel_spec.jobs = 4;
+    let parallel = run_sweep(&parallel_spec).expect("parallel sweep runs");
+    assert!(
+        parallel.ok(),
+        "parallel failures:\n{}",
+        parallel.failure_summary()
+    );
+
+    let serial_json: Vec<String> = serial.reports().iter().map(|r| r.to_json()).collect();
+    let parallel_json: Vec<String> = parallel.reports().iter().map(|r| r.to_json()).collect();
+    assert_eq!(serial_json.len(), 2, "one report per benchmark");
+    assert_eq!(
+        serial_json, parallel_json,
+        "per-benchmark reports must be byte-identical across --jobs settings"
+    );
+}
+
+#[test]
+fn root_seed_reaches_the_trained_network() {
+    // Different root seeds must produce genuinely different training runs
+    // (otherwise the seed-derivation plumbing is dead code).
+    let mut a_spec = common::tiny_spec(&["sobel"]);
+    a_spec.jobs = 2;
+    let mut b_spec = a_spec.clone();
+    b_spec.root_seed = a_spec.root_seed.wrapping_add(1);
+
+    let a = run_sweep(&a_spec).expect("sweep a runs");
+    let b = run_sweep(&b_spec).expect("sweep b runs");
+    assert!(a.ok() && b.ok());
+    let train_a = a.artifact("sobel", "train").unwrap().as_train().unwrap();
+    let train_b = b.artifact("sobel", "train").unwrap().as_train().unwrap();
+    assert_ne!(
+        train_a.outcome.best.test_mse, train_b.outcome.best.test_mse,
+        "root seed should perturb training"
+    );
+}

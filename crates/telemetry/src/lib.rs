@@ -45,7 +45,7 @@ mod span;
 
 pub use event::{Event, EventKind, Level};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use report::{LintSummary, PhaseTiming, RunReport, SCHEMA_VERSION};
+pub use report::{LintSummary, PhaseTiming, RunReport, SchedulerSummary, SCHEMA_VERSION};
 pub use ring::RingBuffer;
 pub use sink::{CaptureSink, JsonlSink, Sink, StderrSink};
 pub use span::Span;

@@ -9,8 +9,10 @@ use std::collections::BTreeMap;
 /// downstream diff tooling can refuse mismatched files.
 ///
 /// History: v1 — initial layout; v2 — added the `lint` section
-/// ([`LintSummary`], the region safety verifier's findings).
-pub const SCHEMA_VERSION: u64 = 2;
+/// ([`LintSummary`], the region safety verifier's findings); v3 — added
+/// the `scheduler` section ([`SchedulerSummary`], the experiment
+/// harness's job/cache accounting).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Wall-clock duration of one named pipeline phase.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -78,6 +80,81 @@ impl LintSummary {
     }
 }
 
+/// Job-scheduler and artifact-cache accounting from the experiment
+/// harness (`crates/harness`), added in schema v3.
+///
+/// Per-benchmark reports carry an all-zero summary (their content must be
+/// byte-identical across `--jobs` settings, while scheduling is
+/// inherently timing-dependent); the sweep-level report carries the real
+/// numbers. The harness defines the semantics; telemetry only carries the
+/// counts, mirroring how [`LintSummary`] stays verifier-free.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerSummary {
+    /// Worker threads the sweep ran with (`--jobs`).
+    pub workers: u64,
+    /// Nodes in the job DAG.
+    pub jobs_total: u64,
+    /// Jobs whose body actually executed (cache misses).
+    pub jobs_executed: u64,
+    /// Jobs served from the content-addressed artifact cache.
+    pub jobs_from_cache: u64,
+    /// Jobs whose body returned an error.
+    pub jobs_failed: u64,
+    /// Jobs skipped because an upstream dependency failed.
+    pub jobs_skipped: u64,
+    /// Artifact-cache lookups that hit.
+    pub cache_hits: u64,
+    /// Artifact-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Artifacts written back to the cache.
+    pub cache_writes: u64,
+    /// High-water mark of the ready queue (jobs runnable but not yet
+    /// claimed by a worker).
+    pub max_queue_depth: u64,
+    /// Whole-sweep wall-clock time in microseconds.
+    pub wall_clock_us: u64,
+    /// Wall-clock microseconds spent executing each pipeline stage,
+    /// summed over jobs (cache hits contribute their load time).
+    pub stage_wall_us: BTreeMap<String, u64>,
+}
+
+impl SchedulerSummary {
+    /// Cache hit rate over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Whether every job was served from the cache (a fully warm sweep).
+    pub fn fully_warm(&self) -> bool {
+        self.jobs_total > 0 && self.jobs_from_cache == self.jobs_total
+    }
+
+    /// Exports the summary into `metrics` under `prefix`
+    /// (e.g. `scheduler`): per-field counters, the hit-rate gauge, and
+    /// one `<prefix>.stage.<name>_us` counter per stage.
+    pub fn export(&self, metrics: &mut MetricsRegistry, prefix: &str) {
+        metrics.add(&format!("{prefix}.workers"), self.workers);
+        metrics.add(&format!("{prefix}.jobs_total"), self.jobs_total);
+        metrics.add(&format!("{prefix}.jobs_executed"), self.jobs_executed);
+        metrics.add(&format!("{prefix}.jobs_from_cache"), self.jobs_from_cache);
+        metrics.add(&format!("{prefix}.jobs_failed"), self.jobs_failed);
+        metrics.add(&format!("{prefix}.jobs_skipped"), self.jobs_skipped);
+        metrics.add(&format!("{prefix}.cache_hits"), self.cache_hits);
+        metrics.add(&format!("{prefix}.cache_misses"), self.cache_misses);
+        metrics.add(&format!("{prefix}.cache_writes"), self.cache_writes);
+        metrics.add(&format!("{prefix}.max_queue_depth"), self.max_queue_depth);
+        metrics.set_gauge(&format!("{prefix}.cache_hit_rate"), self.hit_rate());
+        for (stage, us) in &self.stage_wall_us {
+            metrics.add(&format!("{prefix}.stage.{stage}_us"), *us);
+        }
+    }
+}
+
 /// Machine-readable record of one benchmark run.
 ///
 /// Serialized (pretty JSON) into `results/<benchmark>.json` by the bench
@@ -101,6 +178,9 @@ pub struct RunReport {
     pub phases: Vec<PhaseTiming>,
     /// Region safety-verifier findings for the benchmark's region.
     pub lint: LintSummary,
+    /// Experiment-harness scheduler and artifact-cache accounting
+    /// (all-zero outside harness-driven sweeps; see [`SchedulerSummary`]).
+    pub scheduler: SchedulerSummary,
     /// Unified counters/gauges/histograms gathered from every subsystem.
     pub metrics: MetricsRegistry,
 }
@@ -116,6 +196,7 @@ impl RunReport {
             wall_clock_us: 0,
             phases: Vec::new(),
             lint: LintSummary::default(),
+            scheduler: SchedulerSummary::default(),
             metrics: MetricsRegistry::new(),
         }
     }

@@ -1,23 +1,25 @@
-//! Golden-file test: a checked-in v2 run report must keep parsing, and
+//! Golden-file test: a checked-in v3 run report must keep parsing, and
 //! re-serializing it must preserve every value. This pins the external
 //! JSON schema — if this test breaks, bump `SCHEMA_VERSION` and update
 //! the diff documentation instead of silently changing the layout.
 //!
 //! Schema history: v1 → v2 added the required `lint` section (region
-//! safety-verifier findings). v1 reports are deliberately rejected — the
-//! check below pins that behaviour.
+//! safety-verifier findings); v2 → v3 added the required `scheduler`
+//! section (experiment-harness job/cache accounting). v1 and v2 reports
+//! are deliberately rejected — the checks below pin that behaviour.
 
 use telemetry::RunReport;
 
-const GOLDEN: &str = include_str!("data/run_report_v2.json");
+const GOLDEN: &str = include_str!("data/run_report_v3.json");
 const GOLDEN_V1: &str = include_str!("data/run_report_v1.json");
+const GOLDEN_V2: &str = include_str!("data/run_report_v2.json");
 
 #[test]
 fn golden_report_parses_back() {
-    let report = RunReport::from_json(GOLDEN).expect("golden v2 report must parse");
+    let report = RunReport::from_json(GOLDEN).expect("golden v3 report must parse");
     assert_eq!(report.schema_version, telemetry::SCHEMA_VERSION);
-    assert_eq!(report.suite, "run_all");
-    assert_eq!(report.benchmark, "fft");
+    assert_eq!(report.suite, "parrot-run");
+    assert_eq!(report.benchmark, "sweep");
     assert_eq!(report.mode, "fast");
     assert_eq!(report.wall_clock_us, 123_456);
 
@@ -32,10 +34,23 @@ fn golden_report_parses_back() {
     assert_eq!(report.lint.infos, 2);
     assert_eq!(report.lint.by_lint["unproven-scratch-bounds"], 2);
 
+    assert_eq!(report.scheduler.workers, 4);
+    assert_eq!(report.scheduler.jobs_total, 12);
+    assert_eq!(report.scheduler.jobs_executed, 9);
+    assert_eq!(report.scheduler.jobs_from_cache, 3);
+    assert_eq!(report.scheduler.cache_hits, 3);
+    assert_eq!(report.scheduler.cache_misses, 9);
+    assert_eq!(report.scheduler.max_queue_depth, 6);
+    assert!((report.scheduler.hit_rate() - 0.25).abs() < 1e-12);
+    assert_eq!(report.scheduler.stage_wall_us["train"], 100_000);
+    assert_eq!(report.scheduler.stage_wall_us.len(), 5);
+
     assert_eq!(report.metrics.counter("uarch.baseline.cycles"), 900_000);
     assert_eq!(report.metrics.counter("npu.macs"), 5_120);
     assert_eq!(report.metrics.counter("lint.warnings"), 1);
+    assert_eq!(report.metrics.counter("scheduler.jobs_from_cache"), 3);
     assert_eq!(report.metrics.gauge("uarch.baseline.ipc"), Some(1.5));
+    assert_eq!(report.metrics.gauge("scheduler.cache_hit_rate"), Some(0.25));
     let mse = report.metrics.histogram("ann.search.test_mse").unwrap();
     assert_eq!(mse.count, 2);
     assert_eq!(mse.min, 0.1);
@@ -61,7 +76,22 @@ fn v1_report_without_lint_section_is_rejected() {
 }
 
 #[test]
+fn v2_report_without_scheduler_section_is_rejected() {
+    // v2 files predate the required `scheduler` field, so parsing fails
+    // before the explicit schema-version check even runs.
+    let err = RunReport::from_json(GOLDEN_V2).unwrap_err();
+    assert!(
+        err.to_string().contains("scheduler") || err.to_string().contains("schema version"),
+        "unexpected rejection reason: {err}"
+    );
+}
+
+#[test]
 fn missing_field_is_an_error_not_a_default() {
-    let truncated = GOLDEN.replace("\"wall_clock_us\": 123456,", "");
+    let truncated = GOLDEN.replace("\"wall_clock_us\": 123456,\n  \"phases\"", "\"phases\"");
+    assert!(
+        truncated.len() < GOLDEN.len(),
+        "replacement must actually strip the field"
+    );
     assert!(RunReport::from_json(&truncated).is_err());
 }
