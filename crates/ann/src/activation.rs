@@ -34,6 +34,13 @@ pub fn sigmoid_derivative(y: f32) -> f32 {
 pub struct SigmoidLut {
     table: Vec<f32>,
     bound: f32,
+    /// `(entries - 1) / (2 * bound)`, hoisted out of [`eval`](Self::eval)
+    /// so the hot lookup path is one fma-shaped multiply instead of a
+    /// divide. For the configurations the NPU uses (`2 * bound` a power of
+    /// two, `entries - 1` exactly representable) the product rounds
+    /// identically to the original divide-then-scale expression, so LUT
+    /// outputs are bit-for-bit unchanged.
+    inv_step: f32,
 }
 
 impl SigmoidLut {
@@ -51,7 +58,12 @@ impl SigmoidLut {
                 sigmoid(x)
             })
             .collect();
-        SigmoidLut { table, bound }
+        let inv_step = (entries - 1) as f32 / (2.0 * bound);
+        SigmoidLut {
+            table,
+            bound,
+            inv_step,
+        }
     }
 
     /// Number of entries in the table.
@@ -68,7 +80,7 @@ impl SigmoidLut {
         if x >= self.bound {
             return self.table[n - 1];
         }
-        let pos = (x + self.bound) / (2.0 * self.bound) * ((n - 1) as f32);
+        let pos = (x + self.bound) * self.inv_step;
         self.table[pos.round() as usize]
     }
 
@@ -142,5 +154,35 @@ mod tests {
     #[should_panic(expected = "at least two entries")]
     fn lut_rejects_tiny_tables() {
         let _ = SigmoidLut::new(1, 8.0);
+    }
+
+    /// The hoisted `inv_step` multiply must reproduce the original
+    /// divide-then-scale index arithmetic bit-for-bit for every LUT
+    /// configuration the repo instantiates (bounds 8.0 and 4.0, both with
+    /// `2 * bound` a power of two).
+    #[test]
+    fn hoisted_inv_step_is_bit_identical_to_divide() {
+        for (entries, bound) in [(2048usize, 8.0f32), (16, 4.0), (256, 8.0)] {
+            let lut = SigmoidLut::new(entries, bound);
+            let n = entries;
+            // Dense sweep across and beyond the clamped range.
+            for i in -4000i32..=4000 {
+                let x = i as f32 * bound / 2000.0;
+                let old = if x <= -bound {
+                    lut.table[0]
+                } else if x >= bound {
+                    lut.table[n - 1]
+                } else {
+                    let pos = (x + bound) / (2.0 * bound) * ((n - 1) as f32);
+                    lut.table[pos.round() as usize]
+                };
+                let new = lut.eval(x);
+                assert_eq!(
+                    old.to_bits(),
+                    new.to_bits(),
+                    "LUT({entries}, {bound}) diverges at x = {x}"
+                );
+            }
+        }
     }
 }

@@ -37,6 +37,7 @@ mod dataset;
 mod error;
 mod mlp;
 mod normalize;
+mod scratch;
 mod search;
 pub mod seed;
 mod software_cost;
@@ -48,7 +49,8 @@ pub use dataset::Dataset;
 pub use error::AnnError;
 pub use mlp::Mlp;
 pub use normalize::Normalizer;
+pub use scratch::{mse_with, Scratch};
 pub use search::{SearchOutcome, SearchParams, TopologyCandidate, TopologySearch};
 pub use software_cost::SoftwareNnCost;
 pub use topology::Topology;
-pub use train::{TrainParams, TrainReport, Trainer};
+pub use train::{mse, TrainParams, TrainReport, Trainer};

@@ -84,7 +84,9 @@ impl Mlp {
         self.weights[layer][neuron * (n_in + 1) + src]
     }
 
-    /// Mutable access used by the trainer.
+    /// Mutable access used by the naive reference kernels in the
+    /// scratch-buffer bit-exactness tests.
+    #[cfg(test)]
     pub(crate) fn weight_mut(&mut self, layer: usize, neuron: usize, src: usize) -> &mut f32 {
         let n_in = self.topology.layers()[layer];
         &mut self.weights[layer][neuron * (n_in + 1) + src]
@@ -93,6 +95,12 @@ impl Mlp {
     /// Raw weight matrices (layer transitions in order).
     pub fn weight_matrices(&self) -> &[Vec<f32>] {
         &self.weights
+    }
+
+    /// Mutable raw weight matrices, used by the scratch-buffer trainer for
+    /// row-slice updates (shapes must not change).
+    pub(crate) fn weight_matrices_mut(&mut self) -> &mut [Vec<f32>] {
+        &mut self.weights
     }
 
     /// Evaluates the network on a normalized input vector.

@@ -1,0 +1,473 @@
+//! Reusable training scratch buffers: allocation-free forward and fused
+//! forward+backward kernels.
+//!
+//! The topology search trains 30 candidate networks by per-sample SGD, so
+//! the inner kernels run hundreds of millions of times per sweep. The naive
+//! kernels ([`Mlp::activations`] and the original per-weight update loop)
+//! allocate a `Vec<Vec<f32>>` per sample; [`Scratch`] owns flat activation,
+//! delta, and velocity buffers sized once per topology and reused across
+//! samples, epochs, and candidates.
+//!
+//! **Bit-exactness contract:** every kernel here performs the identical
+//! floating-point operations in the identical order as the naive reference
+//! (`sum` starts from the bias, inputs accumulate in index order, hidden
+//! deltas accumulate over the next layer in neuron order, and velocity
+//! updates apply `v = µ·v − lr·δ·a; w += v` weight-then-bias per row).
+//! Trained weights must be byte-identical to the pre-scratch implementation
+//! — the harness artifact cache and every golden test depend on it. The
+//! `#[cfg(test)]` module below keeps the naive kernels alive as the
+//! reference the proptests compare against.
+
+use crate::{sigmoid, sigmoid_derivative, Mlp, Topology};
+
+/// Flat, reusable buffers for forward evaluation and backpropagation.
+///
+/// A `Scratch` binds lazily to a topology on first use and rebinds (cheaply
+/// when shapes match) whenever it is handed a network of a different shape,
+/// so one instance per worker thread serves an entire topology search.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Layer sizes this scratch is currently bound to (empty = unbound).
+    layers: Vec<usize>,
+    /// All layers' activations, input layer first, concatenated.
+    acts: Vec<f32>,
+    /// `acts` offsets: layer `l` occupies `acts[act_off[l]..act_off[l+1]]`.
+    act_off: Vec<usize>,
+    /// Per-neuron `dE/dnet` for every computing layer, concatenated.
+    deltas: Vec<f32>,
+    /// `deltas` offsets per computing layer (0 = first hidden).
+    delta_off: Vec<usize>,
+    /// Momentum state, one entry per weight, concatenated per layer matrix.
+    velocity: Vec<f32>,
+    /// `velocity` offsets per weight matrix.
+    vel_off: Vec<usize>,
+}
+
+impl Scratch {
+    /// Creates an unbound scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Creates a scratch pre-sized for `topology`.
+    pub fn for_topology(topology: &Topology) -> Self {
+        let mut s = Scratch::new();
+        s.bind(topology);
+        s
+    }
+
+    /// (Re)binds the buffers to `topology`, zeroing the velocity state.
+    /// A no-op shape-wise when already bound to the same layer sizes, but
+    /// the velocity reset always happens — each training run starts from
+    /// zero momentum, exactly like a freshly allocated velocity vector.
+    pub fn bind(&mut self, topology: &Topology) {
+        if self.layers != topology.layers() {
+            self.layers.clear();
+            self.layers.extend_from_slice(topology.layers());
+            self.act_off.clear();
+            self.act_off.push(0);
+            for &n in &self.layers {
+                self.act_off.push(self.act_off.last().unwrap() + n);
+            }
+            self.delta_off.clear();
+            self.delta_off.push(0);
+            for &n in &self.layers[1..] {
+                self.delta_off.push(self.delta_off.last().unwrap() + n);
+            }
+            self.vel_off.clear();
+            self.vel_off.push(0);
+            for w in self.layers.windows(2) {
+                self.vel_off
+                    .push(self.vel_off.last().unwrap() + (w[0] + 1) * w[1]);
+            }
+            self.acts.resize(*self.act_off.last().unwrap(), 0.0);
+            self.deltas.resize(*self.delta_off.last().unwrap(), 0.0);
+            self.velocity.resize(*self.vel_off.last().unwrap(), 0.0);
+        }
+        self.velocity.fill(0.0);
+    }
+
+    /// Forward pass storing every layer's activations, returning the output
+    /// layer. Performs the same arithmetic as [`Mlp::feed_forward`] /
+    /// [`Mlp::activations`] with zero allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the network's input layer.
+    pub fn forward(&mut self, mlp: &Mlp, input: &[f32]) -> &[f32] {
+        if self.layers != mlp.topology().layers() {
+            self.bind(mlp.topology());
+        }
+        assert_eq!(input.len(), self.layers[0], "input vector size mismatch");
+        self.forward_bound(mlp, input)
+    }
+
+    /// [`forward`](Self::forward) minus the per-call shape checks: callers
+    /// (the training and MSE loops) validate once per dataset, not once
+    /// per sample.
+    fn forward_bound(&mut self, mlp: &Mlp, input: &[f32]) -> &[f32] {
+        debug_assert_eq!(self.layers, mlp.topology().layers());
+        debug_assert_eq!(input.len(), self.layers[0]);
+        self.acts[..input.len()].copy_from_slice(input);
+        for (l, matrix) in mlp.weight_matrices().iter().enumerate() {
+            let n_in = self.layers[l];
+            let n_out = self.layers[l + 1];
+            // The next layer's slot starts exactly where the current one
+            // ends, so one split gives disjoint read/write views.
+            let (prev_all, next_all) = self.acts.split_at_mut(self.act_off[l + 1]);
+            let prev = &prev_all[self.act_off[l]..];
+            let next = &mut next_all[..n_out];
+            for (row, out) in matrix.chunks_exact(n_in + 1).zip(next.iter_mut()) {
+                let (bias, ws) = row.split_last().expect("row holds bias");
+                let mut sum = *bias;
+                for (w, x) in ws.iter().zip(prev) {
+                    sum += w * x;
+                }
+                *out = sigmoid(sum);
+            }
+        }
+        &self.acts[self.act_off[self.layers.len() - 1]..]
+    }
+
+    /// One fused forward+backward SGD step with momentum for a single
+    /// sample: the scratch's velocity state carries across calls.
+    ///
+    /// Row-slice weight updates replace the naive per-weight indexing; the
+    /// arithmetic order is identical to the retained reference.
+    pub(crate) fn backprop_one(
+        &mut self,
+        mlp: &mut Mlp,
+        input: &[f32],
+        target: &[f32],
+        lr: f32,
+        mu: f32,
+    ) {
+        if self.layers != mlp.topology().layers() {
+            self.bind(mlp.topology());
+        }
+        assert_eq!(input.len(), self.layers[0], "input vector size mismatch");
+        self.backprop_one_bound(mlp, input, target, lr, mu);
+    }
+
+    /// [`backprop_one`](Self::backprop_one) minus the per-call shape
+    /// checks; [`crate::Trainer::train_with`] validates once up front.
+    pub(crate) fn backprop_one_bound(
+        &mut self,
+        mlp: &mut Mlp,
+        input: &[f32],
+        target: &[f32],
+        lr: f32,
+        mu: f32,
+    ) {
+        self.forward_bound(mlp, input);
+        let n_layers = self.layers.len();
+
+        // Output layer delta: (y - t) * y * (1 - y).
+        let out_acts = &self.acts[self.act_off[n_layers - 1]..];
+        let out_deltas = &mut self.deltas[self.delta_off[n_layers - 2]..];
+        for ((d, &y), &t) in out_deltas.iter_mut().zip(out_acts).zip(target) {
+            *d = (y - t) * sigmoid_derivative(y);
+        }
+
+        // Hidden layers, walking backwards. Computing layer `l - 1` feeds
+        // computing layer `l`; splitting `deltas` at the boundary yields
+        // the current (write) and next (read) slices disjointly.
+        for l in (1..n_layers - 1).rev() {
+            let n_here = self.layers[l];
+            let n_next = self.layers[l + 1];
+            let matrix = &mlp.weight_matrices()[l];
+            let acts_here = &self.acts[self.act_off[l]..self.act_off[l + 1]];
+            let (cur_all, next_all) = self.deltas.split_at_mut(self.delta_off[l]);
+            let cur = &mut cur_all[self.delta_off[l - 1]..];
+            let next_delta = &next_all[..n_next];
+            for (j, d) in cur.iter_mut().enumerate().take(n_here) {
+                let mut sum = 0.0;
+                // Row k holds the weights into neuron k of layer l + 1;
+                // accumulation stays in k order.
+                for (row, &nd) in matrix.chunks_exact(n_here + 1).zip(next_delta) {
+                    sum += row[j] * nd;
+                }
+                *d = sum * sigmoid_derivative(acts_here[j]);
+            }
+        }
+
+        // Apply updates with momentum, one contiguous row per neuron:
+        //   v = momentum * v - lr * delta * activation; w += v.
+        for (l, matrix) in mlp.weight_matrices_mut().iter_mut().enumerate() {
+            let n_in = self.layers[l];
+            let acts_here = &self.acts[self.act_off[l]..self.act_off[l + 1]];
+            let deltas_here = &self.deltas[self.delta_off[l]..self.delta_off[l + 1]];
+            let vel = &mut self.velocity[self.vel_off[l]..self.vel_off[l + 1]];
+            let wrows = matrix.chunks_exact_mut(n_in + 1);
+            let vrows = vel.chunks_exact_mut(n_in + 1);
+            for ((wrow, vrow), &d) in wrows.zip(vrows).zip(deltas_here) {
+                let (wb, ws) = wrow.split_last_mut().expect("row holds bias");
+                let (vb, vs) = vrow.split_last_mut().expect("row holds bias");
+                for ((v, w), &a) in vs.iter_mut().zip(ws.iter_mut()).zip(acts_here) {
+                    *v = mu * *v - lr * d * a;
+                    *w += *v;
+                }
+                *vb = mu * *vb - lr * d;
+                *wb += *vb; // bias
+            }
+        }
+    }
+}
+
+/// Mean squared error of `mlp` over `data` using `scratch` for the forward
+/// passes (allocation-free; bit-identical to [`crate::mse`]).
+pub fn mse_with(mlp: &Mlp, data: &crate::Dataset, scratch: &mut Scratch) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    // Validate once per dataset; the per-sample loop skips the checks.
+    // NOTE: this must not call `bind` when already bound — `bind` zeroes
+    // the momentum state, and the trainer samples MSE mid-training.
+    if scratch.layers != mlp.topology().layers() {
+        scratch.bind(mlp.topology());
+    }
+    assert_eq!(
+        data.n_inputs(),
+        mlp.topology().inputs(),
+        "dataset input dims mismatch network"
+    );
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (input, target) in data.iter() {
+        let out = scratch.forward_bound(mlp, input);
+        for (&y, &t) in out.iter().zip(target) {
+            let e = (y - t) as f64;
+            total += e * e;
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, Topology};
+    use proptest::prelude::*;
+
+    /// The pre-scratch backpropagation step, kept verbatim as the bit-exact
+    /// reference ([`Mlp::activations`] is the retained naive forward).
+    fn naive_backprop_one(
+        mlp: &mut Mlp,
+        input: &[f32],
+        target: &[f32],
+        velocity: &mut [Vec<f32>],
+        lr: f32,
+        mu: f32,
+    ) {
+        let acts = mlp.activations(input);
+        let n_layers = acts.len();
+        let mut deltas: Vec<Vec<f32>> = Vec::with_capacity(n_layers - 1);
+
+        let out = &acts[n_layers - 1];
+        let out_delta: Vec<f32> = out
+            .iter()
+            .zip(target)
+            .map(|(&y, &t)| (y - t) * sigmoid_derivative(y))
+            .collect();
+        deltas.push(out_delta);
+
+        for l in (1..n_layers - 1).rev() {
+            let next_delta = deltas.last().expect("output delta pushed first");
+            let n_here = acts[l].len();
+            let n_next = acts[l + 1].len();
+            let mut delta = vec![0.0f32; n_here];
+            for (j, d) in delta.iter_mut().enumerate() {
+                let mut sum = 0.0;
+                #[allow(clippy::needless_range_loop)]
+                for k in 0..n_next {
+                    sum += mlp.weight(l, k, j) * next_delta[k];
+                }
+                *d = sum * sigmoid_derivative(acts[l][j]);
+            }
+            deltas.push(delta);
+        }
+        deltas.reverse();
+
+        for l in 0..n_layers - 1 {
+            let n_in = acts[l].len();
+            for (neuron, &d) in deltas[l].iter().enumerate() {
+                let row = neuron * (n_in + 1);
+                for (src, &a) in acts[l].iter().enumerate() {
+                    let v = &mut velocity[l][row + src];
+                    *v = mu * *v - lr * d * a;
+                    *mlp.weight_mut(l, neuron, src) += *v;
+                }
+                let v = &mut velocity[l][row + n_in];
+                *v = mu * *v - lr * d;
+                *mlp.weight_mut(l, neuron, n_in) += *v;
+            }
+        }
+    }
+
+    /// The pre-scratch MSE, kept as the bit-exact reference.
+    fn naive_mse(mlp: &Mlp, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for (input, target) in data.iter() {
+            let out = mlp.feed_forward(input);
+            for (&y, &t) in out.iter().zip(target) {
+                let e = (y - t) as f64;
+                total += e * e;
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+
+    fn small_topology() -> impl Strategy<Value = Topology> {
+        (
+            1usize..6,
+            proptest::collection::vec(1usize..9, 0..3),
+            1usize..5,
+        )
+            .prop_map(|(inputs, hidden, outputs)| {
+                let mut layers = vec![inputs];
+                layers.extend(hidden);
+                layers.push(outputs);
+                Topology::new(layers).expect("nonzero layers")
+            })
+    }
+
+    fn dataset_for(topology: &Topology, n: usize, salt: u64) -> Dataset {
+        let mut d = Dataset::new(topology.inputs(), topology.outputs());
+        for k in 0..n {
+            let input: Vec<f32> = (0..topology.inputs())
+                .map(|i| ((k as u64 * 31 + i as u64 * 7 + salt) % 97) as f32 / 97.0)
+                .collect();
+            let output: Vec<f32> = (0..topology.outputs())
+                .map(|i| ((k as u64 * 13 + i as u64 * 5 + salt) % 89) as f32 / 89.0)
+                .collect();
+            d.push(&input, &output).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn forward_matches_feed_forward_bitwise() {
+        let t = Topology::new(vec![9, 8, 4, 1]).unwrap();
+        let mlp = Mlp::seeded(t.clone(), 3);
+        let mut scratch = Scratch::new();
+        for k in 0..20 {
+            let input: Vec<f32> = (0..9).map(|i| ((k * 11 + i) % 13) as f32 / 13.0).collect();
+            assert_eq!(scratch.forward(&mlp, &input), &mlp.feed_forward(&input)[..]);
+        }
+    }
+
+    #[test]
+    fn rebinding_to_a_new_topology_resizes() {
+        let small = Topology::new(vec![2, 2, 1]).unwrap();
+        let big = Topology::new(vec![9, 32, 32, 2]).unwrap();
+        let mut scratch = Scratch::for_topology(&small);
+        let mlp = Mlp::seeded(big.clone(), 1);
+        let input: Vec<f32> = (0..9).map(|i| i as f32 / 9.0).collect();
+        assert_eq!(scratch.forward(&mlp, &input), &mlp.feed_forward(&input)[..]);
+        // And back down.
+        let mlp2 = Mlp::seeded(small, 2);
+        assert_eq!(
+            scratch.forward(&mlp2, &[0.25, 0.75]),
+            &mlp2.feed_forward(&[0.25, 0.75])[..]
+        );
+    }
+
+    proptest! {
+        /// Fused scratch backprop is bit-exact against the naive reference
+        /// over random topologies, seeds, and datasets — including the
+        /// momentum state carried across samples.
+        #[test]
+        fn scratch_backprop_is_bit_exact(
+            topology in small_topology(),
+            seed in 0u64..500,
+            n_samples in 1usize..12,
+        ) {
+            let data = dataset_for(&topology, n_samples, seed);
+            let mut naive = Mlp::seeded(topology.clone(), seed);
+            let mut fused = naive.clone();
+            let mut velocity: Vec<Vec<f32>> = naive
+                .weight_matrices()
+                .iter()
+                .map(|m| vec![0.0; m.len()])
+                .collect();
+            let mut scratch = Scratch::for_topology(&topology);
+            // Two passes over the data so momentum history matters.
+            for _ in 0..2 {
+                for (input, target) in data.iter() {
+                    naive_backprop_one(&mut naive, input, target, &mut velocity, 0.01, 0.9);
+                    scratch.backprop_one(&mut fused, input, target, 0.01, 0.9);
+                }
+            }
+            prop_assert_eq!(naive, fused);
+        }
+
+        /// Scratch forward and MSE are bit-exact against the naive paths.
+        #[test]
+        fn scratch_forward_and_mse_are_bit_exact(
+            topology in small_topology(),
+            seed in 0u64..500,
+        ) {
+            let mlp = Mlp::seeded(topology.clone(), seed);
+            let data = dataset_for(&topology, 8, seed);
+            let mut scratch = Scratch::new();
+            for (input, _) in data.iter() {
+                let naive_out = mlp.feed_forward(input);
+                prop_assert_eq!(scratch.forward(&mlp, input), &naive_out[..]);
+                let acts = mlp.activations(input);
+                prop_assert_eq!(&acts[acts.len() - 1][..], &naive_out[..]);
+            }
+            let a = naive_mse(&mlp, &data);
+            let b = mse_with(&mlp, &data, &mut scratch);
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        /// A scratch reused across different topologies (the worker-thread
+        /// pattern in the topology search) never contaminates results.
+        #[test]
+        fn scratch_reuse_across_topologies_is_clean(
+            t1 in small_topology(),
+            t2 in small_topology(),
+            seed in 0u64..200,
+        ) {
+            let d1 = dataset_for(&t1, 5, seed);
+            let d2 = dataset_for(&t2, 5, seed.wrapping_add(1));
+            let mut shared = Scratch::new();
+
+            let mut m1_shared = Mlp::seeded(t1.clone(), seed);
+            let mut m2_shared = Mlp::seeded(t2.clone(), seed);
+            shared.bind(&t1);
+            for (i, t) in d1.iter() {
+                shared.backprop_one(&mut m1_shared, i, t, 0.01, 0.9);
+            }
+            shared.bind(&t2);
+            for (i, t) in d2.iter() {
+                shared.backprop_one(&mut m2_shared, i, t, 0.01, 0.9);
+            }
+
+            let mut m2_fresh = Mlp::seeded(t2, seed);
+            let mut fresh = Scratch::new();
+            fresh.bind(m2_fresh.topology());
+            for (i, t) in d2.iter() {
+                fresh.backprop_one(&mut m2_fresh, i, t, 0.01, 0.9);
+            }
+            prop_assert_eq!(m2_shared, m2_fresh);
+            // And the first network matches a naive run.
+            let mut m1_naive = Mlp::seeded(t1, seed);
+            let mut velocity: Vec<Vec<f32>> = m1_naive
+                .weight_matrices()
+                .iter()
+                .map(|m| vec![0.0; m.len()])
+                .collect();
+            for (i, t) in d1.iter() {
+                naive_backprop_one(&mut m1_naive, i, t, &mut velocity, 0.01, 0.9);
+            }
+            prop_assert_eq!(m1_shared, m1_naive);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Cross-validated topology search (paper Section 4.2).
 
-use crate::train::mse;
+use crate::scratch::{mse_with, Scratch};
 use crate::{AnnError, Dataset, Mlp, Topology, TrainParams, Trainer};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -254,57 +254,66 @@ impl TopologySearch {
 
         crossbeam::scope(|scope| {
             for _ in 0..n_threads {
-                scope.spawn(|_| loop {
-                    let idx = {
-                        let mut guard = next.lock();
-                        let idx = *guard;
-                        if idx >= topologies.len() {
-                            return;
-                        }
-                        *guard += 1;
-                        idx
-                    };
-                    let (topology, latency) = topologies[idx].clone();
-                    // Seeds are keyed by topology content, not list index,
-                    // so the outcome is identical whatever subset of
-                    // candidates the hardware filter admits and however
-                    // work is distributed over threads.
-                    let topo_label = topology.to_string();
-                    let init_seed = crate::seed::mix_str(
-                        crate::seed::mix(self.params.seed, INIT_SALT),
-                        &topo_label,
-                    );
-                    let mut mlp = Mlp::seeded(topology.clone(), init_seed);
-                    let mut train_params = self.params.train;
-                    train_params.shuffle_seed = crate::seed::mix_str(
-                        crate::seed::mix(self.params.seed, SHUFFLE_SALT),
-                        &topo_label,
-                    );
-                    if let Some(budget) = self.params.epoch_flops_budget {
-                        let per_epoch =
-                            (train_set.len() * topology.weight_count() * 4).max(1) as u64;
-                        train_params.epochs = ((budget / per_epoch) as usize)
-                            .clamp(30, self.params.train.epochs.max(30));
-                    }
-                    let report = Trainer::new(train_params).train(&mut mlp, &train_set);
-                    let candidate = TopologyCandidate {
-                        npu_latency: latency,
-                        test_mse: mse(&mlp, test_ref),
-                        train_mse: report.final_mse,
-                        topology,
-                    };
-                    if telemetry::enabled(telemetry::Level::Debug) {
-                        telemetry::emit(telemetry::Level::Debug, "ann::search", || {
-                            telemetry::EventKind::CandidateTrained {
-                                topology: candidate.topology.to_string(),
-                                test_mse: candidate.test_mse,
-                                train_mse: candidate.train_mse,
-                                epochs: report.epochs_run as u64,
-                                npu_latency: candidate.npu_latency,
+                // One scratch per worker, reused across every candidate it
+                // trains: the steady-state training loop never allocates.
+                scope.spawn(|_| {
+                    let mut scratch = Scratch::new();
+                    loop {
+                        let idx = {
+                            let mut guard = next.lock();
+                            let idx = *guard;
+                            if idx >= topologies.len() {
+                                return;
                             }
-                        });
+                            *guard += 1;
+                            idx
+                        };
+                        let (topology, latency) = topologies[idx].clone();
+                        // Seeds are keyed by topology content, not list index,
+                        // so the outcome is identical whatever subset of
+                        // candidates the hardware filter admits and however
+                        // work is distributed over threads.
+                        let topo_label = topology.to_string();
+                        let init_seed = crate::seed::mix_str(
+                            crate::seed::mix(self.params.seed, INIT_SALT),
+                            &topo_label,
+                        );
+                        let mut mlp = Mlp::seeded(topology.clone(), init_seed);
+                        let mut train_params = self.params.train;
+                        train_params.shuffle_seed = crate::seed::mix_str(
+                            crate::seed::mix(self.params.seed, SHUFFLE_SALT),
+                            &topo_label,
+                        );
+                        if let Some(budget) = self.params.epoch_flops_budget {
+                            let per_epoch =
+                                (train_set.len() * topology.weight_count() * 4).max(1) as u64;
+                            train_params.epochs = ((budget / per_epoch) as usize)
+                                .clamp(30, self.params.train.epochs.max(30));
+                        }
+                        let report = Trainer::new(train_params).train_with(
+                            &mut mlp,
+                            &train_set,
+                            &mut scratch,
+                        );
+                        let candidate = TopologyCandidate {
+                            npu_latency: latency,
+                            test_mse: mse_with(&mlp, test_ref, &mut scratch),
+                            train_mse: report.final_mse,
+                            topology,
+                        };
+                        if telemetry::enabled(telemetry::Level::Debug) {
+                            telemetry::emit(telemetry::Level::Debug, "ann::search", || {
+                                telemetry::EventKind::CandidateTrained {
+                                    topology: candidate.topology.to_string(),
+                                    test_mse: candidate.test_mse,
+                                    train_mse: candidate.train_mse,
+                                    epochs: report.epochs_run as u64,
+                                    npu_latency: candidate.npu_latency,
+                                }
+                            });
+                        }
+                        results.lock().push((candidate, mlp));
                     }
-                    results.lock().push((candidate, mlp));
                 });
             }
         })

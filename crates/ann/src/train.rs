@@ -1,6 +1,6 @@
 //! Backpropagation training (paper Section 4.2).
 
-use crate::{sigmoid_derivative, Dataset, Mlp};
+use crate::{mse_with, Dataset, Mlp, Scratch};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -86,6 +86,20 @@ impl Trainer {
     ///
     /// Panics if the dataset dimensions do not match the network topology.
     pub fn train(&self, mlp: &mut Mlp, data: &Dataset) -> TrainReport {
+        let mut scratch = Scratch::for_topology(mlp.topology());
+        self.train_with(mlp, data, &mut scratch)
+    }
+
+    /// Like [`train`](Self::train), but reusing caller-owned scratch
+    /// buffers — the topology-search workers hold one [`Scratch`] per
+    /// thread and reuse it across all their candidates, so the steady-state
+    /// training loop performs no heap allocation. Results are bit-identical
+    /// to [`train`](Self::train).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset dimensions do not match the network topology.
+    pub fn train_with(&self, mlp: &mut Mlp, data: &Dataset, scratch: &mut Scratch) -> TrainReport {
         assert_eq!(
             data.n_inputs(),
             mlp.topology().inputs(),
@@ -96,15 +110,14 @@ impl Trainer {
             mlp.topology().outputs(),
             "dataset output dims mismatch network"
         );
-        let initial_mse = mse(mlp, data);
+        // Binding zeroes the velocity (momentum) state, exactly like the
+        // fresh velocity vectors the pre-scratch trainer allocated.
+        scratch.bind(mlp.topology());
+        let initial_mse = mse_with(mlp, data, scratch);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.params.shuffle_seed);
-        // Momentum (velocity) state, one entry per weight matrix.
-        let mut velocity: Vec<Vec<f32>> = mlp
-            .weight_matrices()
-            .iter()
-            .map(|m| vec![0.0; m.len()])
-            .collect();
+        let lr = self.params.learning_rate;
+        let mu = self.params.momentum;
         // The MSE learning curve costs a full-dataset evaluation per
         // sample, so it is taken (at ~8 points) only when debug tracing
         // is on; the training loop itself is unchanged otherwise.
@@ -113,10 +126,10 @@ impl Trainer {
         for epoch in 0..self.params.epochs {
             order.shuffle(&mut rng);
             for &i in &order {
-                self.backprop_one(mlp, data.input(i), data.output(i), &mut velocity);
+                scratch.backprop_one_bound(mlp, data.input(i), data.output(i), lr, mu);
             }
             if curve && (epoch + 1) % stride == 0 {
-                let sample = mse(mlp, data);
+                let sample = mse_with(mlp, data, scratch);
                 telemetry::emit(telemetry::Level::Debug, "ann::train", || {
                     telemetry::EventKind::TrainEpoch {
                         epoch: (epoch + 1) as u64,
@@ -127,90 +140,34 @@ impl Trainer {
         }
         TrainReport {
             initial_mse,
-            final_mse: mse(mlp, data),
+            final_mse: mse_with(mlp, data, scratch),
             epochs_run: self.params.epochs,
         }
     }
 
-    /// One stochastic gradient step for a single sample.
-    fn backprop_one(
-        &self,
-        mlp: &mut Mlp,
-        input: &[f32],
-        target: &[f32],
-        velocity: &mut [Vec<f32>],
-    ) {
-        let acts = mlp.activations(input);
-        let n_layers = acts.len();
-        // delta[l] holds dE/dnet for computing layer l (0 = first hidden).
-        let mut deltas: Vec<Vec<f32>> = Vec::with_capacity(n_layers - 1);
-
-        // Output layer delta: (y - t) * y * (1 - y).
-        let out = &acts[n_layers - 1];
-        let out_delta: Vec<f32> = out
-            .iter()
-            .zip(target)
-            .map(|(&y, &t)| (y - t) * sigmoid_derivative(y))
-            .collect();
-        deltas.push(out_delta);
-
-        // Hidden layers, walking backwards.
-        for l in (1..n_layers - 1).rev() {
-            let next_delta = deltas.last().expect("output delta pushed first");
-            let n_here = acts[l].len();
-            let n_next = acts[l + 1].len();
-            let mut delta = vec![0.0f32; n_here];
-            for (j, d) in delta.iter_mut().enumerate() {
-                let mut sum = 0.0;
-                #[allow(clippy::needless_range_loop)] // k indexes two structures
-                for k in 0..n_next {
-                    // Weight from neuron j of layer l into neuron k of l+1.
-                    sum += mlp.weight(l, k, j) * next_delta[k];
-                }
-                *d = sum * sigmoid_derivative(acts[l][j]);
-            }
-            deltas.push(delta);
-        }
-        deltas.reverse(); // now deltas[l-1] corresponds to computing layer l-1
-
-        // Apply updates with momentum:
-        //   v = momentum * v - lr * delta * activation; w += v.
-        let lr = self.params.learning_rate;
-        let mu = self.params.momentum;
-        for l in 0..n_layers - 1 {
-            let n_in = acts[l].len();
-            for (neuron, &d) in deltas[l].iter().enumerate() {
-                let row = neuron * (n_in + 1);
-                for (src, &a) in acts[l].iter().enumerate() {
-                    let v = &mut velocity[l][row + src];
-                    *v = mu * *v - lr * d * a;
-                    *mlp.weight_mut(l, neuron, src) += *v;
-                }
-                let v = &mut velocity[l][row + n_in];
-                *v = mu * *v - lr * d;
-                *mlp.weight_mut(l, neuron, n_in) += *v; // bias
-            }
-        }
+    /// One fused forward+backward SGD step on a single sample, using the
+    /// trainer's hyperparameters and `scratch`'s momentum state. Exposed
+    /// for microbenchmarks and incremental-training experiments; the kernel
+    /// [`Trainer::train_with`] runs per sample.
+    pub fn step(&self, mlp: &mut Mlp, input: &[f32], target: &[f32], scratch: &mut Scratch) {
+        scratch.backprop_one(
+            mlp,
+            input,
+            target,
+            self.params.learning_rate,
+            self.params.momentum,
+        );
     }
 }
 
 /// Mean squared error of `mlp` over `data` (averaged over samples and
 /// output dimensions). Returns 0 for an empty dataset.
+///
+/// Allocates one [`Scratch`] per call; hot paths evaluating many networks
+/// should hold their own scratch and call [`mse_with`].
 pub fn mse(mlp: &Mlp, data: &Dataset) -> f64 {
-    if data.is_empty() {
-        return 0.0;
-    }
-    let mut total = 0.0f64;
-    let mut count = 0usize;
-    for (input, target) in data.iter() {
-        let out = mlp.feed_forward(input);
-        for (&y, &t) in out.iter().zip(target) {
-            let e = (y - t) as f64;
-            total += e * e;
-            count += 1;
-        }
-    }
-    total / count as f64
+    let mut scratch = Scratch::for_topology(mlp.topology());
+    mse_with(mlp, data, &mut scratch)
 }
 
 #[cfg(test)]

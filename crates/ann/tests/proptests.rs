@@ -1,6 +1,6 @@
 //! Property-based tests for the learning substrate.
 
-use ann::{Dataset, Mlp, Normalizer, SigmoidLut, Topology};
+use ann::{Dataset, Mlp, Normalizer, Scratch, SigmoidLut, Topology, TrainParams, Trainer};
 use proptest::prelude::*;
 
 fn small_topology() -> impl Strategy<Value = Topology> {
@@ -94,6 +94,49 @@ proptest! {
         seen.sort_unstable();
         let expected: Vec<i64> = (0..n as i64).collect();
         prop_assert_eq!(seen, expected);
+    }
+
+    /// `train` (fresh scratch per call) and `train_with` (reused,
+    /// pre-dirtied scratch — the search-worker pattern) produce
+    /// bit-identical networks and reports, and repeated training is
+    /// deterministic.
+    #[test]
+    fn train_and_train_with_are_bit_identical(
+        topology in small_topology(),
+        seed in 0u64..300,
+        epochs in 1usize..8,
+    ) {
+        let mut data = Dataset::new(topology.inputs(), topology.outputs());
+        for k in 0..10usize {
+            let input: Vec<f32> = (0..topology.inputs())
+                .map(|i| ((k * 17 + i * 3) % 31) as f32 / 31.0)
+                .collect();
+            let output: Vec<f32> = (0..topology.outputs())
+                .map(|i| ((k * 5 + i * 11) % 23) as f32 / 23.0)
+                .collect();
+            data.push(&input, &output).unwrap();
+        }
+        let trainer = Trainer::new(TrainParams { epochs, ..TrainParams::default() });
+
+        let mut a = Mlp::seeded(topology.clone(), seed);
+        let report_a = trainer.train(&mut a, &data);
+
+        // Dirty the scratch on an unrelated topology first, as a reused
+        // worker scratch would be.
+        let mut scratch = Scratch::for_topology(&Topology::new(vec![3, 2, 2]).unwrap());
+        let mut warmup = Mlp::seeded(Topology::new(vec![3, 2, 2]).unwrap(), 1);
+        trainer.train_with(&mut warmup, &{
+            let mut d = Dataset::new(3, 2);
+            d.push(&[0.1, 0.2, 0.3], &[0.4, 0.5]).unwrap();
+            d
+        }, &mut scratch);
+
+        let mut b = Mlp::seeded(topology, seed);
+        let report_b = trainer.train_with(&mut b, &data, &mut scratch);
+
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(report_a.initial_mse.to_bits(), report_b.initial_mse.to_bits());
+        prop_assert_eq!(report_a.final_mse.to_bits(), report_b.final_mse.to_bits());
     }
 
     /// LUT forward pass stays close to the exact forward pass for any

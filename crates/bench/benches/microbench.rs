@@ -2,8 +2,8 @@
 //! latency per paper topology, backpropagation throughput, core-model
 //! simulation rate, and one scaled-down end-to-end figure computation.
 
-use ann::{Dataset, Mlp, Normalizer, Topology, TrainParams, Trainer};
-use approx_ir::{OpClass, TraceEvent};
+use ann::{mse_with, Dataset, Mlp, Normalizer, Scratch, Topology, TrainParams, Trainer};
+use approx_ir::{OpClass, TraceEvent, TraceSink};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use npu::{NpuConfig, NpuParams, NpuSim};
 use uarch::{Core, CoreConfig};
@@ -68,6 +68,87 @@ fn bench_training_epoch(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+}
+
+/// One fused forward+backward SGD step (sobel-sized network), scratch
+/// reused across iterations — the innermost kernel of the topology search.
+fn bench_backprop_one(c: &mut Criterion) {
+    let t = Topology::new(vec![9, 8, 1]).unwrap();
+    let input: Vec<f32> = (0..9).map(|i| (i as f32 * 0.11) % 1.0).collect();
+    let target = [0.5f32];
+    let trainer = Trainer::new(TrainParams::default());
+    c.bench_function("backprop_one", |b| {
+        let mut mlp = Mlp::seeded(t.clone(), 5);
+        let mut scratch = Scratch::for_topology(&t);
+        b.iter(|| trainer.step(&mut mlp, &input, &target, &mut scratch));
+    });
+}
+
+/// Full-dataset MSE evaluation (500 sobel-sized samples) with a reused
+/// scratch — the per-candidate scoring cost in the topology search.
+fn bench_mse_eval(c: &mut Criterion) {
+    let t = Topology::new(vec![9, 8, 1]).unwrap();
+    let mut data = Dataset::new(9, 1);
+    for k in 0..500 {
+        let input: Vec<f32> = (0..9).map(|i| ((k * 7 + i) % 97) as f32 / 97.0).collect();
+        let target = input.iter().sum::<f32>() / 9.0;
+        data.push(&input, &[target]).unwrap();
+    }
+    let mlp = Mlp::seeded(t.clone(), 5);
+    c.bench_function("mse_eval_500x89w", |b| {
+        let mut scratch = Scratch::for_topology(&t);
+        b.iter(|| mse_with(&mlp, &data, &mut scratch));
+    });
+}
+
+/// Streaming trace replay throughput: push a fixed event stream through a
+/// `TraceSink` (the core model and the cycle-accurate NPU) exactly the way
+/// the sweep's cycle-level jobs do.
+fn bench_trace_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_replay");
+
+    // 10k mixed ALU/FP events through the out-of-order core.
+    let core_events: Vec<TraceEvent> = (0..10_000)
+        .map(|i| {
+            let class = if i % 4 == 0 {
+                OpClass::FpAdd
+            } else {
+                OpClass::IntAlu
+            };
+            TraceEvent::simple(i % 64, class, [None; 3], Some((i % 50 + 8) as u16))
+        })
+        .collect();
+    group.bench_function("core_10k_events", |b| {
+        b.iter(|| {
+            let mut core = Core::new(CoreConfig::penryn_like());
+            for ev in &core_events {
+                core.event(ev);
+            }
+            core.finish().cycles
+        });
+    });
+
+    // 20 sobel-shaped invocations (9 enq.d + 1 deq.d each) replayed into
+    // the NPU's timing-only sink.
+    let config = config_for(vec![9, 8, 1]);
+    let mut npu_events = Vec::new();
+    for _ in 0..20 {
+        for _ in 0..9 {
+            npu_events.push(TraceEvent::simple(0, OpClass::NpuEnqD, [None; 3], None));
+        }
+        npu_events.push(TraceEvent::simple(0, OpClass::NpuDeqD, [None; 3], None));
+    }
+    group.bench_function("npu_20_invocations", |b| {
+        b.iter(|| {
+            let mut sim = NpuSim::new(NpuParams::default());
+            sim.configure(&config).unwrap();
+            for ev in &npu_events {
+                sim.event(ev);
+            }
+            sim.stats().invocations
+        });
+    });
+    group.finish();
 }
 
 /// Core-model throughput: simulate 10k independent ALU instructions.
@@ -169,6 +250,9 @@ criterion_group!(
     benches,
     bench_npu_invocation,
     bench_training_epoch,
+    bench_backprop_one,
+    bench_mse_eval,
+    bench_trace_replay,
     bench_core_throughput,
     bench_forward,
     bench_telemetry_overhead

@@ -93,6 +93,10 @@ pub fn run(suite_name: &str, opts: &Options, default_experiments: &[Experiment])
     let t0 = std::time::Instant::now();
     let mut spec = spec(suite_name, opts);
     spec.experiments = requested.clone();
+    // Streaming check: the cycle-level jobs feed trace events straight into
+    // the core, so the largest buffer any core holds is bounded by its feed
+    // back-pressure threshold, not by trace length. Measure it per sweep.
+    uarch::reset_peak_trace_buffer();
     let result = match run_sweep(&spec) {
         Ok(r) => r,
         Err(e) => {
@@ -100,6 +104,8 @@ pub fn run(suite_name: &str, opts: &Options, default_experiments: &[Experiment])
             return 2;
         }
     };
+
+    let peak_trace_buffer = uarch::peak_trace_buffer();
 
     print_requested(&result, &requested, &spec);
 
@@ -112,7 +118,10 @@ pub fn run(suite_name: &str, opts: &Options, default_experiments: &[Experiment])
                 Err(e) => eprintln!("[{suite_name}] failed to write report: {e}"),
             }
         }
-        let sweep_report = result.sweep_report(suite_name, opts.mode());
+        let mut sweep_report = result.sweep_report(suite_name, opts.mode());
+        sweep_report
+            .metrics
+            .add("scheduler.peak_trace_buffer_events", peak_trace_buffer);
         match sweep_report.write_into(dir) {
             Ok(path) => eprintln!("[{suite_name}] wrote {}", path.display()),
             Err(e) => eprintln!("[{suite_name}] failed to write sweep report: {e}"),
@@ -120,6 +129,7 @@ pub fn run(suite_name: &str, opts: &Options, default_experiments: &[Experiment])
     }
 
     present::print_scheduler(&result.scheduler);
+    present::print_peak_trace_buffer(peak_trace_buffer);
 
     // One broken benchmark must not hide the others' results — everything
     // above still ran and printed — but the process has to say so.

@@ -250,3 +250,10 @@ pub fn print_scheduler(s: &SchedulerSummary) {
         s.wall_clock_us as f64 / 1000.0
     );
 }
+
+/// Prints the peak streaming trace-buffer occupancy measured across the
+/// sweep's cycle-level simulations (0 when the sweep ran entirely from the
+/// artifact cache, since no core then processed a trace).
+pub fn print_peak_trace_buffer(events: u64) {
+    eprintln!("[scheduler] peak trace buffer {events} events");
+}

@@ -28,10 +28,10 @@ pub struct RunOutput {
 /// # Panics
 ///
 /// Panics if `app.needs_npu` but the variant has no compiled region.
-pub fn run_app(
+pub fn run_app<S: TraceSink + ?Sized>(
     app: &App,
     variant: &AppVariant<'_>,
-    sink: &mut dyn TraceSink,
+    sink: &mut S,
 ) -> Result<RunOutput, IrError> {
     let mut interp = Interpreter::new(&app.program);
     *interp.memory_mut() = app.memory.clone();

@@ -95,6 +95,10 @@ pub struct Interpreter<'p> {
     memory: Vec<f32>,
     budget: u64,
     max_depth: usize,
+    /// Recycled register/argument buffers: each frame pops one on entry and
+    /// pushes it back on return, so steady-state execution (including the
+    /// per-invocation loops in the benchmark sweep) allocates nothing.
+    value_pool: Vec<Vec<Value>>,
 }
 
 const DEFAULT_BUDGET: u64 = u64::MAX;
@@ -108,6 +112,7 @@ impl<'p> Interpreter<'p> {
             memory: Vec::new(),
             budget: DEFAULT_BUDGET,
             max_depth: MAX_DEPTH,
+            value_pool: Vec::new(),
         }
     }
 
@@ -141,9 +146,11 @@ impl<'p> Interpreter<'p> {
     /// Propagates any runtime [`IrError`]; NPU queue instructions fail with
     /// [`IrError::NoNpuAttached`].
     pub fn run(&mut self, func: FuncId, args: &[Value]) -> Result<Vec<Value>, IrError> {
-        let mut sink = NullSink;
-        self.run_full(func, args, &mut sink, None)
-            .map(|o| o.outputs)
+        // Monomorphized on `NullSink`: the compiler sees `event` is a no-op
+        // and elides trace-event construction entirely on this path.
+        let mut executed = 0u64;
+        let mut npu: Option<&mut dyn NpuPort> = None;
+        self.exec_frame(func, args, &mut NullSink, &mut npu, &mut executed, 0)
     }
 
     /// Runs `func` while emitting the dynamic trace into `sink`.
@@ -151,11 +158,11 @@ impl<'p> Interpreter<'p> {
     /// # Errors
     ///
     /// Same as [`run`](Self::run).
-    pub fn run_traced(
+    pub fn run_traced<S: TraceSink + ?Sized>(
         &mut self,
         func: FuncId,
         args: &[Value],
-        sink: &mut dyn TraceSink,
+        sink: &mut S,
     ) -> Result<RunOutcome, IrError> {
         self.run_full(func, args, sink, None)
     }
@@ -165,11 +172,11 @@ impl<'p> Interpreter<'p> {
     /// # Errors
     ///
     /// Same as [`run`](Self::run), except NPU instructions now succeed.
-    pub fn run_full(
+    pub fn run_full<S: TraceSink + ?Sized>(
         &mut self,
         func: FuncId,
         args: &[Value],
-        sink: &mut dyn TraceSink,
+        sink: &mut S,
         mut npu: Option<&mut dyn NpuPort>,
     ) -> Result<RunOutcome, IrError> {
         let mut executed = 0u64;
@@ -178,11 +185,11 @@ impl<'p> Interpreter<'p> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec_frame(
+    fn exec_frame<S: TraceSink + ?Sized>(
         &mut self,
         func: FuncId,
         args: &[Value],
-        sink: &mut dyn TraceSink,
+        sink: &mut S,
         npu: &mut Option<&mut dyn NpuPort>,
         executed: &mut u64,
         depth: usize,
@@ -202,7 +209,12 @@ impl<'p> Interpreter<'p> {
                 actual: args.len(),
             });
         }
-        let mut regs: Vec<Value> = vec![Value::I(0); f.n_regs()];
+        // Frames recycle buffers through `value_pool`; buffers held across
+        // an early `?` return are simply dropped, which only shrinks the
+        // pool on (rare, run-terminating) error paths.
+        let mut regs = self.value_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(f.n_regs(), Value::I(0));
         regs[..args.len()].copy_from_slice(args);
 
         let base_pc = (func.0 as u64) << 32;
@@ -478,8 +490,9 @@ impl<'p> Interpreter<'p> {
                             target: (*callee as u64) << 32,
                         }),
                     });
-                    let arg_vals: Vec<Value> =
-                        arg_regs.iter().map(|r| regs[r.0 as usize]).collect();
+                    let mut arg_vals = self.value_pool.pop().unwrap_or_default();
+                    arg_vals.clear();
+                    arg_vals.extend(arg_regs.iter().map(|r| regs[r.0 as usize]));
                     let results = self.exec_frame(
                         FuncId(*callee),
                         &arg_vals,
@@ -488,9 +501,11 @@ impl<'p> Interpreter<'p> {
                         executed,
                         depth + 1,
                     )?;
-                    for (dst, v) in rets.iter().zip(results) {
+                    self.value_pool.push(arg_vals);
+                    for (dst, &v) in rets.iter().zip(&results) {
                         regs[dst.0 as usize] = v;
                     }
+                    self.value_pool.push(results);
                 }
                 Inst::Ret { vals } => {
                     sink.event(&TraceEvent {
@@ -505,7 +520,11 @@ impl<'p> Interpreter<'p> {
                             target: 0,
                         }),
                     });
-                    return Ok(vals.iter().map(|r| regs[r.0 as usize]).collect());
+                    let mut out = self.value_pool.pop().unwrap_or_default();
+                    out.clear();
+                    out.extend(vals.iter().map(|r| regs[r.0 as usize]));
+                    self.value_pool.push(regs);
+                    return Ok(out);
                 }
                 Inst::EnqD { src } => {
                     sink.event(&TraceEvent::simple(

@@ -8,10 +8,29 @@ use approx_ir::{OpClass, TraceEvent, TraceSink};
 use npu::NpuSim;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const FETCH_BUFFER_CAP: usize = 64;
 const FEED_HIGH_WATER: usize = 4096;
 const STALL_GUARD: u64 = 1_000_000;
+
+/// Process-wide high-water mark of any core's streaming input buffer, in
+/// trace events. The sweep driver resets it before a run and reports it in
+/// the run report, substantiating that cycle-level simulation never
+/// materialises a full trace ([`FEED_HIGH_WATER`] bounds it by design).
+static PEAK_TRACE_BUFFER: AtomicU64 = AtomicU64::new(0);
+
+/// The largest streaming input buffer any [`Core`] reached (in events)
+/// since the last [`reset_peak_trace_buffer`]. Folded in at
+/// [`Core::finish`] time.
+pub fn peak_trace_buffer() -> u64 {
+    PEAK_TRACE_BUFFER.load(Ordering::Relaxed)
+}
+
+/// Resets the process-wide peak trace-buffer high-water mark.
+pub fn reset_peak_trace_buffer() {
+    PEAK_TRACE_BUFFER.store(0, Ordering::Relaxed);
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SlotState {
@@ -78,6 +97,8 @@ pub struct Core {
     /// Non-pipelined FP unit reservations.
     fp_unit_busy: Vec<u64>,
     last_commit_cycle: u64,
+    /// High-water mark of `input` (events fed but not yet fetched).
+    input_peak: usize,
 }
 
 impl Core {
@@ -123,6 +144,7 @@ impl Core {
             fetch_blocked_on: None,
             fp_unit_busy: vec![0; cfg.fp_units],
             last_commit_cycle: 0,
+            input_peak: 0,
             cfg,
         }
     }
@@ -155,9 +177,17 @@ impl Core {
     /// use stays constant for arbitrarily long traces.
     pub fn feed(&mut self, ev: TraceEvent) {
         self.input.push_back(ev);
+        self.input_peak = self.input_peak.max(self.input.len());
         while self.input.len() >= FEED_HIGH_WATER {
             self.tick();
         }
+    }
+
+    /// High-water mark of this core's streaming input buffer, in events.
+    /// Bounded by the feed back-pressure threshold regardless of trace
+    /// length.
+    pub fn input_buffer_peak(&self) -> usize {
+        self.input_peak
     }
 
     /// Drains the pipeline and returns the final statistics.
@@ -187,6 +217,7 @@ impl Core {
         self.stats.l2_hits = self.hierarchy.l2().hits();
         self.stats.l2_misses = self.hierarchy.l2().misses();
         self.stats.mem_accesses = self.hierarchy.mem_accesses();
+        PEAK_TRACE_BUFFER.fetch_max(self.input_peak as u64, Ordering::Relaxed);
         telemetry::emit(telemetry::Level::Info, "uarch::core", || {
             telemetry::EventKind::SimDone {
                 cycles: self.stats.cycles,

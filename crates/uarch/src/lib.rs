@@ -50,7 +50,7 @@ mod npu_iface;
 mod predictor;
 mod stats;
 
-pub use crate::core::Core;
+pub use crate::core::{peak_trace_buffer, reset_peak_trace_buffer, Core};
 pub use cache::{CacheConfig, CacheModel, MemoryHierarchy};
 pub use config::{CoreConfig, OpLatencies};
 pub use npu_iface::NpuAttachment;

@@ -198,6 +198,41 @@ impl Criterion {
             name: name.to_string(),
         }
     }
+
+    /// If `CRITERION_JSON` names a file, appends one JSON line per result
+    /// (`{"name": ..., "median_ns": ..., "min_ns": ..., "max_ns": ...}`)
+    /// so CI jobs and the perf-baseline script can consume the numbers
+    /// without parsing the human-readable table. Called automatically at
+    /// the end of each [`criterion_group!`] function.
+    pub fn export_json_if_requested(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        use std::io::Write;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path);
+        let mut file = match file {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("criterion: cannot open CRITERION_JSON={path}: {e}");
+                return;
+            }
+        };
+        for (name, stats) in &self.results {
+            // Names contain only identifier characters and '/', so plain
+            // string interpolation is valid JSON here.
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{name}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+                stats.median_ns, stats.min_ns, stats.max_ns
+            );
+        }
+    }
 }
 
 /// A named group of related benchmarks.
@@ -225,6 +260,7 @@ macro_rules! criterion_group {
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
+            criterion.export_json_if_requested();
         }
     };
 }
