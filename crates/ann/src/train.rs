@@ -124,10 +124,18 @@ impl Trainer {
         let curve = telemetry::enabled(telemetry::Level::Debug);
         let stride = (self.params.epochs / 8).max(1);
         for epoch in 0..self.params.epochs {
+            let epoch_start = std::time::Instant::now();
             order.shuffle(&mut rng);
             for &i in &order {
                 scratch.backprop_one_bound(mlp, data.input(i), data.output(i), lr, mu);
             }
+            // Wall-clock epoch time goes to the global sample registry
+            // (sweep-level report only): one lock per epoch, negligible
+            // next to a full-dataset backprop pass.
+            telemetry::record_sample(
+                "ann.train.epoch_us",
+                epoch_start.elapsed().as_micros() as f64,
+            );
             if curve && (epoch + 1) % stride == 0 {
                 let sample = mse_with(mlp, data, scratch);
                 telemetry::emit(telemetry::Level::Debug, "ann::train", || {

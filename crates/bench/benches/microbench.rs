@@ -193,6 +193,9 @@ fn bench_forward(c: &mut Criterion) {
 /// the collector off (the default) vs. fully enabled into a black-hole
 /// sink. The disabled path must stay within noise (<2%) of the seed's
 /// uninstrumented loop — emission sites cost one relaxed atomic load.
+/// Also measures the unit costs of the histogram primitives
+/// (`hist_record`, `hist_quantile`) and span creation with and without
+/// an attached sink.
 fn bench_telemetry_overhead(c: &mut Criterion) {
     struct NullSink;
     impl telemetry::Sink for NullSink {
@@ -222,7 +225,36 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     };
 
     let mut group = c.benchmark_group("telemetry_overhead");
+
+    // Histogram primitives: one log-bucketed observation, and one p99
+    // query over a well-populated histogram — the unit costs behind every
+    // per-invocation latency / per-element error sample the sweep records.
+    group.bench_function("hist_record", |b| {
+        let mut hist = telemetry::Histogram::default();
+        let mut x = 1.0f64;
+        b.iter(|| {
+            x = (x * 1.0001 + 0.37) % 1.0e9;
+            hist.observe(criterion::black_box(x));
+            hist.count
+        });
+    });
+    group.bench_function("hist_quantile", |b| {
+        let mut hist = telemetry::Histogram::default();
+        for i in 0..100_000u32 {
+            hist.observe(f64::from(i % 4096) + 0.5);
+        }
+        b.iter(|| criterion::black_box(&hist).p99());
+    });
+
     telemetry::reset();
+    // Span creation with the collector off: the id is still allocated
+    // (one relaxed atomic add) but no event is built or sunk.
+    group.bench_function("span/disabled", |b| {
+        b.iter(|| {
+            let span = telemetry::span("bench::microbench", "overhead_probe");
+            span.id()
+        });
+    });
     group.bench_function("npu_hot_loop/disabled", |b| {
         let mut sim = NpuSim::new(NpuParams::default());
         sim.configure(&config).unwrap();
@@ -234,6 +266,14 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
 
     telemetry::add_sink(Box::new(NullSink));
     telemetry::set_level(telemetry::Level::Trace);
+    // Span creation with a sink attached: builds both PhaseStart and
+    // PhaseEnd events and pushes them through the sink registry.
+    group.bench_function("span/trace_enabled", |b| {
+        b.iter(|| {
+            let span = telemetry::span("bench::microbench", "overhead_probe");
+            span.id()
+        });
+    });
     group.bench_function("npu_hot_loop/trace_enabled", |b| {
         let mut sim = NpuSim::new(NpuParams::default());
         sim.configure(&config).unwrap();

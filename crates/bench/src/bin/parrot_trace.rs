@@ -1,0 +1,358 @@
+//! `parrot-trace`: offline profiler over a `--trace-out` trace file.
+//!
+//! Reads the Chrome trace-event JSON a `parrot-run --trace-out` sweep
+//! wrote and prints, without needing the original DAG:
+//!
+//! * the sweep's critical path (longest dependency chain by wall clock,
+//!   recovered from the `JobDone` instant events' embedded edge lists);
+//! * per-phase self time vs total time (from the `"X"` span events'
+//!   parent links);
+//! * the top-k slowest jobs;
+//! * counter-track summaries (queue depth, cache traffic, …);
+//! * the histogram distributions from the `parrotHistograms` footer.
+
+use serde::Content;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut path = None;
+    let mut top = 10usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => {
+                let v = args.next().unwrap_or_else(|| usage("--top needs a count"));
+                top = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("--top: not a count: {v}")));
+            }
+            "--help" | "-h" => usage(""),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => usage(&format!("unexpected argument {other}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage("missing trace file"));
+    std::process::exit(run(&path, top));
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: parrot-trace <trace.json> [--top N]");
+    eprintln!("  <trace.json>  a file written by parrot-run --trace-out");
+    eprintln!("  --top N       slowest-job rows to print (default 10)");
+    std::process::exit(2);
+}
+
+/// One completed span (`"X"` event).
+struct SpanRec {
+    name: String,
+    dur_us: u64,
+    span: u64,
+    parent: u64,
+    aborted: bool,
+}
+
+/// One terminal job state (`JobDone` instant).
+struct JobRec {
+    job: u64,
+    name: String,
+    deps: Vec<u64>,
+    worker: u64,
+    outcome: String,
+    end_us: u64,
+    elapsed_us: u64,
+}
+
+fn str_of(c: &Content) -> Option<&str> {
+    match c {
+        Content::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn field_u64(c: &Content, key: &str) -> Option<u64> {
+    c.get(key).and_then(Content::as_u64)
+}
+
+fn run(path: &str, top: usize) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let root = match serde::json::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    let Some(Content::Seq(items)) = root.get("traceEvents") else {
+        eprintln!("error: {path} has no traceEvents array (not a parrot trace?)");
+        return 1;
+    };
+
+    let mut spans = Vec::new();
+    let mut jobs = Vec::new();
+    // Counter tracks: name → (samples, last, max).
+    let mut counters: BTreeMap<String, (u64, f64, f64)> = BTreeMap::new();
+    for ev in items {
+        let Some(ph) = ev.get("ph").and_then(str_of) else {
+            continue;
+        };
+        let args = ev.get("args");
+        match ph {
+            "X" => spans.push(SpanRec {
+                name: ev.get("name").and_then(str_of).unwrap_or("?").to_string(),
+                dur_us: field_u64(ev, "dur").unwrap_or(0),
+                span: args.and_then(|a| field_u64(a, "span")).unwrap_or(0),
+                parent: args.and_then(|a| field_u64(a, "parent")).unwrap_or(0),
+                aborted: matches!(
+                    args.and_then(|a| a.get("aborted")),
+                    Some(Content::Bool(true))
+                ),
+            }),
+            "i" if ev.get("cat").and_then(str_of) == Some("job") => {
+                let Some(args) = args else { continue };
+                let deps = match args.get("deps") {
+                    Some(Content::Seq(d)) => d.iter().filter_map(Content::as_u64).collect(),
+                    _ => Vec::new(),
+                };
+                jobs.push(JobRec {
+                    job: field_u64(args, "job").unwrap_or(0),
+                    name: ev.get("name").and_then(str_of).unwrap_or("?").to_string(),
+                    deps,
+                    worker: field_u64(args, "worker").unwrap_or(0),
+                    outcome: args
+                        .get("outcome")
+                        .and_then(str_of)
+                        .unwrap_or("?")
+                        .to_string(),
+                    end_us: field_u64(ev, "ts").unwrap_or(0),
+                    elapsed_us: field_u64(args, "elapsed_us").unwrap_or(0),
+                });
+            }
+            "C" => {
+                let name = ev.get("name").and_then(str_of).unwrap_or("?");
+                let value = args
+                    .and_then(|a| a.get("value"))
+                    .and_then(Content::as_f64)
+                    .unwrap_or(0.0);
+                let entry = counters
+                    .entry(name.to_string())
+                    .or_insert((0, value, value));
+                entry.0 += 1;
+                entry.1 = value;
+                entry.2 = entry.2.max(value);
+            }
+            _ => {}
+        }
+    }
+
+    println!("trace: {path}");
+    println!(
+        "  {} span(s), {} job(s), {} counter track(s)",
+        spans.len(),
+        jobs.len(),
+        counters.len()
+    );
+
+    print_critical_path(&jobs);
+    print_phases(&spans);
+    print_slowest(&jobs, top);
+    print_counters(&counters);
+    print_histograms(root.get("parrotHistograms"));
+    0
+}
+
+/// Longest dependency chain by job wall clock, recovered purely from the
+/// `JobDone` edge lists (no original DAG needed). Skipped jobs carry zero
+/// duration, so they never dominate a chain.
+fn print_critical_path(jobs: &[JobRec]) {
+    if jobs.is_empty() {
+        return;
+    }
+    let by_id: BTreeMap<u64, &JobRec> = jobs.iter().map(|j| (j.job, j)).collect();
+    // Longest-path DP in job-id order (the harness hands out ids in
+    // insertion order, so every dependency has a smaller id).
+    let mut chain_us: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut best_dep: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+    for (&id, job) in &by_id {
+        let (dep, upstream) = job
+            .deps
+            .iter()
+            .filter_map(|d| chain_us.get(d).map(|&us| (Some(*d), us)))
+            .max_by_key(|&(_, us)| us)
+            .unwrap_or((None, 0));
+        chain_us.insert(id, upstream + job.elapsed_us);
+        best_dep.insert(id, dep);
+    }
+    let Some((&tail, &total_us)) = chain_us.iter().max_by_key(|&(_, &us)| us) else {
+        return;
+    };
+    let mut path = vec![tail];
+    while let Some(Some(dep)) = best_dep.get(path.last().expect("non-empty")) {
+        path.push(*dep);
+    }
+    path.reverse();
+
+    let start_us = jobs.iter().map(|j| j.end_us - j.elapsed_us).min().unwrap();
+    let end_us = jobs.iter().map(|j| j.end_us).max().unwrap();
+    println!(
+        "\ncritical path ({} job(s), {}):",
+        path.len(),
+        fmt_us(total_us)
+    );
+    for id in path {
+        let j = by_id[&id];
+        println!(
+            "  #{:<4} {:<28} {:>10}  worker {}  [{}]",
+            j.job,
+            j.name,
+            fmt_us(j.elapsed_us),
+            j.worker,
+            j.outcome
+        );
+    }
+    println!(
+        "  span of all jobs: {} (critical path covers {:.0}%)",
+        fmt_us(end_us - start_us),
+        100.0 * total_us as f64 / (end_us - start_us).max(1) as f64
+    );
+}
+
+/// Per-phase totals: `total` sums every span of that name; `self`
+/// subtracts the time covered by child spans, so a phase that merely
+/// waits on children shows near-zero self time.
+fn print_phases(spans: &[SpanRec]) {
+    if spans.is_empty() {
+        return;
+    }
+    let name_of: BTreeMap<u64, &str> = spans.iter().map(|s| (s.span, s.name.as_str())).collect();
+    struct Agg {
+        count: u64,
+        total_us: u64,
+        self_us: i64,
+        aborted: u64,
+    }
+    let mut phases: BTreeMap<&str, Agg> = BTreeMap::new();
+    for s in spans {
+        let a = phases.entry(&s.name).or_insert(Agg {
+            count: 0,
+            total_us: 0,
+            self_us: 0,
+            aborted: 0,
+        });
+        a.count += 1;
+        a.total_us += s.dur_us;
+        a.self_us += s.dur_us as i64;
+        a.aborted += u64::from(s.aborted);
+    }
+    for s in spans {
+        if let Some(parent_name) = name_of.get(&s.parent) {
+            if let Some(a) = phases.get_mut(parent_name) {
+                a.self_us -= s.dur_us as i64;
+            }
+        }
+    }
+    let mut rows: Vec<_> = phases.into_iter().collect();
+    rows.sort_by_key(|(_, a)| std::cmp::Reverse(a.total_us));
+    println!("\nphases (self vs total):");
+    println!(
+        "  {:<32} {:>6} {:>12} {:>12}",
+        "phase", "count", "self", "total"
+    );
+    for (name, a) in rows {
+        let aborted = if a.aborted > 0 {
+            format!("  ({} aborted)", a.aborted)
+        } else {
+            String::new()
+        };
+        println!(
+            "  {:<32} {:>6} {:>12} {:>12}{aborted}",
+            name,
+            a.count,
+            fmt_us(a.self_us.max(0) as u64),
+            fmt_us(a.total_us)
+        );
+    }
+}
+
+fn print_slowest(jobs: &[JobRec], top: usize) {
+    if jobs.is_empty() || top == 0 {
+        return;
+    }
+    let mut sorted: Vec<&JobRec> = jobs.iter().collect();
+    sorted.sort_by_key(|j| std::cmp::Reverse(j.elapsed_us));
+    println!("\nslowest jobs:");
+    for j in sorted.into_iter().take(top) {
+        println!(
+            "  #{:<4} {:<28} {:>10}  worker {}  [{}]",
+            j.job,
+            j.name,
+            fmt_us(j.elapsed_us),
+            j.worker,
+            j.outcome
+        );
+    }
+}
+
+fn print_counters(counters: &BTreeMap<String, (u64, f64, f64)>) {
+    if counters.is_empty() {
+        return;
+    }
+    println!("\ncounters:");
+    println!(
+        "  {:<36} {:>8} {:>12} {:>12}",
+        "counter", "samples", "last", "max"
+    );
+    for (name, (n, last, max)) in counters {
+        println!("  {name:<36} {n:>8} {last:>12.2} {max:>12.2}");
+    }
+}
+
+fn print_histograms(footer: Option<&Content>) {
+    let Some(Content::Map(entries)) = footer else {
+        return;
+    };
+    if entries.is_empty() {
+        return;
+    }
+    println!("\nhistograms:");
+    println!(
+        "  {:<36} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "name", "count", "mean", "p50", "p90", "p99", "max"
+    );
+    for (name, content) in entries {
+        // Round-trip through JSON text: the footer stores full serialized
+        // histograms, so percentile queries run on the real bucket state.
+        let json = serde::json::to_string(content);
+        match serde::json::from_str::<telemetry::Histogram>(&json) {
+            Ok(hist) => println!(
+                "  {:<36} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                name,
+                hist.count,
+                hist.mean(),
+                hist.p50(),
+                hist.p90(),
+                hist.p99(),
+                hist.max
+            ),
+            Err(e) => println!("  {name:<36} (unreadable: {e})"),
+        }
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}

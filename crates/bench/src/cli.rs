@@ -15,6 +15,12 @@ pub struct Options {
     pub log_level: Level,
     /// Directory for per-benchmark JSON run reports (`--json-out`).
     pub json_out: Option<PathBuf>,
+    /// Chrome trace-event output file (`--trace-out`, loadable in
+    /// Perfetto / `chrome://tracing` and readable by `parrot-trace`).
+    pub trace_out: Option<PathBuf>,
+    /// Counter-sampling interval in microseconds while tracing
+    /// (`--trace-sample-us`, default 10000).
+    pub trace_sample_us: u64,
     /// Worker threads for the experiment scheduler (`--jobs`, 0 = one per
     /// core).
     pub jobs: usize,
@@ -43,6 +49,8 @@ impl Options {
         let mut only = None;
         let mut log_level = Level::Off;
         let mut json_out = None;
+        let mut trace_out = None;
+        let mut trace_sample_us = 10_000u64;
         let mut jobs = 0usize;
         let mut cache_dir = None;
         let mut seed = harness::DEFAULT_ROOT_SEED;
@@ -93,20 +101,47 @@ impl Options {
                         .unwrap_or_else(|| usage("--json-out needs a directory"));
                     json_out = Some(PathBuf::from(dir));
                 }
+                "--trace-out" => {
+                    let file = args
+                        .next()
+                        .unwrap_or_else(|| usage("--trace-out needs a file"));
+                    trace_out = Some(PathBuf::from(file));
+                }
+                "--trace-sample-us" => {
+                    let value = args
+                        .next()
+                        .unwrap_or_else(|| usage("--trace-sample-us needs a number"));
+                    trace_sample_us = value.parse().unwrap_or_else(|_| {
+                        usage(&format!("--trace-sample-us: not a number: {value}"))
+                    });
+                }
                 "--help" | "-h" => usage(""),
                 other if !other.starts_with('-') => experiments.push(other.to_string()),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
-        telemetry::set_level(log_level);
+        // The stderr printer follows the user's explicit --log-level; the
+        // trace sink additionally needs span/flow/counter events, which
+        // are emitted at Info, so tracing raises the global level floor.
         if log_level > Level::Off {
             telemetry::install_stderr_sink();
+        }
+        if trace_out.is_some() && log_level < Level::Info {
+            log_level = Level::Info;
+        }
+        telemetry::set_level(log_level);
+        if let Some(path) = &trace_out {
+            if let Err(e) = telemetry::install_trace_sink(path) {
+                usage(&format!("--trace-out {}: {e}", path.display()));
+            }
         }
         Options {
             fast,
             only,
             log_level,
             json_out,
+            trace_out,
+            trace_sample_us,
             jobs,
             cache_dir,
             seed,
@@ -151,6 +186,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("usage: <binary> [experiments…] [--fast|--paper] [--bench <name>] [--jobs N]");
     eprintln!("                [--cache-dir <dir>] [--seed N] [--require-warm]");
     eprintln!("                [--log-level <level>] [--json-out <dir>]");
+    eprintln!("                [--trace-out <file>] [--trace-sample-us N]");
     eprintln!("  experiments    table1 fig6 fig7 fig8 fig9 fig10 fig11 report (default: all)");
     eprintln!("  --fast         reduced inputs and training budget");
     eprintln!("  --paper        the paper's input sizes (default)");
@@ -165,5 +201,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "  --json-out     write JSON run reports (per benchmark + sweep) into this directory"
     );
+    eprintln!("  --trace-out    write a Chrome trace-event JSON file (Perfetto, parrot-trace)");
+    eprintln!("  --trace-sample-us  counter-sampling interval while tracing (default 10000)");
     std::process::exit(2);
 }

@@ -22,6 +22,10 @@ pub fn spec(suite_name: &str, opts: &Options) -> SweepSpec {
     spec.jobs = opts.jobs;
     spec.cache_dir = opts.cache_dir.clone();
     spec.root_seed = opts.seed;
+    // Counter time-series only make sense when someone is recording them.
+    if opts.trace_out.is_some() {
+        spec.sample_interval_us = Some(opts.trace_sample_us);
+    }
     spec
 }
 
@@ -130,6 +134,31 @@ pub fn run(suite_name: &str, opts: &Options, default_experiments: &[Experiment])
 
     present::print_scheduler(&result.scheduler);
     present::print_peak_trace_buffer(peak_trace_buffer);
+
+    // Trace epilogue: snapshot every distribution the sweep produced into
+    // the event stream (the Chrome sink folds them into the trace file's
+    // `parrotHistograms` footer), then flush — the global sink registry
+    // is never dropped, so the footer is only written here.
+    let snapshot = |name: &str, hist: &telemetry::Histogram| {
+        telemetry::emit(telemetry::Level::Info, "bench::drive", || {
+            telemetry::EventKind::HistogramSnapshot {
+                name: name.to_string(),
+                hist: hist.clone(),
+            }
+        });
+    };
+    for (stage, hist) in &result.stage_job_us {
+        snapshot(&format!("sched.job_us.{stage}"), hist);
+    }
+    for (name, hist) in result.samples.histograms() {
+        snapshot(name, hist);
+    }
+    for report in result.reports() {
+        for (name, dist) in &report.distributions {
+            snapshot(&format!("{}.{name}", report.benchmark), &dist.hist);
+        }
+    }
+    telemetry::flush_sinks();
 
     // One broken benchmark must not hide the others' results — everything
     // above still ran and printed — but the process has to say so.

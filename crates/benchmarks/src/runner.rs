@@ -6,6 +6,17 @@ use approx_ir::{CountingSink, Interpreter, IrError, NullSink, TraceSink, Value};
 use parrot::NpuRuntime;
 use uarch::{Core, CoreConfig, NpuAttachment, SimStats};
 
+/// NPU-side results of a timed run: the architectural event counters
+/// plus the per-invocation latency distribution (simulated cycles — both
+/// deterministic for a given trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpuRunStats {
+    /// Architectural event counters.
+    pub stats: npu::NpuStats,
+    /// Per-invocation latency distribution in simulated cycles.
+    pub invocation_cycles: telemetry::Histogram,
+}
+
 /// The outcome of one application run.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -101,7 +112,7 @@ pub fn run_timed(
     app: &App,
     variant: &AppVariant<'_>,
     cfg: CoreConfig,
-) -> Result<(RunOutput, SimStats, Option<npu::NpuStats>), IrError> {
+) -> Result<(RunOutput, SimStats, Option<NpuRunStats>), IrError> {
     let mut core = match variant {
         AppVariant::Npu(compiled) => {
             let sim = compiled.make_npu().expect("compiled region fits its npu");
@@ -113,8 +124,15 @@ pub fn run_timed(
     // Drain the pipeline first: in-flight invocations complete during
     // finish(), so NPU statistics are only final afterwards.
     let stats = core.finish();
-    let npu_stats = core.npu_stats();
+    let npu_stats = npu_run_stats(&core);
     Ok((out, stats, npu_stats))
+}
+
+fn npu_run_stats(core: &Core) -> Option<NpuRunStats> {
+    Some(NpuRunStats {
+        stats: core.npu_stats()?,
+        invocation_cycles: core.npu_invocation_cycles()?,
+    })
 }
 
 /// Like [`run_timed`] but with an explicitly constructed (already
@@ -129,11 +147,11 @@ pub fn run_timed_with_npu(
     variant: &AppVariant<'_>,
     cfg: CoreConfig,
     sim: npu::NpuSim,
-) -> Result<(RunOutput, SimStats, Option<npu::NpuStats>), IrError> {
+) -> Result<(RunOutput, SimStats, Option<NpuRunStats>), IrError> {
     let mut core = Core::with_npu(cfg, sim);
     let out = run_app(app, variant, &mut core)?;
     let stats = core.finish();
-    let npu_stats = core.npu_stats();
+    let npu_stats = npu_run_stats(&core);
     Ok((out, stats, npu_stats))
 }
 

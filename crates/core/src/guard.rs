@@ -148,6 +148,7 @@ pub struct ErrorSampler<'a> {
     samples: u64,
     total_abs_error: f64,
     max_abs_error: f64,
+    error_hist: telemetry::Histogram,
 }
 
 impl<'a> ErrorSampler<'a> {
@@ -166,6 +167,7 @@ impl<'a> ErrorSampler<'a> {
             samples: 0,
             total_abs_error: 0.0,
             max_abs_error: 0.0,
+            error_hist: telemetry::Histogram::default(),
         }
     }
 
@@ -184,6 +186,7 @@ impl<'a> ErrorSampler<'a> {
                 let e = (a - p).abs() as f64;
                 self.total_abs_error += e;
                 self.max_abs_error = self.max_abs_error.max(e);
+                self.error_hist.observe(e);
             }
             self.samples += 1;
         }
@@ -208,6 +211,13 @@ impl<'a> ErrorSampler<'a> {
     /// Number of sampled invocations.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Distribution of per-output absolute errors across sampled
+    /// invocations — the tail (p99/p99.9) is what drift detection will
+    /// watch, where the mean hides rare large misses.
+    pub fn error_distribution(&self) -> &telemetry::Histogram {
+        &self.error_hist
     }
 }
 
@@ -303,6 +313,10 @@ mod tests {
             sampler.mean_abs_error()
         );
         assert!(sampler.max_abs_error() >= sampler.mean_abs_error());
+        let dist = sampler.error_distribution();
+        assert_eq!(dist.count, 25, "one output per sampled invocation");
+        assert_eq!(dist.max, sampler.max_abs_error());
+        assert!(dist.p99() <= dist.max && dist.p50() <= dist.p99());
     }
 
     #[test]

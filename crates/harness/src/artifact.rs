@@ -31,12 +31,16 @@ pub struct CountsArtifact {
 }
 
 /// Core (and optionally NPU) statistics from one cycle-level run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingArtifact {
     /// Final core statistics.
     pub stats: uarch::SimStats,
     /// NPU statistics when a cycle-accurate NPU was attached.
     pub npu: Option<npu::NpuStats>,
+    /// Per-invocation NPU latency distribution in simulated cycles
+    /// (deterministic — cached and diffed like every other artifact
+    /// field).
+    pub npu_invocation_cycles: Option<telemetry::Histogram>,
 }
 
 /// Whole-system energy for the baseline, NPU, and ideal-NPU runs.
@@ -159,6 +163,12 @@ mod tests {
                     ..uarch::SimStats::default()
                 },
                 npu: None,
+                npu_invocation_cycles: Some({
+                    let mut h = telemetry::Histogram::default();
+                    h.observe(64.0);
+                    h.observe(66.0);
+                    h
+                }),
             }),
             Artifact::Energy(EnergyArtifact {
                 baseline_pj: 10.0,

@@ -70,10 +70,12 @@ impl ArtifactCache {
     /// Loads the artifact stored under `(stage, key)`, if any. Counts a
     /// hit or miss; a file that exists but does not parse is a miss.
     pub fn load(&self, stage: &str, key: &str) -> Option<Artifact> {
+        let t0 = std::time::Instant::now();
         let path = self.path_for(stage, key);
         let loaded = std::fs::read_to_string(&path)
             .ok()
             .and_then(|text| serde::json::from_str::<Artifact>(&text).ok());
+        telemetry::record_sample("harness.cache.lookup_us", t0.elapsed().as_micros() as f64);
         match loaded {
             Some(artifact) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);

@@ -13,6 +13,14 @@
 //! and skips execution on a hit; after a successful run it stores the
 //! artifact back. Failures propagate: dependents of a failed job are
 //! marked skipped without running.
+//!
+//! Tracing: the submitting thread captures one [`telemetry::Handoff`]
+//! per job inside the sweep-level span, and the worker adopts it before
+//! opening the job's own span — so every worker-side span is parented to
+//! the sweep span that enqueued it (with a flow arrow in Perfetto), no
+//! matter which thread runs the job. Each terminal state also emits a
+//! [`telemetry::EventKind::JobDone`] instant carrying the DAG edge list,
+//! which is what `parrot-trace` replays to recover the critical path.
 
 use crate::artifact::Artifact;
 use crate::cache::ArtifactCache;
@@ -58,11 +66,28 @@ pub struct ExecStats {
     /// Per-stage wall clock, microseconds, summed over jobs (cache hits
     /// contribute their load time).
     pub stage_wall_us: BTreeMap<String, u64>,
+    /// Per-stage job-duration distributions in microseconds (same
+    /// samples the `stage_wall_us` sums are built from).
+    pub stage_job_us: BTreeMap<String, telemetry::Histogram>,
+}
+
+/// Execution knobs beyond the DAG itself.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker threads (clamped to at least 1 and at most the job count).
+    pub workers: usize,
+    /// When set, a sampler thread emits [`telemetry::EventKind::CounterSample`]
+    /// events (queue depth, cache traffic, trace-buffer high-water mark)
+    /// at this interval for the duration of the run.
+    pub sample_interval: Option<Duration>,
 }
 
 struct Shared<'d> {
     dag: &'d JobDag,
     cache: Option<&'d ArtifactCache>,
+    /// One handoff token per job, captured on the submitting thread so
+    /// worker-side job spans parent to the sweep-level span.
+    handoffs: Vec<telemetry::Handoff>,
     results: Vec<Mutex<Option<JobResult>>>,
     pending: Vec<AtomicUsize>,
     dependents: Vec<Vec<JobId>>,
@@ -76,6 +101,7 @@ struct Shared<'d> {
     failed: AtomicU64,
     skipped: AtomicU64,
     stage_wall: Mutex<BTreeMap<String, u64>>,
+    stage_hist: Mutex<BTreeMap<String, telemetry::Histogram>>,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
 }
@@ -127,6 +153,22 @@ impl Shared<'_> {
         }
     }
 
+    fn emit_job_done(&self, job: JobId, worker: usize, outcome: &str, span: u64, elapsed_us: u64) {
+        let node = &self.dag.jobs()[job];
+        telemetry::emit(telemetry::Level::Info, "harness::exec", || {
+            telemetry::EventKind::JobDone {
+                job: job as u64,
+                bench: node.bench.clone(),
+                stage: node.stage.clone(),
+                deps: node.deps.iter().map(|&d| d as u64).collect(),
+                worker: worker as u64,
+                outcome: outcome.to_string(),
+                span,
+                elapsed_us,
+            }
+        });
+    }
+
     fn run_job(&self, worker: usize, job: JobId) {
         let node = &self.dag.jobs()[job];
 
@@ -139,6 +181,7 @@ impl Shared<'_> {
                 Some(JobResult::Failed(_)) | Some(JobResult::Skipped) => {
                     self.skipped.fetch_add(1, Ordering::Relaxed);
                     drop(dep_result);
+                    self.emit_job_done(job, worker, "skipped", 0, 0);
                     self.finalize(worker, job, JobResult::Skipped);
                     return;
                 }
@@ -146,15 +189,21 @@ impl Shared<'_> {
             }
         }
 
+        // Adopt the submit-side handoff: the job span below parents to
+        // the sweep-level span (with a flow arrow in the trace viewer)
+        // even though it runs on a worker thread.
+        let _ctx = self.handoffs[job].adopt("harness::exec");
         let span = telemetry::span("harness::exec", &format!("{}.{}", node.stage, node.bench));
+        let span_id = span.id();
         let t0 = Instant::now();
 
         // Warm path: serve from the cache without running the body.
         if let (Some(cache), Some(key)) = (self.cache, node.key.as_deref()) {
             if let Some(artifact) = cache.load(&node.stage, key) {
                 self.from_cache.fetch_add(1, Ordering::Relaxed);
-                self.record_stage(&node.stage, t0);
+                let elapsed_us = self.record_stage(&node.stage, t0);
                 drop(span);
+                self.emit_job_done(job, worker, "cached", span_id, elapsed_us);
                 self.finalize(
                     worker,
                     job,
@@ -188,12 +237,18 @@ impl Shared<'_> {
                 JobResult::Failed(e)
             }
         };
-        self.record_stage(&node.stage, t0);
+        let outcome = match &result {
+            JobResult::Done { .. } => "done",
+            JobResult::Failed(_) => "failed",
+            JobResult::Skipped => unreachable!("body ran"),
+        };
+        let elapsed_us = self.record_stage(&node.stage, t0);
         drop(span);
+        self.emit_job_done(job, worker, outcome, span_id, elapsed_us);
         self.finalize(worker, job, result);
     }
 
-    fn record_stage(&self, stage: &str, t0: Instant) {
+    fn record_stage(&self, stage: &str, t0: Instant) -> u64 {
         let us = t0.elapsed().as_micros() as u64;
         *self
             .stage_wall
@@ -201,6 +256,13 @@ impl Shared<'_> {
             .expect("stage lock")
             .entry(stage.to_string())
             .or_insert(0) += us;
+        self.stage_hist
+            .lock()
+            .expect("stage hist lock")
+            .entry(stage.to_string())
+            .or_default()
+            .observe(us as f64);
+        us
     }
 
     fn worker_loop(&self, worker: usize) {
@@ -226,14 +288,65 @@ impl Shared<'_> {
 }
 
 /// Runs every job of `dag` on `workers` threads (clamped to at least 1)
-/// and returns per-job results plus aggregate statistics.
+/// and returns per-job results plus aggregate statistics. No counter
+/// sampling; see [`execute_opts`].
 pub fn execute(
     dag: &JobDag,
     cache: Option<&ArtifactCache>,
     workers: usize,
 ) -> (Vec<JobResult>, ExecStats) {
+    execute_opts(
+        dag,
+        cache,
+        &ExecOptions {
+            workers,
+            sample_interval: None,
+        },
+    )
+}
+
+/// Emits one round of counter samples (queue depth, cache traffic, the
+/// uarch trace-buffer high-water mark).
+fn sample_counters(shared: &Shared<'_>) {
+    let emit = |name: &str, value: f64| {
+        telemetry::emit(telemetry::Level::Info, "harness::exec", || {
+            telemetry::EventKind::CounterSample {
+                name: name.to_string(),
+                value,
+            }
+        });
+    };
+    emit(
+        "sched.queue_depth",
+        shared.ready.load(Ordering::Relaxed) as f64,
+    );
+    emit(
+        "sched.jobs_remaining",
+        shared.remaining.load(Ordering::Relaxed) as f64,
+    );
+    if let Some(cache) = shared.cache {
+        let (hits, misses, _) = cache.stats().snapshot();
+        emit("cache.hits", hits as f64);
+        emit("cache.misses", misses as f64);
+        if hits + misses > 0 {
+            emit("cache.hit_rate", hits as f64 / (hits + misses) as f64);
+        }
+    }
+    emit(
+        "scheduler.peak_trace_buffer_events",
+        uarch::peak_trace_buffer() as f64,
+    );
+}
+
+/// [`execute`] with explicit [`ExecOptions`] (worker count + optional
+/// counter-sampling interval).
+pub fn execute_opts(
+    dag: &JobDag,
+    cache: Option<&ArtifactCache>,
+    opts: &ExecOptions,
+) -> (Vec<JobResult>, ExecStats) {
     let n = dag.len();
-    let workers = workers.max(1).min(n.max(1));
+    let workers = opts.workers.max(1).min(n.max(1));
     let t0 = Instant::now();
 
     let mut dependents = vec![Vec::new(); n];
@@ -245,6 +358,11 @@ pub fn execute(
     let shared = Shared {
         dag,
         cache,
+        // Captured here, on the submitting thread, so each token's parent
+        // is the caller's current span (the sweep span).
+        handoffs: (0..n)
+            .map(|_| telemetry::handoff("harness::exec"))
+            .collect(),
         results: (0..n).map(|_| Mutex::new(None)).collect(),
         pending: dag
             .jobs()
@@ -262,6 +380,7 @@ pub fn execute(
         failed: AtomicU64::new(0),
         skipped: AtomicU64::new(0),
         stage_wall: Mutex::new(BTreeMap::new()),
+        stage_hist: Mutex::new(BTreeMap::new()),
         idle_lock: Mutex::new(()),
         idle_cv: Condvar::new(),
     };
@@ -285,6 +404,28 @@ pub fn execute(
                 let shared = &shared;
                 scope.spawn(move || shared.worker_loop(worker));
             }
+            // Sampler: wakes at the configured interval until the last
+            // job finalizes (`remaining` doubles as the stop flag), then
+            // takes one final sample so short runs still get a data
+            // point per counter.
+            if let Some(interval) = opts.sample_interval {
+                let shared = &shared;
+                scope.spawn(move || loop {
+                    sample_counters(shared);
+                    // Sleep in short slices so run completion never waits
+                    // a full sampling interval on this thread.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval {
+                        if shared.remaining.load(Ordering::Acquire) == 0 {
+                            sample_counters(shared);
+                            return;
+                        }
+                        let chunk = (interval - slept).min(Duration::from_millis(5));
+                        std::thread::sleep(chunk);
+                        slept += chunk;
+                    }
+                });
+            }
         });
     }
 
@@ -307,6 +448,7 @@ pub fn execute(
         max_queue_depth: shared.max_ready.load(Ordering::Relaxed) as u64,
         wall_clock_us: t0.elapsed().as_micros() as u64,
         stage_wall_us: shared.stage_wall.into_inner().expect("stage lock"),
+        stage_job_us: shared.stage_hist.into_inner().expect("stage hist lock"),
     };
     (results, stats)
 }

@@ -7,7 +7,7 @@
 //!                        sim_soft / sim_link_* / sim_pes_*
 //! outputs_base / counts_base / sim_cpu            (no training needed)
 //! energy  ◄── sim_cpu + sim_npu + sim_ideal
-//! report  ◄── train + sim_cpu + sim_npu
+//! report  ◄── train + sim_cpu + sim_npu + outputs_base + outputs_npu
 //! ```
 //!
 //! Cache keys are Merkle-style: every downstream key folds in its
@@ -28,7 +28,10 @@ use uarch::CoreConfig;
 /// Bumped whenever simulator, application-glue, or artifact semantics
 /// change in a way the other key inputs cannot see; folded into every
 /// cache key so stale artifacts from older pipeline versions never hit.
-pub const PIPELINE_VERSION: u64 = 1;
+///
+/// v2: `TimingArtifact` gained `npu_invocation_cycles` and the report
+/// schema moved to v4 (distributions section).
+pub const PIPELINE_VERSION: u64 = 2;
 
 fn base_hasher(tag: &str) -> KeyHasher {
     let mut h = KeyHasher::new(tag);
@@ -77,7 +80,19 @@ fn timed(
     let app = bench.build_app(variant, scale);
     let (_, stats, npu) =
         runner::run_timed(&app, variant, cfg).map_err(|e| format!("timed run failed: {e}"))?;
-    Ok(TimingArtifact { stats, npu })
+    Ok(timing_artifact(stats, npu))
+}
+
+fn timing_artifact(stats: uarch::SimStats, npu: Option<runner::NpuRunStats>) -> TimingArtifact {
+    let (npu, npu_invocation_cycles) = match npu {
+        Some(n) => (Some(n.stats), Some(n.invocation_cycles)),
+        None => (None, None),
+    };
+    TimingArtifact {
+        stats,
+        npu,
+        npu_invocation_cycles,
+    }
 }
 
 /// The per-benchmark inputs of [`add_benchmark_jobs`].
@@ -190,20 +205,26 @@ pub fn add_benchmark_jobs(
         )
     });
 
-    // ---- functional outputs (Table 1, Figure 6) ---------------------
-    if plan.outputs {
-        let key = {
-            let mut h = base_hasher("outputs_base");
-            h.update_str(name);
-            h.update_str(&ir_text);
-            h.update_json(&scale);
-            h.digest()
-        };
+    // ---- functional outputs (Table 1, Figure 6, report) -------------
+    let outputs_base_key = {
+        let mut h = base_hasher("outputs_base");
+        h.update_str(name);
+        h.update_str(&ir_text);
+        h.update_json(&scale);
+        h.digest()
+    };
+    let outputs_npu_key = {
+        let mut h = base_hasher("outputs_npu");
+        h.update_str(&train_key);
+        h.update_json(&scale);
+        h.digest()
+    };
+    let (outputs_base_id, outputs_npu_id) = if plan.outputs {
         let job_name = name_owned.clone();
-        dag.add(
+        let base_id = dag.add(
             "outputs_base",
             name,
-            Some(key),
+            Some(outputs_base_key.clone()),
             vec![],
             Box::new(move |_| {
                 let bench = lookup(&job_name)?;
@@ -214,18 +235,12 @@ pub fn add_benchmark_jobs(
             }),
         );
 
-        let key = {
-            let mut h = base_hasher("outputs_npu");
-            h.update_str(&train_key);
-            h.update_json(&scale);
-            h.digest()
-        };
         let job_name = name_owned.clone();
         let job_params = Arc::clone(&params);
-        dag.add(
+        let npu_id = dag.add(
             "outputs_npu",
             name,
-            Some(key),
+            Some(outputs_npu_key.clone()),
             vec![train_id.expect("outputs_npu requires train")],
             Box::new(move |deps| {
                 let (bench, compiled) = assemble(&job_name, deps[0].as_train()?, &job_params)?;
@@ -238,7 +253,10 @@ pub fn add_benchmark_jobs(
                 ))
             }),
         );
-    }
+        (Some(base_id), Some(npu_id))
+    } else {
+        (None, None)
+    };
 
     // ---- instruction counts (Figure 7) ------------------------------
     if plan.counts {
@@ -385,7 +403,7 @@ pub fn add_benchmark_jobs(
                     t.outputs(),
                 )
                 .map_err(|e| format!("{job_name}: ideal run failed: {e}"))?;
-                Ok(Artifact::Timing(TimingArtifact { stats, npu: None }))
+                Ok(Artifact::Timing(timing_artifact(stats, None)))
             }),
         ))
     } else {
@@ -478,7 +496,7 @@ pub fn add_benchmark_jobs(
                 let (_, stats, npu) =
                     runner::run_timed_with_npu(&app, &variant, CoreConfig::penryn_like(), sim)
                         .map_err(|e| format!("{job_name}: pe sweep run failed: {e}"))?;
-                Ok(Artifact::Timing(TimingArtifact { stats, npu }))
+                Ok(Artifact::Timing(timing_artifact(stats, npu)))
             }),
         );
     }
@@ -527,6 +545,8 @@ pub fn add_benchmark_jobs(
             h.update_str(&train_key);
             h.update_str(&sim_cpu_key);
             h.update_str(&sim_npu_key);
+            h.update_str(&outputs_base_key);
+            h.update_str(&outputs_npu_key);
             h.digest()
         };
         let job_name = name_owned.clone();
@@ -539,11 +559,15 @@ pub fn add_benchmark_jobs(
                 train_id.expect("report requires train"),
                 sim_cpu_id.expect("report requires sim_cpu"),
                 sim_npu_id.expect("report requires sim_npu"),
+                outputs_base_id.expect("report requires outputs_base"),
+                outputs_npu_id.expect("report requires outputs_npu"),
             ],
             Box::new(move |deps| {
                 let train = deps[0].as_train()?;
                 let base = deps[1].as_timing()?;
                 let with_npu = deps[2].as_timing()?;
+                let out_base = deps[3].as_outputs()?;
+                let out_npu = deps[4].as_outputs()?;
                 let bench = lookup(&job_name)?;
                 let verify = bench
                     .region()
@@ -576,6 +600,17 @@ pub fn add_benchmark_jobs(
                         base.stats.cycles as f64 / with_npu.stats.cycles as f64,
                     );
                 }
+                // Distributions: both are functions of the simulated trace
+                // and the functional outputs — deterministic, so safe in
+                // this bit-identical-across-`--jobs` report.
+                if let Some(hist) = &with_npu.npu_invocation_cycles {
+                    report.push_distribution("npu.invocation_cycles", hist);
+                }
+                let mut err = telemetry::Histogram::default();
+                for e in bench.element_errors(out_base, out_npu) {
+                    err.observe(e);
+                }
+                report.push_distribution("region.output_error", &err);
                 Ok(Artifact::Report(report))
             }),
         );

@@ -108,7 +108,8 @@ impl Experiment {
 pub struct StagePlan {
     /// `observe` + `train` (any experiment that needs a network).
     pub train: bool,
-    /// Functional output runs (Table 1, Figure 6).
+    /// Functional output runs (Table 1, Figure 6, and the report's
+    /// output-error distribution).
     pub outputs: bool,
     /// Instruction-counting runs (Figure 7).
     pub counts: bool,
@@ -141,7 +142,7 @@ impl StagePlan {
     ) -> StagePlan {
         let has = |e: Experiment| experiments.contains(&e);
         let mut plan = StagePlan {
-            outputs: has(Experiment::Table1) || has(Experiment::Fig6),
+            outputs: has(Experiment::Table1) || has(Experiment::Fig6) || has(Experiment::Report),
             counts: has(Experiment::Fig7),
             sim_cpu: has(Experiment::Fig8)
                 || has(Experiment::Fig9)
@@ -194,6 +195,10 @@ pub struct SweepSpec {
     pub root_seed: u64,
     /// Worker threads (`0` = one per available core).
     pub jobs: usize,
+    /// Counter-sampling interval in microseconds (`None` disables the
+    /// sampler thread; queue depth, cache traffic, and the trace-buffer
+    /// high-water mark are then absent from traces).
+    pub sample_interval_us: Option<u64>,
     /// Artifact-cache directory (`None` disables caching).
     pub cache_dir: Option<PathBuf>,
     /// Benchmarks to run (empty = all, in canonical order).
@@ -219,6 +224,7 @@ impl SweepSpec {
             compile,
             root_seed: DEFAULT_ROOT_SEED,
             jobs: 0,
+            sample_interval_us: None,
             cache_dir: None,
             benches: Vec::new(),
             experiments: Experiment::all(),
@@ -254,6 +260,12 @@ pub struct SweepResult {
     pub skipped: Vec<(String, String)>,
     /// Scheduler and cache accounting for the whole sweep.
     pub scheduler: SchedulerSummary,
+    /// Per-stage job-duration distributions in microseconds.
+    pub stage_job_us: BTreeMap<String, telemetry::Histogram>,
+    /// Wall-clock sample distributions drained from the global registry
+    /// (`ann.train.epoch_us`, `harness.cache.lookup_us`, …) — timing-
+    /// dependent, so they surface only in the sweep-level report.
+    pub samples: telemetry::MetricsRegistry,
     artifacts: BTreeMap<(String, String), Arc<Artifact>>,
 }
 
@@ -324,6 +336,12 @@ impl SweepResult {
         report.wall_clock_us = self.scheduler.wall_clock_us;
         report.scheduler = self.scheduler.clone();
         self.scheduler.export(&mut report.metrics, "scheduler");
+        for (stage, hist) in &self.stage_job_us {
+            report.push_distribution(&format!("sched.job_us.{stage}"), hist);
+        }
+        for (name, hist) in self.samples.histograms() {
+            report.push_distribution(name, hist);
+        }
         report
     }
 }
@@ -406,7 +424,16 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResult, String> {
     }
 
     let cache = spec.cache_dir.as_ref().map(ArtifactCache::new);
-    let (results, stats) = exec::execute(&dag, cache.as_ref(), workers);
+    // Drain stale wall-clock samples (an earlier sweep in this process)
+    // so this sweep's report only carries its own distributions.
+    let _ = telemetry::take_samples();
+    let opts = exec::ExecOptions {
+        workers,
+        sample_interval: spec
+            .sample_interval_us
+            .map(std::time::Duration::from_micros),
+    };
+    let (results, stats) = exec::execute_opts(&dag, cache.as_ref(), &opts);
 
     let mut artifacts = BTreeMap::new();
     let mut failures = Vec::new();
@@ -432,6 +459,8 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResult, String> {
         failures,
         skipped,
         scheduler,
+        stage_job_us: stats.stage_job_us,
+        samples: telemetry::take_samples(),
         artifacts,
     })
 }

@@ -14,20 +14,20 @@ fn warm_run_hits_everything_and_hyperparameter_change_invalidates_downstream_onl
 
     // Cold: every job executes and is written back.
     // The Report experiment schedules observe, train, sim_cpu, sim_npu,
-    // and report — five jobs.
+    // outputs_base, outputs_npu, and report — seven jobs.
     let cold = run_sweep(&spec).expect("cold sweep runs");
     assert!(cold.ok(), "cold failures:\n{}", cold.failure_summary());
-    assert_eq!(cold.scheduler.jobs_total, 5);
-    assert_eq!(cold.scheduler.jobs_executed, 5);
+    assert_eq!(cold.scheduler.jobs_total, 7);
+    assert_eq!(cold.scheduler.jobs_executed, 7);
     assert_eq!(cold.scheduler.jobs_from_cache, 0);
-    assert_eq!(cold.scheduler.cache_writes, 5);
+    assert_eq!(cold.scheduler.cache_writes, 7);
 
     // Warm: identical spec, zero bodies run, reports byte-identical.
     let warm = run_sweep(&spec).expect("warm sweep runs");
     assert!(warm.ok(), "warm failures:\n{}", warm.failure_summary());
     assert!(warm.scheduler.fully_warm(), "{:?}", warm.scheduler);
     assert_eq!(warm.scheduler.jobs_executed, 0);
-    assert_eq!(warm.scheduler.cache_hits, 5);
+    assert_eq!(warm.scheduler.cache_hits, 7);
     assert!((warm.scheduler.hit_rate() - 1.0).abs() < 1e-12);
     assert_eq!(
         cold.reports()[0].to_json(),
@@ -36,9 +36,10 @@ fn warm_run_hits_everything_and_hyperparameter_change_invalidates_downstream_onl
     );
 
     // Change one training hyperparameter: observe's key holds only the
-    // region IR, dataset digest, and scale, and sim_cpu's key has no
-    // training input at all — both must still hit. train, sim_npu, and
-    // report sit downstream of the changed config and must re-run.
+    // region IR, dataset digest, and scale, and sim_cpu's / outputs_base's
+    // keys have no training input at all — all three must still hit.
+    // train, sim_npu, outputs_npu, and report sit downstream of the
+    // changed config and must re-run.
     let mut changed = spec.clone();
     changed.compile.search.train.epochs += 1;
     let partial = run_sweep(&changed).expect("partial sweep runs");
@@ -48,13 +49,13 @@ fn warm_run_hits_everything_and_hyperparameter_change_invalidates_downstream_onl
         partial.failure_summary()
     );
     assert_eq!(
-        partial.scheduler.jobs_from_cache, 2,
-        "observe and sim_cpu must hit: {:?}",
+        partial.scheduler.jobs_from_cache, 3,
+        "observe, sim_cpu, and outputs_base must hit: {:?}",
         partial.scheduler
     );
     assert_eq!(
-        partial.scheduler.jobs_executed, 3,
-        "train, sim_npu, report must re-run: {:?}",
+        partial.scheduler.jobs_executed, 4,
+        "train, sim_npu, outputs_npu, report must re-run: {:?}",
         partial.scheduler
     );
 

@@ -41,6 +41,8 @@ impl PeRun {
 #[derive(Debug, Clone)]
 struct Invocation {
     bus_pc: usize,
+    /// Cycle at which the invocation started (for latency accounting).
+    start_cycle: u64,
     /// Normalized inputs latched from the input FIFO (multi-round layers
     /// re-read latched values instead of re-popping the FIFO).
     latched_inputs: Vec<f32>,
@@ -94,6 +96,9 @@ pub struct NpuSim {
     readback_pos: usize,
     cycle: u64,
     stats: NpuStats,
+    /// Per-invocation latency distribution in simulated cycles (squashed
+    /// invocations are excluded — they never complete architecturally).
+    invocation_hist: telemetry::Histogram,
     /// xorshift64* state for deterministic fault injection.
     fault_rng: u64,
 }
@@ -111,6 +116,7 @@ impl NpuSim {
             readback_pos: 0,
             cycle: 0,
             stats: NpuStats::default(),
+            invocation_hist: telemetry::Histogram::default(),
             fault_rng: params.fault_seed | 1,
             params,
         }
@@ -129,6 +135,11 @@ impl NpuSim {
     /// Accumulated event statistics.
     pub fn stats(&self) -> &NpuStats {
         &self.stats
+    }
+
+    /// Per-invocation latency distribution in simulated cycles.
+    pub fn invocation_cycles(&self) -> &telemetry::Histogram {
+        &self.invocation_hist
     }
 
     /// Whether a configuration is loaded.
@@ -404,6 +415,7 @@ impl NpuSim {
             let n_pes = state.schedule.n_pes;
             state.inv = Some(Invocation {
                 bus_pc: 0,
+                start_cycle: self.cycle,
                 latched_inputs: Vec::new(),
                 input_start: self.input_fifo.consumed(),
                 raw_reads: 0,
@@ -541,12 +553,21 @@ impl NpuSim {
             let raw_reads = inv.raw_reads;
             let outputs = inv.outputs_pushed;
             let input_end = inv.input_start + raw_reads as u64;
+            // Latency in simulated cycles, inclusive of the start cycle —
+            // deterministic, so it may feed per-benchmark reports.
+            let latency = self.cycle - inv.start_cycle + 1;
             state.inv = None;
             state
                 .history
                 .push_back(CompletedRecord { input_end, outputs });
             self.input_fifo.mark_processed(raw_reads);
             self.stats.invocations += 1;
+            self.invocation_hist.observe(latency as f64);
+            if telemetry::enabled(telemetry::Level::Trace) {
+                telemetry::emit(telemetry::Level::Trace, "npu::sim", || {
+                    telemetry::EventKind::NpuInvocation { cycles: latency }
+                });
+            }
             self.retire_history();
         }
     }
@@ -714,6 +735,16 @@ mod tests {
             assert!((got[0] - want[0]).abs() < 1e-6);
         }
         assert_eq!(sim.stats().invocations, 5);
+        let hist = sim.invocation_cycles();
+        assert_eq!(
+            hist.count, 5,
+            "every completed invocation must record its latency"
+        );
+        assert!(hist.min >= 1.0);
+        assert_eq!(
+            hist.min, hist.max,
+            "identical topology must give identical latency"
+        );
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Regenerates `tests/data/run_report_v4.json`, the golden file pinning
+//! the current report schema. Run from the crate directory after an
+//! intentional schema change:
+//!
+//! ```text
+//! cargo run -p telemetry --example gen_golden_v4
+//! ```
+//!
+//! The values mirror the v3 golden so schema diffs stay readable, plus
+//! the v4 `distributions` section and bucketed histogram state.
+
+use telemetry::{Histogram, PhaseTiming, RunReport};
+
+fn main() {
+    let mut report = RunReport::new("parrot-run", "sweep", "fast");
+    report.wall_clock_us = 123_456;
+    for (name, us) in [
+        ("verify", 120),
+        ("observe", 2_000),
+        ("topology_search", 100_000),
+        ("codegen", 450),
+    ] {
+        report.push_phase(PhaseTiming {
+            name: name.into(),
+            elapsed_us: us,
+        });
+    }
+
+    report.lint.record("warning", "dead-store");
+    report.lint.record("info", "unproven-scratch-bounds");
+    report.lint.record("info", "unproven-scratch-bounds");
+
+    report.scheduler.workers = 4;
+    report.scheduler.jobs_total = 12;
+    report.scheduler.jobs_executed = 9;
+    report.scheduler.jobs_from_cache = 3;
+    report.scheduler.cache_hits = 3;
+    report.scheduler.cache_misses = 9;
+    report.scheduler.cache_writes = 9;
+    report.scheduler.max_queue_depth = 6;
+    report.scheduler.wall_clock_us = 123_456;
+    for (stage, us) in [
+        ("observe", 2_000),
+        ("report", 75),
+        ("sim_cpu", 9_000),
+        ("sim_npu", 4_200),
+        ("train", 100_000),
+    ] {
+        report.scheduler.stage_wall_us.insert(stage.into(), us);
+    }
+
+    report.metrics.add("ann.search.candidates", 3);
+    report.metrics.add("lint.infos", 2);
+    report.metrics.add("lint.warnings", 1);
+    report.metrics.add("npu.macs", 5_120);
+    report.metrics.add("scheduler.jobs_from_cache", 3);
+    report.metrics.add("scheduler.jobs_total", 12);
+    report.metrics.add("uarch.baseline.cycles", 900_000);
+    report.metrics.add("uarch.baseline.committed", 1_350_000);
+    report.metrics.set_gauge("npu.occupancy", 0.82);
+    report.metrics.set_gauge("scheduler.cache_hit_rate", 0.25);
+    report.metrics.set_gauge("uarch.baseline.ipc", 1.5);
+    report.metrics.observe("ann.search.test_mse", 0.1);
+    report.metrics.observe("ann.search.test_mse", 0.4);
+
+    let mut cycles = Histogram::default();
+    for latency in [60, 60, 62, 64, 64, 64, 70, 96, 128, 250] {
+        cycles.observe(latency as f64);
+    }
+    report.push_distribution("npu.invocation_cycles", &cycles);
+
+    let mut error = Histogram::default();
+    for e in [0.0, 0.001, 0.004, 0.012, 0.02] {
+        error.observe(e);
+    }
+    report.push_distribution("region.output_error", &error);
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    std::fs::create_dir_all(&path).unwrap();
+    let file = path.join("run_report_v4.json");
+    std::fs::write(&file, report.to_json()).unwrap();
+    println!("wrote {}", file.display());
+}

@@ -1,6 +1,7 @@
 //! Event records: severity levels, the typed event taxonomy, and the
 //! envelope that carries them to sinks.
 
+use crate::Histogram;
 use serde::{Deserialize, Serialize};
 
 /// Event severity, ordered from silent to most verbose.
@@ -71,6 +72,11 @@ pub enum EventKind {
     PhaseStart {
         /// Phase name, e.g. `observe` or `topology_search`.
         phase: String,
+        /// Span id of the phase timer (unique within a process, never 0).
+        span: u64,
+        /// Span id of the enclosing phase on the same logical context
+        /// stack (0 = a root span).
+        parent: u64,
     },
     /// A named phase finished.
     PhaseEnd {
@@ -78,6 +84,64 @@ pub enum EventKind {
         phase: String,
         /// Wall-clock duration of the phase in microseconds.
         elapsed_us: u64,
+        /// Span id matching the `PhaseStart`.
+        span: u64,
+        /// Parent span id matching the `PhaseStart`.
+        parent: u64,
+        /// Whether the span ended during a panic unwind instead of a
+        /// normal finish/drop.
+        aborted: bool,
+    },
+    /// A causality edge begins: a handoff token was created inside the
+    /// emitting context (e.g. the sweep enqueued a job).
+    FlowBegin {
+        /// Process-unique flow id tying this to the matching
+        /// [`EventKind::FlowEnd`].
+        flow: u64,
+    },
+    /// A causality edge ends: the handoff token was adopted by another
+    /// context (e.g. a worker started the enqueued job).
+    FlowEnd {
+        /// Flow id matching the [`EventKind::FlowBegin`].
+        flow: u64,
+    },
+    /// One sample of a monitored counter (queue depth, cache hit rate,
+    /// …) — a point on a time-series, rendered as a counter track by the
+    /// trace exporter.
+    CounterSample {
+        /// Counter name (`sched.queue_depth`, `cache.hit_rate`, …).
+        name: String,
+        /// Sampled value.
+        value: f64,
+    },
+    /// A harness job reached a terminal state. Carries the DAG structure
+    /// (job id + dependency ids) so trace tooling can recover the
+    /// critical path without the original DAG.
+    JobDone {
+        /// Job id within the sweep's DAG.
+        job: u64,
+        /// Benchmark the job belonged to.
+        bench: String,
+        /// Pipeline stage (`observe`, `train`, `sim_npu`, …).
+        stage: String,
+        /// DAG ids of the job's dependencies.
+        deps: Vec<u64>,
+        /// Worker thread index that ran (or skipped) the job.
+        worker: u64,
+        /// Terminal state: `done`, `cached`, `failed`, or `skipped`.
+        outcome: String,
+        /// Span id of the job's execution span (0 for skipped jobs).
+        span: u64,
+        /// Job wall-clock in microseconds (0 for skipped jobs).
+        elapsed_us: u64,
+    },
+    /// A snapshot of a named histogram, emitted at end of run so trace
+    /// files carry the full distributions next to the span data.
+    HistogramSnapshot {
+        /// Histogram name (`npu.invocation_cycles`, …).
+        name: String,
+        /// The histogram state at snapshot time.
+        hist: Histogram,
     },
     /// The topology search finished training one candidate network.
     CandidateTrained {
@@ -118,6 +182,11 @@ pub enum EventKind {
         /// Speculative `deq.d` pops undone.
         deq: u64,
     },
+    /// The NPU completed one invocation.
+    NpuInvocation {
+        /// Cycles from the invocation starting to its last output.
+        cycles: u64,
+    },
     /// Free-form text.
     Message {
         /// The message.
@@ -132,6 +201,9 @@ pub struct Event {
     pub seq: u64,
     /// Microseconds since the collector first recorded an event.
     pub elapsed_us: u64,
+    /// Small dense ordinal of the emitting thread (assigned in first-use
+    /// order, stable for the thread's lifetime).
+    pub thread: u64,
     /// Severity.
     pub level: Level,
     /// Subsystem that emitted the event (crate or module path).
@@ -155,12 +227,35 @@ impl Event {
 
 fn render_kind(kind: &EventKind) -> String {
     match kind {
-        EventKind::PhaseStart { phase } => format!("phase {phase} started"),
-        EventKind::PhaseEnd { phase, elapsed_us } => {
+        EventKind::PhaseStart { phase, .. } => format!("phase {phase} started"),
+        EventKind::PhaseEnd {
+            phase,
+            elapsed_us,
+            aborted,
+            ..
+        } => {
+            let tag = if *aborted { " (aborted)" } else { "" };
             format!(
-                "phase {phase} finished in {:.3}ms",
+                "phase {phase} finished in {:.3}ms{tag}",
                 *elapsed_us as f64 / 1e3
             )
+        }
+        EventKind::FlowBegin { flow } => format!("flow {flow} begins"),
+        EventKind::FlowEnd { flow } => format!("flow {flow} ends"),
+        EventKind::CounterSample { name, value } => format!("counter {name} = {value}"),
+        EventKind::JobDone {
+            job,
+            bench,
+            stage,
+            outcome,
+            elapsed_us,
+            ..
+        } => format!(
+            "job {job} {stage}.{bench}: {outcome} in {:.3}ms",
+            *elapsed_us as f64 / 1e3
+        ),
+        EventKind::HistogramSnapshot { name, hist } => {
+            format!("histogram {name}: {} samples", hist.count)
         }
         EventKind::CandidateTrained {
             topology,
@@ -178,6 +273,7 @@ fn render_kind(kind: &EventKind) -> String {
         }
         EventKind::BranchMispredict { cycle } => format!("branch mispredict at cycle {cycle}"),
         EventKind::NpuSquash { enq, deq } => format!("npu squash: {enq} enq, {deq} deq undone"),
+        EventKind::NpuInvocation { cycles } => format!("npu invocation done in {cycles} cycles"),
         EventKind::Message { text } => text.clone(),
     }
 }
@@ -213,15 +309,31 @@ mod tests {
         let ev = Event {
             seq: 7,
             elapsed_us: 1500,
+            thread: 3,
             level: Level::Info,
             target: "parrot::compiler".into(),
             kind: EventKind::PhaseEnd {
                 phase: "train".into(),
                 elapsed_us: 1234,
+                span: 11,
+                parent: 4,
+                aborted: false,
             },
         };
         let json = serde::json::to_string(&ev);
         let back: Event = serde::json::from_str(&json).unwrap();
         assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn aborted_phase_end_renders_the_tag() {
+        let rendered = render_kind(&EventKind::PhaseEnd {
+            phase: "train".into(),
+            elapsed_us: 1000,
+            span: 1,
+            parent: 0,
+            aborted: true,
+        });
+        assert!(rendered.contains("(aborted)"), "{rendered}");
     }
 }

@@ -1,20 +1,30 @@
-//! Workspace-wide observability: structured tracing, a unified metrics
-//! registry, and JSON run reports.
+//! Workspace-wide observability: structured causal tracing, a unified
+//! metrics registry, and JSON run reports.
 //!
 //! Three layers, usable independently:
 //!
 //! 1. **Events** — typed records ([`EventKind`]) emitted through a global
 //!    collector to pluggable [`Sink`]s (stderr pretty-printer, JSONL
-//!    file, in-memory capture) and retained in a bounded ring buffer.
-//!    Emission is gated on a single relaxed atomic load, so
-//!    instrumentation left in simulator hot loops is effectively free
-//!    while the level is [`Level::Off`] (the default).
+//!    file, Chrome trace-event export, in-memory capture) and retained in
+//!    a bounded ring buffer. Emission is gated on a single relaxed atomic
+//!    load, so instrumentation left in simulator hot loops is effectively
+//!    free while the level is [`Level::Off`] (the default). Every event
+//!    carries a dense per-thread ordinal, and [`Span`]s carry
+//!    process-unique span/parent ids propagated through a thread-local
+//!    context stack — across threads via [`Handoff`] tokens — so a
+//!    multi-worker sweep serializes into a causally linked trace.
 //! 2. **Metrics** — a [`MetricsRegistry`] of namespaced counters, gauges,
-//!    and histograms that every subsystem (core simulator, NPU, trainer)
-//!    exports into under its own prefix, with merge and serde support.
+//!    and log-bucketed [`Histogram`]s (p50/p90/p99/p99.9) that every
+//!    subsystem (core simulator, NPU, trainer) exports into under its own
+//!    prefix, with merge and serde support. A process-global sample
+//!    registry ([`record_sample`]/[`take_samples`]) collects wall-clock
+//!    distributions (training epoch time, cache lookup time) that belong
+//!    only in the sweep-level report, never in deterministic per-job
+//!    artifacts.
 //! 3. **Reports** — a [`RunReport`] JSON schema combining wall-clock,
-//!    per-phase timings, and a metrics registry; the bench binaries write
-//!    one per benchmark under `results/`.
+//!    per-phase timings, a metrics registry, and percentile
+//!    [`Distribution`]s; the bench binaries write one per benchmark under
+//!    `results/`.
 //!
 //! # Emitting
 //!
@@ -42,18 +52,23 @@ mod report;
 mod ring;
 mod sink;
 mod span;
+mod trace;
 
 pub use event::{Event, EventKind, Level};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use report::{LintSummary, PhaseTiming, RunReport, SchedulerSummary, SCHEMA_VERSION};
+pub use report::{
+    Distribution, LintSummary, PhaseTiming, RunReport, SchedulerSummary, SCHEMA_VERSION,
+};
 pub use ring::RingBuffer;
-pub use sink::{CaptureSink, JsonlSink, Sink, StderrSink};
-pub use span::Span;
+pub use sink::{CaptureSink, JsonlSink, NullSink, Sink, StderrSink};
+pub use span::{ContextGuard, Handoff, Span};
+pub use trace::ChromeTraceSink;
 
 pub(crate) mod collector {
     use super::*;
     use parking_lot::Mutex;
-    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
     use std::time::Instant;
 
     /// Collector verbosity; `0` = off. Relaxed ordering suffices: the
@@ -62,6 +77,30 @@ pub(crate) mod collector {
     static LEVEL: AtomicU8 = AtomicU8::new(0);
 
     static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+    /// Wall-clock sample registry, separate from the event path so
+    /// subsystems can record timing distributions without any sink
+    /// installed. Drained by [`take_samples`].
+    static SAMPLES: Mutex<Option<MetricsRegistry>> = Mutex::new(None);
+
+    /// Next dense thread ordinal. `std::thread::ThreadId` integers are
+    /// unstable, so we hand out our own in first-emission order.
+    static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        static THREAD_ORDINAL: Cell<Option<u64>> = const { Cell::new(None) };
+    }
+
+    pub(crate) fn thread_ordinal() -> u64 {
+        THREAD_ORDINAL.with(|slot| match slot.get() {
+            Some(id) => id,
+            None => {
+                let id = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+                slot.set(Some(id));
+                id
+            }
+        })
+    }
 
     const DEFAULT_RING_CAPACITY: usize = 1024;
 
@@ -107,11 +146,13 @@ pub(crate) mod collector {
             return;
         }
         let kind = build();
+        let thread = thread_ordinal();
         with_state(|state| {
             state.seq += 1;
             let event = Event {
                 seq: state.seq,
                 elapsed_us: state.epoch.elapsed().as_micros() as u64,
+                thread,
                 level,
                 target: target.to_string(),
                 kind,
@@ -127,6 +168,14 @@ pub(crate) mod collector {
         with_state(|state| state.sinks.push(sink));
     }
 
+    pub(crate) fn flush_sinks() {
+        with_state(|state| {
+            for sink in &state.sinks {
+                sink.flush();
+            }
+        });
+    }
+
     pub(crate) fn recent_events() -> Vec<Event> {
         with_state(|state| state.ring.snapshot())
     }
@@ -135,9 +184,21 @@ pub(crate) mod collector {
         with_state(|state| state.ring = RingBuffer::new(capacity));
     }
 
+    pub(crate) fn record_sample(key: &str, value: f64) {
+        SAMPLES
+            .lock()
+            .get_or_insert_with(MetricsRegistry::new)
+            .observe(key, value);
+    }
+
+    pub(crate) fn take_samples() -> MetricsRegistry {
+        SAMPLES.lock().take().unwrap_or_default()
+    }
+
     pub(crate) fn reset() {
         LEVEL.store(0, Ordering::Relaxed);
         *STATE.lock() = None;
+        *SAMPLES.lock() = None;
     }
 }
 
@@ -169,14 +230,50 @@ pub fn emit(level: Level, target: &str, build: impl FnOnce() -> EventKind) {
 
 /// Starts a phase timer that emits `PhaseStart` now and `PhaseEnd` when
 /// finished or dropped. The span measures time regardless of the level,
-/// so run reports get phase timings even with tracing off.
+/// so run reports get phase timings even with tracing off. The new span
+/// nests under the innermost span open on this thread (or adopted via
+/// [`Handoff`]).
 pub fn span(target: &'static str, phase: &str) -> Span {
     Span::start(target, phase)
+}
+
+/// The id of the innermost span open on the calling thread, or 0.
+pub fn current_span() -> u64 {
+    span::current_span()
+}
+
+/// Captures the current span context into a [`Handoff`] token (emitting
+/// `FlowBegin`) for adoption on another thread.
+pub fn handoff(target: &'static str) -> Handoff {
+    Handoff::capture(target)
+}
+
+/// The dense ordinal of the calling thread, assigned on first use.
+pub fn thread_ordinal() -> u64 {
+    collector::thread_ordinal()
+}
+
+/// Records one wall-clock sample into the process-global sample registry
+/// under `key`. Use for timing distributions (epoch time, cache lookup
+/// time) that must stay out of deterministic per-job artifacts.
+pub fn record_sample(key: &str, value: f64) {
+    collector::record_sample(key, value);
+}
+
+/// Drains and returns the process-global sample registry.
+pub fn take_samples() -> MetricsRegistry {
+    collector::take_samples()
 }
 
 /// Registers a sink receiving every admitted event from now on.
 pub fn add_sink(sink: Box<dyn Sink>) {
     collector::add_sink(sink);
+}
+
+/// Flushes every installed sink (finalizing file formats that need a
+/// footer, like the Chrome trace export). Call once before process exit.
+pub fn flush_sinks() {
+    collector::flush_sinks();
 }
 
 /// Installs the stderr pretty-printing sink.
@@ -191,6 +288,18 @@ pub fn install_stderr_sink() {
 /// Fails if the file cannot be created.
 pub fn install_jsonl_sink(path: &std::path::Path) -> std::io::Result<()> {
     add_sink(Box::new(JsonlSink::create(path)?));
+    Ok(())
+}
+
+/// Installs a Chrome trace-event sink writing to `path` (open the file in
+/// Perfetto or `chrome://tracing`). Call [`flush_sinks`] before exit to
+/// finalize the JSON.
+///
+/// # Errors
+///
+/// Fails if the file cannot be created.
+pub fn install_trace_sink(path: &std::path::Path) -> std::io::Result<()> {
+    add_sink(Box::new(ChromeTraceSink::create(path)?));
     Ok(())
 }
 
@@ -215,7 +324,8 @@ pub fn set_ring_capacity(capacity: usize) {
 }
 
 /// Returns the collector to its initial state: level off, no sinks, an
-/// empty ring. Intended for tests that must not observe each other.
+/// empty ring, empty samples. Intended for tests that must not observe
+/// each other.
 pub fn reset() {
     collector::reset();
 }
@@ -273,10 +383,28 @@ mod tests {
         assert_eq!(timing.name, "work");
         let got = cap.events();
         assert_eq!(got.len(), 2);
-        assert!(matches!(got[0].kind, EventKind::PhaseStart { .. }));
-        match &got[1].kind {
-            EventKind::PhaseEnd { phase, .. } => assert_eq!(phase, "work"),
-            other => panic!("expected PhaseEnd, got {other:?}"),
+        match (&got[0].kind, &got[1].kind) {
+            (
+                EventKind::PhaseStart {
+                    span: s0,
+                    parent: p0,
+                    ..
+                },
+                EventKind::PhaseEnd {
+                    phase,
+                    span: s1,
+                    parent: p1,
+                    aborted,
+                    ..
+                },
+            ) => {
+                assert_eq!(phase, "work");
+                assert_eq!(s0, s1, "start/end must share the span id");
+                assert_ne!(*s0, 0);
+                assert_eq!(p0, p1);
+                assert!(!aborted);
+            }
+            other => panic!("expected PhaseStart + PhaseEnd, got {other:?}"),
         }
         reset();
     }
@@ -293,6 +421,87 @@ mod tests {
             "elapsed = {}",
             timing.elapsed_us
         );
+        reset();
+    }
+
+    #[test]
+    fn span_dropped_during_unwind_emits_aborted_end_once() {
+        let _g = GUARD.lock();
+        reset();
+        set_level(Level::Info);
+        let cap = capture();
+        let result = std::panic::catch_unwind(|| {
+            let _span = span("test", "doomed");
+            panic!("job body exploded");
+        });
+        assert!(result.is_err());
+        let ends: Vec<_> = cap
+            .events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::PhaseEnd { phase, aborted, .. } => Some((phase, aborted)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends.len(), 1, "PhaseEnd must be emitted exactly once");
+        assert_eq!(ends[0].0, "doomed");
+        assert!(ends[0].1, "an unwound span must be marked aborted");
+        assert_eq!(current_span(), 0, "context stack must be unwound");
+        reset();
+    }
+
+    #[test]
+    fn handoff_emits_flow_pair_and_links_parents() {
+        let _g = GUARD.lock();
+        reset();
+        set_level(Level::Info);
+        let cap = capture();
+        let sweep = span("test", "sweep");
+        let sweep_id = sweep.id();
+        let token = handoff("test");
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _ctx = token.adopt("test");
+                let job = span("test", "job");
+                assert_eq!(job.parent(), sweep_id);
+                job.finish();
+            });
+        });
+        sweep.finish();
+        let events = cap.events();
+        let flow_begin = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::FlowBegin { .. }))
+            .expect("FlowBegin");
+        let flow_end = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::FlowEnd { .. }))
+            .expect("FlowEnd");
+        assert_ne!(
+            flow_begin.thread, flow_end.thread,
+            "flow must cross threads"
+        );
+        let job_end = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::PhaseEnd { phase, parent, .. } if phase == "job" => Some(*parent),
+                _ => None,
+            })
+            .expect("job PhaseEnd");
+        assert_eq!(job_end, sweep_id, "worker-side span must link to sweep");
+        reset();
+    }
+
+    #[test]
+    fn samples_registry_accumulates_and_drains() {
+        let _g = GUARD.lock();
+        reset();
+        record_sample("ann.train.epoch_us", 100.0);
+        record_sample("ann.train.epoch_us", 300.0);
+        let reg = take_samples();
+        let h = reg.histogram("ann.train.epoch_us").unwrap();
+        assert_eq!(h.count, 2);
+        assert!(take_samples().is_empty(), "take must drain");
         reset();
     }
 }

@@ -1,15 +1,33 @@
 //! The unified metrics registry: namespaced counters, gauges, and
-//! histograms with merge and serde support.
+//! log-bucketed streaming histograms with merge and serde support.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Streaming summary of observed samples (count/sum/min/max).
+/// Sub-octave resolution: each power-of-two range is split into
+/// `2^SUB_BITS` equal-width buckets, bounding relative bucket width (and
+/// hence quantile error) to `2^-7` ≈ 0.78%.
+const SUB_BITS: u32 = 7;
+/// Right-shift applied to a positive f64's bit pattern to obtain its
+/// bucket index: drops the 52 mantissa bits except the top `SUB_BITS`.
+const BUCKET_SHIFT: u32 = 52 - SUB_BITS;
+
+/// Streaming log-bucketed (HDR-style) histogram.
+///
+/// Positive samples are binned by exponent plus the top [`SUB_BITS`]
+/// mantissa bits of their IEEE-754 representation — a pure bit shift, no
+/// `log2` — so bucket boundaries are bit-exact on every platform and
+/// recording is O(1) with no allocation on the hot path once a bucket
+/// exists. Non-positive and NaN samples land in a dedicated underflow
+/// bucket. Shards recorded on different threads merge by bucket-count
+/// addition: `count`, `min`, `max`, and every bucket are exactly equal to
+/// whole-stream recording regardless of shard order (`sum` only up to
+/// f64 rounding).
 ///
 /// Full sample retention is deliberately avoided: simulator loops observe
-/// millions of values, and a four-word summary keeps registries cheap to
-/// merge and serialize.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// millions of values, and the registry must stay cheap to merge and
+/// serialize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     /// Number of samples observed.
     pub count: u64,
@@ -19,6 +37,12 @@ pub struct Histogram {
     pub min: f64,
     /// Largest sample (0 when empty).
     pub max: f64,
+    /// Samples that were zero, negative, or NaN (kept out of the
+    /// log-spaced buckets, which only cover positive finite values).
+    nonpositive: u64,
+    /// Sparse log-spaced buckets: index → sample count. `BTreeMap` keeps
+    /// iteration (and serialization) in ascending value order.
+    buckets: BTreeMap<u32, u64>,
 }
 
 impl Default for Histogram {
@@ -28,11 +52,28 @@ impl Default for Histogram {
             sum: 0.0,
             min: 0.0,
             max: 0.0,
+            nonpositive: 0,
+            buckets: BTreeMap::new(),
         }
     }
 }
 
 impl Histogram {
+    /// The bucket index a positive finite `value` falls into. Deterministic
+    /// across platforms: a pure bit manipulation of the IEEE-754 encoding.
+    pub fn bucket_index(value: f64) -> u32 {
+        debug_assert!(value > 0.0 && value.is_finite());
+        (value.to_bits() >> BUCKET_SHIFT) as u32
+    }
+
+    /// The half-open value range `[lo, hi)` covered by bucket `index`.
+    /// `hi` is non-finite for the topmost bucket.
+    pub fn bucket_bounds(index: u32) -> (f64, f64) {
+        let lo = f64::from_bits(u64::from(index) << BUCKET_SHIFT);
+        let hi = f64::from_bits((u64::from(index) + 1) << BUCKET_SHIFT);
+        (lo, hi)
+    }
+
     /// Records one sample.
     pub fn observe(&mut self, value: f64) {
         if self.count == 0 {
@@ -44,6 +85,11 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += value;
+        if value > 0.0 && value.is_finite() {
+            *self.buckets.entry(Self::bucket_index(value)).or_insert(0) += 1;
+        } else {
+            self.nonpositive += 1;
+        }
     }
 
     /// Mean of the observed samples, or 0 when empty.
@@ -55,19 +101,89 @@ impl Histogram {
         }
     }
 
-    /// Folds `other`'s samples into `self`.
+    /// Samples that fell below the positive range (zero, negative, NaN).
+    pub fn nonpositive(&self) -> u64 {
+        self.nonpositive
+    }
+
+    /// The sparse bucket table (index → count), ascending by value.
+    pub fn buckets(&self) -> &BTreeMap<u32, u64> {
+        &self.buckets
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the representative
+    /// (bucket-midpoint) value of the sample at rank `ceil(q·count)`,
+    /// clamped to the exact observed `[min, max]`. Returns 0 when empty.
+    ///
+    /// Monotone in `q`, and within one bucket width (≈0.78% relative) of
+    /// the true order statistic for positive samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are the exactly tracked min/max samples.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = self.nonpositive;
+        if rank <= seen {
+            // All we know about underflow samples is that they are ≤ 0;
+            // min is exact when the smallest sample was one of them.
+            return self.min.min(0.0);
+        }
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if rank <= seen {
+                let (lo, hi) = Self::bucket_bounds(idx);
+                let mid = if hi.is_finite() { (lo + hi) / 2.0 } else { lo };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.50)`).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Folds `other`'s samples into `self` by bucket-count addition.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
-            *self = *other;
+            *self = other.clone();
             return;
         }
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.nonpositive += other.nonpositive;
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
     }
 }
 
@@ -121,6 +237,14 @@ impl MetricsRegistry {
             .entry(key.to_string())
             .or_default()
             .observe(value);
+    }
+
+    /// Merges a whole histogram into the histogram `key`.
+    pub fn observe_histogram(&mut self, key: &str, hist: &Histogram) {
+        self.histograms
+            .entry(key.to_string())
+            .or_default()
+            .merge(hist);
     }
 
     /// The histogram `key`, if any samples were observed.
@@ -187,6 +311,98 @@ mod tests {
         assert_eq!(h.min, -1.0);
         assert_eq!(h.max, 5.0);
         assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.nonpositive(), 1);
+        assert_eq!(h.buckets().values().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn bucket_index_is_a_bit_shift() {
+        // 1.0 has biased exponent 1023; its index is the exponent and top
+        // 7 mantissa bits.
+        assert_eq!(Histogram::bucket_index(1.0), 1023 << SUB_BITS);
+        // Doubling a value advances the index by exactly one octave.
+        assert_eq!(
+            Histogram::bucket_index(2.0),
+            Histogram::bucket_index(1.0) + (1 << SUB_BITS)
+        );
+        // Values inside the same 1/128 octave slice share a bucket; the
+        // first slice above 1.0 ends at 1 + 1/128 = 1.0078125.
+        assert_eq!(Histogram::bucket_index(1.0), Histogram::bucket_index(1.007));
+        assert_ne!(Histogram::bucket_index(1.0), Histogram::bucket_index(1.008));
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_members() {
+        for v in [1e-9, 0.37, 1.0, 42.0, 1e12] {
+            let idx = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
+            // Relative width stays within the design bound of 1/128.
+            assert!((hi - lo) / lo <= 1.0 / 128.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_land_near_true_order_statistics() {
+        let mut h = Histogram::default();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        for (q, truth) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - truth).abs() / truth < 0.01,
+                "q{q}: got {got}, want ≈{truth}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), 1.0, "q0 clamps to min");
+        assert_eq!(h.quantile(1.0), 1000.0, "q1 clamps to max");
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let mut h = Histogram::default();
+        h.observe(7.5);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7.5);
+        }
+    }
+
+    #[test]
+    fn quantile_with_nonpositive_underflow() {
+        let mut h = Histogram::default();
+        h.observe(-3.0);
+        h.observe(-1.0);
+        h.observe(10.0);
+        h.observe(20.0);
+        assert_eq!(h.quantile(0.25), -3.0, "underflow reports min");
+        assert!(h.quantile(0.75) > 0.0);
+        assert_eq!(h.quantile(1.0), 20.0);
+    }
+
+    #[test]
+    fn merge_equals_whole_stream_on_bucket_state() {
+        let samples: Vec<f64> = (0..200).map(|i| 0.1 + (i as f64) * 3.7).collect();
+        let mut whole = Histogram::default();
+        for &v in &samples {
+            whole.observe(v);
+        }
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count, whole.count);
+        assert_eq!(a.min, whole.min);
+        assert_eq!(a.max, whole.max);
+        assert_eq!(a.nonpositive, whole.nonpositive);
+        assert_eq!(a.buckets, whole.buckets);
+        assert!((a.sum - whole.sum).abs() < 1e-6 * whole.sum.abs());
     }
 
     #[test]
@@ -230,6 +446,7 @@ mod tests {
         reg.set_gauge("uarch.ipc", 1.75);
         reg.observe("phase.us", 10.0);
         reg.observe("phase.us", 30.0);
+        reg.observe("phase.us", -2.0);
         let json = serde::json::to_string_pretty(&reg);
         let back: MetricsRegistry = serde::json::from_str(&json).unwrap();
         assert_eq!(back, reg);

@@ -1,7 +1,7 @@
 //! JSON run reports: the machine-readable summary every experiment
 //! binary can emit alongside its human-readable tables.
 
-use crate::MetricsRegistry;
+use crate::{Histogram, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -11,8 +11,54 @@ use std::collections::BTreeMap;
 /// History: v1 — initial layout; v2 — added the `lint` section
 /// ([`LintSummary`], the region safety verifier's findings); v3 — added
 /// the `scheduler` section ([`SchedulerSummary`], the experiment
-/// harness's job/cache accounting).
-pub const SCHEMA_VERSION: u64 = 3;
+/// harness's job/cache accounting); v4 — added the `distributions`
+/// section ([`Distribution`] percentile summaries backed by log-bucketed
+/// histograms) and bucket state inside every serialized [`Histogram`].
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Percentile summary of one sampled quantity, added in schema v4.
+///
+/// Carries the full log-bucketed [`Histogram`] next to the extracted
+/// percentiles so downstream tooling can re-merge or re-query shards,
+/// while diff scripts only need the flat p50/p99 fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// The backing histogram (mergeable, re-queryable).
+    pub hist: Histogram,
+}
+
+impl Distribution {
+    /// Summarizes `hist` into its percentile snapshot.
+    pub fn from_histogram(hist: &Histogram) -> Distribution {
+        Distribution {
+            count: hist.count,
+            mean: hist.mean(),
+            min: hist.min,
+            max: hist.max,
+            p50: hist.p50(),
+            p90: hist.p90(),
+            p99: hist.p99(),
+            p999: hist.p999(),
+            hist: hist.clone(),
+        }
+    }
+}
 
 /// Wall-clock duration of one named pipeline phase.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -181,6 +227,12 @@ pub struct RunReport {
     /// Experiment-harness scheduler and artifact-cache accounting
     /// (all-zero outside harness-driven sweeps; see [`SchedulerSummary`]).
     pub scheduler: SchedulerSummary,
+    /// Percentile summaries keyed by quantity name
+    /// (`npu.invocation_cycles`, `region.output_error`, …), added in
+    /// schema v4. Per-benchmark entries are deterministic (simulated
+    /// cycles, output error); wall-clock distributions appear only in the
+    /// sweep-level report.
+    pub distributions: BTreeMap<String, Distribution>,
     /// Unified counters/gauges/histograms gathered from every subsystem.
     pub metrics: MetricsRegistry,
 }
@@ -197,6 +249,7 @@ impl RunReport {
             phases: Vec::new(),
             lint: LintSummary::default(),
             scheduler: SchedulerSummary::default(),
+            distributions: BTreeMap::new(),
             metrics: MetricsRegistry::new(),
         }
     }
@@ -204,6 +257,15 @@ impl RunReport {
     /// Appends one phase timing.
     pub fn push_phase(&mut self, timing: PhaseTiming) {
         self.phases.push(timing);
+    }
+
+    /// Records the percentile summary of `hist` under `name` (skipping
+    /// empty histograms, which carry no information).
+    pub fn push_distribution(&mut self, name: &str, hist: &Histogram) {
+        if hist.count > 0 {
+            self.distributions
+                .insert(name.to_string(), Distribution::from_histogram(hist));
+        }
     }
 
     /// Total time across recorded phases, in microseconds.
@@ -299,6 +361,26 @@ mod tests {
         let back = RunReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back.lint.warnings, 1);
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn distributions_survive_the_json_round_trip() {
+        let mut hist = Histogram::default();
+        for i in 1..=100 {
+            hist.observe(i as f64 * 10.0);
+        }
+        let mut report = RunReport::new("run_all", "fft", "fast");
+        report.push_distribution("npu.invocation_cycles", &hist);
+        let empty = Histogram::default();
+        report.push_distribution("ignored.empty", &empty);
+        assert!(!report.distributions.contains_key("ignored.empty"));
+
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        let dist = &back.distributions["npu.invocation_cycles"];
+        assert_eq!(dist.count, 100);
+        assert!(dist.p50 <= dist.p90 && dist.p90 <= dist.p99 && dist.p99 <= dist.p999);
+        assert_eq!(dist.hist.quantile(0.99), dist.p99, "hist must re-query");
     }
 
     #[test]

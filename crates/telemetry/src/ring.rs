@@ -73,6 +73,7 @@ mod tests {
         Event {
             seq,
             elapsed_us: 0,
+            thread: 0,
             level: Level::Info,
             target: "test".into(),
             kind: EventKind::Message {

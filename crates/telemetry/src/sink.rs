@@ -12,6 +12,20 @@ use std::sync::Arc;
 pub trait Sink: Send {
     /// Handles one event. Called under the collector lock — keep it quick.
     fn record(&self, event: &Event);
+
+    /// Finalizes any buffered output (file footers, etc.). Called by
+    /// [`crate::flush_sinks`] before process exit; the default does
+    /// nothing.
+    fn flush(&self) {}
+}
+
+/// Accepts and discards every event — for measuring collector overhead
+/// without I/O.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
 }
 
 /// Renders each event as one human-readable line on stderr.
@@ -89,6 +103,7 @@ mod tests {
         Event {
             seq: 1,
             elapsed_us: 42,
+            thread: 0,
             level: Level::Debug,
             target: "sink::test".into(),
             kind: EventKind::Message {

@@ -1,13 +1,60 @@
-//! Phase timers: RAII spans that emit `PhaseStart`/`PhaseEnd` events and
-//! report their duration.
+//! Phase timers: RAII spans with process-unique ids, a thread-local
+//! parent stack for same-thread nesting, and [`Handoff`] tokens carrying
+//! a span's context across threads.
 
 use crate::{collector, EventKind, Level, PhaseTiming};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Span/flow id allocator. Ids start at 1; 0 means "no parent".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The stack of span ids currently open on this thread. The top is
+    /// the parent of the next span started here.
+    static CONTEXT: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The id of the innermost span open on the calling thread, or 0 when
+/// none is.
+pub(crate) fn current_span() -> u64 {
+    CONTEXT.with(|c| c.borrow().last().copied().unwrap_or(0))
+}
+
+fn push_context(id: u64) {
+    CONTEXT.with(|c| c.borrow_mut().push(id));
+}
+
+/// Removes `id` from the context stack. Normally it is the top; spans
+/// finished out of LIFO order (e.g. a guard held across a span's end)
+/// are removed from wherever they sit so the stack never leaks.
+fn pop_context(id: u64) {
+    CONTEXT.with(|c| {
+        let mut stack = c.borrow_mut();
+        if stack.last() == Some(&id) {
+            stack.pop();
+        } else if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+            stack.remove(pos);
+        }
+    });
+}
 
 /// A running phase timer.
 ///
 /// Created by [`crate::span`]; emits `PhaseStart` immediately and
-/// `PhaseEnd` (with the measured duration) when finished or dropped. Call
+/// `PhaseEnd` (with the measured duration) exactly once when finished or
+/// dropped — including drops during panic unwinding, which mark the end
+/// event `aborted` so the phase never silently vanishes from a trace.
+///
+/// Each span has a process-unique id; its parent is whatever span was
+/// innermost on the same thread (or adopted via [`Handoff`]) when it
+/// started, giving traces a proper hierarchy. Call
 /// [`finish`](Span::finish) to also get the [`PhaseTiming`] back for a
 /// run report.
 #[derive(Debug)]
@@ -15,18 +62,27 @@ pub struct Span {
     target: &'static str,
     phase: String,
     start: Instant,
+    id: u64,
+    parent: u64,
     ended: bool,
 }
 
 impl Span {
     pub(crate) fn start(target: &'static str, phase: &str) -> Span {
+        let id = next_id();
+        let parent = current_span();
+        push_context(id);
         collector::emit(Level::Info, target, || EventKind::PhaseStart {
             phase: phase.to_string(),
+            span: id,
+            parent,
         });
         Span {
             target,
             phase: phase.to_string(),
             start: Instant::now(),
+            id,
+            parent,
             ended: false,
         }
     }
@@ -36,35 +92,166 @@ impl Span {
         &self.phase
     }
 
+    /// This span's process-unique id (never 0).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the span this one nests under, or 0 for a root span.
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
+
     /// Microseconds elapsed so far.
     pub fn elapsed_us(&self) -> u64 {
         self.start.elapsed().as_micros() as u64
     }
 
-    fn end(&mut self) -> PhaseTiming {
+    fn end(&mut self, aborted: bool) -> PhaseTiming {
         self.ended = true;
+        pop_context(self.id);
         let timing = PhaseTiming {
             name: self.phase.clone(),
             elapsed_us: self.elapsed_us(),
         };
         let (phase, elapsed_us) = (timing.name.clone(), timing.elapsed_us);
+        let (span, parent) = (self.id, self.parent);
         collector::emit(Level::Info, self.target, move || EventKind::PhaseEnd {
             phase,
             elapsed_us,
+            span,
+            parent,
+            aborted,
         });
         timing
     }
 
     /// Ends the span and returns its timing record.
     pub fn finish(mut self) -> PhaseTiming {
-        self.end()
+        self.end(false)
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if !self.ended {
-            self.end();
+            // A span dropped while unwinding still emits its PhaseEnd —
+            // exactly once, marked aborted.
+            self.end(std::thread::panicking());
         }
+    }
+}
+
+/// A context token carrying a span's identity across threads.
+///
+/// Created by [`crate::handoff`] inside the producing span (emitting a
+/// `FlowBegin` event); the consuming thread calls [`adopt`](Handoff::adopt)
+/// to emit the matching `FlowEnd` and make the captured span the parent
+/// of everything it opens while the returned guard lives. Trace viewers
+/// draw the begin→end pair as a causality arrow between the two threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Handoff {
+    parent: u64,
+    flow: u64,
+}
+
+impl Handoff {
+    pub(crate) fn capture(target: &'static str) -> Handoff {
+        let parent = current_span();
+        let flow = next_id();
+        collector::emit(Level::Info, target, || EventKind::FlowBegin { flow });
+        Handoff { parent, flow }
+    }
+
+    /// The span id the token carries (0 if captured outside any span).
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
+
+    /// The flow id linking this token's `FlowBegin`/`FlowEnd` pair.
+    pub fn flow(&self) -> u64 {
+        self.flow
+    }
+
+    /// Adopts the carried context on the calling thread: emits `FlowEnd`
+    /// and pushes the captured span as the current parent until the
+    /// returned guard drops.
+    pub fn adopt(&self, target: &'static str) -> ContextGuard {
+        let flow = self.flow;
+        collector::emit(Level::Info, target, || EventKind::FlowEnd { flow });
+        push_context(self.parent);
+        ContextGuard {
+            pushed: self.parent,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Keeps an adopted span on the thread-local context stack; popping it
+/// on drop. Not `Send` — the stack it guards is thread-local.
+#[derive(Debug)]
+pub struct ContextGuard {
+    pushed: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        pop_context(self.pushed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nesting_links_parents_on_one_thread() {
+        let outer = Span::start("test", "outer");
+        assert_eq!(current_span(), outer.id());
+        let inner = Span::start("test", "inner");
+        assert_eq!(inner.parent(), outer.id());
+        assert_eq!(current_span(), inner.id());
+        drop(inner);
+        assert_eq!(current_span(), outer.id());
+        drop(outer);
+        assert_eq!(current_span(), 0);
+    }
+
+    #[test]
+    fn out_of_order_end_still_unwinds_the_stack() {
+        let outer = Span::start("test", "outer");
+        let inner = Span::start("test", "inner");
+        // Finish the outer span first — the inner one must still leave a
+        // clean stack behind.
+        drop(outer);
+        assert_eq!(current_span(), inner.id());
+        drop(inner);
+        assert_eq!(current_span(), 0);
+    }
+
+    #[test]
+    fn handoff_carries_the_capturing_span_across_threads() {
+        let sweep = Span::start("test", "sweep");
+        let token = Handoff::capture("test");
+        assert_eq!(token.parent(), sweep.id());
+        let sweep_id = sweep.id();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                assert_eq!(current_span(), 0, "fresh thread starts contextless");
+                let _ctx = token.adopt("test");
+                let job = Span::start("test", "job");
+                assert_eq!(job.parent(), sweep_id);
+            });
+        });
+        assert_eq!(current_span(), sweep.id());
     }
 }

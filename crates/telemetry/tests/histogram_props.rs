@@ -1,0 +1,120 @@
+//! Property tests for the log-bucketed streaming histogram: sharded
+//! recording must merge back to the whole-stream state, quantiles must be
+//! monotone and bounded by observed samples, and bucket boundaries must
+//! be a pure function of the value (no platform- or order-dependence).
+
+use proptest::prelude::*;
+use telemetry::Histogram;
+
+/// Sample values spanning ten orders of magnitude plus the non-positive
+/// underflow cases.
+fn sample_value() -> impl Strategy<Value = f64> {
+    (0u8..10, 1e-6f64..1e6).prop_map(|(tag, v)| match tag {
+        0 => -(v % 10.0), // negative underflow
+        1 => 0.0,         // exact-zero underflow
+        _ => v,           // positive, log-bucketed
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Recording a stream in shards and merging (in either order) gives
+    /// exactly the whole-stream count/min/max/bucket state.
+    #[test]
+    fn merge_of_shards_equals_whole_stream(
+        samples in proptest::collection::vec(sample_value(), 1..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(samples.len());
+        let mut whole = Histogram::default();
+        for &v in &samples {
+            whole.observe(v);
+        }
+
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for &v in &samples[..split] {
+            left.observe(v);
+        }
+        for &v in &samples[split..] {
+            right.observe(v);
+        }
+
+        let mut forward = left.clone();
+        forward.merge(&right);
+        let mut backward = right.clone();
+        backward.merge(&left);
+
+        for merged in [&forward, &backward] {
+            prop_assert_eq!(merged.count, whole.count);
+            prop_assert_eq!(merged.min, whole.min);
+            prop_assert_eq!(merged.max, whole.max);
+            prop_assert_eq!(merged.nonpositive(), whole.nonpositive());
+            prop_assert_eq!(merged.buckets(), whole.buckets());
+            // f64 addition is not associative; sum agrees only approximately.
+            let tol = 1e-9 * whole.sum.abs().max(1.0);
+            prop_assert!((merged.sum - whole.sum).abs() <= tol);
+        }
+    }
+
+    /// quantile(q) never decreases as q grows, and always stays inside
+    /// the observed [min, max].
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        samples in proptest::collection::vec(sample_value(), 1..200),
+    ) {
+        let mut h = Histogram::default();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({}) = {} < {}", q, v, prev);
+            prop_assert!(v >= h.min && v <= h.max, "quantile({}) = {} outside [{}, {}]", q, v, h.min, h.max);
+            prev = v;
+        }
+        prop_assert_eq!(h.quantile(0.0), h.min);
+        prop_assert_eq!(h.quantile(1.0), h.max);
+    }
+
+    /// The bucket index is deterministic, its bounds bracket the value,
+    /// and the bucket's relative width never exceeds the 1/128 design
+    /// bound — for any positive finite sample.
+    #[test]
+    fn bucket_boundaries_are_deterministic(v in 1e-12f64..1e12) {
+        let idx = Histogram::bucket_index(v);
+        prop_assert_eq!(idx, Histogram::bucket_index(v), "index must be pure");
+        let (lo, hi) = Histogram::bucket_bounds(idx);
+        prop_assert!(lo <= v && v < hi, "{} outside [{}, {})", v, lo, hi);
+        prop_assert!((hi - lo) / lo <= 1.0 / 128.0 + 1e-12);
+        // Monotone: a strictly larger value in a different bucket has a
+        // larger index.
+        let idx2 = Histogram::bucket_index(v * 1.01);
+        prop_assert!(idx2 >= idx);
+    }
+
+    /// Quantiles stay within one bucket width (≈0.78% relative) of the
+    /// true order statistic for positive samples.
+    #[test]
+    fn quantile_error_is_bounded(
+        mut samples in proptest::collection::vec(1e-3f64..1e9, 2..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::default();
+        for &v in &samples {
+            h.observe(v);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let truth = samples[rank - 1];
+        let got = h.quantile(q);
+        prop_assert!(
+            (got - truth).abs() <= truth / 128.0 + 1e-12,
+            "quantile({}) = {}, true order statistic {}",
+            q, got, truth
+        );
+    }
+}

@@ -1,22 +1,26 @@
-//! Golden-file test: a checked-in v3 run report must keep parsing, and
+//! Golden-file test: a checked-in v4 run report must keep parsing, and
 //! re-serializing it must preserve every value. This pins the external
-//! JSON schema — if this test breaks, bump `SCHEMA_VERSION` and update
-//! the diff documentation instead of silently changing the layout.
+//! JSON schema — if this test breaks, bump `SCHEMA_VERSION`, regenerate
+//! the golden (`cargo run -p telemetry --example gen_golden_v4`), and
+//! update the diff documentation instead of silently changing the layout.
 //!
 //! Schema history: v1 → v2 added the required `lint` section (region
 //! safety-verifier findings); v2 → v3 added the required `scheduler`
-//! section (experiment-harness job/cache accounting). v1 and v2 reports
-//! are deliberately rejected — the checks below pin that behaviour.
+//! section (experiment-harness job/cache accounting); v3 → v4 added the
+//! required `distributions` section (percentile summaries) and bucket
+//! state inside every serialized histogram. v1–v3 reports are
+//! deliberately rejected — the checks below pin that behaviour.
 
 use telemetry::RunReport;
 
-const GOLDEN: &str = include_str!("data/run_report_v3.json");
+const GOLDEN: &str = include_str!("data/run_report_v4.json");
 const GOLDEN_V1: &str = include_str!("data/run_report_v1.json");
 const GOLDEN_V2: &str = include_str!("data/run_report_v2.json");
+const GOLDEN_V3: &str = include_str!("data/run_report_v3.json");
 
 #[test]
 fn golden_report_parses_back() {
-    let report = RunReport::from_json(GOLDEN).expect("golden v3 report must parse");
+    let report = RunReport::from_json(GOLDEN).expect("golden v4 report must parse");
     assert_eq!(report.schema_version, telemetry::SCHEMA_VERSION);
     assert_eq!(report.suite, "parrot-run");
     assert_eq!(report.benchmark, "sweep");
@@ -44,6 +48,21 @@ fn golden_report_parses_back() {
     assert!((report.scheduler.hit_rate() - 0.25).abs() < 1e-12);
     assert_eq!(report.scheduler.stage_wall_us["train"], 100_000);
     assert_eq!(report.scheduler.stage_wall_us.len(), 5);
+
+    assert_eq!(report.distributions.len(), 2);
+    let cycles = &report.distributions["npu.invocation_cycles"];
+    assert_eq!(cycles.count, 10);
+    assert_eq!(cycles.min, 60.0);
+    assert_eq!(cycles.max, 250.0);
+    assert!(cycles.p50 <= cycles.p90 && cycles.p90 <= cycles.p99 && cycles.p99 <= cycles.p999);
+    assert_eq!(cycles.p999, 250.0);
+    // The embedded histogram is live: re-querying reproduces the flat
+    // percentile fields exactly.
+    assert_eq!(cycles.hist.p99(), cycles.p99);
+    assert_eq!(cycles.hist.buckets().values().sum::<u64>(), 10);
+    let err = &report.distributions["region.output_error"];
+    assert_eq!(err.count, 5);
+    assert_eq!(err.hist.nonpositive(), 1, "exact-zero error underflows");
 
     assert_eq!(report.metrics.counter("uarch.baseline.cycles"), 900_000);
     assert_eq!(report.metrics.counter("npu.macs"), 5_120);
@@ -82,6 +101,19 @@ fn v2_report_without_scheduler_section_is_rejected() {
     let err = RunReport::from_json(GOLDEN_V2).unwrap_err();
     assert!(
         err.to_string().contains("scheduler") || err.to_string().contains("schema version"),
+        "unexpected rejection reason: {err}"
+    );
+}
+
+#[test]
+fn v3_report_without_distributions_is_rejected() {
+    // v3 files predate the required `distributions` section and the
+    // bucketed histogram fields, so parsing fails before the explicit
+    // schema-version check even runs.
+    let err = RunReport::from_json(GOLDEN_V3).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("distributions") || msg.contains("buckets") || msg.contains("schema version"),
         "unexpected rejection reason: {err}"
     );
 }

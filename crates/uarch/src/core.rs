@@ -172,6 +172,15 @@ impl Core {
         }
     }
 
+    /// The attached NPU's per-invocation latency distribution (simulated
+    /// cycles), if a cycle-accurate NPU is attached.
+    pub fn npu_invocation_cycles(&self) -> Option<telemetry::Histogram> {
+        match &self.npu {
+            NpuAttachment::Cycle(sim) => Some(sim.invocation_cycles().clone()),
+            _ => None,
+        }
+    }
+
     /// Feeds one dynamically executed instruction. The core advances its
     /// pipeline as needed to keep its internal buffers bounded, so memory
     /// use stays constant for arbitrarily long traces.

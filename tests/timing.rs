@@ -115,7 +115,8 @@ fn link_latency_hurts_fine_grained_regions() {
 }
 
 /// The NPU timing unit reports invocation counts that match the
-/// application's region call count.
+/// application's region call count, and its latency histogram covers
+/// exactly the completed invocations.
 #[test]
 fn npu_invocation_count_matches_application() {
     let scale = Scale::small();
@@ -124,6 +125,10 @@ fn npu_invocation_count_matches_application() {
     let variant = AppVariant::Npu(&compiled);
     let app = bench.build_app(&variant, &scale);
     let (_, _, npu_stats) = run_timed(&app, &variant, CoreConfig::penryn_like()).unwrap();
+    let npu = npu_stats.expect("npu attached");
     let invocations = ((scale.image_dim - 2) * (scale.image_dim - 2)) as u64;
-    assert_eq!(npu_stats.expect("npu attached").invocations, invocations);
+    assert_eq!(npu.stats.invocations, invocations);
+    assert_eq!(npu.invocation_cycles.count, invocations);
+    assert!(npu.invocation_cycles.min >= 1.0);
+    assert!(npu.invocation_cycles.p50() <= npu.invocation_cycles.max);
 }
