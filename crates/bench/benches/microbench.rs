@@ -286,6 +286,35 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Static-analysis cost on the region compiler path: the full verifier
+/// (CFG, dominators, liveness, interval fixpoint, all lints) and the
+/// precision report, each on the heaviest region (jpeg: 456
+/// instructions, triple-nested DCT loops) and the lightest interesting
+/// one (sobel: loop-free). Every `parrot-run` sweep and every
+/// `parrot-lint` invocation pays these once per region, so they must
+/// stay compile-time cheap relative to a single training epoch.
+fn bench_analysis_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_overhead");
+    for name in ["jpeg", "sobel"] {
+        let region = benchmarks::benchmark_by_name(name)
+            .expect("paper benchmark exists")
+            .region();
+        group.bench_function(&format!("lint/{name}"), |b| {
+            b.iter(|| {
+                let report = region.lint();
+                criterion::black_box(report.diagnostics().len())
+            });
+        });
+        group.bench_function(&format!("precision/{name}"), |b| {
+            b.iter(|| {
+                let report = region.precision().expect("entry exists");
+                criterion::black_box(report.bounded())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_npu_invocation,
@@ -295,6 +324,7 @@ criterion_group!(
     bench_trace_replay,
     bench_core_throughput,
     bench_forward,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_analysis_overhead
 );
 criterion_main!(benches);

@@ -1,23 +1,64 @@
-//! `parrot-lint` — runs the region safety verifier over every benchmark's
-//! candidate region and prints a diagnostics table.
+//! `parrot-lint` — runs the region safety verifier and the static
+//! precision analysis over every benchmark's candidate region.
 //!
-//! Usage: `parrot-lint [--deny-warnings] [benchmark…]`
+//! Usage: `parrot-lint [--deny-warnings] [--format table|json] [benchmark…]`
 //!
 //! With no benchmark names, all six Table 1 regions are linted. The
-//! process exits non-zero if any error-severity finding exists (or any
-//! warning, under `--deny-warnings`), so CI can gate on region safety.
+//! default `table` format prints a diagnostics table plus a per-region
+//! precision summary; `json` emits one machine-readable document (the
+//! CI `lint-regions` gate parses it with `jq`). The process exits
+//! non-zero if any error-severity finding exists (or any warning, under
+//! `--deny-warnings`), so CI can gate on region safety.
 
 use bench::format::render_table;
 use benchmarks::{all_benchmarks, benchmark_by_name, Benchmark};
+use serde::Serialize;
+use telemetry::{LintSummary, PrecisionSummary};
+
+/// One diagnostic, flattened for the JSON document.
+#[derive(Serialize)]
+struct DiagnosticRow {
+    severity: String,
+    lint: String,
+    function: String,
+    inst: Option<u64>,
+    message: String,
+}
+
+/// Everything `parrot-lint` knows about one region.
+#[derive(Serialize)]
+struct RegionDoc {
+    name: String,
+    lint: LintSummary,
+    precision: PrecisionSummary,
+    diagnostics: Vec<DiagnosticRow>,
+}
+
+/// The top-level JSON document.
+#[derive(Serialize)]
+struct LintDoc {
+    regions: Vec<RegionDoc>,
+    totals: LintSummary,
+}
 
 fn main() {
     let mut deny_warnings = false;
+    let mut json = false;
     let mut names: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("table") => json = false,
+                other => {
+                    eprintln!("parrot-lint: --format expects 'table' or 'json', got {other:?}");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: parrot-lint [--deny-warnings] [benchmark…]");
+                println!("usage: parrot-lint [--deny-warnings] [--format table|json] [benchmark…]");
                 return;
             }
             other => names.push(other.to_string()),
@@ -38,29 +79,65 @@ fn main() {
             .collect()
     };
 
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut totals = telemetry::LintSummary::default();
+    let mut doc = LintDoc {
+        regions: Vec::new(),
+        totals: LintSummary::default(),
+    };
     for bench in &benches {
         let region = bench.region();
         let report = region.lint();
+        let mut lint = LintSummary::default();
+        let mut diagnostics = Vec::new();
         for d in report.diagnostics() {
-            totals.record(&d.severity.to_string(), d.lint.name());
-            rows.push(vec![
-                d.severity.to_string(),
-                bench.name().to_string(),
-                d.lint.to_string(),
-                d.function.clone(),
-                d.inst.map_or_else(|| "-".to_string(), |i| i.to_string()),
-                d.message.clone(),
-            ]);
+            lint.record(&d.severity.to_string(), d.lint.name());
+            doc.totals.record(&d.severity.to_string(), d.lint.name());
+            diagnostics.push(DiagnosticRow {
+                severity: d.severity.to_string(),
+                lint: d.lint.to_string(),
+                function: d.function.clone(),
+                inst: d.inst.map(|i| i as u64),
+                message: d.message.clone(),
+            });
         }
+        doc.regions.push(RegionDoc {
+            name: bench.name().to_string(),
+            lint,
+            precision: region.precision_summary(),
+            diagnostics,
+        });
     }
 
+    if json {
+        println!("{}", serde::json::to_string_pretty(&doc));
+    } else {
+        print_tables(&doc, benches.len());
+    }
+
+    if doc.totals.errors > 0 || (deny_warnings && doc.totals.warnings > 0) {
+        std::process::exit(1);
+    }
+}
+
+fn print_tables(doc: &LintDoc, n_benches: usize) {
+    let rows: Vec<Vec<String>> = doc
+        .regions
+        .iter()
+        .flat_map(|r| {
+            r.diagnostics.iter().map(|d| {
+                vec![
+                    d.severity.clone(),
+                    r.name.clone(),
+                    d.lint.clone(),
+                    d.function.clone(),
+                    d.inst.map_or_else(|| "-".to_string(), |i| i.to_string()),
+                    d.message.clone(),
+                ]
+            })
+        })
+        .collect();
+
     if rows.is_empty() {
-        println!(
-            "parrot-lint: {} region(s) linted, no findings",
-            benches.len()
-        );
+        println!("parrot-lint: {n_benches} region(s) linted, no findings");
     } else {
         println!(
             "{}",
@@ -77,15 +154,53 @@ fn main() {
             )
         );
         println!(
-            "parrot-lint: {} region(s) linted: {} error(s), {} warning(s), {} info(s)",
-            benches.len(),
-            totals.errors,
-            totals.warnings,
-            totals.infos,
+            "parrot-lint: {} region(s) linted: {} error(s), {} warning(s), {} info(s), {} note(s)",
+            n_benches, doc.totals.errors, doc.totals.warnings, doc.totals.infos, doc.totals.notes,
         );
     }
 
-    if totals.errors > 0 || (deny_warnings && totals.warnings > 0) {
-        std::process::exit(1);
-    }
+    // Static fixed-point precision per region (the NPU datapath sizing
+    // question): what Qm.n each region needs, when the analysis can
+    // bound it.
+    let bits = |b: Option<u8>| b.map_or_else(|| "-".to_string(), |b| b.to_string());
+    let num = |x: f32| {
+        if x == 0.0 || (1e-3..1e6).contains(&x.abs()) {
+            format!("{x}")
+        } else {
+            format!("{x:e}")
+        }
+    };
+    let range = |r: &telemetry::PrecisionRow| match (r.lo, r.hi) {
+        (Some(lo), Some(hi)) => format!("[{}, {}]", num(lo), num(hi)),
+        _ => "unbounded".to_string(),
+    };
+    let precision_rows: Vec<Vec<String>> = doc
+        .regions
+        .iter()
+        .map(|r| {
+            let p = &r.precision;
+            let hull = p.values.iter().find(|v| v.name == "intermediates");
+            vec![
+                r.name.clone(),
+                if p.bounded { "yes" } else { "no" }.to_string(),
+                bits(p.datapath_int_bits),
+                bits(p.datapath_frac_bits),
+                hull.map_or_else(|| "-".to_string(), range),
+            ]
+        })
+        .collect();
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "bounded",
+                "int_bits",
+                "frac_bits",
+                "intermediates"
+            ],
+            &precision_rows,
+        )
+    );
 }

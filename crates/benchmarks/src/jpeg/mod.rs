@@ -250,6 +250,8 @@ impl Benchmark for Jpeg {
         RegionSpec::new("dct_quant", program, entry, 64, 64)
             .expect("valid region")
             .with_scratch(SCRATCH_WORDS)
+            // 8-bit grayscale pixels; bounds the static precision report.
+            .with_input_range(0.0, 255.0)
     }
 
     fn training_inputs(&self, scale: &Scale) -> Vec<Vec<f32>> {

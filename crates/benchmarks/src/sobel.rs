@@ -96,7 +96,10 @@ impl Benchmark for Sobel {
     fn region(&self) -> RegionSpec {
         let mut program = Program::new();
         let entry = program.add_function(build_region_function());
-        RegionSpec::new("sobel", program, entry, 9, 1).expect("valid region")
+        // Normalized grayscale window; bounds the static precision report.
+        RegionSpec::new("sobel", program, entry, 9, 1)
+            .expect("valid region")
+            .with_input_range(0.0, 1.0)
     }
 
     fn training_inputs(&self, scale: &Scale) -> Vec<Vec<f32>> {

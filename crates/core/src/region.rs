@@ -1,7 +1,10 @@
 //! Candidate code regions (the paper's `[[PARROT]]`-annotated functions).
 
 use crate::ParrotError;
-use approx_ir::analysis::{infer_types, verify_region, RegType, VerifyReport};
+use approx_ir::analysis::{
+    infer_types, verify_region_with_inputs, AbsValue, FloatInterval, PrecisionReport, RegType,
+    VerifyReport,
+};
 use approx_ir::{static_counts, FuncId, Interpreter, Program, StaticCounts, TraceSink, Value};
 
 /// An annotated candidate region: a pure IR function with a fixed number
@@ -20,6 +23,7 @@ pub struct RegionSpec {
     n_inputs: usize,
     n_outputs: usize,
     scratch_words: usize,
+    input_range: Option<(f32, f32)>,
 }
 
 impl RegionSpec {
@@ -79,6 +83,7 @@ impl RegionSpec {
             n_inputs,
             n_outputs,
             scratch_words: 0,
+            input_range: None,
         })
     }
 
@@ -86,6 +91,16 @@ impl RegionSpec {
     /// whose IR uses loads/stores internally, returning `self`.
     pub fn with_scratch(mut self, words: usize) -> Self {
         self.scratch_words = words;
+        self
+    }
+
+    /// Declares that every region input lies in `[lo, hi]` (and is never
+    /// NaN), returning `self`. The static analyses use this to prove
+    /// scratch bounds and loop bounds and to derive finite fixed-point
+    /// precision requirements; the declared range is a contract on the
+    /// caller, not checked at runtime.
+    pub fn with_input_range(mut self, lo: f32, hi: f32) -> Self {
+        self.input_range = Some((lo, hi));
         self
     }
 
@@ -117,6 +132,19 @@ impl RegionSpec {
     /// Scratch memory size in words.
     pub fn scratch_words(&self) -> usize {
         self.scratch_words
+    }
+
+    /// The declared input range, if [`with_input_range`](Self::with_input_range)
+    /// set one.
+    pub fn input_range(&self) -> Option<(f32, f32)> {
+        self.input_range
+    }
+
+    fn input_intervals(&self) -> Vec<FloatInterval> {
+        match self.input_range {
+            Some((lo, hi)) => vec![FloatInterval { lo, hi, nan: false }; self.n_inputs],
+            None => Vec::new(),
+        }
     }
 
     /// Executes the *original, precise* region.
@@ -163,9 +191,62 @@ impl RegionSpec {
 
     /// Runs the region safety verifier (paper §3.1 admission criteria)
     /// over the entry function and every transitively called function,
-    /// returning all findings regardless of severity.
+    /// returning all findings regardless of severity. A declared input
+    /// range tightens the interval analysis behind the proof-carrying
+    /// lints.
     pub fn lint(&self) -> VerifyReport {
-        verify_region(&self.program, self.entry.0, self.scratch_words)
+        verify_region_with_inputs(
+            &self.program,
+            self.entry.0,
+            self.scratch_words,
+            &self.input_intervals(),
+        )
+    }
+
+    /// Static fixed-point precision requirements for the region (per
+    /// input, output, and the float intermediate hull), derived from the
+    /// interval analysis under the declared input range. Mirrors the NPU
+    /// fixed-point datapath sizing question from the paper's §7.
+    pub fn precision(&self) -> Option<PrecisionReport> {
+        let params: Vec<AbsValue> = self
+            .input_intervals()
+            .into_iter()
+            .map(AbsValue::float)
+            .collect();
+        PrecisionReport::for_region(
+            &self.program,
+            self.entry,
+            &self.name,
+            &params,
+            self.scratch_words,
+        )
+    }
+
+    /// The precision analysis aggregated into a telemetry summary, ready
+    /// to embed in a [`telemetry::RunReport`]. Non-finite bounds become
+    /// `None` (the JSON schema carries `null`, never ±∞); a missing entry
+    /// function yields the all-default (unbounded, empty) summary.
+    pub fn precision_summary(&self) -> telemetry::PrecisionSummary {
+        let mut summary = telemetry::PrecisionSummary::default();
+        let Some(report) = self.precision() else {
+            return summary;
+        };
+        summary.bounded = report.bounded();
+        summary.datapath_int_bits = report.datapath_int_bits();
+        summary.datapath_frac_bits = report.datapath_frac_bits();
+        summary.values = report
+            .values
+            .iter()
+            .map(|v| telemetry::PrecisionRow {
+                name: v.name.clone(),
+                lo: v.lo.is_finite().then_some(v.lo),
+                hi: v.hi.is_finite().then_some(v.hi),
+                may_be_nan: v.may_be_nan,
+                int_bits: v.int_bits,
+                frac_bits: v.frac_bits,
+            })
+            .collect();
+        summary
     }
 
     /// Verifies the region, failing on error-severity findings — programs

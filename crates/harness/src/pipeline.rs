@@ -569,8 +569,8 @@ pub fn add_benchmark_jobs(
                 let out_base = deps[3].as_outputs()?;
                 let out_npu = deps[4].as_outputs()?;
                 let bench = lookup(&job_name)?;
-                let verify = bench
-                    .region()
+                let region = bench.region();
+                let verify = region
                     .verify()
                     .map_err(|e| format!("{job_name}: region rejected: {e}"))?;
 
@@ -586,6 +586,19 @@ pub fn add_benchmark_jobs(
                 }
                 lint.export(&mut report.metrics, "lint");
                 report.lint = lint;
+                // Both derive from the region's static IR alone, so they
+                // are as deterministic as the lint section.
+                report.precision = region.precision_summary();
+                if let Some(bits) = report.precision.datapath_int_bits {
+                    report
+                        .metrics
+                        .add("precision.datapath_int_bits", bits as u64);
+                }
+                if let Some(bits) = report.precision.datapath_frac_bits {
+                    report
+                        .metrics
+                        .add("precision.datapath_frac_bits", bits as u64);
+                }
                 base.stats.export(&mut report.metrics, "uarch.baseline");
                 with_npu.stats.export(&mut report.metrics, "uarch.npu");
                 if let Some(unit) = &with_npu.npu {

@@ -17,27 +17,45 @@
 //!   `mov` copies plus operand constraints);
 //! * [`effects`] — side-effect and purity summaries per function and per
 //!   call graph;
+//! * [`absint`] — a generic forward abstract-interpretation solver
+//!   (monotone lattice, widening/narrowing at loop heads);
+//! * [`interval`] — the solver instantiated with an int/float interval
+//!   domain, including a word-granular scratch-memory model;
+//! * [`precision`] — static fixed-point precision requirements (integer
+//!   and fraction bits per value) derived from the intervals;
+//! * [`soundness`] — a checked mirror interpreter asserting every
+//!   concrete value falls inside its inferred interval;
 //! * [`verify`] — the region safety verifier (`parrot-lint`): the lint
 //!   catalogue mapping the paper's §3.1 criteria onto concrete checks.
 //!
 //! The optimizer ([`crate::opt`]) consumes the same CFG and liveness
 //! results, replacing its former straight-line-only conservatism.
 
+pub mod absint;
 pub mod cfg;
 pub mod defuse;
 pub mod dom;
 pub mod effects;
+pub mod interval;
 pub mod liveness;
+pub mod precision;
+pub mod soundness;
 pub mod types;
 pub mod verify;
 
+pub use absint::{solve, AbstractDomain, SolverConfig};
 pub use cfg::{BasicBlock, Cfg};
 pub use defuse::{def_of, defs_of, is_pure, uses_of, DefUse};
 pub use dom::Dominators;
 pub use effects::{function_effects, region_effects, EffectSummary};
+pub use interval::{AbsValue, FloatInterval, InstFacts, IntInterval, IntervalAnalysis};
 pub use liveness::Liveness;
+pub use precision::{PrecisionReport, ValuePrecision};
+pub use soundness::run_checked;
 pub use types::{infer_types, RegType, TypeMap};
-pub use verify::{verify_region, Diagnostic, Lint, Severity, VerifyReport};
+pub use verify::{
+    verify_region, verify_region_with_inputs, Diagnostic, Lint, Severity, VerifyReport,
+};
 
 /// A dense bit set over register numbers, used by the must-initialize
 /// and liveness dataflow problems (register spaces run into the hundreds

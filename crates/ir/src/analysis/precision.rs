@@ -1,0 +1,334 @@
+//! Static fixed-point precision analysis.
+//!
+//! The NPU datapath (paper §7) evaluates neurons in fixed point; sizing
+//! it — and the quantized int8/int16 inference path on the roadmap —
+//! needs to know, per region, how many integer and fraction bits each
+//! value requires. This module derives those statically from the
+//! interval analysis: for every region input, output, and the hull of
+//! all float intermediates, it reports the inferred range and a Qm.n
+//! fixed-point requirement.
+//!
+//! The bit-width convention (documented in DESIGN.md §12):
+//!
+//! * **integer bits** = 1 sign bit + enough magnitude bits for the
+//!   integer part of the largest absolute value in the range;
+//! * **fraction bits** = enough bits to hit the f32 ulp at the range's
+//!   largest magnitude (`23 − ⌊log₂ max|x|⌋`, clamped to `[0, 149]`) —
+//!   i.e. a fixed-point grid at least as fine as the float values the
+//!   region actually produces;
+//! * an unbounded range (an endpoint at ±∞, or a ⊤ value) has no finite
+//!   requirement: both widths report `None` and the region is flagged
+//!   unbounded;
+//! * a range is also treated as unbounded when its integer part cannot
+//!   fit a 32-bit fixed-point word (magnitude ≥ 2³¹). Widening
+//!   thresholds stop short of ±∞, so a loop that genuinely diverges can
+//!   still converge to a *finite but astronomical* bound — a "Q129.0
+//!   datapath" is not a sizing answer, it is unboundedness with extra
+//!   steps.
+
+use super::defuse::defs_of;
+use super::interval::{AbsValue, IntervalAnalysis};
+use crate::{FuncId, Inst, Program};
+
+/// The fixed-point requirement for one named value of a region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValuePrecision {
+    /// `in<k>` for parameters, `out<k>` for return positions, or
+    /// `intermediates` for the hull over float-typed definitions.
+    pub name: String,
+    /// Inferred lower bound (numeric part; `+∞ > -∞` means empty).
+    pub lo: f32,
+    /// Inferred upper bound.
+    pub hi: f32,
+    /// Whether the value may be NaN.
+    pub may_be_nan: bool,
+    /// Sign + integer-part bits, `None` when the range is unbounded.
+    pub int_bits: Option<u8>,
+    /// Fraction bits to reach f32-ulp resolution at the top magnitude,
+    /// `None` when the range is unbounded.
+    pub frac_bits: Option<u8>,
+}
+
+impl ValuePrecision {
+    fn from_abs(name: String, v: AbsValue) -> ValuePrecision {
+        match v {
+            AbsValue::Bottom => ValuePrecision {
+                name,
+                lo: f32::INFINITY,
+                hi: f32::NEG_INFINITY,
+                may_be_nan: false,
+                int_bits: Some(0),
+                frac_bits: Some(0),
+            },
+            AbsValue::Int(i) => {
+                let m = i.lo.unsigned_abs().max(i.hi.unsigned_abs());
+                let fits = m < (1u64 << 31);
+                ValuePrecision {
+                    name,
+                    lo: i.lo as f32,
+                    hi: i.hi as f32,
+                    may_be_nan: false,
+                    int_bits: fits.then(|| int_bits_for_magnitude(m)),
+                    frac_bits: fits.then_some(0),
+                }
+            }
+            AbsValue::Float(f) => {
+                let bounded =
+                    !f.numeric_empty() && f.lo > f32::NEG_INFINITY && f.hi < f32::INFINITY;
+                let (ib, fb) = if f.numeric_empty() {
+                    (Some(0), Some(0))
+                } else if bounded {
+                    let m = f.lo.abs().max(f.hi.abs());
+                    let e = ulp_exponent(m);
+                    // Sign + integer bits must fit a 32-bit word:
+                    // 1 + (e + 1) ≤ 32.
+                    if e > 30 {
+                        (None, None)
+                    } else {
+                        (
+                            Some(1 + u8::try_from((e + 1).max(0)).unwrap_or(0)),
+                            Some(u8::try_from((23 - e).clamp(0, 149)).unwrap_or(149)),
+                        )
+                    }
+                } else {
+                    (None, None)
+                };
+                ValuePrecision {
+                    name,
+                    lo: f.lo,
+                    hi: f.hi,
+                    may_be_nan: f.nan,
+                    int_bits: ib,
+                    frac_bits: fb,
+                }
+            }
+            AbsValue::Any => ValuePrecision {
+                name,
+                lo: f32::NEG_INFINITY,
+                hi: f32::INFINITY,
+                may_be_nan: true,
+                int_bits: None,
+                frac_bits: None,
+            },
+        }
+    }
+
+    /// Whether this value has a finite fixed-point requirement.
+    pub fn bounded(&self) -> bool {
+        self.int_bits.is_some() && self.frac_bits.is_some()
+    }
+}
+
+/// Sign + magnitude bits for an integer of absolute value ≤ `m`.
+fn int_bits_for_magnitude(m: u64) -> u8 {
+    1 + (64 - m.leading_zeros()) as u8
+}
+
+/// The binary exponent of `m`'s f32 ulp anchor: `⌊log₂ m⌋` for normal
+/// `m`, the minimum exponent for subnormals and zero.
+fn ulp_exponent(m: f32) -> i32 {
+    if m >= f32::MIN_POSITIVE {
+        ((m.to_bits() >> 23) & 0xff) as i32 - 127
+    } else {
+        -126
+    }
+}
+
+/// Static per-region fixed-point requirements, derived from the
+/// interval analysis of the region entry under its declared input
+/// ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecisionReport {
+    /// The region (benchmark) name.
+    pub region: String,
+    /// One row per region input, return position, and the intermediate
+    /// hull, in that order.
+    pub values: Vec<ValuePrecision>,
+}
+
+impl PrecisionReport {
+    /// Builds the report for `entry` analyzed as a region (zero-filled
+    /// scratch of `scratch_words`, parameters bounded by `params` —
+    /// missing entries default to any-float-including-NaN).
+    ///
+    /// Returns `None` when `entry` is not in `program`.
+    pub fn for_region(
+        program: &Program,
+        entry: FuncId,
+        region: &str,
+        params: &[AbsValue],
+        scratch_words: usize,
+    ) -> Option<PrecisionReport> {
+        let f = program.function_by_index(entry.0)?;
+        let filled: Vec<AbsValue> = (0..f.n_params())
+            .map(|p| params.get(p).copied().unwrap_or_else(AbsValue::top_float))
+            .collect();
+        let ia = IntervalAnalysis::of_region(program, f, &filled, scratch_words);
+
+        let mut values = Vec::new();
+        for (p, v) in filled.iter().enumerate() {
+            values.push(ValuePrecision::from_abs(format!("in{p}"), *v));
+        }
+
+        // Per return position: the hull over every reachable `ret`.
+        let mut outs = vec![AbsValue::Bottom; f.n_rets()];
+        for (i, inst) in f.insts().iter().enumerate() {
+            if let Inst::Ret { vals } = inst {
+                if !ia.reachable(i) {
+                    continue;
+                }
+                for (k, r) in vals.iter().enumerate().take(outs.len()) {
+                    let mut cur = outs[k];
+                    abs_join(&mut cur, ia.value_before(i, *r));
+                    outs[k] = cur;
+                }
+            }
+        }
+        for (k, v) in outs.iter().enumerate() {
+            values.push(ValuePrecision::from_abs(format!("out{k}"), *v));
+        }
+
+        // The hull over every float-typed definition: what the fixed
+        // point datapath would carry between operations.
+        let mut inter = AbsValue::Bottom;
+        for (i, inst) in f.insts().iter().enumerate() {
+            for r in defs_of(inst) {
+                if let AbsValue::Float(fv) = ia.value_after(i, r) {
+                    abs_join(&mut inter, AbsValue::Float(fv));
+                }
+            }
+        }
+        values.push(ValuePrecision::from_abs("intermediates".to_string(), inter));
+
+        Some(PrecisionReport {
+            region: region.to_string(),
+            values,
+        })
+    }
+
+    /// The widest integer-bit requirement across all rows, `None` when
+    /// any row is unbounded.
+    pub fn datapath_int_bits(&self) -> Option<u8> {
+        self.values
+            .iter()
+            .map(|v| v.int_bits)
+            .try_fold(0u8, |m, b| b.map(|b| m.max(b)))
+    }
+
+    /// The widest fraction-bit requirement across all rows, `None` when
+    /// any row is unbounded.
+    pub fn datapath_frac_bits(&self) -> Option<u8> {
+        self.values
+            .iter()
+            .map(|v| v.frac_bits)
+            .try_fold(0u8, |m, b| b.map(|b| m.max(b)))
+    }
+
+    /// Whether every tracked value has a finite fixed-point requirement.
+    pub fn bounded(&self) -> bool {
+        self.values.iter().all(ValuePrecision::bounded)
+    }
+}
+
+/// Join helper over plain `AbsValue` copies (the in-place lattice ops
+/// live on the domain state).
+fn abs_join(into: &mut AbsValue, v: AbsValue) {
+    let joined = match (*into, v) {
+        (AbsValue::Bottom, x) | (x, AbsValue::Bottom) => x,
+        (AbsValue::Any, _) | (_, AbsValue::Any) => AbsValue::Any,
+        (AbsValue::Int(a), AbsValue::Int(b)) => AbsValue::Int(super::interval::IntInterval {
+            lo: a.lo.min(b.lo),
+            hi: a.hi.max(b.hi),
+        }),
+        (AbsValue::Float(a), AbsValue::Float(b)) => {
+            AbsValue::Float(super::interval::FloatInterval {
+                lo: a.lo.min(b.lo),
+                hi: a.hi.max(b.hi),
+                nan: a.nan || b.nan,
+            })
+        }
+        _ => AbsValue::Any,
+    };
+    *into = joined;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::interval::FloatInterval;
+    use crate::FunctionBuilder;
+
+    fn unit_param() -> AbsValue {
+        AbsValue::Float(FloatInterval {
+            lo: 0.0,
+            hi: 1.0,
+            nan: false,
+        })
+    }
+
+    #[test]
+    fn bounded_region_gets_finite_bit_widths() {
+        // out = 8 * in, in ∈ [0,1] → out ∈ [0,8]: 5 int bits (sign+4),
+        // 20 frac bits (ulp at magnitude 8 = 2^(3-23)).
+        let mut b = FunctionBuilder::new("scale", 1);
+        let x = b.param(0);
+        let eight = b.constf(8.0);
+        let y = b.fmul(x, eight);
+        b.ret(&[y]);
+        let mut p = Program::new();
+        let f = p.add_function(b.build().unwrap());
+        let r = PrecisionReport::for_region(&p, f, "scale", &[unit_param()], 0).unwrap();
+        assert!(r.bounded(), "{r:?}");
+        let out = r.values.iter().find(|v| v.name == "out0").unwrap();
+        assert_eq!((out.lo, out.hi), (0.0, 8.0));
+        assert_eq!(out.int_bits, Some(5));
+        assert_eq!(out.frac_bits, Some(20));
+        assert_eq!(r.datapath_frac_bits(), Some(23)); // in0 ulp at 1.0
+    }
+
+    #[test]
+    fn unbounded_inputs_flag_the_region() {
+        let mut b = FunctionBuilder::new("id", 1);
+        let x = b.param(0);
+        b.ret(&[x]);
+        let mut p = Program::new();
+        let f = p.add_function(b.build().unwrap());
+        let r = PrecisionReport::for_region(&p, f, "id", &[AbsValue::top_float()], 0).unwrap();
+        assert!(!r.bounded());
+        assert_eq!(r.datapath_int_bits(), None);
+    }
+
+    #[test]
+    fn astronomical_bounds_do_not_count_as_a_datapath() {
+        // Widening thresholds produce finite-but-huge ranges; a Qm.n
+        // answer needing >32 integer bits is unboundedness in disguise.
+        let v = ValuePrecision::from_abs(
+            "x".into(),
+            AbsValue::Float(FloatInterval {
+                lo: -3.4e37,
+                hi: 3.4e37,
+                nan: false,
+            }),
+        );
+        assert!(!v.bounded());
+        assert_eq!((v.lo, v.hi), (-3.4e37, 3.4e37));
+        let w = ValuePrecision::from_abs(
+            "y".into(),
+            AbsValue::Int(crate::analysis::interval::IntInterval {
+                lo: 0,
+                hi: i64::MAX,
+            }),
+        );
+        assert!(!w.bounded());
+    }
+
+    #[test]
+    fn integer_rows_report_zero_fraction_bits() {
+        let v = ValuePrecision::from_abs(
+            "x".into(),
+            AbsValue::Int(crate::analysis::interval::IntInterval { lo: -5, hi: 100 }),
+        );
+        assert_eq!(v.frac_bits, Some(0));
+        assert_eq!(v.int_bits, Some(8)); // sign + 7 bits for 100
+    }
+}

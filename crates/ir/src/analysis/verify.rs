@@ -16,22 +16,30 @@
 //! interpreter will fault (or panic) on along some path; the compiler
 //! pipeline refuses to observe/train such regions. *Warning* findings are
 //! suspicious but executable; *Info* findings record what could not be
-//! proven statically (e.g. runtime-computed scratch addresses, which the
-//! interpreter still bounds-checks dynamically).
+//! proven statically (e.g. a scratch address whose inferred range
+//! straddles the window boundary, which the interpreter still
+//! bounds-checks dynamically); *Note* findings are positive proof
+//! artifacts — the interval analysis ([`super::interval`]) proved a
+//! runtime-computed scratch access in bounds ([`Lint::ProvenScratchBounds`])
+//! or a loop terminating ([`Lint::ProvenLoopBounds`]).
 
 use super::cfg::Cfg;
 use super::defuse::{defs_of, is_pure, uses_of, DefUse};
 use super::dom::Dominators;
 use super::effects::region_effects;
+use super::interval::{AbsValue, FloatInterval, IntervalAnalysis};
 use super::liveness::{reg_space, Liveness};
 use super::types::{infer_types, RegType, TypeMap};
 use super::RegSet;
-use crate::{Function, Inst, Program, Reg};
+use crate::{CmpOp, Function, IBinOp, Inst, Program, Reg};
 use std::fmt;
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// A positive proof artifact: the property *was* established
+    /// statically. Never indicates a problem.
+    Note,
     /// Unprovable statically; checked at runtime instead.
     Info,
     /// Suspicious but executable.
@@ -43,6 +51,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Severity::Note => "note",
             Severity::Info => "info",
             Severity::Warning => "warning",
             Severity::Error => "error",
@@ -58,9 +67,14 @@ pub enum Lint {
     /// A constant-foldable load/store address falls outside the declared
     /// scratch window.
     ScratchOutOfBounds,
-    /// A load/store address could not be folded to a constant; bounds are
-    /// only enforced dynamically.
+    /// A load/store address range straddles the scratch window boundary;
+    /// bounds are only enforced dynamically.
     UnprovenScratchBounds,
+    /// The interval analysis proved a runtime-computed load/store address
+    /// in bounds for every execution.
+    ProvenScratchBounds,
+    /// An induction-variable argument proved this loop terminates.
+    ProvenLoopBounds,
     /// A register is constrained to both `i32` and `f32`.
     TypeConfusion,
     /// Some path leaves the function without executing `ret`.
@@ -108,6 +122,7 @@ impl Lint {
             | Lint::InfiniteLoop => Severity::Error,
             Lint::UnboundedLoop | Lint::UnreachableBlock | Lint::DeadStore => Severity::Warning,
             Lint::UnprovenScratchBounds => Severity::Info,
+            Lint::ProvenScratchBounds | Lint::ProvenLoopBounds => Severity::Note,
         }
     }
 
@@ -118,6 +133,8 @@ impl Lint {
             Lint::UninitRead => "uninit-read",
             Lint::ScratchOutOfBounds => "scratch-out-of-bounds",
             Lint::UnprovenScratchBounds => "unproven-scratch-bounds",
+            Lint::ProvenScratchBounds => "proven-scratch-bounds",
+            Lint::ProvenLoopBounds => "proven-loop-bounds",
             Lint::TypeConfusion => "type-confusion",
             Lint::MissingRet => "missing-ret",
             Lint::RetArityMismatch => "ret-arity-mismatch",
@@ -199,9 +216,12 @@ impl VerifyReport {
             .any(|d| d.severity == Severity::Error)
     }
 
-    /// Whether the report has no findings at all.
+    /// Whether the report has no findings above [`Severity::Note`]
+    /// (notes are positive proof artifacts, not problems).
     pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
+        self.diagnostics
+            .iter()
+            .all(|d| d.severity <= Severity::Note)
     }
 
     /// The error-severity findings.
@@ -226,7 +246,24 @@ impl VerifyReport {
 /// criteria, assuming a scratch memory of `scratch_words` f32 words.
 ///
 /// Checks the entry function and every transitively reachable callee.
+/// Entry inputs are assumed unconstrained (any f32 including NaN); use
+/// [`verify_region_with_inputs`] when the region declares input ranges.
 pub fn verify_region(program: &Program, entry: u32, scratch_words: usize) -> VerifyReport {
+    verify_region_with_inputs(program, entry, scratch_words, &[])
+}
+
+/// Like [`verify_region`], but bounding entry parameter `p` by
+/// `inputs[p]` (missing entries default to any float, including NaN).
+///
+/// Tighter input ranges let the interval analysis prove more scratch
+/// accesses in bounds and more loops terminating, upgrading info-level
+/// findings to [`Severity::Note`] proofs.
+pub fn verify_region_with_inputs(
+    program: &Program,
+    entry: u32,
+    scratch_words: usize,
+    inputs: &[FloatInterval],
+) -> VerifyReport {
     let mut report = VerifyReport::default();
     if program.function_by_index(entry).is_none() {
         report.push(
@@ -254,7 +291,7 @@ pub fn verify_region(program: &Program, entry: u32, scratch_words: usize) -> Ver
             f,
             &types[fid as usize],
             scratch_words,
-            fid == entry,
+            (fid == entry).then_some(inputs),
             &mut report,
         );
     }
@@ -266,9 +303,10 @@ fn verify_function(
     f: &Function,
     types: &TypeMap,
     scratch_words: usize,
-    is_entry: bool,
+    entry_inputs: Option<&[FloatInterval]>,
     report: &mut VerifyReport,
 ) {
+    let is_entry = entry_inputs.is_some();
     let name = f.name();
     let insts = f.insts();
 
@@ -436,9 +474,26 @@ fn verify_function(
         }
     }
 
+    // Interval analysis backing the proof-carrying checks: the entry is
+    // analyzed as a region (declared input ranges, zero-filled modeled
+    // scratch); callees assume ⊤ parameters (any caller, any argument).
+    let ia = match entry_inputs {
+        Some(inputs) => {
+            let params: Vec<AbsValue> = (0..f.n_params())
+                .map(|p| {
+                    inputs
+                        .get(p)
+                        .map_or_else(AbsValue::top_float, |iv| AbsValue::float(*iv))
+                })
+                .collect();
+            IntervalAnalysis::of_region(program, f, &params, scratch_words)
+        }
+        None => IntervalAnalysis::of_function(f, &vec![AbsValue::Any; f.n_params()]),
+    };
+
     must_init_check(f, &cfg, program, report);
-    scratch_bounds_check(f, &du, scratch_words, report);
-    loop_check(f, &cfg, &dom, report);
+    scratch_bounds_check(f, &ia, scratch_words, report);
+    loop_check(f, &cfg, &dom, &ia, report);
     dead_store_check(f, &cfg, report);
 }
 
@@ -545,84 +600,79 @@ fn must_init_check(f: &Function, cfg: &Cfg, program: &Program, report: &mut Veri
     }
 }
 
-/// Constant-folds a register's value through its (unique) definition
-/// chain. Sound given a clean must-init pass: a single static definition
-/// that is executed before every use yields the same constant at each.
-fn const_reg(f: &Function, du: &DefUse, r: Reg, depth: usize) -> Option<i32> {
-    if depth == 0 {
-        return None;
-    }
-    let def = du.single_def(r)?;
-    match &f.insts()[def] {
-        Inst::ConstI { value, .. } => Some(*value),
-        Inst::Mov { src, .. } => const_reg(f, du, *src, depth - 1),
-        Inst::IBin { op, a, b, .. } => {
-            let x = const_reg(f, du, *a, depth - 1)?;
-            let y = const_reg(f, du, *b, depth - 1)?;
-            Some(match op {
-                crate::IBinOp::Add => x.wrapping_add(y),
-                crate::IBinOp::Sub => x.wrapping_sub(y),
-                crate::IBinOp::Mul => x.wrapping_mul(y),
-                crate::IBinOp::Shl => x.wrapping_shl(y as u32),
-                crate::IBinOp::Shr => x.wrapping_shr(y as u32),
-                crate::IBinOp::And => x & y,
-                crate::IBinOp::Or => x | y,
-                crate::IBinOp::Rem => {
-                    if y == 0 {
-                        0
-                    } else {
-                        x.wrapping_rem(y)
-                    }
-                }
-            })
-        }
-        _ => None,
-    }
-}
-
+/// Classifies every reachable load/store by its inferred address range:
+/// provably inside the scratch window (note), provably outside (error),
+/// or straddling the boundary (info — checked dynamically).
 fn scratch_bounds_check(
     f: &Function,
-    du: &DefUse,
+    ia: &IntervalAnalysis,
     scratch_words: usize,
     report: &mut VerifyReport,
 ) {
+    let words = scratch_words as i64;
     for (i, inst) in f.insts().iter().enumerate() {
-        let (base, offset, what) = match inst {
-            Inst::Load { base, offset, .. } => (*base, *offset, "load"),
-            Inst::Store { base, offset, .. } => (*base, *offset, "store"),
+        let what = match inst {
+            Inst::Load { .. } => "load",
+            Inst::Store { .. } => "store",
             _ => continue,
         };
-        match const_reg(f, du, base, 16) {
-            Some(b) => {
-                let addr = b as i64 + offset as i64;
-                if addr < 0 || addr >= scratch_words as i64 {
-                    report.push(
-                        Lint::ScratchOutOfBounds,
-                        f.name(),
-                        Some(i),
-                        format!(
-                            "{what} address {addr} escapes the scratch window of {scratch_words} word(s)"
-                        ),
-                    );
-                }
-            }
-            None => {
-                report.push(
-                    Lint::UnprovenScratchBounds,
-                    f.name(),
-                    Some(i),
-                    format!(
-                        "{what} address is computed at runtime; bounds only checked dynamically"
-                    ),
-                );
-            }
+        // Unreachable accesses never execute (the unreachable-block lint
+        // covers the dead code); a float-only base is the type lints'
+        // problem.
+        if !ia.reachable(i) {
+            continue;
+        }
+        let Some((lo, hi)) = ia.addr_range(i, inst) else {
+            continue;
+        };
+        if lo >= 0 && hi < words {
+            report.push(
+                Lint::ProvenScratchBounds,
+                f.name(),
+                Some(i),
+                format!(
+                    "{what} address proven within [{lo}, {hi}], inside the scratch window of {scratch_words} word(s)"
+                ),
+            );
+        } else if hi < 0 || lo >= words {
+            let shown = if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("range [{lo}, {hi}]")
+            };
+            report.push(
+                Lint::ScratchOutOfBounds,
+                f.name(),
+                Some(i),
+                format!(
+                    "{what} address {shown} escapes the scratch window of {scratch_words} word(s)"
+                ),
+            );
+        } else {
+            report.push(
+                Lint::UnprovenScratchBounds,
+                f.name(),
+                Some(i),
+                format!(
+                    "{what} address range [{lo}, {hi}] straddles the scratch window of {scratch_words} word(s); bounds only checked dynamically"
+                ),
+            );
         }
     }
 }
 
 /// Back-edge based loop screening: every natural loop must have an exit,
-/// and at least one exit condition must plausibly vary across iterations.
-fn loop_check(f: &Function, cfg: &Cfg, dom: &Dominators, report: &mut VerifyReport) {
+/// and at least one exit must be *proven* bounded by the
+/// induction-variable argument ([`prove_loop_exit`], reported as a
+/// `proven-loop-bounds` note) or, failing that, at least plausibly vary
+/// across iterations ([`cond_varies`] heuristic).
+fn loop_check(
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    ia: &IntervalAnalysis,
+    report: &mut VerifyReport,
+) {
     let insts = f.insts();
     // Collect back edges u -> h (h dominates u).
     let mut headers: Vec<(usize, usize)> = Vec::new();
@@ -637,7 +687,7 @@ fn loop_check(f: &Function, cfg: &Cfg, dom: &Dominators, report: &mut VerifyRepo
         }
     }
 
-    for (latch, header) in headers {
+    for &(latch, header) in &headers {
         // Natural loop body: blocks reaching the latch without passing
         // the header.
         let mut in_loop = vec![false; cfg.len()];
@@ -666,8 +716,17 @@ fn loop_check(f: &Function, cfg: &Cfg, dom: &Dominators, report: &mut VerifyRepo
             }
         }
 
+        // The induction-variable proof only handles the simple shape
+        // where each iteration is one acyclic header→latch path, so it
+        // is off for loops containing another back edge (an inner loop
+        // or a second latch into this header).
+        let simple = !headers
+            .iter()
+            .any(|&(l2, h2)| (l2, h2) != (latch, header) && in_loop[l2] && in_loop[h2]);
+
         let mut has_exit = false;
         let mut has_varying_exit = false;
+        let mut proofs: Vec<(usize, String)> = Vec::new();
         for (b, blk) in cfg.blocks().iter().enumerate() {
             if !in_loop[b] {
                 continue;
@@ -686,6 +745,23 @@ fn loop_check(f: &Function, cfg: &Cfg, dom: &Dominators, report: &mut VerifyRepo
             }
             has_exit = true;
             if let Inst::Branch { cond, .. } = &insts[last] {
+                if simple {
+                    if let Some(msg) = prove_loop_exit(
+                        f,
+                        cfg,
+                        &in_loop,
+                        header,
+                        latch,
+                        b,
+                        *cond,
+                        &defined_in_loop,
+                        ia,
+                    ) {
+                        has_varying_exit = true;
+                        proofs.push((last, msg));
+                        continue;
+                    }
+                }
                 if cond_varies(f, *cond, &defined_in_loop) {
                     has_varying_exit = true;
                 }
@@ -714,7 +790,210 @@ fn loop_check(f: &Function, cfg: &Cfg, dom: &Dominators, report: &mut VerifyRepo
                 "every exit condition of this loop appears loop-invariant; the loop may not terminate".to_string(),
             );
         }
+        for (i, msg) in proofs {
+            report.push(Lint::ProvenLoopBounds, f.name(), Some(i), msg);
+        }
     }
+}
+
+/// The induction-variable termination argument for the exit branch
+/// ending block `exit_b` of the `header`/`latch` loop (which the caller
+/// guarantees contains no other back edge, so each iteration is one
+/// acyclic header→latch path). The proof requires:
+///
+/// 1. exactly one branch edge stays in the loop, and staying requires
+///    `i < n` / `i ≤ n` (or the mirrored/negated forms) where `i` is
+///    loop-defined and `n` loop-invariant;
+/// 2. `i`'s only in-loop definition steps it by a nonzero constant in
+///    the direction that eventually violates the continue condition;
+/// 3. both the compare and the step execute on every header→latch path
+///    (each at most once, by acyclicity);
+/// 4. the stepped counter cannot wrap around i32 before failing the
+///    test: `n_hi − adj + step ≤ i32::MAX` (upward; mirrored downward),
+///    with `n`'s bound taken from the interval analysis.
+///
+/// Under these, `i` moves monotonically by `step` per iteration while
+/// the continue condition bounds it, so the loop exits after at most
+/// `(bound − start)/step` iterations. Returns the note message.
+#[allow(clippy::too_many_arguments)]
+fn prove_loop_exit(
+    f: &Function,
+    cfg: &Cfg,
+    in_loop: &[bool],
+    header: usize,
+    latch: usize,
+    exit_b: usize,
+    cond: Reg,
+    defined_in_loop: &RegSet,
+    ia: &IntervalAnalysis,
+) -> Option<String> {
+    let insts = f.insts();
+    let blk = &cfg.blocks()[exit_b];
+    let last = blk.end - 1;
+
+    // Which side of the branch continues the loop?
+    let target = match &insts[last] {
+        Inst::Branch { target, .. } => target.0 as usize,
+        _ => return None,
+    };
+    let n_insts = f.len();
+    let tk = (target < n_insts).then(|| cfg.block_of(target));
+    let ft = (blk.end < n_insts).then(|| cfg.block_of(blk.end));
+    let tk_in = tk.is_some_and(|b| in_loop[b]);
+    let ft_in = ft.is_some_and(|b| in_loop[b]);
+    if tk_in == ft_in {
+        return None;
+    }
+    let continue_on_true = tk_in;
+
+    // The condition must be an integer compare in this block; the
+    // backward scan finds the definition that reaches the branch.
+    let cmp_at = (blk.start..last)
+        .rev()
+        .find(|&j| defs_of(&insts[j]).contains(&cond))?;
+    let (op, a, b) = match &insts[cmp_at] {
+        Inst::CmpI { op, a, b, .. } => (*op, *a, *b),
+        _ => return None,
+    };
+
+    // One operand is the loop counter, the other loop-invariant.
+    let (iv, bound, op_on_iv) = if defined_in_loop.contains(a.0) && !defined_in_loop.contains(b.0) {
+        (a, b, op)
+    } else if defined_in_loop.contains(b.0) && !defined_in_loop.contains(a.0) {
+        (b, a, mirror(op))
+    } else {
+        return None;
+    };
+    let c = if continue_on_true {
+        op_on_iv
+    } else {
+        negate(op_on_iv)
+    };
+
+    // The counter's single in-loop definition: `iv = iv ± constant`.
+    let mut def_site: Option<usize> = None;
+    for (bb, blk2) in cfg.blocks().iter().enumerate() {
+        if !in_loop[bb] {
+            continue;
+        }
+        for j in blk2.range() {
+            if defs_of(&insts[j]).contains(&iv) {
+                if def_site.is_some() {
+                    return None;
+                }
+                def_site = Some(j);
+            }
+        }
+    }
+    let def_at = def_site?;
+    let exact_at = |j: usize, r: Reg| -> Option<i64> {
+        ia.value_before(j, r).as_int()?.is_exact().map(i64::from)
+    };
+    let step = match &insts[def_at] {
+        Inst::IBin {
+            op: IBinOp::Add,
+            dst,
+            a: x,
+            b: y,
+        } if *dst == iv => {
+            if *x == iv && *y != iv {
+                exact_at(def_at, *y)?
+            } else if *y == iv && *x != iv {
+                exact_at(def_at, *x)?
+            } else {
+                return None;
+            }
+        }
+        Inst::IBin {
+            op: IBinOp::Sub,
+            dst,
+            a: x,
+            b: y,
+        } if *dst == iv && *x == iv && *y != iv => -exact_at(def_at, *y)?,
+        _ => return None,
+    };
+    if step == 0 {
+        return None;
+    }
+    let up = step > 0;
+    match c {
+        CmpOp::Lt | CmpOp::Le if up => {}
+        CmpOp::Gt | CmpOp::Ge if !up => {}
+        _ => return None,
+    }
+
+    // Both the test and the step must run on every complete iteration.
+    if !on_every_iteration(cfg, in_loop, header, latch, exit_b)
+        || !on_every_iteration(cfg, in_loop, header, latch, cfg.block_of(def_at))
+    {
+        return None;
+    }
+
+    // No-wraparound: the counter never passes the bound by more than one
+    // step, which must stay within i32.
+    let n_iv = ia.value_before(cmp_at, bound).as_int()?;
+    let ok = if up {
+        let adj = i64::from(c == CmpOp::Lt);
+        n_iv.hi - adj + step <= i64::from(i32::MAX)
+    } else {
+        let adj = i64::from(c == CmpOp::Gt);
+        n_iv.lo + adj + step >= i64::from(i32::MIN)
+    };
+    if !ok {
+        return None;
+    }
+
+    Some(format!(
+        "loop proven bounded: counter {iv} steps by {step} per iteration toward the loop-invariant bound {bound} tested at instruction {cmp_at}"
+    ))
+}
+
+/// Swaps the operand order of a compare: `a op b` ⟺ `b mirror(op) a`.
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+/// Logical negation of an integer compare (total order, no NaN).
+fn negate(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+    }
+}
+
+/// Whether every complete iteration — a path header→latch inside the
+/// (inner-back-edge-free) loop — passes through block `x`.
+fn on_every_iteration(cfg: &Cfg, in_loop: &[bool], header: usize, latch: usize, x: usize) -> bool {
+    if x == header || x == latch {
+        return true;
+    }
+    let mut seen = vec![false; cfg.len()];
+    let mut work = vec![header];
+    while let Some(b) = work.pop() {
+        if b == latch {
+            return false;
+        }
+        if seen[b] || b == x {
+            continue;
+        }
+        seen[b] = true;
+        for &s in &cfg.blocks()[b].succs {
+            if in_loop[s] && s != x && !seen[s] {
+                work.push(s);
+            }
+        }
+    }
+    true
 }
 
 /// Heuristic: a branch condition can change across iterations if some
@@ -942,6 +1221,160 @@ mod tests {
             report.diagnostics()
         );
         assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn counting_loop_gets_proven_bounds_note() {
+        let mut b = FunctionBuilder::new("count", 1);
+        let x = b.param(0);
+        let n = b.ftoi(x);
+        let i = b.consti(0);
+        let one = b.consti(1);
+        let top = b.new_label();
+        let exit = b.new_label();
+        b.bind(top);
+        let done = b.cmpi(CmpOp::Ge, i, n);
+        b.branch_if(done, exit);
+        b.iadd_into(i, one);
+        b.jump(top);
+        b.bind(exit);
+        let out = b.itof(i);
+        b.ret(&[out]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d| d.lint == Lint::ProvenLoopBounds && d.severity == Severity::Note),
+            "{:?}",
+            report.diagnostics()
+        );
+        assert!(report.is_clean(), "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn downward_loop_proven_and_invariant_step_rejected() {
+        // for (i = n; i > 0; i -= 2) — downward induction proof.
+        let mut b = FunctionBuilder::new("down", 1);
+        let x = b.param(0);
+        let i = b.ftoi(x);
+        let zero = b.consti(0);
+        let two = b.consti(2);
+        let top = b.new_label();
+        let exit = b.new_label();
+        b.bind(top);
+        let done = b.cmpi(CmpOp::Le, i, zero);
+        b.branch_if(done, exit);
+        let next = b.isub(i, two);
+        b.emit(Inst::Mov { dst: i, src: next });
+        b.jump(top);
+        b.bind(exit);
+        b.ret(&[x]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        // Two in-loop defs of `i`'s chain (isub + mov) — the mov *is*
+        // the single def of `i`? No: `i` is defined by ftoi (outside)
+        // and mov (inside): single in-loop def, but a Mov is not an
+        // IBin step, so the proof falls back to the heuristic (which
+        // accepts it) without a note.
+        assert!(
+            !report
+                .diagnostics()
+                .iter()
+                .any(|d| matches!(d.lint, Lint::InfiniteLoop | Lint::UnboundedLoop)),
+            "{:?}",
+            report.diagnostics()
+        );
+
+        // Same loop with a direct `i = i - 2` step is proven.
+        let mut b = FunctionBuilder::new("down2", 1);
+        let x = b.param(0);
+        let i = b.ftoi(x);
+        let zero = b.consti(0);
+        let two = b.consti(2);
+        let top = b.new_label();
+        let exit = b.new_label();
+        b.bind(top);
+        let done = b.cmpi(CmpOp::Le, i, zero);
+        b.branch_if(done, exit);
+        b.emit(Inst::IBin {
+            op: crate::IBinOp::Sub,
+            dst: i,
+            a: i,
+            b: two,
+        });
+        b.jump(top);
+        b.bind(exit);
+        b.ret(&[x]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 0);
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d| d.lint == Lint::ProvenLoopBounds),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn scratch_access_proven_by_input_ranges() {
+        use crate::analysis::interval::FloatInterval;
+        // addr = ftoi(p0): unprovable with unconstrained inputs, proven
+        // once the region declares p0 ∈ [0, 31].
+        let mut b = FunctionBuilder::new("mem", 1);
+        let x = b.param(0);
+        let base = b.ftoi(x);
+        let v = b.load(base, 0);
+        b.ret(&[v]);
+        let p = entry_program(b.build().unwrap());
+
+        let loose = verify_region(&p, 0, 32);
+        assert!(loose
+            .diagnostics()
+            .iter()
+            .any(|d| d.lint == Lint::UnprovenScratchBounds));
+
+        let tight = verify_region_with_inputs(
+            &p,
+            0,
+            32,
+            &[FloatInterval {
+                lo: 0.0,
+                hi: 31.0,
+                nan: false,
+            }],
+        );
+        assert!(
+            tight
+                .diagnostics()
+                .iter()
+                .any(|d| d.lint == Lint::ProvenScratchBounds && d.severity == Severity::Note),
+            "{:?}",
+            tight.diagnostics()
+        );
+        assert!(tight.is_clean(), "{:?}", tight.diagnostics());
+    }
+
+    #[test]
+    fn constant_scratch_access_proven_without_inputs() {
+        let mut b = FunctionBuilder::new("cmem", 1);
+        let x = b.param(0);
+        let base = b.consti(3);
+        b.store(x, base, 2);
+        let v = b.load(base, 2);
+        b.ret(&[v]);
+        let p = entry_program(b.build().unwrap());
+        let report = verify_region(&p, 0, 8);
+        let notes = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.lint == Lint::ProvenScratchBounds)
+            .count();
+        assert_eq!(notes, 2, "{:?}", report.diagnostics());
+        assert!(report.is_clean());
     }
 
     #[test]

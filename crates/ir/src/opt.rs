@@ -14,7 +14,12 @@
 //! * [`eliminate_dead_code`] — per-point liveness from the backward
 //!   dataflow in [`analysis::liveness`](crate::analysis::liveness):
 //!   definitions no path ever reads are deleted (including overwritten
-//!   ones), and unreachable blocks are dropped entirely.
+//!   ones), and unreachable blocks are dropped entirely;
+//! * [`fold_branches`] — range-driven control-flow simplification from
+//!   the interval analysis in [`analysis::interval`](crate::analysis::interval):
+//!   a branch whose condition range excludes zero becomes an
+//!   unconditional jump, and one whose condition is provably zero is
+//!   deleted, turning its taken arm into dead code for DCE to drop.
 //!
 //! Earlier revisions of these passes were straight-line only — any
 //! register written on more than one path, or any instruction past the
@@ -22,7 +27,7 @@
 //! [`analysis`](crate::analysis) CFG and liveness results removed that
 //! over-approximation.
 
-use crate::analysis::{defs_of, is_pure, uses_of, Cfg, Liveness};
+use crate::analysis::{defs_of, is_pure, uses_of, AbsValue, Cfg, IntervalAnalysis, Liveness};
 use crate::{FBinOp, FUnOp, Function, IBinOp, Inst, Label, Reg};
 use std::collections::HashMap;
 
@@ -247,10 +252,13 @@ pub fn eliminate_dead_code(f: &Function) -> Function {
         }
     }
 
-    // Remap old indices to new ones. A branch to a removed instruction
-    // lands on the next surviving one; `new_index` encodes that (the
-    // removed slot maps to the index the following instruction will
-    // take).
+    compact(f, &keep, f.insts())
+}
+
+/// Rebuilds `f` from `insts`, dropping slots where `keep` is false.
+/// Instruction indices shift, so branch targets are remapped: a branch
+/// to a removed instruction lands on the next surviving one.
+fn compact(f: &Function, keep: &[bool], insts: &[Inst]) -> Function {
     let mut new_index = vec![0u32; f.len() + 1];
     let mut n = 0u32;
     for (i, &k) in keep.iter().enumerate() {
@@ -262,7 +270,7 @@ pub fn eliminate_dead_code(f: &Function) -> Function {
     new_index[f.len()] = n;
 
     let mut out = Vec::with_capacity(n as usize);
-    for (i, inst) in f.insts().iter().enumerate() {
+    for (i, inst) in insts.iter().enumerate() {
         if !keep[i] {
             continue;
         }
@@ -287,12 +295,48 @@ pub fn eliminate_dead_code(f: &Function) -> Function {
     )
 }
 
-/// Folds constants, then removes the dead definitions folding exposed,
-/// iterating to a fixed point (bounded).
+/// Returns a copy of `f` with branches the interval analysis decides
+/// statically simplified: a condition whose range excludes zero becomes
+/// an unconditional [`Inst::Jump`]; a condition provably zero deletes
+/// the branch (the fall-through is unconditional, and the taken arm
+/// becomes unreachable for [`eliminate_dead_code`] to drop).
+///
+/// Parameters are assumed unconstrained (⊤), so every decision holds for
+/// all inputs — the rewrite is exact, not approximate, and is
+/// parity-tested against the unoptimized interpreter.
+pub fn fold_branches(f: &Function) -> Function {
+    if f.is_empty() {
+        return f.clone();
+    }
+    let ia = IntervalAnalysis::of_function(f, &vec![AbsValue::Any; f.n_params()]);
+    let mut keep = vec![true; f.len()];
+    let mut out: Vec<Inst> = f.insts().to_vec();
+    for (i, inst) in f.insts().iter().enumerate() {
+        let Inst::Branch { cond, target } = inst else {
+            continue;
+        };
+        if !ia.reachable(i) {
+            continue;
+        }
+        let Some(cv) = ia.value_before(i, *cond).as_int() else {
+            continue;
+        };
+        if cv.lo > 0 || cv.hi < 0 {
+            out[i] = Inst::Jump { target: *target };
+        } else if (cv.lo, cv.hi) == (0, 0) {
+            keep[i] = false;
+        }
+    }
+    compact(f, &keep, &out)
+}
+
+/// Folds constants, simplifies statically decided branches, then removes
+/// the dead definitions and unreachable arms this exposed, iterating to
+/// a fixed point (bounded).
 pub fn optimize(f: &Function) -> Function {
     let mut current = f.clone();
     for _ in 0..8 {
-        let next = eliminate_dead_code(&fold_constants(&current));
+        let next = eliminate_dead_code(&fold_branches(&fold_constants(&current)));
         if next == current {
             break;
         }
@@ -532,6 +576,94 @@ mod tests {
         let opt = optimize(&f);
         assert_eq!(run(opt.clone(), &[Value::F(1.0)])[0].as_f32().unwrap(), 2.0);
         assert_eq!(run(opt, &[Value::F(-1.0)])[0].as_f32().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn range_proven_branch_becomes_jump_and_dead_arm_drops() {
+        use crate::CmpOp;
+        // (ftoi(x) & 7) < 16 always holds: the guard folds to a jump and
+        // the error arm goes away, even though the condition depends on
+        // the input. Bit-exact parity with the unoptimized function.
+        let mut b = FunctionBuilder::new("rb", 1);
+        let x = b.param(0);
+        let xi = b.ftoi(x);
+        let seven = b.consti(7);
+        let m = b.iand(xi, seven);
+        let sixteen = b.consti(16);
+        let c = b.cmpi(CmpOp::Lt, m, sixteen);
+        let ok = b.new_label();
+        b.branch_if(c, ok);
+        let neg = b.constf(-1.0);
+        b.ret(&[neg]);
+        b.bind(ok);
+        let out = b.itof(m);
+        b.ret(&[out]);
+        let f = b.build().unwrap();
+        let opt = optimize(&f);
+        assert!(opt.len() < f.len(), "{:?}", opt.insts());
+        assert!(
+            !opt.insts().iter().any(|i| matches!(i, Inst::Branch { .. })),
+            "{:?}",
+            opt.insts()
+        );
+        for v in [-9.5f32, 0.0, 3.0, 6.99, 1e9, f32::NAN] {
+            let a = run(f.clone(), &[Value::F(v)])[0].as_f32().unwrap();
+            let o = run(opt.clone(), &[Value::F(v)])[0].as_f32().unwrap();
+            assert_eq!(a.to_bits(), o.to_bits(), "input {v}");
+        }
+    }
+
+    #[test]
+    fn never_taken_branch_is_deleted_with_its_arm() {
+        use crate::CmpOp;
+        // (ftoi(x) & 7) > 100 is impossible: the branch and its taken
+        // arm disappear entirely.
+        let mut b = FunctionBuilder::new("nt", 1);
+        let x = b.param(0);
+        let xi = b.ftoi(x);
+        let seven = b.consti(7);
+        let m = b.iand(xi, seven);
+        let hundred = b.consti(100);
+        let c = b.cmpi(CmpOp::Gt, m, hundred);
+        let bad = b.new_label();
+        b.branch_if(c, bad);
+        let out = b.itof(m);
+        b.ret(&[out]);
+        b.bind(bad);
+        let neg = b.constf(-1.0);
+        b.ret(&[neg]);
+        let f = b.build().unwrap();
+        let opt = optimize(&f);
+        assert!(opt.len() < f.len(), "{:?}", opt.insts());
+        assert!(
+            !opt.insts().iter().any(|i| matches!(i, Inst::Branch { .. })),
+            "{:?}",
+            opt.insts()
+        );
+        for v in [-3.0f32, 0.0, 7.5, 255.0] {
+            let a = run(f.clone(), &[Value::F(v)])[0].as_f32().unwrap();
+            let o = run(opt.clone(), &[Value::F(v)])[0].as_f32().unwrap();
+            assert_eq!(a.to_bits(), o.to_bits(), "input {v}");
+        }
+    }
+
+    #[test]
+    fn input_dependent_branches_are_untouched() {
+        use crate::CmpOp;
+        let mut b = FunctionBuilder::new("keep", 1);
+        let x = b.param(0);
+        let zero = b.constf(0.0);
+        let c = b.cmpf(CmpOp::Lt, x, zero);
+        let negl = b.new_label();
+        b.branch_if(c, negl);
+        let one = b.constf(1.0);
+        b.ret(&[one]);
+        b.bind(negl);
+        let mone = b.constf(-1.0);
+        b.ret(&[mone]);
+        let f = b.build().unwrap();
+        let opt = fold_branches(&f);
+        assert_eq!(opt.insts(), f.insts());
     }
 
     #[test]

@@ -1,15 +1,15 @@
-//! Regenerates `tests/data/run_report_v4.json`, the golden file pinning
+//! Regenerates `tests/data/run_report_v5.json`, the golden file pinning
 //! the current report schema. Run from the crate directory after an
 //! intentional schema change:
 //!
 //! ```text
-//! cargo run -p telemetry --example gen_golden_v4
+//! cargo run -p telemetry --example gen_golden_v5
 //! ```
 //!
-//! The values mirror the v3 golden so schema diffs stay readable, plus
-//! the v4 `distributions` section and bucketed histogram state.
+//! The values mirror the v4 golden so schema diffs stay readable, plus
+//! the v5 `notes` lint counter and the `precision` section.
 
-use telemetry::{Histogram, PhaseTiming, RunReport};
+use telemetry::{Histogram, PhaseTiming, PrecisionRow, RunReport};
 
 fn main() {
     let mut report = RunReport::new("parrot-run", "sweep", "fast");
@@ -29,6 +29,39 @@ fn main() {
     report.lint.record("warning", "dead-store");
     report.lint.record("info", "unproven-scratch-bounds");
     report.lint.record("info", "unproven-scratch-bounds");
+    report.lint.record("note", "proven-scratch-bounds");
+    report.lint.record("note", "proven-scratch-bounds");
+    report.lint.record("note", "proven-loop-bounds");
+
+    report.precision.bounded = true;
+    report.precision.datapath_int_bits = Some(9);
+    report.precision.datapath_frac_bits = Some(23);
+    report.precision.values = vec![
+        PrecisionRow {
+            name: "in0".into(),
+            lo: Some(0.0),
+            hi: Some(255.0),
+            may_be_nan: false,
+            int_bits: Some(9),
+            frac_bits: Some(16),
+        },
+        PrecisionRow {
+            name: "out0".into(),
+            lo: Some(-128.0),
+            hi: Some(127.0),
+            may_be_nan: false,
+            int_bits: Some(8),
+            frac_bits: Some(17),
+        },
+        PrecisionRow {
+            name: "intermediates".into(),
+            lo: Some(-255.0),
+            hi: Some(255.0),
+            may_be_nan: false,
+            int_bits: Some(9),
+            frac_bits: Some(23),
+        },
+    ];
 
     report.scheduler.workers = 4;
     report.scheduler.jobs_total = 12;
@@ -51,6 +84,7 @@ fn main() {
 
     report.metrics.add("ann.search.candidates", 3);
     report.metrics.add("lint.infos", 2);
+    report.metrics.add("lint.notes", 3);
     report.metrics.add("lint.warnings", 1);
     report.metrics.add("npu.macs", 5_120);
     report.metrics.add("scheduler.jobs_from_cache", 3);
@@ -77,7 +111,7 @@ fn main() {
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
     std::fs::create_dir_all(&path).unwrap();
-    let file = path.join("run_report_v4.json");
+    let file = path.join("run_report_v5.json");
     std::fs::write(&file, report.to_json()).unwrap();
     println!("wrote {}", file.display());
 }

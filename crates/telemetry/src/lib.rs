@@ -57,7 +57,8 @@ mod trace;
 pub use event::{Event, EventKind, Level};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{
-    Distribution, LintSummary, PhaseTiming, RunReport, SchedulerSummary, SCHEMA_VERSION,
+    Distribution, LintSummary, PhaseTiming, PrecisionRow, PrecisionSummary, RunReport,
+    SchedulerSummary, SCHEMA_VERSION,
 };
 pub use ring::RingBuffer;
 pub use sink::{CaptureSink, JsonlSink, NullSink, Sink, StderrSink};

@@ -13,8 +13,11 @@ use std::collections::BTreeMap;
 /// the `scheduler` section ([`SchedulerSummary`], the experiment
 /// harness's job/cache accounting); v4 — added the `distributions`
 /// section ([`Distribution`] percentile summaries backed by log-bucketed
-/// histograms) and bucket state inside every serialized [`Histogram`].
-pub const SCHEMA_VERSION: u64 = 4;
+/// histograms) and bucket state inside every serialized [`Histogram`];
+/// v5 — added `notes` to [`LintSummary`] (proof-artifact findings from
+/// the interval analysis) and the `precision` section
+/// ([`PrecisionSummary`], static fixed-point bit-width requirements).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Percentile summary of one sampled quantity, added in schema v4.
 ///
@@ -74,7 +77,8 @@ pub struct PhaseTiming {
 ///
 /// The verifier itself lives in `approx-ir`; this type only carries the
 /// counts, so telemetry stays dependency-free. Severity strings are the
-/// verifier's `error` / `warning` / `info`.
+/// verifier's `error` / `warning` / `info` / `note` (notes, added in
+/// schema v5, are positive proof artifacts, not problems).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LintSummary {
     /// Error-severity findings (a region with any of these is rejected
@@ -84,33 +88,38 @@ pub struct LintSummary {
     pub warnings: u64,
     /// Info-severity findings (statically unprovable, checked at runtime).
     pub infos: u64,
+    /// Note-severity findings (properties the static analysis *proved*:
+    /// in-bounds scratch accesses, terminating loops).
+    pub notes: u64,
     /// Finding counts keyed by lint name (`uninit-read`,
-    /// `unproven-scratch-bounds`, …).
+    /// `proven-scratch-bounds`, …).
     pub by_lint: BTreeMap<String, u64>,
 }
 
 impl LintSummary {
     /// Records one finding of `lint` at `severity` (`"error"`,
-    /// `"warning"`, or `"info"`; anything else counts only under
-    /// [`by_lint`](Self::by_lint)).
+    /// `"warning"`, `"info"`, or `"note"`; anything else counts only
+    /// under [`by_lint`](Self::by_lint)).
     pub fn record(&mut self, severity: &str, lint: &str) {
         match severity {
             "error" => self.errors += 1,
             "warning" => self.warnings += 1,
             "info" => self.infos += 1,
+            "note" => self.notes += 1,
             _ => {}
         }
         *self.by_lint.entry(lint.to_string()).or_insert(0) += 1;
     }
 
-    /// Total findings across severities.
+    /// Total findings across severities, notes included.
     pub fn total(&self) -> u64 {
-        self.errors + self.warnings + self.infos
+        self.errors + self.warnings + self.infos + self.notes
     }
 
-    /// Whether no findings were recorded.
+    /// Whether nothing above note severity was recorded (notes are
+    /// proofs, not problems).
     pub fn is_clean(&self) -> bool {
-        self.total() == 0 && self.by_lint.is_empty()
+        self.errors + self.warnings + self.infos == 0
     }
 
     /// Exports the summary into `metrics` under `prefix`: per-severity
@@ -120,10 +129,53 @@ impl LintSummary {
         metrics.add(&format!("{prefix}.errors"), self.errors);
         metrics.add(&format!("{prefix}.warnings"), self.warnings);
         metrics.add(&format!("{prefix}.infos"), self.infos);
+        metrics.add(&format!("{prefix}.notes"), self.notes);
         for (lint, n) in &self.by_lint {
             metrics.add(&format!("{prefix}.by.{lint}"), *n);
         }
     }
+}
+
+/// One value row of the static precision analysis, added in schema v5.
+///
+/// Bounds are `None` when the interval analysis could not bound the
+/// value (the JSON carries `null`; ±∞ is deliberately never serialized).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionRow {
+    /// `in<k>` for region inputs, `out<k>` for outputs, `intermediates`
+    /// for the hull over float-typed definitions.
+    pub name: String,
+    /// Inferred lower bound, when finite.
+    pub lo: Option<f32>,
+    /// Inferred upper bound, when finite.
+    pub hi: Option<f32>,
+    /// Whether the value may be NaN.
+    pub may_be_nan: bool,
+    /// Sign + integer-part bits, `None` when unbounded.
+    pub int_bits: Option<u8>,
+    /// Fraction bits to f32-ulp resolution, `None` when unbounded.
+    pub frac_bits: Option<u8>,
+}
+
+/// Static fixed-point precision requirements for the benchmark's region
+/// (the analysis lives in `approx-ir`; this type only carries the
+/// derived numbers). Added in schema v5.
+///
+/// Mirrors the NPU's fixed-point datapath sizing question: how many
+/// integer and fraction bits each region value needs, given the region's
+/// declared input ranges.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionSummary {
+    /// Whether every tracked value has a finite requirement.
+    pub bounded: bool,
+    /// Widest integer-bit requirement across rows, `None` when any row
+    /// is unbounded.
+    pub datapath_int_bits: Option<u8>,
+    /// Widest fraction-bit requirement across rows, `None` when any row
+    /// is unbounded.
+    pub datapath_frac_bits: Option<u8>,
+    /// Per-value rows (inputs, outputs, intermediate hull, in order).
+    pub values: Vec<PrecisionRow>,
 }
 
 /// Job-scheduler and artifact-cache accounting from the experiment
@@ -224,6 +276,10 @@ pub struct RunReport {
     pub phases: Vec<PhaseTiming>,
     /// Region safety-verifier findings for the benchmark's region.
     pub lint: LintSummary,
+    /// Static fixed-point precision requirements for the benchmark's
+    /// region (all-default when no precision analysis ran; see
+    /// [`PrecisionSummary`]). Added in schema v5.
+    pub precision: PrecisionSummary,
     /// Experiment-harness scheduler and artifact-cache accounting
     /// (all-zero outside harness-driven sweeps; see [`SchedulerSummary`]).
     pub scheduler: SchedulerSummary,
@@ -248,6 +304,7 @@ impl RunReport {
             wall_clock_us: 0,
             phases: Vec::new(),
             lint: LintSummary::default(),
+            precision: PrecisionSummary::default(),
             scheduler: SchedulerSummary::default(),
             distributions: BTreeMap::new(),
             metrics: MetricsRegistry::new(),
@@ -340,18 +397,48 @@ mod tests {
         lint.record("warning", "dead-store");
         lint.record("warning", "dead-store");
         lint.record("info", "unproven-scratch-bounds");
+        lint.record("note", "proven-scratch-bounds");
         assert_eq!(lint.errors, 1);
         assert_eq!(lint.warnings, 2);
         assert_eq!(lint.infos, 1);
-        assert_eq!(lint.total(), 4);
+        assert_eq!(lint.notes, 1);
+        assert_eq!(lint.total(), 5);
         assert_eq!(lint.by_lint["dead-store"], 2);
 
         let mut metrics = MetricsRegistry::new();
         lint.export(&mut metrics, "lint");
         assert_eq!(metrics.counter("lint.errors"), 1);
         assert_eq!(metrics.counter("lint.warnings"), 2);
+        assert_eq!(metrics.counter("lint.notes"), 1);
         assert_eq!(metrics.counter("lint.by.dead-store"), 2);
         assert_eq!(metrics.counter("lint.by.uninit-read"), 1);
+    }
+
+    #[test]
+    fn notes_do_not_make_a_report_dirty() {
+        let mut lint = LintSummary::default();
+        lint.record("note", "proven-loop-bounds");
+        assert!(lint.is_clean(), "proofs are not problems");
+        lint.record("info", "unproven-scratch-bounds");
+        assert!(!lint.is_clean());
+    }
+
+    #[test]
+    fn precision_section_survives_the_json_round_trip() {
+        let mut report = RunReport::new("run_all", "jpeg", "fast");
+        report.precision.bounded = false;
+        report.precision.values = vec![PrecisionRow {
+            name: "intermediates".into(),
+            lo: None, // unbounded below: serialized as null, not -inf
+            hi: Some(255.0),
+            may_be_nan: true,
+            int_bits: None,
+            frac_bits: None,
+        }];
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.precision.values[0].lo, None);
+        assert_eq!(back.precision.values[0].hi, Some(255.0));
     }
 
     #[test]

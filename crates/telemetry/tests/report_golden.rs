@@ -1,26 +1,29 @@
-//! Golden-file test: a checked-in v4 run report must keep parsing, and
+//! Golden-file test: a checked-in v5 run report must keep parsing, and
 //! re-serializing it must preserve every value. This pins the external
 //! JSON schema — if this test breaks, bump `SCHEMA_VERSION`, regenerate
-//! the golden (`cargo run -p telemetry --example gen_golden_v4`), and
+//! the golden (`cargo run -p telemetry --example gen_golden_v5`), and
 //! update the diff documentation instead of silently changing the layout.
 //!
 //! Schema history: v1 → v2 added the required `lint` section (region
 //! safety-verifier findings); v2 → v3 added the required `scheduler`
 //! section (experiment-harness job/cache accounting); v3 → v4 added the
 //! required `distributions` section (percentile summaries) and bucket
-//! state inside every serialized histogram. v1–v3 reports are
-//! deliberately rejected — the checks below pin that behaviour.
+//! state inside every serialized histogram; v4 → v5 added the required
+//! `notes` lint counter and the `precision` section (static fixed-point
+//! bit-width requirements). v1–v4 reports are deliberately rejected —
+//! the checks below pin that behaviour.
 
 use telemetry::RunReport;
 
-const GOLDEN: &str = include_str!("data/run_report_v4.json");
+const GOLDEN: &str = include_str!("data/run_report_v5.json");
 const GOLDEN_V1: &str = include_str!("data/run_report_v1.json");
 const GOLDEN_V2: &str = include_str!("data/run_report_v2.json");
 const GOLDEN_V3: &str = include_str!("data/run_report_v3.json");
+const GOLDEN_V4: &str = include_str!("data/run_report_v4.json");
 
 #[test]
 fn golden_report_parses_back() {
-    let report = RunReport::from_json(GOLDEN).expect("golden v4 report must parse");
+    let report = RunReport::from_json(GOLDEN).expect("golden v5 report must parse");
     assert_eq!(report.schema_version, telemetry::SCHEMA_VERSION);
     assert_eq!(report.suite, "parrot-run");
     assert_eq!(report.benchmark, "sweep");
@@ -36,7 +39,21 @@ fn golden_report_parses_back() {
     assert_eq!(report.lint.errors, 0);
     assert_eq!(report.lint.warnings, 1);
     assert_eq!(report.lint.infos, 2);
+    assert_eq!(report.lint.notes, 3);
     assert_eq!(report.lint.by_lint["unproven-scratch-bounds"], 2);
+    assert_eq!(report.lint.by_lint["proven-scratch-bounds"], 2);
+    assert_eq!(report.lint.by_lint["proven-loop-bounds"], 1);
+
+    assert!(report.precision.bounded);
+    assert_eq!(report.precision.datapath_int_bits, Some(9));
+    assert_eq!(report.precision.datapath_frac_bits, Some(23));
+    assert_eq!(report.precision.values.len(), 3);
+    assert_eq!(report.precision.values[0].name, "in0");
+    assert_eq!(report.precision.values[0].lo, Some(0.0));
+    assert_eq!(report.precision.values[0].hi, Some(255.0));
+    assert!(!report.precision.values[0].may_be_nan);
+    assert_eq!(report.precision.values[2].name, "intermediates");
+    assert_eq!(report.precision.values[2].frac_bits, Some(23));
 
     assert_eq!(report.scheduler.workers, 4);
     assert_eq!(report.scheduler.jobs_total, 12);
@@ -96,24 +113,42 @@ fn v1_report_without_lint_section_is_rejected() {
 
 #[test]
 fn v2_report_without_scheduler_section_is_rejected() {
-    // v2 files predate the required `scheduler` field, so parsing fails
-    // before the explicit schema-version check even runs.
+    // v2 files predate the required `scheduler` field (and the v5 `notes`
+    // counter inside `lint`), so parsing fails before the explicit
+    // schema-version check even runs.
     let err = RunReport::from_json(GOLDEN_V2).unwrap_err();
+    let msg = err.to_string();
     assert!(
-        err.to_string().contains("scheduler") || err.to_string().contains("schema version"),
+        msg.contains("scheduler") || msg.contains("notes") || msg.contains("schema version"),
         "unexpected rejection reason: {err}"
     );
 }
 
 #[test]
 fn v3_report_without_distributions_is_rejected() {
-    // v3 files predate the required `distributions` section and the
-    // bucketed histogram fields, so parsing fails before the explicit
-    // schema-version check even runs.
+    // v3 files predate the required `distributions` section, the bucketed
+    // histogram fields, and the v5 `notes` counter inside `lint`, so
+    // parsing fails before the explicit schema-version check even runs.
     let err = RunReport::from_json(GOLDEN_V3).unwrap_err();
     let msg = err.to_string();
     assert!(
-        msg.contains("distributions") || msg.contains("buckets") || msg.contains("schema version"),
+        msg.contains("distributions")
+            || msg.contains("buckets")
+            || msg.contains("notes")
+            || msg.contains("schema version"),
+        "unexpected rejection reason: {err}"
+    );
+}
+
+#[test]
+fn v4_report_without_precision_section_is_rejected() {
+    // v4 files predate the required `notes` lint counter and the
+    // `precision` section, so parsing fails before the explicit
+    // schema-version check even runs.
+    let err = RunReport::from_json(GOLDEN_V4).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("precision") || msg.contains("notes") || msg.contains("schema version"),
         "unexpected rejection reason: {err}"
     );
 }
