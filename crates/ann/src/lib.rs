@@ -33,10 +33,12 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod batch;
 mod dataset;
 mod error;
 mod mlp;
 mod normalize;
+mod quant;
 mod scratch;
 mod search;
 pub mod seed;
@@ -45,10 +47,12 @@ mod topology;
 mod train;
 
 pub use activation::{sigmoid, sigmoid_derivative, SigmoidLut};
+pub use batch::{mse_batch_with, BatchScratch, LANES};
 pub use dataset::Dataset;
 pub use error::AnnError;
 pub use mlp::Mlp;
 pub use normalize::Normalizer;
+pub use quant::{FixedSigmoidLut, QFormat, QuantScratch, QuantTrace, QuantizedMlp, MAX_TOTAL_BITS};
 pub use scratch::{mse_with, Scratch};
 pub use search::{SearchOutcome, SearchParams, TopologyCandidate, TopologySearch};
 pub use software_cost::SoftwareNnCost;

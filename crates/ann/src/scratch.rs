@@ -18,7 +18,7 @@
 //! `#[cfg(test)]` module below keeps the naive kernels alive as the
 //! reference the proptests compare against.
 
-use crate::{sigmoid, sigmoid_derivative, Mlp, Topology};
+use crate::{sigmoid, sigmoid_derivative, Mlp, SigmoidLut, Topology};
 
 /// Flat, reusable buffers for forward evaluation and backpropagation.
 ///
@@ -102,10 +102,28 @@ impl Scratch {
         self.forward_bound(mlp, input)
     }
 
+    /// [`forward`](Self::forward) with the NPU's sigmoid LUT: the same
+    /// arithmetic as [`Mlp::feed_forward_lut`] with zero allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the network's input layer.
+    pub fn forward_lut(&mut self, mlp: &Mlp, input: &[f32], lut: &SigmoidLut) -> &[f32] {
+        if self.layers != mlp.topology().layers() {
+            self.bind(mlp.topology());
+        }
+        assert_eq!(input.len(), self.layers[0], "input vector size mismatch");
+        self.forward_bound_with(mlp, input, |x| lut.eval(x))
+    }
+
     /// [`forward`](Self::forward) minus the per-call shape checks: callers
     /// (the training and MSE loops) validate once per dataset, not once
     /// per sample.
     fn forward_bound(&mut self, mlp: &Mlp, input: &[f32]) -> &[f32] {
+        self.forward_bound_with(mlp, input, sigmoid)
+    }
+
+    fn forward_bound_with(&mut self, mlp: &Mlp, input: &[f32], act: impl Fn(f32) -> f32) -> &[f32] {
         debug_assert_eq!(self.layers, mlp.topology().layers());
         debug_assert_eq!(input.len(), self.layers[0]);
         self.acts[..input.len()].copy_from_slice(input);
@@ -123,7 +141,7 @@ impl Scratch {
                 for (w, x) in ws.iter().zip(prev) {
                     sum += w * x;
                 }
-                *out = sigmoid(sum);
+                *out = act(sum);
             }
         }
         &self.acts[self.act_off[self.layers.len() - 1]..]

@@ -1,6 +1,7 @@
 //! Cross-validated topology search (paper Section 4.2).
 
-use crate::scratch::{mse_with, Scratch};
+use crate::batch::{mse_batch_with, BatchScratch};
+use crate::scratch::Scratch;
 use crate::{AnnError, Dataset, Mlp, Topology, TrainParams, Trainer};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -254,10 +255,14 @@ impl TopologySearch {
 
         crossbeam::scope(|scope| {
             for _ in 0..n_threads {
-                // One scratch per worker, reused across every candidate it
-                // trains: the steady-state training loop never allocates.
+                // One scalar scratch and one batch scratch per worker,
+                // reused across every candidate it trains: the
+                // steady-state training loop never allocates, and all
+                // full-dataset MSE evaluations ride the SIMD kernel
+                // (bit-exact with the scalar path).
                 scope.spawn(|_| {
                     let mut scratch = Scratch::new();
+                    let mut batch = BatchScratch::new();
                     loop {
                         let idx = {
                             let mut guard = next.lock();
@@ -290,14 +295,15 @@ impl TopologySearch {
                             train_params.epochs = ((budget / per_epoch) as usize)
                                 .clamp(30, self.params.train.epochs.max(30));
                         }
-                        let report = Trainer::new(train_params).train_with(
+                        let report = Trainer::new(train_params).train_with_scratches(
                             &mut mlp,
                             &train_set,
                             &mut scratch,
+                            &mut batch,
                         );
                         let candidate = TopologyCandidate {
                             npu_latency: latency,
-                            test_mse: mse_with(&mlp, test_ref, &mut scratch),
+                            test_mse: mse_batch_with(&mlp, test_ref, &mut batch),
                             train_mse: report.final_mse,
                             topology,
                         };

@@ -1,6 +1,6 @@
 //! Backpropagation training (paper Section 4.2).
 
-use crate::{mse_with, Dataset, Mlp, Scratch};
+use crate::{mse_batch_with, BatchScratch, Dataset, Mlp, Scratch, LANES};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -24,6 +24,14 @@ pub struct TrainParams {
     pub epochs: usize,
     /// Seed for per-epoch sample shuffling.
     pub shuffle_seed: u64,
+    /// Samples per weight update. `0` or `1` selects classic per-sample
+    /// SGD, bit-identical to releases that predate this field. Values
+    /// `>= 2` accumulate gradients over each shuffled chunk with the
+    /// batched SIMD kernel ([`BatchScratch`]) and apply one
+    /// momentum-SGD update per chunk (the update uses the gradient
+    /// *sum*, FANN-style, so `learning_rate` keeps its per-sample
+    /// meaning at batch size 1).
+    pub batch_size: usize,
 }
 
 impl Default for TrainParams {
@@ -33,6 +41,7 @@ impl Default for TrainParams {
             momentum: 0.9,
             epochs: 500,
             shuffle_seed: 0x5eed,
+            batch_size: 1,
         }
     }
 }
@@ -100,6 +109,27 @@ impl Trainer {
     ///
     /// Panics if the dataset dimensions do not match the network topology.
     pub fn train_with(&self, mlp: &mut Mlp, data: &Dataset, scratch: &mut Scratch) -> TrainReport {
+        let mut batch = BatchScratch::for_topology(mlp.topology());
+        self.train_with_scratches(mlp, data, scratch, &mut batch)
+    }
+
+    /// Like [`train_with`](Self::train_with), but also reusing a
+    /// caller-owned [`BatchScratch`]. All full-dataset MSE evaluations
+    /// (initial, final, and the debug learning curve) run through the
+    /// batched SIMD kernel, which is bit-exact with the scalar path; the
+    /// per-epoch update loop is per-sample SGD unless
+    /// [`TrainParams::batch_size`] selects minibatch accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset dimensions do not match the network topology.
+    pub fn train_with_scratches(
+        &self,
+        mlp: &mut Mlp,
+        data: &Dataset,
+        scratch: &mut Scratch,
+        batch: &mut BatchScratch,
+    ) -> TrainReport {
         assert_eq!(
             data.n_inputs(),
             mlp.topology().inputs(),
@@ -113,11 +143,13 @@ impl Trainer {
         // Binding zeroes the velocity (momentum) state, exactly like the
         // fresh velocity vectors the pre-scratch trainer allocated.
         scratch.bind(mlp.topology());
-        let initial_mse = mse_with(mlp, data, scratch);
+        batch.bind(mlp.topology());
+        let initial_mse = mse_batch_with(mlp, data, batch);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.params.shuffle_seed);
         let lr = self.params.learning_rate;
         let mu = self.params.momentum;
+        let minibatch = self.params.batch_size.max(1);
         // The MSE learning curve costs a full-dataset evaluation per
         // sample, so it is taken (at ~8 points) only when debug tracing
         // is on; the training loop itself is unchanged otherwise.
@@ -126,18 +158,40 @@ impl Trainer {
         for epoch in 0..self.params.epochs {
             let epoch_start = std::time::Instant::now();
             order.shuffle(&mut rng);
-            for &i in &order {
-                scratch.backprop_one_bound(mlp, data.input(i), data.output(i), lr, mu);
+            if minibatch <= 1 {
+                for &i in &order {
+                    scratch.backprop_one_bound(mlp, data.input(i), data.output(i), lr, mu);
+                }
+            } else {
+                for chunk in order.chunks(minibatch) {
+                    batch.begin_batch(mlp);
+                    for block in chunk.chunks(LANES) {
+                        let mut inputs: [&[f32]; LANES] = [&[]; LANES];
+                        let mut targets: [&[f32]; LANES] = [&[]; LANES];
+                        for (lane, &i) in block.iter().enumerate() {
+                            inputs[lane] = data.input(i);
+                            targets[lane] = data.output(i);
+                        }
+                        batch.accumulate_block(
+                            mlp,
+                            &inputs[..block.len()],
+                            &targets[..block.len()],
+                        );
+                    }
+                    batch.apply_update(mlp, lr, mu);
+                }
             }
             // Wall-clock epoch time goes to the global sample registry
             // (sweep-level report only): one lock per epoch, negligible
             // next to a full-dataset backprop pass.
-            telemetry::record_sample(
-                "ann.train.epoch_us",
-                epoch_start.elapsed().as_micros() as f64,
-            );
+            let elapsed = epoch_start.elapsed();
+            telemetry::record_sample("ann.train.epoch_us", elapsed.as_micros() as f64);
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 && !data.is_empty() {
+                telemetry::record_sample("ann.train.samples_per_s", data.len() as f64 / secs);
+            }
             if curve && (epoch + 1) % stride == 0 {
-                let sample = mse_with(mlp, data, scratch);
+                let sample = mse_batch_with(mlp, data, batch);
                 telemetry::emit(telemetry::Level::Debug, "ann::train", || {
                     telemetry::EventKind::TrainEpoch {
                         epoch: (epoch + 1) as u64,
@@ -148,7 +202,7 @@ impl Trainer {
         }
         TrainReport {
             initial_mse,
-            final_mse: mse_with(mlp, data, scratch),
+            final_mse: mse_batch_with(mlp, data, batch),
             epochs_run: self.params.epochs,
         }
     }
@@ -171,11 +225,13 @@ impl Trainer {
 /// Mean squared error of `mlp` over `data` (averaged over samples and
 /// output dimensions). Returns 0 for an empty dataset.
 ///
-/// Allocates one [`Scratch`] per call; hot paths evaluating many networks
-/// should hold their own scratch and call [`mse_with`].
+/// Allocates one [`BatchScratch`] per call; hot paths evaluating many
+/// networks should hold their own scratch and call [`mse_batch_with`]
+/// (or [`crate::mse_with`] for the scalar oracle — the two are
+/// bit-exact).
 pub fn mse(mlp: &Mlp, data: &Dataset) -> f64 {
-    let mut scratch = Scratch::for_topology(mlp.topology());
-    mse_with(mlp, data, &mut scratch)
+    let mut batch = BatchScratch::for_topology(mlp.topology());
+    mse_batch_with(mlp, data, &mut batch)
 }
 
 #[cfg(test)]
@@ -204,6 +260,7 @@ mod tests {
             momentum: 0.0,
             epochs: 4000,
             shuffle_seed: 1,
+            batch_size: 1,
         };
         let report = Trainer::new(params).train(&mut mlp, &xor_data());
         assert!(report.final_mse < 0.02, "XOR did not converge: {report:?}");
@@ -224,6 +281,7 @@ mod tests {
             learning_rate: 0.2,
             momentum: 0.0,
             shuffle_seed: 2,
+            batch_size: 1,
         })
         .train(&mut mlp, &data);
         assert!(report.final_mse < report.initial_mse * 0.5);
@@ -241,6 +299,55 @@ mod tests {
         let mut b = Mlp::seeded(t, 1);
         Trainer::new(params).train(&mut a, &data);
         Trainer::new(params).train(&mut b, &data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minibatch_training_reduces_mse() {
+        let mut data = Dataset::new(1, 1);
+        for i in 0..100 {
+            let x = i as f32 / 99.0;
+            data.push(&[x], &[0.5 + 0.4 * (3.0 * x).sin()]).unwrap();
+        }
+        // Batch sizes straddling the LANES width exercise full blocks,
+        // partial tails, and multi-block chunks.
+        for batch_size in [2, LANES - 1, LANES, LANES + 3] {
+            let mut mlp = Mlp::seeded(Topology::new(vec![1, 8, 1]).unwrap(), 5);
+            let report = Trainer::new(TrainParams {
+                epochs: 300,
+                learning_rate: 0.2,
+                momentum: 0.9,
+                shuffle_seed: 2,
+                batch_size,
+            })
+            .train(&mut mlp, &data);
+            assert!(
+                report.final_mse < report.initial_mse * 0.5,
+                "batch_size {batch_size} failed to learn: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_size_zero_and_one_are_identical() {
+        let data = xor_data();
+        let t = Topology::new(vec![2, 4, 1]).unwrap();
+        let mut a = Mlp::seeded(t.clone(), 1);
+        let mut b = Mlp::seeded(t, 1);
+        let base = TrainParams {
+            epochs: 50,
+            ..TrainParams::default()
+        };
+        Trainer::new(TrainParams {
+            batch_size: 0,
+            ..base
+        })
+        .train(&mut a, &data);
+        Trainer::new(TrainParams {
+            batch_size: 1,
+            ..base
+        })
+        .train(&mut b, &data);
         assert_eq!(a, b);
     }
 

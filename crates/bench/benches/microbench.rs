@@ -2,10 +2,14 @@
 //! latency per paper topology, backpropagation throughput, core-model
 //! simulation rate, and one scaled-down end-to-end figure computation.
 
-use ann::{mse_with, Dataset, Mlp, Normalizer, Scratch, Topology, TrainParams, Trainer};
-use approx_ir::{OpClass, TraceEvent, TraceSink};
+use ann::{
+    mse_batch_with, mse_with, BatchScratch, Dataset, Mlp, Normalizer, QFormat, QuantScratch,
+    QuantizedMlp, Scratch, SigmoidLut, Topology, TrainParams, Trainer, LANES,
+};
+use approx_ir::{NpuPort, OpClass, TraceEvent, TraceSink};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use npu::{NpuConfig, NpuParams, NpuSim};
+use parrot::NpuRuntime;
 use uarch::{Core, CoreConfig};
 
 fn paper_topologies() -> Vec<(&'static str, Vec<usize>)> {
@@ -99,6 +103,155 @@ fn bench_mse_eval(c: &mut Criterion) {
         let mut scratch = Scratch::for_topology(&t);
         b.iter(|| mse_with(&mlp, &data, &mut scratch));
     });
+}
+
+/// The 500-sample sobel-sized reference dataset used by the batched-vs-
+/// scalar A/B groups (identical to `mse_eval_500x89w`'s workload).
+fn reference_dataset_500x89w() -> (Topology, Dataset) {
+    let t = Topology::new(vec![9, 8, 1]).unwrap();
+    let mut data = Dataset::new(9, 1);
+    for k in 0..500 {
+        let input: Vec<f32> = (0..9).map(|i| ((k * 7 + i) % 97) as f32 / 97.0).collect();
+        let target = input.iter().sum::<f32>() / 9.0;
+        data.push(&input, &[target]).unwrap();
+    }
+    (t, data)
+}
+
+/// Batched vs. scalar forward/MSE on the 500x89w reference workload. The
+/// scalar rows re-measure the existing kernels inside the same group so the
+/// batched-vs-scalar ratio is an interleaved same-window A/B, immune to the
+/// host's non-stationary noise. The `lut` pair is the NPU-datapath variant
+/// (sigmoid LUT instead of exact `exp`).
+fn bench_forward_batch(c: &mut Criterion) {
+    let (t, data) = reference_dataset_500x89w();
+    let mlp = Mlp::seeded(t.clone(), 5);
+    let lut = SigmoidLut::default();
+    let inputs: Vec<&[f32]> = (0..data.len()).map(|i| data.input(i)).collect();
+
+    let mut group = c.benchmark_group("forward_batch");
+    group.bench_function("scalar_500x89w", |b| {
+        let mut scratch = Scratch::for_topology(&t);
+        b.iter(|| mse_with(&mlp, &data, &mut scratch));
+    });
+    group.bench_function("batched_500x89w", |b| {
+        let mut batch = BatchScratch::for_topology(&t);
+        b.iter(|| mse_batch_with(&mlp, &data, &mut batch));
+    });
+    group.bench_function("scalar_lut_500x89w", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for input in &inputs {
+                acc += mlp.feed_forward_lut(input, &lut)[0];
+            }
+            acc
+        });
+    });
+    group.bench_function("batched_lut_500x89w", |b| {
+        let mut batch = BatchScratch::for_topology(&t);
+        let mut out = [0.0f32; LANES];
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for chunk in inputs.chunks(LANES) {
+                batch.forward_block_lut(&mlp, chunk, &mut out, &lut);
+                for &y in &out[..chunk.len()] {
+                    acc += y;
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+/// Minibatch (accumulated-gradient) epoch vs. the per-sample SGD epoch on
+/// the same 500-sample workload: same forward+backward arithmetic per
+/// sample, weights touched once per 8-sample block instead of per sample.
+fn bench_backprop_batch(c: &mut Criterion) {
+    let (t, data) = reference_dataset_500x89w();
+    let mut group = c.benchmark_group("backprop_batch");
+    group.bench_function("epoch_500x89w_b8", |b| {
+        b.iter_batched(
+            || Mlp::seeded(t.clone(), 5),
+            |mut mlp| {
+                let mut batch = BatchScratch::for_topology(&t);
+                let idx: Vec<usize> = (0..data.len()).collect();
+                for chunk in idx.chunks(LANES) {
+                    let ins: Vec<&[f32]> = chunk.iter().map(|&i| data.input(i)).collect();
+                    let tgts: Vec<&[f32]> = chunk.iter().map(|&i| data.output(i)).collect();
+                    batch.begin_batch(&mlp);
+                    batch.accumulate_block(&mlp, &ins, &tgts);
+                    batch.apply_update(&mut mlp, 0.01, 0.9);
+                }
+                mlp
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// Fixed-point inference on the 500x89w reference workload: the int8 and
+/// int16 NPU datapath (Q7.23 accumulator, as the precision analysis proves
+/// for sobel) next to the f32 oracle running the identical loop.
+fn bench_quant_forward(c: &mut Criterion) {
+    let (t, data) = reference_dataset_500x89w();
+    let mlp = Mlp::seeded(t, 5);
+    let acc = QFormat::new(7, 23);
+    let mut group = c.benchmark_group("quant_forward");
+    for (label, bits) in [("int8_500x89w", 8u8), ("int16_500x89w", 16)] {
+        let q = QuantizedMlp::quantize(&mlp, bits, acc);
+        group.bench_function(label, |b| {
+            let mut scratch = QuantScratch::new();
+            let mut out = vec![0.0f32; 1];
+            b.iter(|| {
+                let mut acc_sum = 0.0f32;
+                for i in 0..data.len() {
+                    q.forward_with(data.input(i), &mut scratch, &mut out);
+                    acc_sum += out[0];
+                }
+                acc_sum
+            });
+        });
+    }
+    group.bench_function("f32_oracle_500x89w", |b| {
+        b.iter(|| {
+            let mut acc_sum = 0.0f32;
+            for i in 0..data.len() {
+                acc_sum += mlp.feed_forward(data.input(i))[0];
+            }
+            acc_sum
+        });
+    });
+    group.finish();
+}
+
+/// The interpreter-facing functional NPU port (batched replay kernel,
+/// no cycle machinery), per paper topology — the counterpart of
+/// `npu_invocation`, which drives the cycle-accurate simulator.
+fn bench_npu_functional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("npu_functional");
+    for (name, layers) in paper_topologies() {
+        let config = config_for(layers);
+        let n_out = config.topology().outputs();
+        let inputs: Vec<f32> = (0..config.topology().inputs())
+            .map(|i| 0.1 + 0.8 * (i as f32 / 64.0))
+            .collect();
+        group.bench_function(name, |b| {
+            let mut rt = NpuRuntime::configured(NpuParams::default(), &config).unwrap();
+            b.iter(|| {
+                for &v in &inputs {
+                    rt.enq_data(v);
+                }
+                let mut acc = 0.0f32;
+                for _ in 0..n_out {
+                    acc += rt.deq_data();
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
 }
 
 /// Streaming trace replay throughput: push a fixed event stream through a
@@ -321,6 +474,10 @@ criterion_group!(
     bench_training_epoch,
     bench_backprop_one,
     bench_mse_eval,
+    bench_forward_batch,
+    bench_backprop_batch,
+    bench_quant_forward,
+    bench_npu_functional,
     bench_trace_replay,
     bench_core_throughput,
     bench_forward,

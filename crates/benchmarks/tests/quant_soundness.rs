@@ -1,0 +1,209 @@
+//! Fixed-point soundness on the real Table 1 regions.
+//!
+//! For every benchmark region, a fully statically-scaled quantized NPU
+//! ([`QuantizedNpu::with_static_scaling`]) — boundary I/O formats and
+//! scaling ranges from the precision analysis's proven `in<k>`/`out<k>`
+//! hulls, datapath accumulator from its declared Qm.n — runs real
+//! training inputs. The test asserts the quantization contract: every
+//! boundary value stays inside its declared hull (within one
+//! quantization step), and no datapath accumulation saturates, i.e.
+//! every quantized intermediate is representable in the declared format.
+
+use ann::{Mlp, Normalizer, QFormat, QuantScratch, Topology};
+use benchmarks::{all_benchmarks, Scale};
+use npu::{FormatSource, NpuConfig, QuantizedNpu};
+
+const INPUTS_PER_REGION: usize = 48;
+
+/// Builds an observed-range configuration for a region: a seeded paper
+/// topology plus normalizers covering the training data (what the
+/// compiler's observation phase would produce). `with_static_scaling`
+/// then replaces every proven-bounded range with the analysis hull.
+fn observed_config(
+    b: &dyn benchmarks::Benchmark,
+    inputs: &[Vec<f32>],
+) -> (NpuConfig, Vec<Vec<f32>>) {
+    let region = b.region();
+    let n_in = region.n_inputs();
+    let n_out = region.n_outputs();
+    let mut in_ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); n_in];
+    let mut out_ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); n_out];
+    let mut outputs = Vec::new();
+    for input in inputs {
+        for (r, &v) in in_ranges.iter_mut().zip(input) {
+            r.0 = r.0.min(v);
+            r.1 = r.1.max(v);
+        }
+        let out = region
+            .evaluate(input)
+            .expect("region must run on training inputs");
+        for (r, &v) in out_ranges.iter_mut().zip(&out) {
+            r.0 = r.0.min(v);
+            r.1 = r.1.max(v);
+        }
+        outputs.push(out);
+    }
+    let topology = Topology::new(b.paper_topology()).unwrap();
+    let config = NpuConfig::new(
+        Mlp::seeded(topology, 42),
+        Normalizer::new(in_ranges),
+        Normalizer::new(out_ranges),
+    );
+    (config, outputs)
+}
+
+#[test]
+fn quantized_boundary_values_stay_inside_declared_hulls() {
+    let scale = Scale::small();
+    for b in all_benchmarks() {
+        let region = b.region();
+        let report = region
+            .precision()
+            .expect("every Table 1 region has a precision report");
+        let inputs: Vec<Vec<f32>> = b
+            .training_inputs(&scale)
+            .into_iter()
+            .take(INPUTS_PER_REGION)
+            .collect();
+        let (config, _) = observed_config(b.as_ref(), &inputs);
+
+        let bounded_hull = |name: String| {
+            report
+                .values
+                .iter()
+                .find(|v| v.name == name && v.bounded())
+                .map(|v| (v.lo, v.hi))
+        };
+
+        for bits in [8u8, 16] {
+            let quant = QuantizedNpu::with_static_scaling(&config, &report, bits);
+            let mut scratch = QuantScratch::new();
+            for input in &inputs {
+                let inv = quant.evaluate_with(input, &mut scratch);
+                assert_eq!(
+                    inv.datapath.saturated,
+                    0,
+                    "{} int{bits}: datapath accumulation left the declared {:?} format \
+                     (max |acc| {})",
+                    b.name(),
+                    quant.datapath(),
+                    inv.datapath.max_acc_abs
+                );
+                for (k, &x) in inv.boundary_inputs.iter().enumerate() {
+                    if let Some((lo, hi)) = bounded_hull(format!("in{k}")) {
+                        let step = quant.input_formats()[k].step() as f32;
+                        assert!(
+                            x >= lo - step && x <= hi + step,
+                            "{} int{bits}: boundary input {k} = {x} outside proven hull \
+                             [{lo}, {hi}] (step {step})",
+                            b.name()
+                        );
+                    }
+                }
+                for (k, &y) in inv.outputs.iter().enumerate() {
+                    if let Some((lo, hi)) = bounded_hull(format!("out{k}")) {
+                        let step = quant.output_formats()[k].step() as f32;
+                        assert!(
+                            y >= lo - step && y <= hi + step,
+                            "{} int{bits}: boundary output {k} = {y} outside proven hull \
+                             [{lo}, {hi}] (step {step})",
+                            b.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sobel_static_scaling_pins_q7_23() {
+    // The analysis proves sobel's datapath fits Q7.23; the statically
+    // scaled quantized NPU must adopt exactly that format, from the
+    // static source (no observed fallback).
+    let b = benchmarks::benchmark_by_name("sobel").expect("sobel exists");
+    let region = b.region();
+    let report = region.precision().unwrap();
+    let inputs: Vec<Vec<f32>> = b
+        .training_inputs(&Scale::small())
+        .into_iter()
+        .take(INPUTS_PER_REGION)
+        .collect();
+    let (config, _) = observed_config(b.as_ref(), &inputs);
+    let quant = QuantizedNpu::with_static_scaling(&config, &report, 16);
+    assert_eq!(quant.datapath(), QFormat::new(7, 23));
+    assert_eq!(quant.source(), FormatSource::Static);
+}
+
+#[test]
+fn quantized_int16_tracks_the_region_within_quantization_noise() {
+    // Not an accuracy claim about the (untrained) network — a contract
+    // check that the int16 quantized pipeline tracks its own f32 oracle
+    // (same network, same normalizers) to within a small multiple of the
+    // boundary quantization steps on every region.
+    let scale = Scale::small();
+    for b in all_benchmarks() {
+        let inputs: Vec<Vec<f32>> = b
+            .training_inputs(&scale)
+            .into_iter()
+            .take(INPUTS_PER_REGION)
+            .collect();
+        let (config, _) = observed_config(b.as_ref(), &inputs);
+        let report = b.region().precision().unwrap();
+        // Rebuild the hull-scaled configuration exactly like
+        // `with_static_scaling` does, so the f32 oracle shares the
+        // quantized path's normalizers and the only difference left is
+        // quantization itself.
+        let hull = |name: String, fallback: (f32, f32)| {
+            report
+                .values
+                .iter()
+                .find(|v| v.name == name && v.bounded())
+                .map(|v| (v.lo, v.hi))
+                .unwrap_or(fallback)
+        };
+        let oracle = NpuConfig::new(
+            config.mlp().clone(),
+            Normalizer::new(
+                config
+                    .input_norm()
+                    .ranges()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &r)| hull(format!("in{k}"), r))
+                    .collect(),
+            ),
+            Normalizer::new(
+                config
+                    .output_norm()
+                    .ranges()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &r)| hull(format!("out{k}"), r))
+                    .collect(),
+            ),
+        );
+        let quant = QuantizedNpu::new(&oracle, Some(&report), 16);
+        let mut scratch = QuantScratch::new();
+        for input in &inputs {
+            let inv = quant.evaluate_with(input, &mut scratch);
+            let want = oracle.evaluate(&inv.boundary_inputs);
+            for (k, (&q, &f)) in inv.outputs.iter().zip(&want).enumerate() {
+                let span = {
+                    let (lo, hi) = config.output_norm().ranges()[k];
+                    if hi > lo {
+                        hi - lo
+                    } else {
+                        1.0
+                    }
+                };
+                assert!(
+                    (q - f).abs() / span < 0.02,
+                    "{}: int16 output {k} drifted {:.4} of span from the f32 oracle",
+                    b.name(),
+                    (q - f).abs() / span
+                );
+            }
+        }
+    }
+}

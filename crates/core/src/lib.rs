@@ -18,8 +18,9 @@
 //!    run at program load) and an *invocation stub* (`enq.d` × inputs,
 //!    `deq.d` × outputs) that replaces calls to the original function.
 //! 5. **Execution** — the transformed program invokes the NPU; the
-//!    [`NpuRuntime`] adapter plugs the cycle-accurate NPU into the IR
-//!    interpreter's `NpuPort`.
+//!    [`NpuRuntime`] adapter answers the IR interpreter's `NpuPort` with
+//!    a fast batched functional model (bit-identical to the
+//!    cycle-accurate simulator, which timed runs attach separately).
 //!
 //! # Example: transform a small function end to end
 //!

@@ -1,20 +1,59 @@
-//! Runtime adapter: plugs the NPU simulator into the IR interpreter's
-//! queue-instruction port.
+//! Runtime adapter: answers the IR interpreter's NPU queue instructions
+//! with a fast functional model of the NPU.
+//!
+//! Functional and counting runs (and the *value* side of timed runs —
+//! timing comes from the core's attached cycle-accurate simulator, not
+//! from this port) only need the architecturally visible effect of each
+//! invocation. Driving the full cycle-level [`NpuSim`](npu::NpuSim) for
+//! that, as earlier revisions did, pays bus-schedule and FIFO machinery
+//! costs per invocation that contribute nothing to the produced values.
+//! This port instead evaluates invocations directly through the batched
+//! SIMD replay kernel ([`BatchEvaluator`]): values are bit-identical to
+//! the simulator (which matches [`NpuConfig::evaluate`] by construction),
+//! and sweeps spend their time in training and timing instead of
+//! redundant functional cycle simulation.
 
 use approx_ir::NpuPort;
-use npu::{NpuConfig, NpuError, NpuParams, NpuSim};
+use npu::{BatchEvaluator, NpuConfig, NpuError, NpuParams, Scheduler};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Record a throughput sample after this many invocations, so long
+/// sweeps see the distribution rather than a single end-of-run number.
+const THROUGHPUT_WINDOW: u64 = 4096;
+
+#[derive(Debug)]
+struct Loaded {
+    config: NpuConfig,
+    /// The wire encoding, for `deq.c` context-switch readback.
+    encoded: Vec<u32>,
+    readback_pos: usize,
+}
 
 /// A functional NPU runtime backing the interpreter's `enq.*`/`deq.*`
-/// instructions with the cycle-accurate simulator.
+/// instructions.
 ///
-/// `enq_data` pushes (and immediately commits — the interpreter executes
-/// only correct-path instructions); `deq_data` runs the NPU forward until
-/// an output appears. This yields bit-identical values to the hardware
-/// model while letting functional execution run far ahead of any timing
-/// simulation.
+/// `enq.c` words accumulate until a full configuration decodes (which is
+/// also validated against the hardware sizing in `params`, exactly like
+/// the cycle-accurate simulator's configuration path); `enq.d` buffers
+/// inputs; `deq.d` evaluates every complete pending invocation through
+/// the batched replay kernel and streams the outputs back. Values are
+/// bit-identical to the hardware model.
 #[derive(Debug)]
 pub struct NpuRuntime {
-    sim: NpuSim,
+    params: NpuParams,
+    state: Option<Loaded>,
+    cfg_accum: Vec<u32>,
+    /// Committed `enq.d` values not yet consumed by an evaluation.
+    pending: Vec<f32>,
+    /// Evaluated outputs awaiting `deq.d`.
+    out_queue: VecDeque<f32>,
+    evaluator: BatchEvaluator,
+    out_buf: Vec<f32>,
+    /// Lifetime invocation count (architectural, like the sim's stats).
+    invocations: u64,
+    window_invocations: u64,
+    window_busy: Duration,
 }
 
 impl NpuRuntime {
@@ -22,7 +61,16 @@ impl NpuRuntime {
     /// or [`configure`](Self::configure)).
     pub fn new(params: NpuParams) -> Self {
         NpuRuntime {
-            sim: NpuSim::new(params),
+            params,
+            state: None,
+            cfg_accum: Vec::new(),
+            pending: Vec::new(),
+            out_queue: VecDeque::new(),
+            evaluator: BatchEvaluator::new(),
+            out_buf: Vec::new(),
+            invocations: 0,
+            window_invocations: 0,
+            window_busy: Duration::ZERO,
         }
     }
 
@@ -32,9 +80,9 @@ impl NpuRuntime {
     ///
     /// Returns the scheduler's error if the network does not fit.
     pub fn configured(params: NpuParams, config: &NpuConfig) -> Result<Self, NpuError> {
-        let mut sim = NpuSim::new(params);
-        sim.configure(config)?;
-        Ok(NpuRuntime { sim })
+        let mut rt = NpuRuntime::new(params);
+        rt.configure(config)?;
+        Ok(rt)
     }
 
     /// Loads a configuration.
@@ -43,45 +91,122 @@ impl NpuRuntime {
     ///
     /// Returns the scheduler's error if the network does not fit.
     pub fn configure(&mut self, config: &NpuConfig) -> Result<(), NpuError> {
-        self.sim.configure(config)
+        // The functional port never walks the bus schedule, but a network
+        // the hardware cannot hold must still be rejected here — a
+        // functional run that silently accepted it would diverge from
+        // every timed run.
+        Scheduler::new(self.params.clone()).schedule(config)?;
+        self.state = Some(Loaded {
+            encoded: config.encode(),
+            config: config.clone(),
+            readback_pos: 0,
+        });
+        Ok(())
     }
 
-    /// Access to the underlying simulator (e.g. for statistics).
-    pub fn sim(&self) -> &NpuSim {
-        &self.sim
+    /// Whether a configuration is loaded.
+    pub fn is_configured(&self) -> bool {
+        self.state.is_some()
     }
 
-    /// Consumes the runtime, returning the simulator.
-    pub fn into_sim(self) -> NpuSim {
-        self.sim
+    /// The loaded configuration, if any.
+    pub fn current_config(&self) -> Option<&NpuConfig> {
+        self.state.as_ref().map(|s| &s.config)
+    }
+
+    /// Completed invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Evaluates every complete invocation sitting in the input buffer
+    /// and queues the outputs. Called lazily from `deq_data`, so by the
+    /// time an output is demanded, all inputs enqueued before it form the
+    /// batch.
+    fn flush_pending(&mut self) {
+        let state = self
+            .state
+            .as_ref()
+            .expect("npu data access before configuration");
+        let n_in = state.config.topology().inputs();
+        let complete = self.pending.len() / n_in;
+        if complete == 0 {
+            return;
+        }
+        let start = Instant::now();
+        self.evaluator.run_flat(
+            &state.config,
+            &self.pending[..complete * n_in],
+            &mut self.out_buf,
+        );
+        self.out_queue.extend(self.out_buf.iter().copied());
+        self.pending.drain(..complete * n_in);
+        self.invocations += complete as u64;
+        self.window_invocations += complete as u64;
+        self.window_busy += start.elapsed();
+        if self.window_invocations >= THROUGHPUT_WINDOW {
+            self.flush_throughput();
+        }
+    }
+
+    /// Emits the current window's functional throughput to the global
+    /// sample registry (surfaced as a sweep-level distribution in the
+    /// run report).
+    fn flush_throughput(&mut self) {
+        let secs = self.window_busy.as_secs_f64();
+        if self.window_invocations > 0 && secs > 0.0 {
+            telemetry::record_sample(
+                "npu.functional.invocations_per_s",
+                self.window_invocations as f64 / secs,
+            );
+        }
+        self.window_invocations = 0;
+        self.window_busy = Duration::ZERO;
+    }
+}
+
+impl Drop for NpuRuntime {
+    fn drop(&mut self) {
+        self.flush_throughput();
     }
 }
 
 impl NpuPort for NpuRuntime {
     fn enq_config(&mut self, word: u32) {
-        self.sim
-            .enq_config_word(word)
-            .expect("invalid configuration word stream");
+        self.cfg_accum.push(word);
+        let expected =
+            NpuConfig::stream_len(&self.cfg_accum).expect("invalid configuration word stream");
+        if expected == Some(self.cfg_accum.len()) {
+            let words = std::mem::take(&mut self.cfg_accum);
+            let config = NpuConfig::decode(&words).expect("invalid configuration word stream");
+            Scheduler::new(self.params.clone())
+                .schedule(&config)
+                .expect("configuration does not fit the npu");
+            self.state = Some(Loaded {
+                config,
+                encoded: words,
+                readback_pos: 0,
+            });
+        }
     }
 
     fn deq_config(&mut self) -> u32 {
-        self.sim
-            .deq_config_word()
-            .expect("deq.c on an unconfigured npu")
+        let state = self.state.as_mut().expect("deq.c on an unconfigured npu");
+        let word = state.encoded[state.readback_pos];
+        state.readback_pos = (state.readback_pos + 1) % state.encoded.len();
+        word
     }
 
     fn enq_data(&mut self, value: f32) {
-        assert!(
-            self.sim.input_has_space(),
-            "enq.d with full input fifo in functional mode"
-        );
-        self.sim.enqueue_input(value);
-        self.sim.commit_inputs(1);
+        self.pending.push(value);
     }
 
     fn deq_data(&mut self) -> f32 {
-        self.sim
-            .run_until_output()
+        if self.out_queue.is_empty() {
+            self.flush_pending();
+        }
+        self.out_queue
+            .pop_front()
             .expect("deq.d but the npu never produced an output")
     }
 }
@@ -118,7 +243,9 @@ mod tests {
             )
             .unwrap();
         let expected = config.evaluate(&[0.25, 0.75]);
-        assert!((out.outputs[0].as_f32().unwrap() - expected[0]).abs() < 1e-6);
+        // Bit-identical, not merely close: the functional port and the
+        // reference evaluation share one arithmetic path.
+        assert_eq!(out.outputs[0].as_f32().unwrap(), expected[0]);
     }
 
     #[test]
@@ -132,8 +259,31 @@ mod tests {
         Interpreter::new(&program)
             .run_full(f, &[], &mut sink, Some(&mut runtime))
             .unwrap();
-        assert!(runtime.sim().configured());
-        assert_eq!(runtime.sim().current_config(), Some(&config));
+        assert!(runtime.is_configured());
+        assert_eq!(runtime.current_config(), Some(&config));
+    }
+
+    #[test]
+    fn config_readback_round_trips() {
+        let config = config();
+        let mut runtime = NpuRuntime::configured(NpuParams::default(), &config).unwrap();
+        let words: Vec<u32> = (0..config.encoded_len())
+            .map(|_| runtime.deq_config())
+            .collect();
+        assert_eq!(NpuConfig::decode(&words).unwrap(), config);
+        // The read position wraps for the next context switch.
+        assert_eq!(runtime.deq_config(), words[0]);
+    }
+
+    #[test]
+    fn oversized_network_is_rejected() {
+        let t = Topology::new(vec![2, 4096, 1]).unwrap();
+        let big = NpuConfig::new(
+            Mlp::seeded(t, 1),
+            Normalizer::identity(2),
+            Normalizer::identity(1),
+        );
+        assert!(NpuRuntime::configured(NpuParams::default(), &big).is_err());
     }
 
     #[test]
@@ -154,8 +304,30 @@ mod tests {
                 )
                 .unwrap();
             let expected = config.evaluate(&[a, 1.0 - a]);
-            assert!((out.outputs[0].as_f32().unwrap() - expected[0]).abs() < 1e-6);
+            assert_eq!(out.outputs[0].as_f32().unwrap(), expected[0]);
         }
-        assert_eq!(runtime.sim().stats().invocations, 10);
+        assert_eq!(runtime.invocations(), 10);
+    }
+
+    #[test]
+    fn pipelined_invocations_batch_through_one_flush() {
+        // Nothing stops a program from enqueuing several invocations
+        // before dequeuing (the hardware FIFOs exist precisely for
+        // that); the lazy flush must evaluate them as one batch and
+        // stream outputs back in order.
+        let config = config();
+        let mut runtime = NpuRuntime::configured(NpuParams::default(), &config).unwrap();
+        let inputs: Vec<[f32; 2]> = (0..5)
+            .map(|k| [0.2 * k as f32, 0.9 - 0.1 * k as f32])
+            .collect();
+        for inv in &inputs {
+            runtime.enq_data(inv[0]);
+            runtime.enq_data(inv[1]);
+        }
+        for inv in &inputs {
+            let expected = config.evaluate(inv);
+            assert_eq!(runtime.deq_data(), expected[0]);
+        }
+        assert_eq!(runtime.invocations(), 5);
     }
 }

@@ -197,6 +197,44 @@ impl NpuConfig {
             output_norm,
         ))
     }
+
+    /// Total length of the configuration stream whose prefix is `words`,
+    /// once enough of the header is visible to compute it. `Ok(None)`
+    /// means the header itself is still incomplete. This is how a
+    /// receiver of `enq.c` words knows when a full configuration has
+    /// arrived and can be [`decode`](Self::decode)d.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::InvalidConfig`] as soon as the prefix is
+    /// provably malformed (bad magic, impossible layer structure).
+    pub fn stream_len(words: &[u32]) -> Result<Option<usize>, NpuError> {
+        if words.is_empty() {
+            return Ok(None);
+        }
+        if words[0] != MAGIC {
+            return Err(NpuError::InvalidConfig("bad magic word".into()));
+        }
+        if words.len() < 2 {
+            return Ok(None);
+        }
+        let n_layers = words[1] as usize;
+        if !(2..=MAX_LAYERS).contains(&n_layers) {
+            return Err(NpuError::InvalidConfig(format!(
+                "layer count {n_layers} out of range"
+            )));
+        }
+        if words.len() < 2 + n_layers {
+            return Ok(None);
+        }
+        let layers: Vec<usize> = words[2..2 + n_layers].iter().map(|&w| w as usize).collect();
+        if layers.iter().any(|&n| n == 0 || n > MAX_LAYER_SIZE) {
+            return Err(NpuError::InvalidConfig("layer size out of range".into()));
+        }
+        let weights: usize = layers.windows(2).map(|w| (w[0] + 1) * w[1]).sum();
+        let ranges = 2 * (layers[0] + layers[n_layers - 1]);
+        Ok(Some(2 + n_layers + ranges + weights))
+    }
 }
 
 #[cfg(test)]

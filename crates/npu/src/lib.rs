@@ -63,6 +63,8 @@ mod config;
 mod error;
 mod fifo;
 mod params;
+mod quant;
+mod replay;
 mod schedule;
 mod sim;
 mod stats;
@@ -71,6 +73,8 @@ pub use config::NpuConfig;
 pub use error::NpuError;
 pub use fifo::{InputFifo, OutputFifo};
 pub use params::NpuParams;
+pub use quant::{FormatSource, QuantInvocation, QuantizedNpu};
+pub use replay::BatchEvaluator;
 pub use schedule::{BusDest, BusEntry, BusSource, NpuSchedule, Scheduler};
 pub use sim::NpuSim;
 pub use stats::NpuStats;

@@ -207,31 +207,7 @@ impl NpuSim {
 
     /// Total words of a configuration stream once its header is visible.
     fn expected_config_len(words: &[u32]) -> Result<Option<usize>, NpuError> {
-        if words.is_empty() {
-            return Ok(None);
-        }
-        if words[0] != 0x4E50_5531 {
-            return Err(NpuError::InvalidConfig("bad magic word".into()));
-        }
-        if words.len() < 2 {
-            return Ok(None);
-        }
-        let n_layers = words[1] as usize;
-        if !(2..=16).contains(&n_layers) {
-            return Err(NpuError::InvalidConfig(format!(
-                "layer count {n_layers} out of range"
-            )));
-        }
-        if words.len() < 2 + n_layers {
-            return Ok(None);
-        }
-        let layers: Vec<usize> = words[2..2 + n_layers].iter().map(|&w| w as usize).collect();
-        if layers.iter().any(|&n| n == 0 || n > 4096) {
-            return Err(NpuError::InvalidConfig("layer size out of range".into()));
-        }
-        let weights: usize = layers.windows(2).map(|w| (w[0] + 1) * w[1]).sum();
-        let ranges = 2 * (layers[0] + layers[n_layers - 1]);
-        Ok(Some(2 + n_layers + ranges + weights))
+        NpuConfig::stream_len(words)
     }
 
     /// Reads back one configuration word (`deq.c`), used by the OS to save

@@ -78,7 +78,7 @@ fn ir_level_save_and_restore() {
     interp
         .run_full(loader, &[], &mut sink, Some(&mut runtime))
         .unwrap();
-    assert!(runtime.sim().configured());
+    assert!(runtime.is_configured());
 
     // Invoke once through the stub.
     let args = [Value::F(0.5), Value::F(0.0), Value::F(1.0)];
