@@ -134,6 +134,100 @@ impl<'a> GuardedRegion<'a> {
     }
 }
 
+/// Which implementation answers an invocation: the approximate NPU or
+/// the original precise code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecPath {
+    /// The neural accelerator (approximate, fast).
+    Npu,
+    /// The original region code (exact, slow).
+    Precise,
+}
+
+/// A per-tenant quality budget: an allowance of accumulated observed
+/// error that, once spent, routes every further invocation to the
+/// precise path.
+///
+/// This is the serving-side composition of the paper's §8 mechanisms:
+/// online error sampling ([`ErrorSampler`]) produces error observations,
+/// the budget integrates them, and a drained budget degrades the tenant
+/// gracefully to exact execution instead of failing its requests. The
+/// budget is monotone — error only accumulates, so once
+/// [`drained`](Self::drained) turns true it stays true (there is no
+/// refill; retraining would install a fresh budget).
+///
+/// # Example
+///
+/// ```
+/// use parrot::{ErrorBudget, ExecPath};
+/// let mut b = ErrorBudget::new(0.5);
+/// assert_eq!(b.route(), ExecPath::Npu);
+/// b.charge(0.3);
+/// b.charge(0.3);
+/// assert!(b.drained());
+/// assert_eq!(b.route(), ExecPath::Precise);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBudget {
+    budget: f64,
+    spent: f64,
+}
+
+impl ErrorBudget {
+    /// A budget allowing `budget` total accumulated error. A zero budget
+    /// is drained from the start (every invocation runs precise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is negative or NaN.
+    pub fn new(budget: f64) -> Self {
+        assert!(budget >= 0.0, "error budget must be non-negative");
+        ErrorBudget { budget, spent: 0.0 }
+    }
+
+    /// A budget that never drains (tenants without quality guarantees).
+    pub fn unlimited() -> Self {
+        ErrorBudget::new(f64::INFINITY)
+    }
+
+    /// Records one observed error. Negative observations are clamped to
+    /// zero; a NaN observation (quality unknowable) conservatively drains
+    /// the budget outright.
+    pub fn charge(&mut self, error: f64) {
+        if error.is_nan() {
+            self.spent = f64::INFINITY;
+        } else {
+            self.spent += error.max(0.0);
+        }
+    }
+
+    /// Total error charged so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget left before the tenant degrades to precise execution.
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.spent).max(0.0)
+    }
+
+    /// Whether the budget is spent (NPU service withdrawn). A NaN
+    /// budget conservatively counts as drained; `spent` itself is
+    /// never NaN (`charge` maps NaN observations to infinity).
+    pub fn drained(&self) -> bool {
+        self.spent >= self.budget || self.budget.is_nan()
+    }
+
+    /// The execution path this budget currently routes to.
+    pub fn route(&self) -> ExecPath {
+        if self.drained() {
+            ExecPath::Precise
+        } else {
+            ExecPath::Npu
+        }
+    }
+}
+
 /// Online error sampling (the paper's second §8 mechanism): every
 /// `period`-th invocation also runs the original code and records the
 /// observed error, giving the runtime an estimate of current quality
@@ -325,5 +419,91 @@ mod tests {
         let region = square_region();
         let compiled = compiled_square(&region);
         let _ = ErrorSampler::new(&region, &compiled, 0);
+    }
+
+    #[test]
+    fn zero_budget_is_drained_from_the_start() {
+        let b = ErrorBudget::new(0.0);
+        assert!(b.drained());
+        assert_eq!(b.route(), ExecPath::Precise);
+        assert_eq!(b.remaining(), 0.0);
+    }
+
+    #[test]
+    fn nan_charge_drains_conservatively() {
+        let mut b = ErrorBudget::unlimited();
+        assert_eq!(b.route(), ExecPath::Npu);
+        b.charge(f64::NAN);
+        assert!(b.drained(), "unknowable quality must withdraw the NPU");
+        assert_eq!(b.route(), ExecPath::Precise);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Once a budget drains it routes to the precise path for every
+        /// subsequent invocation — charges only accumulate, so the
+        /// degradation is monotone and the final verdict matches the
+        /// same-order error sum.
+        #[test]
+        fn drained_budget_always_routes_precise(
+            budget in 0.0f64..2.0,
+            charges in proptest::collection::vec(0.0f64..0.3, 1..60),
+        ) {
+            let mut b = ErrorBudget::new(budget);
+            let mut sum = 0.0f64;
+            let mut seen_drained = false;
+            for &e in &charges {
+                b.charge(e);
+                sum += e;
+                if b.drained() {
+                    seen_drained = true;
+                }
+                if seen_drained {
+                    prop_assert!(b.drained(), "drained budgets never refill");
+                    prop_assert_eq!(b.route(), ExecPath::Precise);
+                } else {
+                    prop_assert_eq!(b.route(), ExecPath::Npu);
+                }
+            }
+            prop_assert_eq!(b.drained(), sum >= budget);
+            prop_assert_eq!(b.spent().to_bits(), sum.to_bits());
+        }
+
+        /// Interleaving two tenants' charges in any order leaves each
+        /// budget's accounting bit-identical to charging it alone — one
+        /// tenant's traffic can never spend another tenant's budget.
+        #[test]
+        fn budget_accounting_is_exact_across_interleaved_tenants(
+            charges_a in proptest::collection::vec(0.0f64..0.5, 1..40),
+            charges_b in proptest::collection::vec(0.0f64..0.5, 1..40),
+            seed in 0u64..1000,
+        ) {
+            let mut interleaved_a = ErrorBudget::new(1.0);
+            let mut interleaved_b = ErrorBudget::new(1.0);
+            // Deterministic interleave driven by the seed: merge the two
+            // charge streams while preserving each tenant's order.
+            let (mut ia, mut ib) = (0usize, 0usize);
+            let mut state = seed;
+            while ia < charges_a.len() || ib < charges_b.len() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let pick_a = ib >= charges_b.len() || (ia < charges_a.len() && state & 1 == 0);
+                if pick_a {
+                    interleaved_a.charge(charges_a[ia]);
+                    ia += 1;
+                } else {
+                    interleaved_b.charge(charges_b[ib]);
+                    ib += 1;
+                }
+            }
+            let mut solo_a = ErrorBudget::new(1.0);
+            charges_a.iter().for_each(|&e| solo_a.charge(e));
+            let mut solo_b = ErrorBudget::new(1.0);
+            charges_b.iter().for_each(|&e| solo_b.charge(e));
+            prop_assert_eq!(interleaved_a.spent().to_bits(), solo_a.spent().to_bits());
+            prop_assert_eq!(interleaved_b.spent().to_bits(), solo_b.spent().to_bits());
+            prop_assert_eq!(interleaved_a.drained(), solo_a.drained());
+            prop_assert_eq!(interleaved_b.drained(), solo_b.drained());
+        }
     }
 }

@@ -66,7 +66,7 @@ mod runtime;
 
 pub use compiler::{subsample_seed, CompileParams, CompiledRegion, ParrotCompiler};
 pub use error::ParrotError;
-pub use guard::{ErrorSampler, GuardStats, GuardedRegion, RangeGuard};
+pub use guard::{ErrorBudget, ErrorSampler, ExecPath, GuardStats, GuardedRegion, RangeGuard};
 pub use observe::{observe, Observation};
 pub use region::RegionSpec;
 pub use runtime::NpuRuntime;

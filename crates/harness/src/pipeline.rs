@@ -31,7 +31,10 @@ use uarch::CoreConfig;
 ///
 /// v2: `TimingArtifact` gained `npu_invocation_cycles` and the report
 /// schema moved to v4 (distributions section).
-pub const PIPELINE_VERSION: u64 = 2;
+///
+/// v3: the report schema moved to v6 (serving section), changing the
+/// serialized `Report` artifact layout.
+pub const PIPELINE_VERSION: u64 = 3;
 
 fn base_hasher(tag: &str) -> KeyHasher {
     let mut h = KeyHasher::new(tag);

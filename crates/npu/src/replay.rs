@@ -34,6 +34,11 @@ pub struct BatchEvaluator {
     lut: SigmoidLut,
     /// Normalized inputs for the current block, `n_inputs` per lane.
     norm: Vec<f32>,
+    /// Blocks routed through the scalar kernel (occupancy below
+    /// [`SCALAR_CUTOVER`]).
+    scalar_blocks: u64,
+    /// Blocks routed through the full-width batched kernel.
+    batched_blocks: u64,
 }
 
 impl BatchEvaluator {
@@ -107,11 +112,13 @@ impl BatchEvaluator {
             config.input_norm().normalize(row);
         }
         if lanes < SCALAR_CUTOVER {
+            self.scalar_blocks += 1;
             for (lane, row) in self.norm.chunks(n_in).enumerate() {
                 let out = self.scalar.forward_lut(config.mlp(), row, &self.lut);
                 out_chunk[lane * n_out..][..n_out].copy_from_slice(out);
             }
         } else {
+            self.batched_blocks += 1;
             let mut refs: [&[f32]; LANES] = [&[]; LANES];
             for (lane, row) in self.norm.chunks(n_in).enumerate() {
                 refs[lane] = row;
@@ -129,6 +136,16 @@ impl BatchEvaluator {
         let mut out = Vec::new();
         self.run(config, inputs, &mut out);
         out
+    }
+
+    /// `(scalar, batched)` block counts since construction: how many
+    /// blocks each kernel served. The split is pure bookkeeping — both
+    /// kernels are bit-identical to [`NpuConfig::evaluate`] — but a
+    /// batching *server* drives flush sizes from queue occupancy, so the
+    /// counters make the documented cutover observable (and testable)
+    /// instead of silently drifting.
+    pub fn path_counts(&self) -> (u64, u64) {
+        (self.scalar_blocks, self.batched_blocks)
     }
 }
 
@@ -220,6 +237,75 @@ mod tests {
                     want.as_slice(),
                     "invocation {i} of topology {k} diverged from the sim"
                 );
+            }
+        }
+    }
+
+    /// Flushes of `n_inv` invocations through a fresh evaluator, returning
+    /// the evaluator for path-count inspection after asserting bit-identity
+    /// of every invocation against [`NpuConfig::evaluate`].
+    fn flush_and_check(config: &NpuConfig, n_inv: usize) -> BatchEvaluator {
+        let n_in = config.topology().inputs();
+        let n_out = config.topology().outputs();
+        let flat: Vec<f32> = (0..n_inv * n_in)
+            .map(|i| ((i * 17 + 5) % 97) as f32 / 97.0 * 2.0 - 0.5)
+            .collect();
+        let inputs: Vec<&[f32]> = flat.chunks(n_in).collect();
+        let mut eval = BatchEvaluator::new();
+        let got = eval.evaluate(config, &inputs);
+        for (i, inv) in inputs.iter().enumerate() {
+            assert_eq!(
+                &got[i * n_out..][..n_out],
+                config.evaluate(inv).as_slice(),
+                "invocation {i} of a {n_inv}-invocation flush diverged"
+            );
+        }
+        eval
+    }
+
+    /// The documented cutover: a lone invocation is cheaper through the
+    /// scalar kernel, and the half-block boundary (`LANES / 2` occupied
+    /// lanes, where one scalar sample costs about two batched samples)
+    /// belongs to the batched kernel. A server flushing queue-driven
+    /// batch sizes relies on these exact boundaries staying put.
+    #[test]
+    fn flush_occupancy_picks_the_documented_kernel() {
+        let config = config_for(vec![9, 8, 1], 42);
+        // Single invocation: scalar path.
+        assert_eq!(flush_and_check(&config, 1).path_counts(), (1, 0));
+        // One below the cutover: still scalar.
+        assert_eq!(
+            flush_and_check(&config, SCALAR_CUTOVER - 1).path_counts(),
+            (1, 0)
+        );
+        // Exactly half a block: batched (the break-even tie goes to the
+        // batched kernel — `lanes < SCALAR_CUTOVER` is strict).
+        assert_eq!(SCALAR_CUTOVER, LANES / 2, "cutover is half occupancy");
+        assert_eq!(
+            flush_and_check(&config, SCALAR_CUTOVER).path_counts(),
+            (0, 1)
+        );
+        // Full block: batched.
+        assert_eq!(flush_and_check(&config, LANES).path_counts(), (0, 1));
+        // Full block plus a small tail: one batched block, one scalar.
+        assert_eq!(flush_and_check(&config, LANES + 2).path_counts(), (1, 1));
+        // Full block plus a half-block tail: two batched blocks.
+        assert_eq!(
+            flush_and_check(&config, LANES + SCALAR_CUTOVER).path_counts(),
+            (0, 2)
+        );
+    }
+
+    /// Both sides of the cutover stay bit-identical to the scalar oracle
+    /// for every occupancy from one invocation to two full blocks (the
+    /// threshold choice must be invisible in the results, whichever way
+    /// a server-driven flush lands).
+    #[test]
+    fn every_flush_occupancy_is_bit_exact() {
+        for (k, layers) in paper_topologies().into_iter().enumerate() {
+            let config = config_for(layers, 900 + k as u64);
+            for n_inv in 1..=2 * LANES {
+                flush_and_check(&config, n_inv);
             }
         }
     }

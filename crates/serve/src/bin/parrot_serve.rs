@@ -1,0 +1,151 @@
+//! `parrot-serve` — the batched multi-tenant NPU invocation daemon.
+//!
+//! Binds a Unix or TCP socket, derives a deterministic tenant fleet
+//! from the fleet flags (the load generator derives the same fleet from
+//! the same flags), and serves until a client sends `Shutdown`. On exit
+//! it prints the serving summary and optionally writes a schema-v6
+//! `RunReport` with the `serving` section filled in.
+
+use serve::cli::{die, fleet_flag, take_parsed, take_value, FLEET_USAGE};
+use serve::engine::{Engine, EngineConfig};
+use serve::fleet::{derive_fleet, FleetOptions};
+use serve::server::{Listen, ServeOptions, Server};
+use std::path::PathBuf;
+use telemetry::{Level, PhaseTiming, RunReport};
+
+const USAGE: &str = "\
+parrot-serve [flags]
+
+  --listen ADDR        unix:/path.sock or tcp:host:port (default tcp:127.0.0.1:7411)
+  --queue-cap N        per-tenant queue bound (default 128)
+  --max-batch N        invocations per flush (default LANES = 16)
+  --batch-window-us T  max age of the oldest queued request before a
+                       non-full flush (default 2000)
+  --deadline-us T      default per-request deadline (default 1000000)
+  --retry-after-us T   backpressure retry hint (default 500)
+  --quantum N          DRR credits per weight unit per visit (default 4)
+  --json-out FILE      write the final RunReport as JSON
+  --trace-out FILE     write a Chrome trace of serve spans
+  --log-level LEVEL    off|error|warn|info|debug|trace (default off)
+FLEET";
+
+fn usage() -> ! {
+    eprintln!("{}", USAGE.replace("FLEET", FLEET_USAGE));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "tcp:127.0.0.1:7411".to_string();
+    let mut engine_cfg = EngineConfig::default();
+    let mut fleet_opts = FleetOptions::default();
+    let mut serve_opts = ServeOptions::default();
+    let mut json_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut log_level = Level::Off;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if fleet_flag(&arg, &mut args, &mut fleet_opts) {
+            continue;
+        }
+        match arg.as_str() {
+            "--listen" => listen = take_value(&mut args, "--listen"),
+            "--queue-cap" => engine_cfg.queue_cap = take_parsed(&mut args, "--queue-cap"),
+            "--max-batch" => engine_cfg.max_batch = take_parsed(&mut args, "--max-batch"),
+            "--batch-window-us" => {
+                serve_opts.batch_window_us = take_parsed(&mut args, "--batch-window-us");
+            }
+            "--deadline-us" => {
+                engine_cfg.default_deadline_us = take_parsed(&mut args, "--deadline-us");
+            }
+            "--retry-after-us" => {
+                engine_cfg.retry_after_us = take_parsed(&mut args, "--retry-after-us");
+            }
+            "--quantum" => engine_cfg.quantum = take_parsed(&mut args, "--quantum"),
+            "--json-out" => json_out = Some(PathBuf::from(take_value(&mut args, "--json-out"))),
+            "--trace-out" => trace_out = Some(PathBuf::from(take_value(&mut args, "--trace-out"))),
+            "--log-level" => {
+                let v = take_value(&mut args, "--log-level");
+                log_level =
+                    Level::parse(&v).unwrap_or_else(|| die(&format!("unknown log level {v:?}")));
+            }
+            "--help" | "-h" => usage(),
+            other => die(&format!("unknown flag {other} (try --help)")),
+        }
+    }
+    serve_opts.listen = Listen::parse(&listen).unwrap_or_else(|e| die(&e));
+
+    if log_level > Level::Off {
+        telemetry::install_stderr_sink();
+    }
+    if trace_out.is_some() && log_level < Level::Info {
+        log_level = Level::Info;
+    }
+    telemetry::set_level(log_level);
+    if let Some(path) = &trace_out {
+        if let Err(e) = telemetry::install_trace_sink(path) {
+            die(&format!("--trace-out {}: {e}", path.display()));
+        }
+    }
+
+    let fleet = derive_fleet(&fleet_opts);
+    let names: Vec<String> = fleet.iter().map(|t| t.name.clone()).collect();
+    let engine = Engine::new(engine_cfg.clone(), fleet);
+    let server =
+        Server::bind(&serve_opts, engine).unwrap_or_else(|e| die(&format!("bind {listen}: {e}")));
+    match server.local() {
+        Listen::Tcp(a) => println!("parrot-serve listening on tcp:{a}"),
+        Listen::Unix(p) => println!("parrot-serve listening on unix:{}", p.display()),
+    }
+    println!(
+        "tenants: {} (topology {:?}, batch {} x window {}us)",
+        names.join(", "),
+        fleet_opts.layers,
+        engine_cfg.max_batch,
+        serve_opts.batch_window_us
+    );
+    // The smoke harness greps for the banner before starting load.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let t0 = std::time::Instant::now();
+    let stats = server.run().unwrap_or_else(|e| die(&format!("serve: {e}")));
+    let wall_us = t0.elapsed().as_micros() as u64;
+    let s = &stats.summary;
+    println!(
+        "served {} requests: {} completed ({} npu / {} precise), {} rejected, {} timed out, {} protocol errors",
+        s.requests_total, s.completed, s.npu_served, s.precise_served, s.rejected, s.timed_out,
+        s.protocol_errors
+    );
+    println!(
+        "{} batches (mean occupancy {:.2}), {} context switches ({} cycles), fairness {:.4}",
+        s.batches,
+        s.batch_occupancy_mean,
+        s.context_switches,
+        s.context_switch_cycles,
+        s.fairness_index
+    );
+
+    if let Some(path) = &json_out {
+        let mut report = RunReport::new("serve", "parrot-serve", "daemon");
+        report.wall_clock_us = wall_us;
+        report.serving = stats.summary.clone();
+        report.serving.export(&mut report.metrics, "serving");
+        report.push_phase(PhaseTiming {
+            name: "serve".to_string(),
+            elapsed_us: wall_us,
+        });
+        report.push_distribution("serve.queue_depth", &stats.queue_depth);
+        report.push_distribution("serve.queue_wait_us", &stats.queue_wait_us);
+        report.push_distribution("serve.batch_occupancy", &stats.batch_occupancy);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| die(&format!("--json-out {}: {e}", path.display())));
+        println!("report written to {}", path.display());
+    }
+    telemetry::flush_sinks();
+}

@@ -1,0 +1,69 @@
+//! Flag parsing shared by `parrot-serve` and `parrot-serve-bench`.
+//!
+//! Both binaries must derive the *same* tenant fleet from the same
+//! flags (see [`crate::fleet`]), so the fleet flags are parsed by one
+//! function used on both sides.
+
+use crate::fleet::FleetOptions;
+
+/// Prints a usage-style error and exits.
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Takes the next argument value or dies with `what needs a value`.
+pub fn take_value(args: &mut impl Iterator<Item = String>, what: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| die(&format!("{what} needs a value")))
+}
+
+/// Parses the next argument as `T` or dies.
+pub fn take_parsed<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, what: &str) -> T {
+    let v = take_value(args, what);
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("{what}: cannot parse {v:?}")))
+}
+
+/// Parses a comma-separated list of numbers (`8,16,4`).
+pub fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Vec<T> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .unwrap_or_else(|_| die(&format!("{what}: cannot parse element {p:?}")))
+        })
+        .collect()
+}
+
+/// Consumes one fleet-shaping flag if `arg` is one, updating `opts`.
+/// Returns `false` when the flag is not fleet-related (the caller
+/// handles it). Keeping this shared is what guarantees the daemon and
+/// the bench derive bitwise-identical fleets from identical flags.
+pub fn fleet_flag(
+    arg: &str,
+    args: &mut impl Iterator<Item = String>,
+    opts: &mut FleetOptions,
+) -> bool {
+    match arg {
+        "--tenants" => opts.tenants = take_parsed(args, "--tenants"),
+        "--seed" => opts.seed = take_parsed(args, "--seed"),
+        "--topo" => opts.layers = parse_list(&take_value(args, "--topo"), "--topo"),
+        "--weights" => opts.weights = parse_list(&take_value(args, "--weights"), "--weights"),
+        "--budget" => opts.error_budget = take_parsed(args, "--budget"),
+        "--sample-period" => opts.sample_period = take_parsed(args, "--sample-period"),
+        "--no-region" => opts.with_region = false,
+        _ => return false,
+    }
+    true
+}
+
+/// The fleet-flag half of a usage message.
+pub const FLEET_USAGE: &str = "\
+  --tenants N          number of tenants (default 4)
+  --seed S             fleet seed (default 42)
+  --topo A,B,C         MLP layer sizes (default 8,16,4)
+  --weights W1,W2,...  DRR weights, cycled over tenants (default all 1)
+  --budget B           per-tenant quality budget, mean-abs error (default unlimited)
+  --sample-period N    audit every Nth NPU invocation (default 0 = off)
+  --no-region          tenants get no precise region (disables offload/degradation)";

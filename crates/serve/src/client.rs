@@ -1,0 +1,105 @@
+//! Minimal blocking client for the `parrot-serve` protocol, shared by
+//! the load generator, the integration tests, and ad-hoc tooling.
+
+use crate::proto::{read_frame, write_frame, Reply, Request};
+use crate::server::{AnyStream, Listen};
+use std::io::{self, Read};
+
+/// One connection speaking the framed protocol.
+pub struct Client {
+    stream: AnyStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket connect error.
+    pub fn connect(addr: &Listen) -> io::Result<Client> {
+        Ok(Client {
+            stream: AnyStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request frame without waiting for the reply (windowed
+    /// pipelining: send N, then collect N).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        let mut payload = Vec::new();
+        req.encode(&mut payload);
+        write_frame(&mut self.stream, &payload)
+    }
+
+    /// Blocks for the next reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `UnexpectedEof` if the server closed the connection,
+    /// `InvalidData` if the frame does not decode as a reply.
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        let payload = loop {
+            match read_frame(&mut self.stream) {
+                Ok(Some(p)) => break p,
+                Ok(None) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        Reply::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))
+    }
+
+    /// Applies a read timeout so [`try_recv`](Self::try_recv) can poll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option error.
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(dur)
+    }
+
+    /// Polls for a reply; `Ok(None)` when none arrived within the read
+    /// timeout (open-loop senders interleave this between sends).
+    ///
+    /// # Errors
+    ///
+    /// Same failures as [`recv`](Self::recv).
+    pub fn try_recv(&mut self) -> io::Result<Option<Reply>> {
+        match read_frame(&mut self.stream) {
+            Ok(Some(p)) => Reply::decode(&p)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}"))),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One request–reply round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`send`](Self::send) and [`recv`](Self::recv) errors.
+    pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Raw reads for protocol-abuse tests (send arbitrary bytes, watch
+    /// the server's reaction).
+    pub fn stream_mut(&mut self) -> &mut (impl Read + io::Write) {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,208 @@
+//! Deterministic tenant fleets.
+//!
+//! The daemon and the load generator run in separate processes, yet the
+//! bench must verify every NPU-path reply bit-for-bit against
+//! [`NpuConfig::evaluate`]. Instead of shipping configs over the wire,
+//! both sides derive the *same* fleet from the same flags: tenant `i`'s
+//! MLP is [`Mlp::seeded`] with a seed mixed from the fleet seed and `i`,
+//! normalizers are fixed, and the optional precise region is a small
+//! synthetic linear function built the same way on both ends. Same
+//! flags → bitwise-identical tenants everywhere.
+
+use ann::{Mlp, Normalizer, Topology};
+use approx_ir::{FunctionBuilder, Program};
+use npu::NpuConfig;
+use parrot::{ErrorBudget, RegionSpec};
+
+use crate::engine::TenantSpec;
+
+/// Everything a fleet derivation depends on. Two processes constructing
+/// this with equal values own bitwise-identical tenants.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Number of tenants (`t0`, `t1`, …).
+    pub tenants: usize,
+    /// Fleet seed, mixed per tenant.
+    pub seed: u64,
+    /// Shared MLP topology layer sizes (e.g. `[8, 16, 4]`).
+    pub layers: Vec<usize>,
+    /// Scheduling weights, cycled over tenants (empty → all 1).
+    pub weights: Vec<u32>,
+    /// Per-tenant quality budget (`f64::INFINITY` for unlimited).
+    pub error_budget: f64,
+    /// Audit every Nth NPU invocation against the precise region
+    /// (0 disables auditing).
+    pub sample_period: u64,
+    /// Whether tenants get a precise region (required for whole-region
+    /// offload and budget degradation).
+    pub with_region: bool,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            tenants: 4,
+            seed: 42,
+            layers: vec![8, 16, 4],
+            weights: Vec::new(),
+            error_budget: f64::INFINITY,
+            sample_period: 0,
+            with_region: true,
+        }
+    }
+}
+
+/// Splits the fleet seed into a per-tenant seed (splitmix-style odd
+/// multiplier mix so adjacent tenants land far apart).
+fn tenant_seed(fleet_seed: u64, tenant: usize) -> u64 {
+    fleet_seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((tenant as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+}
+
+/// A synthetic precise region with the same arity as the NPU topology:
+/// `out_j = Σ_i c_ij · x_i` with small fixed rational coefficients, so
+/// it is cheap, total (no NaNs, no traps), and identical on every host.
+fn linear_region(name: &str, n_in: usize, n_out: usize) -> RegionSpec {
+    let mut b = FunctionBuilder::new(name, n_in);
+    let mut outs = Vec::with_capacity(n_out);
+    for j in 0..n_out {
+        let mut acc = b.constf(0.0);
+        for i in 0..n_in {
+            let coeff = ((i * 7 + j * 13) % 10) as f32 / 10.0;
+            let c = b.constf(coeff);
+            let x = b.param(i);
+            let term = b.fmul(c, x);
+            acc = b.fadd(acc, term);
+        }
+        outs.push(acc);
+    }
+    b.ret(&outs);
+    let mut program = Program::new();
+    let entry = program.add_function(b.build().expect("synthetic region builds"));
+    RegionSpec::new(name, program, entry, n_in, n_out).expect("synthetic region is valid")
+}
+
+/// Derives the tenant fleet for `opts`. Deterministic in `opts` alone.
+///
+/// # Panics
+///
+/// Panics on zero tenants, an invalid topology, or a negative/NaN
+/// budget — configuration errors surfaced at startup.
+pub fn derive_fleet(opts: &FleetOptions) -> Vec<TenantSpec> {
+    assert!(opts.tenants > 0, "fleet needs at least one tenant");
+    let topology = Topology::new(opts.layers.clone()).expect("fleet topology is valid");
+    let n_in = topology.inputs();
+    let n_out = topology.outputs();
+    (0..opts.tenants)
+        .map(|i| {
+            let name = format!("t{i}");
+            let mlp = Mlp::seeded(topology.clone(), tenant_seed(opts.seed, i));
+            // Unit ranges on both sides: the load generator draws
+            // inputs in [0, 1), and unit output ranges make the
+            // denormalized outputs the raw sigmoid activations.
+            let input_norm = Normalizer::new(vec![(0.0, 1.0); n_in]);
+            let output_norm = Normalizer::new(vec![(0.0, 1.0); n_out]);
+            let config = NpuConfig::new(mlp, input_norm, output_norm);
+            let region = opts.with_region.then(|| linear_region(&name, n_in, n_out));
+            let weight = if opts.weights.is_empty() {
+                1
+            } else {
+                opts.weights[i % opts.weights.len()]
+            };
+            TenantSpec {
+                name,
+                weight,
+                config,
+                region,
+                budget: if opts.error_budget.is_finite() {
+                    ErrorBudget::new(opts.error_budget)
+                } else {
+                    ErrorBudget::unlimited()
+                },
+                sample_period: opts.sample_period,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic `[0, 1)` input stream for the load generators: one
+/// splitmix64 step per value, keyed by (fleet seed, tenant, request,
+/// dimension). Both the bench's request builder and its verifier call
+/// this, so expected values never need to cross the wire.
+pub fn request_inputs(fleet_seed: u64, tenant: usize, request: u64, n_in: usize) -> Vec<f32> {
+    (0..n_in)
+        .map(|dim| {
+            let mut z = tenant_seed(fleet_seed, tenant)
+                .wrapping_add(request.wrapping_mul(0x94d0_49bb_1331_11eb))
+                .wrapping_add((dim as u64).wrapping_mul(0xd6e8_feb8_6659_fd93));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            // Top 24 bits → [0, 1) at f32 resolution.
+            (z >> 40) as f32 / (1u64 << 24) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_options_derive_bitwise_identical_fleets() {
+        let opts = FleetOptions::default();
+        let a = derive_fleet(&opts);
+        let b = derive_fleet(&opts);
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.name, tb.name);
+            assert_eq!(ta.weight, tb.weight);
+            let inputs = request_inputs(opts.seed, 0, 7, ta.config.topology().inputs());
+            let oa = ta.config.evaluate(&inputs);
+            let ob = tb.config.evaluate(&inputs);
+            let bits_a: Vec<u32> = oa.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u32> = ob.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+            assert_eq!(ta.config.encode(), tb.config.encode());
+        }
+    }
+
+    #[test]
+    fn tenants_differ_from_each_other() {
+        let fleet = derive_fleet(&FleetOptions::default());
+        let inputs = request_inputs(42, 0, 0, fleet[0].config.topology().inputs());
+        let o0 = fleet[0].config.evaluate(&inputs);
+        let o1 = fleet[1].config.evaluate(&inputs);
+        assert_ne!(o0, o1, "seed mixing must separate tenants");
+    }
+
+    #[test]
+    fn synthetic_region_matches_its_formula() {
+        let fleet = derive_fleet(&FleetOptions::default());
+        let region = fleet[0].region.as_ref().unwrap();
+        let n_in = fleet[0].config.topology().inputs();
+        let n_out = fleet[0].config.topology().outputs();
+        let inputs = request_inputs(42, 0, 3, n_in);
+        let got = region.evaluate(&inputs).unwrap();
+        assert_eq!(got.len(), n_out);
+        for (j, &g) in got.iter().enumerate() {
+            let mut acc = 0.0f32;
+            for (i, &x) in inputs.iter().enumerate() {
+                acc += ((i * 7 + j * 13) % 10) as f32 / 10.0 * x;
+            }
+            // The interpreter folds in the same f32 order; allow for
+            // association differences all the same.
+            assert!((g - acc).abs() < 1e-5, "out[{j}] = {g}, formula {acc}");
+        }
+    }
+
+    #[test]
+    fn request_inputs_are_deterministic_and_in_range() {
+        let a = request_inputs(7, 2, 1000, 8);
+        let b = request_inputs(7, 2, 1000, 8);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (0.0..1.0).contains(v)));
+        assert_ne!(a, request_inputs(7, 2, 1001, 8));
+    }
+}

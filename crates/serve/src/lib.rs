@@ -1,0 +1,45 @@
+//! `parrot-serve`: a long-running invocation server in front of the
+//! simulated NPU.
+//!
+//! The paper's deployment model is one program, one trained network,
+//! one NPU. This crate explores the serving-system shape of the same
+//! hardware: many *tenants* (each a Parrot-transformed region with its
+//! own trained [`npu::NpuConfig`]) share one NPU behind a daemon that
+//! accepts invocation requests over a socket, coalesces them into
+//! SIMD-width batches ([`npu::BatchEvaluator`]), schedules
+//! tenants weighted-fairly against the config context-switch cost, and
+//! enforces per-tenant quality budgets with graceful degradation to the
+//! precise CPU path.
+//!
+//! Layers, bottom up:
+//!
+//! - [`proto`] — versioned, length-prefixed wire protocol (total
+//!   decoder: arbitrary bytes never panic);
+//! - [`engine`] — the deterministic batching scheduler: bounded
+//!   per-tenant queues, backpressure, deadlines, deficit round-robin,
+//!   budget-driven degradation; clocked by caller-supplied time;
+//! - [`server`] — sockets and threads around the engine (accept /
+//!   reader / batcher / reaper);
+//! - [`client`] — blocking client used by the load generator and tests;
+//! - [`fleet`] — deterministic tenant derivation so daemon and bench
+//!   agree on configs without shipping them over the wire.
+//!
+//! Binaries: `parrot-serve` (the daemon) and `parrot-serve-bench` (the
+//! open/closed-loop load generator that writes
+//! `results/serve_baseline.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod client;
+pub mod engine;
+pub mod fleet;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use engine::{Completion, CompletionKind, Engine, EngineConfig, SubmitOutcome, TenantSpec};
+pub use fleet::{derive_fleet, request_inputs, FleetOptions};
+pub use proto::{ErrorCode, InvokeMode, ProtoError, Reply, Request, PROTO_VERSION};
+pub use server::{AnyStream, Listen, RunStats, ServeOptions, Server};

@@ -1,0 +1,726 @@
+//! The `parrot-serve` wire protocol.
+//!
+//! Length-prefixed binary frames over a byte stream (Unix or TCP
+//! socket): a little-endian `u32` payload length, then the payload. The
+//! payload starts with a `u16` protocol version and a `u8` message kind,
+//! followed by the kind-specific body. The framing mirrors the
+//! `enq.d`/`deq.d` word-stream discipline of the simulated hardware
+//! interface: fixed-width scalars, explicit counts, no self-describing
+//! metadata — and, like the artifact-hash format in `crates/harness`,
+//! every field is pinned by round-trip tests so the encoding cannot
+//! drift silently.
+//!
+//! Decoding is total: any byte sequence either decodes to a message or
+//! returns a [`ProtoError`] — it never panics and never allocates more
+//! than the frame cap. That invariant is what the fuzz-style proptests
+//! in `tests/proto_fuzz.rs` pin down.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in every payload. Bump on breaking changes;
+/// decoders reject mismatched versions so stale clients fail loudly at
+/// the first frame instead of misparsing bodies.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on one frame's payload, decoded *before* allocating. A
+/// garbage length prefix therefore cannot drive an allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Upper bound on the element count of one invocation's input/output
+/// vector (far above any NPU topology; exists so a corrupt count fails
+/// cleanly instead of attempting a giant allocation).
+pub const MAX_VALUES: u32 = 1 << 16;
+
+/// Decode failure. The variants distinguish framing problems (drop the
+/// connection) from semantic ones, but all of them are plain values —
+/// malformed input is an expected event, not a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Payload ended before the advertised structure did.
+    Truncated,
+    /// Version field differs from [`PROTO_VERSION`].
+    BadVersion(u16),
+    /// Unknown message-kind byte.
+    BadKind(u8),
+    /// A count or length field exceeds its cap.
+    TooLarge,
+    /// Bytes remain after a complete message.
+    TrailingBytes,
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A field carries a value outside its domain.
+    BadValue,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "payload truncated"),
+            ProtoError::BadVersion(v) => {
+                write!(
+                    f,
+                    "protocol version {v} (this build speaks {PROTO_VERSION})"
+                )
+            }
+            ProtoError::BadKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            ProtoError::TooLarge => write!(f, "count or length over cap"),
+            ProtoError::TrailingBytes => write!(f, "trailing bytes after message"),
+            ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            ProtoError::BadValue => write!(f, "field value out of domain"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Which execution the client asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvokeMode {
+    /// One NPU invocation (approximate; may be degraded to the precise
+    /// path by a drained quality budget).
+    Npu,
+    /// Whole-region offload: run the original precise region code.
+    Precise,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// One invocation for `tenant`.
+    Invoke {
+        /// Tenant name (queue + budget + config selector).
+        tenant: String,
+        /// Client-chosen id echoed in the reply (unique per connection).
+        request_id: u64,
+        /// Relative deadline in microseconds (0 = server default).
+        deadline_us: u64,
+        /// NPU invocation or whole-region offload.
+        mode: InvokeMode,
+        /// Raw application-value inputs.
+        inputs: Vec<f32>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Snapshot of the server's serving statistics (JSON
+    /// [`telemetry::ServingSummary`] in the reply).
+    Stats,
+    /// Graceful stop: drain queues, reply [`Reply::ShutdownAck`], exit.
+    Shutdown,
+}
+
+/// Why a request failed (carried in [`Reply::Error`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// No tenant registered under that name.
+    UnknownTenant,
+    /// Input length differs from the tenant's topology.
+    BadDimensions,
+    /// Precise offload requested but the tenant has no region code.
+    NoPrecisePath,
+    /// The previous frame failed to decode (connection will drop).
+    Malformed,
+    /// Precise execution faulted.
+    ExecutionFailed,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Completed invocation.
+    Outputs {
+        /// Echo of the request id.
+        request_id: u64,
+        /// `false` = NPU path, `true` = precise CPU path.
+        precise: bool,
+        /// Microseconds the request waited in its tenant queue.
+        queued_us: u64,
+        /// The invocation's outputs.
+        outputs: Vec<f32>,
+    },
+    /// Bounded-queue backpressure: not enqueued; retry after the hint.
+    Rejected {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Suggested client back-off before resending, microseconds.
+        retry_after_us: u64,
+    },
+    /// The request missed its deadline and was dropped from the queue.
+    TimedOut {
+        /// Echo of the request id.
+        request_id: u64,
+    },
+    /// The request failed (see [`ErrorCode`]).
+    Error {
+        /// Echo of the request id (0 when the frame never decoded).
+        request_id: u64,
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Liveness answer.
+    Pong,
+    /// Serving-statistics snapshot: a JSON [`telemetry::ServingSummary`].
+    Stats {
+        /// Pretty JSON of the summary at snapshot time.
+        json: String,
+    },
+    /// Shutdown acknowledged; the server is draining and will exit.
+    ShutdownAck,
+}
+
+// Message-kind bytes. Requests use the low half, replies the high half,
+// so a peer reading the wrong direction fails on the kind byte.
+const KIND_INVOKE: u8 = 0x01;
+const KIND_PING: u8 = 0x02;
+const KIND_STATS: u8 = 0x03;
+const KIND_SHUTDOWN: u8 = 0x04;
+const KIND_OUTPUTS: u8 = 0x81;
+const KIND_REJECTED: u8 = 0x82;
+const KIND_TIMED_OUT: u8 = 0x83;
+const KIND_ERROR: u8 = 0x84;
+const KIND_PONG: u8 = 0x85;
+const KIND_STATS_REPLY: u8 = 0x86;
+const KIND_SHUTDOWN_ACK: u8 = 0x87;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn f32_vec(&mut self) -> Result<Vec<f32>, ProtoError> {
+        let n = self.u32()?;
+        if n > MAX_VALUES {
+            return Err(ProtoError::TooLarge);
+        }
+        // Count is validated against the remaining bytes before any
+        // allocation sized by it.
+        let bytes = self.take(n as usize * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect())
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes)
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string field over u16 length");
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32_vec(out: &mut Vec<u8>, v: &[f32]) {
+    debug_assert!(v.len() <= MAX_VALUES as usize, "value vector over cap");
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn header(out: &mut Vec<u8>, kind: u8) {
+    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    out.push(kind);
+}
+
+fn check_header(c: &mut Cursor<'_>) -> Result<u8, ProtoError> {
+    let version = c.u16()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    c.u8()
+}
+
+impl InvokeMode {
+    fn to_byte(self) -> u8 {
+        match self {
+            InvokeMode::Npu => 0,
+            InvokeMode::Precise => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(InvokeMode::Npu),
+            1 => Ok(InvokeMode::Precise),
+            _ => Err(ProtoError::BadValue),
+        }
+    }
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::UnknownTenant => 0,
+            ErrorCode::BadDimensions => 1,
+            ErrorCode::NoPrecisePath => 2,
+            ErrorCode::Malformed => 3,
+            ErrorCode::ExecutionFailed => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(ErrorCode::UnknownTenant),
+            1 => Ok(ErrorCode::BadDimensions),
+            2 => Ok(ErrorCode::NoPrecisePath),
+            3 => Ok(ErrorCode::Malformed),
+            4 => Ok(ErrorCode::ExecutionFailed),
+            _ => Err(ProtoError::BadValue),
+        }
+    }
+}
+
+impl Request {
+    /// Appends the encoded payload (no length prefix) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Invoke {
+                tenant,
+                request_id,
+                deadline_us,
+                mode,
+                inputs,
+            } => {
+                header(out, KIND_INVOKE);
+                put_string(out, tenant);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.extend_from_slice(&deadline_us.to_le_bytes());
+                out.push(mode.to_byte());
+                put_f32_vec(out, inputs);
+            }
+            Request::Ping => header(out, KIND_PING),
+            Request::Stats => header(out, KIND_STATS),
+            Request::Shutdown => header(out, KIND_SHUTDOWN),
+        }
+    }
+
+    /// Decodes one request payload (the bytes of exactly one frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] on any malformed input; never panics.
+    pub fn decode(buf: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(buf);
+        let req = match check_header(&mut c)? {
+            KIND_INVOKE => Request::Invoke {
+                tenant: c.string()?,
+                request_id: c.u64()?,
+                deadline_us: c.u64()?,
+                mode: InvokeMode::from_byte(c.u8()?)?,
+                inputs: c.f32_vec()?,
+            },
+            KIND_PING => Request::Ping,
+            KIND_STATS => Request::Stats,
+            KIND_SHUTDOWN => Request::Shutdown,
+            k => return Err(ProtoError::BadKind(k)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Appends the encoded payload (no length prefix) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Reply::Outputs {
+                request_id,
+                precise,
+                queued_us,
+                outputs,
+            } => {
+                header(out, KIND_OUTPUTS);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.push(u8::from(*precise));
+                out.extend_from_slice(&queued_us.to_le_bytes());
+                put_f32_vec(out, outputs);
+            }
+            Reply::Rejected {
+                request_id,
+                retry_after_us,
+            } => {
+                header(out, KIND_REJECTED);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.extend_from_slice(&retry_after_us.to_le_bytes());
+            }
+            Reply::TimedOut { request_id } => {
+                header(out, KIND_TIMED_OUT);
+                out.extend_from_slice(&request_id.to_le_bytes());
+            }
+            Reply::Error {
+                request_id,
+                code,
+                message,
+            } => {
+                header(out, KIND_ERROR);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.push(code.to_byte());
+                put_string(out, message);
+            }
+            Reply::Pong => header(out, KIND_PONG),
+            Reply::Stats { json } => {
+                header(out, KIND_STATS_REPLY);
+                // Stats bodies can exceed u16, so they get a u32 length.
+                debug_assert!(json.len() as u32 <= MAX_FRAME_LEN, "stats body over cap");
+                out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                out.extend_from_slice(json.as_bytes());
+            }
+            Reply::ShutdownAck => header(out, KIND_SHUTDOWN_ACK),
+        }
+    }
+
+    /// Decodes one reply payload (the bytes of exactly one frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] on any malformed input; never panics.
+    pub fn decode(buf: &[u8]) -> Result<Reply, ProtoError> {
+        let mut c = Cursor::new(buf);
+        let reply = match check_header(&mut c)? {
+            KIND_OUTPUTS => Reply::Outputs {
+                request_id: c.u64()?,
+                precise: match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtoError::BadValue),
+                },
+                queued_us: c.u64()?,
+                outputs: c.f32_vec()?,
+            },
+            KIND_REJECTED => Reply::Rejected {
+                request_id: c.u64()?,
+                retry_after_us: c.u64()?,
+            },
+            KIND_TIMED_OUT => Reply::TimedOut {
+                request_id: c.u64()?,
+            },
+            KIND_ERROR => Reply::Error {
+                request_id: c.u64()?,
+                code: ErrorCode::from_byte(c.u8()?)?,
+                message: c.string()?,
+            },
+            KIND_PONG => Reply::Pong,
+            KIND_STATS_REPLY => {
+                let len = c.u32()?;
+                if len > MAX_FRAME_LEN {
+                    return Err(ProtoError::TooLarge);
+                }
+                let bytes = c.take(len as usize)?;
+                Reply::Stats {
+                    json: String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)?,
+                }
+            }
+            KIND_SHUTDOWN_ACK => Reply::ShutdownAck,
+            k => return Err(ProtoError::BadKind(k)),
+        };
+        c.finish()?;
+        Ok(reply)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails with `InvalidData` if the payload
+/// exceeds [`MAX_FRAME_LEN`] (nothing is written in that case).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame over length cap",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary.
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails with `InvalidData` on a length prefix
+/// over [`MAX_FRAME_LEN`] or an EOF inside a frame. Read timeouts
+/// (`WouldBlock`/`TimedOut`) surface as errors only when no byte of the
+/// frame has been consumed yet; mid-frame they are retried, so a slow
+/// writer cannot desynchronize the stream.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match read_full(r, &mut len_buf, true)? {
+        ReadFull::Eof => return Ok(None),
+        ReadFull::Idle => {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "idle"));
+        }
+        ReadFull::Done => {}
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length over cap",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_full(r, &mut payload, false)? {
+        ReadFull::Done => Ok(Some(payload)),
+        ReadFull::Eof | ReadFull::Idle => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "EOF inside frame",
+        )),
+    }
+}
+
+enum ReadFull {
+    Done,
+    Eof,
+    Idle,
+}
+
+/// Fills `buf`, retrying timeouts once any byte has been read.
+/// `allow_idle` governs the zero-bytes-read case: a timeout there
+/// surfaces as [`ReadFull::Idle`] (the caller's poll loop continues), as
+/// does an EOF as [`ReadFull::Eof`].
+fn read_full(r: &mut impl Read, buf: &mut [u8], allow_idle: bool) -> io::Result<ReadFull> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && allow_idle {
+                    Ok(ReadFull::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 {
+                    if allow_idle {
+                        return Ok(ReadFull::Idle);
+                    }
+                    continue;
+                }
+                // Mid-frame timeout: keep reading, the peer committed to
+                // this frame.
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadFull::Done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) {
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        assert_eq!(&Request::decode(&buf).unwrap(), req);
+    }
+
+    fn round_trip_reply(reply: &Reply) {
+        let mut buf = Vec::new();
+        reply.encode(&mut buf);
+        assert_eq!(&Reply::decode(&buf).unwrap(), reply);
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        round_trip_request(&Request::Invoke {
+            tenant: "tenant-7".into(),
+            request_id: u64::MAX,
+            deadline_us: 125_000,
+            mode: InvokeMode::Npu,
+            inputs: vec![0.0, -1.5, f32::MAX, f32::MIN_POSITIVE],
+        });
+        round_trip_request(&Request::Invoke {
+            tenant: String::new(),
+            request_id: 0,
+            deadline_us: 0,
+            mode: InvokeMode::Precise,
+            inputs: vec![],
+        });
+        round_trip_request(&Request::Ping);
+        round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Shutdown);
+        round_trip_reply(&Reply::Outputs {
+            request_id: 3,
+            precise: true,
+            queued_us: 42,
+            outputs: vec![1.25, -0.5],
+        });
+        round_trip_reply(&Reply::Rejected {
+            request_id: 9,
+            retry_after_us: 1_000,
+        });
+        round_trip_reply(&Reply::TimedOut { request_id: 11 });
+        round_trip_reply(&Reply::Error {
+            request_id: 0,
+            code: ErrorCode::Malformed,
+            message: "bad frame".into(),
+        });
+        round_trip_reply(&Reply::Pong);
+        round_trip_reply(&Reply::Stats {
+            json: "{\"completed\":4}".into(),
+        });
+        round_trip_reply(&Reply::ShutdownAck);
+    }
+
+    #[test]
+    fn nan_inputs_survive_bit_exactly() {
+        let req = Request::Invoke {
+            tenant: "t".into(),
+            request_id: 1,
+            deadline_us: 0,
+            mode: InvokeMode::Npu,
+            inputs: vec![f32::from_bits(0x7fc0_1234)],
+        };
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        match Request::decode(&buf).unwrap() {
+            Request::Invoke { inputs, .. } => {
+                assert_eq!(inputs[0].to_bits(), 0x7fc0_1234);
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut buf = Vec::new();
+        Request::Ping.encode(&mut buf);
+        buf[0] = 0xff;
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(ProtoError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        Request::Ping.encode(&mut buf);
+        buf.push(0);
+        assert_eq!(Request::decode(&buf), Err(ProtoError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_vector_count_fails_before_allocating() {
+        let mut buf = Vec::new();
+        Request::Invoke {
+            tenant: "t".into(),
+            request_id: 1,
+            deadline_us: 0,
+            mode: InvokeMode::Npu,
+            inputs: vec![1.0],
+        }
+        .encode(&mut buf);
+        // Patch the element count (last 8 bytes are count + one f32).
+        let count_at = buf.len() - 8;
+        buf[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&buf), Err(ProtoError::TooLarge));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut wire = Vec::new();
+        let mut payload = Vec::new();
+        Request::Ping.encode(&mut payload);
+        write_frame(&mut wire, &payload).unwrap();
+        let mut payload2 = Vec::new();
+        Request::Shutdown.encode(&mut payload2);
+        write_frame(&mut wire, &payload2).unwrap();
+
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload2);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_length_is_an_error_not_an_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut r = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_error() {
+        let mut wire = Vec::new();
+        let mut payload = Vec::new();
+        Request::Ping.encode(&mut payload);
+        write_frame(&mut wire, &payload).unwrap();
+        wire.truncate(wire.len() - 1);
+        let mut r = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! Deterministic behaviour tests for the batching engine.
+//!
+//! The engine is clocked by caller-supplied microsecond timestamps, so
+//! every backpressure, timeout, degradation, and fairness scenario here
+//! is exactly reproducible — no sleeps, no real sockets, no races.
+
+use serve::engine::{drain, Completion, CompletionKind, Engine, EngineConfig, SubmitOutcome};
+use serve::fleet::{derive_fleet, request_inputs, FleetOptions};
+use serve::proto::InvokeMode;
+
+fn small_fleet(tenants: usize) -> FleetOptions {
+    FleetOptions {
+        tenants,
+        seed: 7,
+        layers: vec![4, 8, 2],
+        ..FleetOptions::default()
+    }
+}
+
+fn engine_with(cfg: EngineConfig, opts: &FleetOptions) -> Engine {
+    Engine::new(cfg, derive_fleet(opts))
+}
+
+fn inputs_for(opts: &FleetOptions, tenant: usize, request: u64) -> Vec<f32> {
+    request_inputs(opts.seed, tenant, request, opts.layers[0])
+}
+
+fn submit_npu(engine: &mut Engine, opts: &FleetOptions, tenant: usize, req: u64, now: u64) {
+    let outcome = engine.submit(
+        &format!("t{tenant}"),
+        req,
+        0,
+        InvokeMode::Npu,
+        inputs_for(opts, tenant, req),
+        now,
+    );
+    assert!(
+        matches!(outcome, SubmitOutcome::Enqueued { .. }),
+        "expected enqueue, got {outcome:?}"
+    );
+}
+
+#[test]
+fn bounded_queue_rejects_with_the_configured_retry_hint_and_never_exceeds_cap() {
+    let opts = small_fleet(1);
+    let cfg = EngineConfig {
+        queue_cap: 4,
+        retry_after_us: 777,
+        ..EngineConfig::default()
+    };
+    let mut engine = engine_with(cfg, &opts);
+
+    for req in 0..4 {
+        submit_npu(&mut engine, &opts, 0, req, 0);
+    }
+    assert_eq!(engine.queue_len("t0"), Some(4));
+
+    // Every submit past the cap is rejected with the configured hint
+    // and must not grow the queue.
+    for req in 4..20 {
+        let outcome = engine.submit("t0", req, 0, InvokeMode::Npu, inputs_for(&opts, 0, req), 0);
+        assert_eq!(
+            outcome,
+            SubmitOutcome::Rejected {
+                retry_after_us: 777
+            }
+        );
+        assert_eq!(engine.queue_len("t0"), Some(4), "cap must hold");
+    }
+
+    // Serving frees capacity; the next submit is accepted again.
+    let mut completions = Vec::new();
+    assert!(engine.flush(10, &mut completions));
+    assert_eq!(completions.len(), 4);
+    submit_npu(&mut engine, &opts, 0, 99, 11);
+
+    let summary = engine.summary(1_000);
+    assert_eq!(summary.rejected, 16);
+    assert_eq!(summary.completed, 4);
+}
+
+#[test]
+fn past_deadline_requests_get_a_distinct_timeout_completion() {
+    let opts = small_fleet(1);
+    let mut engine = engine_with(EngineConfig::default(), &opts);
+
+    // Three requests with deadlines 100, 200, 300 µs after t=0.
+    for (req, deadline) in [(0u64, 100u64), (1, 200), (2, 300)] {
+        let outcome = engine.submit(
+            "t0",
+            req,
+            deadline,
+            InvokeMode::Npu,
+            inputs_for(&opts, 0, req),
+            0,
+        );
+        assert!(matches!(outcome, SubmitOutcome::Enqueued { .. }));
+    }
+
+    let mut completions = Vec::new();
+    engine.expire(99, &mut completions);
+    assert!(completions.is_empty(), "nothing due before the deadline");
+
+    // At t=200 the first two deadlines (<= now) have passed.
+    engine.expire(200, &mut completions);
+    let timed_out: Vec<u64> = completions
+        .iter()
+        .map(|c| {
+            assert_eq!(c.kind, CompletionKind::TimedOut, "must be the timeout kind");
+            c.request_id
+        })
+        .collect();
+    assert_eq!(timed_out, vec![0, 1]);
+
+    // The survivor is served normally and is never double-reported.
+    completions.clear();
+    drain(&mut engine, 250, &mut completions);
+    assert_eq!(completions.len(), 1);
+    assert_eq!(completions[0].request_id, 2);
+    assert!(matches!(completions[0].kind, CompletionKind::Done { .. }));
+
+    let summary = engine.summary(1_000);
+    assert_eq!(summary.timed_out, 2);
+    assert_eq!(summary.completed, 1);
+}
+
+#[test]
+fn flush_times_out_expired_work_instead_of_serving_it() {
+    let opts = small_fleet(1);
+    let mut engine = engine_with(EngineConfig::default(), &opts);
+    let outcome = engine.submit("t0", 0, 50, InvokeMode::Npu, inputs_for(&opts, 0, 0), 0);
+    assert!(matches!(outcome, SubmitOutcome::Enqueued { .. }));
+
+    // The flush happens after the deadline: the request must become a
+    // timeout, not a served invocation.
+    let mut completions = Vec::new();
+    engine.flush(100, &mut completions);
+    assert_eq!(completions.len(), 1);
+    assert_eq!(completions[0].kind, CompletionKind::TimedOut);
+}
+
+#[test]
+fn npu_path_is_bit_identical_to_direct_evaluate() {
+    let opts = small_fleet(2);
+    let mut engine = engine_with(EngineConfig::default(), &opts);
+    let reference = derive_fleet(&opts);
+
+    for req in 0..16 {
+        submit_npu(&mut engine, &opts, (req % 2) as usize, req, 0);
+    }
+    let mut completions = Vec::new();
+    drain(&mut engine, 10, &mut completions);
+    assert_eq!(completions.len(), 16);
+
+    for c in &completions {
+        let CompletionKind::Done {
+            outputs, precise, ..
+        } = &c.kind
+        else {
+            panic!("unexpected completion {c:?}");
+        };
+        assert!(!precise, "unlimited budget must stay on the NPU path");
+        let tenant_idx: usize = c.tenant[1..].parse().unwrap();
+        let expected =
+            reference[tenant_idx]
+                .config
+                .evaluate(&inputs_for(&opts, tenant_idx, c.request_id));
+        let expected_bits: Vec<u32> = expected.iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u32> = outputs.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(expected_bits, got_bits, "request {}", c.request_id);
+    }
+}
+
+#[test]
+fn drained_budget_degrades_one_tenant_while_others_keep_npu_service() {
+    // t0 starts with a zero budget (drained immediately); t1 unlimited.
+    let mut opts = small_fleet(2);
+    opts.error_budget = 0.0;
+    let mut fleet = derive_fleet(&opts);
+    fleet[1].budget = parrot::ErrorBudget::unlimited();
+    let mut engine = Engine::new(EngineConfig::default(), fleet);
+    let reference = derive_fleet(&opts);
+
+    assert_eq!(engine.budget_drained("t0"), Some(true));
+    assert_eq!(engine.budget_drained("t1"), Some(false));
+
+    for req in 0..8 {
+        submit_npu(&mut engine, &opts, (req % 2) as usize, req, 0);
+    }
+    let mut completions = Vec::new();
+    drain(&mut engine, 10, &mut completions);
+    assert_eq!(completions.len(), 8);
+
+    for c in &completions {
+        let CompletionKind::Done {
+            outputs, precise, ..
+        } = &c.kind
+        else {
+            panic!("unexpected completion {c:?}");
+        };
+        let tenant_idx: usize = c.tenant[1..].parse().unwrap();
+        let inputs = inputs_for(&opts, tenant_idx, c.request_id);
+        if tenant_idx == 0 {
+            // Degraded: observably the precise path, with the precise
+            // region's results.
+            assert!(*precise, "drained tenant must fall back to precise");
+            let expected = reference[0]
+                .region
+                .as_ref()
+                .unwrap()
+                .evaluate(&inputs)
+                .unwrap();
+            assert_eq!(expected, *outputs);
+        } else {
+            assert!(!precise, "other tenants keep NPU service");
+            let expected = reference[1].config.evaluate(&inputs);
+            let expected_bits: Vec<u32> = expected.iter().map(|v| v.to_bits()).collect();
+            let got_bits: Vec<u32> = outputs.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(expected_bits, got_bits);
+        }
+    }
+
+    let summary = engine.summary(1_000);
+    assert_eq!(summary.tenants["t0"].precise_served, 4);
+    assert_eq!(summary.tenants["t0"].npu_served, 0);
+    assert_eq!(summary.tenants["t1"].npu_served, 4);
+    assert_eq!(summary.tenants["t1"].precise_served, 0);
+}
+
+#[test]
+fn sampled_audits_drain_the_budget_and_trigger_degradation() {
+    // Audit every NPU invocation against the (very different) linear
+    // region with a tiny budget: the first flush serves NPU and drains
+    // the budget, the second must be degraded.
+    let mut opts = small_fleet(1);
+    opts.error_budget = 1e-12;
+    opts.sample_period = 1;
+    let mut engine = engine_with(EngineConfig::default(), &opts);
+    assert_eq!(engine.budget_drained("t0"), Some(false));
+
+    submit_npu(&mut engine, &opts, 0, 0, 0);
+    let mut completions = Vec::new();
+    drain(&mut engine, 1, &mut completions);
+    assert!(matches!(
+        completions[0].kind,
+        CompletionKind::Done { precise: false, .. }
+    ));
+    assert_eq!(
+        engine.budget_drained("t0"),
+        Some(true),
+        "audit charged the budget"
+    );
+
+    submit_npu(&mut engine, &opts, 0, 1, 2);
+    completions.clear();
+    drain(&mut engine, 3, &mut completions);
+    assert!(matches!(
+        completions[0].kind,
+        CompletionKind::Done { precise: true, .. }
+    ));
+}
+
+#[test]
+fn deficit_round_robin_converges_to_the_weight_ratio() {
+    // Weights 1:3, both tenants saturated with equal offered load.
+    let mut opts = small_fleet(2);
+    opts.weights = vec![1, 3];
+    let cfg = EngineConfig {
+        queue_cap: 512,
+        max_batch: 8,
+        quantum: 1,
+        ..EngineConfig::default()
+    };
+    let mut engine = engine_with(cfg, &opts);
+
+    for req in 0..200 {
+        submit_npu(&mut engine, &opts, 0, req, 0);
+        submit_npu(&mut engine, &opts, 1, 1000 + req, 0);
+    }
+    // 2×25 flush visits; both queues stay non-empty throughout, so the
+    // credit stream is exactly weight × quantum per visit.
+    let mut completions = Vec::new();
+    for _ in 0..50 {
+        assert!(engine.flush(10, &mut completions));
+    }
+
+    let summary = engine.summary(1_000);
+    let t0 = summary.tenants["t0"].completed;
+    let t1 = summary.tenants["t1"].completed;
+    assert_eq!(t0 + t1, completions.len() as u64);
+    assert_eq!(
+        t1,
+        3 * t0,
+        "weight-3 tenant must get exactly 3x the service while saturated"
+    );
+    assert!(
+        summary.fairness_index > 0.999,
+        "weighted-fair shares should score ~1.0, got {}",
+        summary.fairness_index
+    );
+}
+
+#[test]
+fn context_switches_cost_the_config_save_restore_word_stream() {
+    let opts = small_fleet(2);
+    let mut engine = engine_with(EngineConfig::default(), &opts);
+    let enc_len: u64 = engine.config_of("t0").unwrap().encoded_len() as u64;
+    // Same topology on both tenants, so both configs encode to the
+    // same word count.
+    assert_eq!(
+        engine.config_of("t1").unwrap().encoded_len() as u64,
+        enc_len
+    );
+
+    let mut completions = Vec::new();
+    // First flush (t0): cold NPU, restore only.
+    submit_npu(&mut engine, &opts, 0, 0, 0);
+    engine.flush(1, &mut completions);
+    let s = engine.summary(10);
+    assert_eq!(s.context_switches, 1);
+    assert_eq!(s.context_switch_cycles, enc_len);
+
+    // t0 again: config already loaded — no switch.
+    submit_npu(&mut engine, &opts, 0, 1, 2);
+    engine.flush(3, &mut completions);
+    assert_eq!(engine.summary(10).context_switches, 1);
+
+    // t1: save t0 + restore t1.
+    submit_npu(&mut engine, &opts, 1, 2, 4);
+    engine.flush(5, &mut completions);
+    let s = engine.summary(10);
+    assert_eq!(s.context_switches, 2);
+    assert_eq!(s.context_switch_cycles, enc_len + 2 * enc_len);
+}
+
+#[test]
+fn submit_validation_is_precise_about_the_failure() {
+    let opts = small_fleet(1);
+    let mut engine = engine_with(EngineConfig::default(), &opts);
+
+    assert_eq!(
+        engine.submit("nope", 0, 0, InvokeMode::Npu, vec![0.0; 4], 0),
+        SubmitOutcome::UnknownTenant
+    );
+    assert_eq!(
+        engine.submit("t0", 0, 0, InvokeMode::Npu, vec![0.0; 3], 0),
+        SubmitOutcome::BadDimensions {
+            expected: 4,
+            got: 3
+        }
+    );
+
+    let mut no_region = small_fleet(1);
+    no_region.with_region = false;
+    let mut engine = engine_with(EngineConfig::default(), &no_region);
+    assert_eq!(
+        engine.submit("t0", 0, 0, InvokeMode::Precise, vec![0.0; 4], 0),
+        SubmitOutcome::NoPrecisePath
+    );
+    // Without a region the tenant cannot degrade either — NPU requests
+    // still get NPU service even on a drained budget.
+    let mut drained = small_fleet(1);
+    drained.with_region = false;
+    drained.error_budget = 0.0;
+    let mut engine = engine_with(EngineConfig::default(), &drained);
+    submit_npu(&mut engine, &drained, 0, 0, 0);
+    let mut completions = Vec::new();
+    drain(&mut engine, 1, &mut completions);
+    assert!(matches!(
+        completions[0].kind,
+        CompletionKind::Done { precise: false, .. }
+    ));
+}
+
+#[test]
+fn explicit_precise_offload_runs_the_region_code() {
+    let opts = small_fleet(1);
+    let mut engine = engine_with(EngineConfig::default(), &opts);
+    let reference = derive_fleet(&opts);
+    let inputs = inputs_for(&opts, 0, 0);
+    let outcome = engine.submit("t0", 0, 0, InvokeMode::Precise, inputs.clone(), 0);
+    assert!(matches!(outcome, SubmitOutcome::Enqueued { .. }));
+
+    let mut completions = Vec::new();
+    drain(&mut engine, 1, &mut completions);
+    let CompletionKind::Done {
+        outputs, precise, ..
+    } = &completions[0].kind
+    else {
+        panic!("unexpected completion");
+    };
+    assert!(precise);
+    let expected = reference[0]
+        .region
+        .as_ref()
+        .unwrap()
+        .evaluate(&inputs)
+        .unwrap();
+    assert_eq!(&expected, outputs);
+}
+
+#[test]
+fn identical_submission_sequences_complete_identically() {
+    // Same submissions + same virtual clock = byte-identical completion
+    // streams, the property the whole engine design exists for.
+    let opts = small_fleet(3);
+    let run = || -> Vec<Completion> {
+        let mut engine = engine_with(EngineConfig::default(), &opts);
+        let mut completions = Vec::new();
+        for req in 0..40 {
+            let tenant = (req % 3) as usize;
+            let mode = if req % 7 == 0 {
+                InvokeMode::Precise
+            } else {
+                InvokeMode::Npu
+            };
+            let _ = engine.submit(
+                &format!("t{tenant}"),
+                req,
+                if req % 5 == 0 { 3 } else { 0 },
+                mode,
+                inputs_for(&opts, tenant, req),
+                req, // µs: one submit per microsecond
+            );
+            if req % 10 == 9 {
+                engine.flush(req + 1, &mut completions);
+            }
+        }
+        drain(&mut engine, 100, &mut completions);
+        completions
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,123 @@
+//! Fuzz-style property tests for the wire protocol: decoding is total
+//! (arbitrary bytes never panic) and encoding round-trips.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use serve::proto::{InvokeMode, Reply, Request, MAX_FRAME_LEN};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any byte soup either decodes or returns a ProtoError — a panic
+    /// here would let one malformed client kill the daemon.
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Reply::decode(&bytes);
+    }
+
+    /// Same property with a well-formed header prefix, so the fuzz
+    /// reaches the per-kind body decoders instead of dying on the
+    /// version check.
+    #[test]
+    fn decoding_bodies_with_valid_headers_never_panics(
+        kind in any::<u8>(),
+        body in vec(any::<u8>(), 0..128),
+    ) {
+        let mut buf = serve::proto::PROTO_VERSION.to_le_bytes().to_vec();
+        buf.push(kind);
+        buf.extend_from_slice(&body);
+        let _ = Request::decode(&buf);
+        let _ = Reply::decode(&buf);
+    }
+
+    /// Invoke requests survive encode → decode bit-for-bit, including
+    /// non-finite floats.
+    #[test]
+    fn invoke_requests_round_trip(
+        tenant_bytes in vec(97u8..123, 0..12),
+        request_id in any::<u64>(),
+        deadline_us in any::<u64>(),
+        precise in any::<bool>(),
+        input_bits in vec(any::<u32>(), 0..24),
+    ) {
+        let req = Request::Invoke {
+            tenant: String::from_utf8(tenant_bytes).unwrap(),
+            request_id,
+            deadline_us,
+            mode: if precise { InvokeMode::Precise } else { InvokeMode::Npu },
+            inputs: input_bits.iter().map(|&b| f32::from_bits(b)).collect(),
+        };
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        prop_assert!(buf.len() <= MAX_FRAME_LEN as usize);
+        let back = Request::decode(&buf).expect("own encoding decodes");
+        match (&req, &back) {
+            (
+                Request::Invoke { tenant: t1, request_id: r1, deadline_us: d1, mode: m1, inputs: i1 },
+                Request::Invoke { tenant: t2, request_id: r2, deadline_us: d2, mode: m2, inputs: i2 },
+            ) => {
+                prop_assert_eq!(t1, t2);
+                prop_assert_eq!(r1, r2);
+                prop_assert_eq!(d1, d2);
+                prop_assert_eq!(m1, m2);
+                let b1: Vec<u32> = i1.iter().map(|v| v.to_bits()).collect();
+                let b2: Vec<u32> = i2.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(b1, b2);
+            }
+            _ => prop_assert!(false, "decoded to a different kind"),
+        }
+    }
+
+    /// Output replies survive encode → decode bit-for-bit.
+    #[test]
+    fn output_replies_round_trip(
+        request_id in any::<u64>(),
+        precise in any::<bool>(),
+        queued_us in any::<u64>(),
+        output_bits in vec(any::<u32>(), 0..24),
+    ) {
+        let reply = Reply::Outputs {
+            request_id,
+            precise,
+            queued_us,
+            outputs: output_bits.iter().map(|&b| f32::from_bits(b)).collect(),
+        };
+        let mut buf = Vec::new();
+        reply.encode(&mut buf);
+        let back = Reply::decode(&buf).expect("own encoding decodes");
+        match (&reply, &back) {
+            (
+                Reply::Outputs { request_id: r1, precise: p1, queued_us: q1, outputs: o1 },
+                Reply::Outputs { request_id: r2, precise: p2, queued_us: q2, outputs: o2 },
+            ) => {
+                prop_assert_eq!(r1, r2);
+                prop_assert_eq!(p1, p2);
+                prop_assert_eq!(q1, q2);
+                let b1: Vec<u32> = o1.iter().map(|v| v.to_bits()).collect();
+                let b2: Vec<u32> = o2.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(b1, b2);
+            }
+            _ => prop_assert!(false, "decoded to a different kind"),
+        }
+    }
+
+    /// Truncating a valid frame at any point yields an error, not junk.
+    #[test]
+    fn truncations_of_valid_encodings_error_cleanly(
+        input_bits in vec(any::<u32>(), 1..16),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let req = Request::Invoke {
+            tenant: "tenant".to_string(),
+            request_id: 1,
+            deadline_us: 2,
+            mode: InvokeMode::Npu,
+            inputs: input_bits.iter().map(|&b| f32::from_bits(b)).collect(),
+        };
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        let cut = ((buf.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert!(Request::decode(&buf[..cut]).is_err());
+    }
+}

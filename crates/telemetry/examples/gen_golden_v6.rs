@@ -1,15 +1,15 @@
-//! Regenerates `tests/data/run_report_v5.json`, the golden file pinning
+//! Regenerates `tests/data/run_report_v6.json`, the golden file pinning
 //! the current report schema. Run from the crate directory after an
 //! intentional schema change:
 //!
 //! ```text
-//! cargo run -p telemetry --example gen_golden_v5
+//! cargo run -p telemetry --example gen_golden_v6
 //! ```
 //!
-//! The values mirror the v4 golden so schema diffs stay readable, plus
-//! the v5 `notes` lint counter and the `precision` section.
+//! The values mirror the v5 golden so schema diffs stay readable, plus
+//! the v6 `serving` section.
 
-use telemetry::{Histogram, PhaseTiming, PrecisionRow, RunReport};
+use telemetry::{Histogram, PhaseTiming, PrecisionRow, RunReport, TenantServing};
 
 fn main() {
     let mut report = RunReport::new("parrot-run", "sweep", "fast");
@@ -109,9 +109,51 @@ fn main() {
     }
     report.push_distribution("region.output_error", &error);
 
+    report.serving.requests_total = 1_000;
+    report.serving.completed = 990;
+    report.serving.npu_served = 900;
+    report.serving.precise_served = 90;
+    report.serving.rejected = 8;
+    report.serving.timed_out = 2;
+    report.serving.protocol_errors = 0;
+    report.serving.batches = 70;
+    report.serving.batch_occupancy_mean = 14.142857142857142;
+    report.serving.context_switches = 35;
+    report.serving.context_switch_cycles = 12_670;
+    report.serving.invocations_per_s = 125_000.0;
+    report.serving.fairness_index = 0.998;
+    report.serving.tenants.insert(
+        "alpha".into(),
+        TenantServing {
+            weight: 2,
+            completed: 660,
+            npu_served: 600,
+            precise_served: 60,
+            rejected: 5,
+            timed_out: 1,
+            p50_us: 120.0,
+            p99_us: 900.0,
+            p999_us: 2_400.0,
+        },
+    );
+    report.serving.tenants.insert(
+        "beta".into(),
+        TenantServing {
+            weight: 1,
+            completed: 330,
+            npu_served: 300,
+            precise_served: 30,
+            rejected: 3,
+            timed_out: 1,
+            p50_us: 150.0,
+            p99_us: 1_100.0,
+            p999_us: 2_900.0,
+        },
+    );
+
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
     std::fs::create_dir_all(&path).unwrap();
-    let file = path.join("run_report_v5.json");
+    let file = path.join("run_report_v6.json");
     std::fs::write(&file, report.to_json()).unwrap();
     println!("wrote {}", file.display());
 }

@@ -58,7 +58,7 @@ pub use event::{Event, EventKind, Level};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{
     Distribution, LintSummary, PhaseTiming, PrecisionRow, PrecisionSummary, RunReport,
-    SchedulerSummary, SCHEMA_VERSION,
+    SchedulerSummary, ServingSummary, TenantServing, SCHEMA_VERSION,
 };
 pub use ring::RingBuffer;
 pub use sink::{CaptureSink, JsonlSink, NullSink, Sink, StderrSink};

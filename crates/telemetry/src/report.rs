@@ -16,8 +16,11 @@ use std::collections::BTreeMap;
 /// histograms) and bucket state inside every serialized [`Histogram`];
 /// v5 — added `notes` to [`LintSummary`] (proof-artifact findings from
 /// the interval analysis) and the `precision` section
-/// ([`PrecisionSummary`], static fixed-point bit-width requirements).
-pub const SCHEMA_VERSION: u64 = 5;
+/// ([`PrecisionSummary`], static fixed-point bit-width requirements);
+/// v6 — added the `serving` section ([`ServingSummary`], the
+/// `parrot-serve` invocation server's request/batching/fairness
+/// accounting).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Percentile summary of one sampled quantity, added in schema v4.
 ///
@@ -253,6 +256,117 @@ impl SchedulerSummary {
     }
 }
 
+/// Per-tenant accounting from one `parrot-serve` run, added in schema v6.
+///
+/// Latency percentiles are end-to-end (submit to completion) in
+/// microseconds, re-queryable from the `serve.latency_us.<tenant>` entry
+/// of [`RunReport::distributions`] when present.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantServing {
+    /// Scheduling weight (deficit round-robin credits per round).
+    pub weight: u64,
+    /// Requests answered (NPU or precise path).
+    pub completed: u64,
+    /// Requests answered by the batched NPU path.
+    pub npu_served: u64,
+    /// Requests answered by the precise CPU path (explicit region
+    /// offloads plus quality-budget degradation).
+    pub precise_served: u64,
+    /// Requests rejected with backpressure (`retry-after`).
+    pub rejected: u64,
+    /// Requests that missed their deadline and got a timeout reply.
+    pub timed_out: u64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile end-to-end latency, microseconds.
+    pub p999_us: f64,
+}
+
+/// Invocation-server accounting from `parrot-serve` /
+/// `parrot-serve-bench` (`crates/serve`), added in schema v6.
+///
+/// All-default outside serving runs, mirroring how [`SchedulerSummary`]
+/// stays all-zero outside harness sweeps. The serve crate defines the
+/// semantics; telemetry only carries the numbers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServingSummary {
+    /// Requests received (accepted + rejected + malformed).
+    pub requests_total: u64,
+    /// Requests answered with outputs (NPU or precise path).
+    pub completed: u64,
+    /// Requests answered by the batched NPU path.
+    pub npu_served: u64,
+    /// Requests answered by the precise CPU path.
+    pub precise_served: u64,
+    /// Requests rejected with backpressure (bounded queue full).
+    pub rejected: u64,
+    /// Requests that missed their deadline.
+    pub timed_out: u64,
+    /// Frames that failed to decode or carried an invalid body.
+    pub protocol_errors: u64,
+    /// Batches flushed through the NPU evaluator.
+    pub batches: u64,
+    /// Mean invocations per flushed batch (0 when no batch flushed).
+    pub batch_occupancy_mean: f64,
+    /// Simulated NPU context switches (tenant config reloads).
+    pub context_switches: u64,
+    /// Simulated cycles spent saving/restoring configs across switches.
+    pub context_switch_cycles: u64,
+    /// Completed invocations per wall-clock second.
+    pub invocations_per_s: f64,
+    /// Jain fairness index over weight-normalized per-tenant completed
+    /// throughput (1.0 = perfectly weighted-fair; 0 when no tenant
+    /// completed anything).
+    pub fairness_index: f64,
+    /// Per-tenant breakdown, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantServing>,
+}
+
+impl ServingSummary {
+    /// Fraction of completed requests served by the NPU path.
+    pub fn npu_fraction(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.npu_served as f64 / self.completed as f64
+        }
+    }
+
+    /// Exports the summary into `metrics` under `prefix`
+    /// (e.g. `serving`): per-field counters and gauges, plus per-tenant
+    /// `<prefix>.tenant.<name>.completed` counters.
+    pub fn export(&self, metrics: &mut MetricsRegistry, prefix: &str) {
+        metrics.add(&format!("{prefix}.requests_total"), self.requests_total);
+        metrics.add(&format!("{prefix}.completed"), self.completed);
+        metrics.add(&format!("{prefix}.npu_served"), self.npu_served);
+        metrics.add(&format!("{prefix}.precise_served"), self.precise_served);
+        metrics.add(&format!("{prefix}.rejected"), self.rejected);
+        metrics.add(&format!("{prefix}.timed_out"), self.timed_out);
+        metrics.add(&format!("{prefix}.protocol_errors"), self.protocol_errors);
+        metrics.add(&format!("{prefix}.batches"), self.batches);
+        metrics.add(&format!("{prefix}.context_switches"), self.context_switches);
+        metrics.add(
+            &format!("{prefix}.context_switch_cycles"),
+            self.context_switch_cycles,
+        );
+        metrics.set_gauge(
+            &format!("{prefix}.batch_occupancy_mean"),
+            self.batch_occupancy_mean,
+        );
+        metrics.set_gauge(
+            &format!("{prefix}.invocations_per_s"),
+            self.invocations_per_s,
+        );
+        metrics.set_gauge(&format!("{prefix}.fairness_index"), self.fairness_index);
+        metrics.set_gauge(&format!("{prefix}.npu_fraction"), self.npu_fraction());
+        for (name, t) in &self.tenants {
+            metrics.add(&format!("{prefix}.tenant.{name}.completed"), t.completed);
+        }
+    }
+}
+
 /// Machine-readable record of one benchmark run.
 ///
 /// Serialized (pretty JSON) into `results/<benchmark>.json` by the bench
@@ -283,6 +397,9 @@ pub struct RunReport {
     /// Experiment-harness scheduler and artifact-cache accounting
     /// (all-zero outside harness-driven sweeps; see [`SchedulerSummary`]).
     pub scheduler: SchedulerSummary,
+    /// Invocation-server accounting (all-default outside `parrot-serve`
+    /// runs; see [`ServingSummary`]). Added in schema v6.
+    pub serving: ServingSummary,
     /// Percentile summaries keyed by quantity name
     /// (`npu.invocation_cycles`, `region.output_error`, …), added in
     /// schema v4. Per-benchmark entries are deterministic (simulated
@@ -306,6 +423,7 @@ impl RunReport {
             lint: LintSummary::default(),
             precision: PrecisionSummary::default(),
             scheduler: SchedulerSummary::default(),
+            serving: ServingSummary::default(),
             distributions: BTreeMap::new(),
             metrics: MetricsRegistry::new(),
         }
@@ -468,6 +586,42 @@ mod tests {
         assert_eq!(dist.count, 100);
         assert!(dist.p50 <= dist.p90 && dist.p90 <= dist.p99 && dist.p99 <= dist.p999);
         assert_eq!(dist.hist.quantile(0.99), dist.p99, "hist must re-query");
+    }
+
+    #[test]
+    fn serving_section_survives_the_json_round_trip() {
+        let mut report = RunReport::new("parrot-serve-bench", "serve", "fast");
+        report.serving.requests_total = 1_000;
+        report.serving.completed = 990;
+        report.serving.npu_served = 900;
+        report.serving.precise_served = 90;
+        report.serving.rejected = 8;
+        report.serving.timed_out = 2;
+        report.serving.batches = 70;
+        report.serving.batch_occupancy_mean = 14.1;
+        report.serving.invocations_per_s = 125_000.0;
+        report.serving.fairness_index = 0.99;
+        report.serving.tenants.insert(
+            "t0".into(),
+            TenantServing {
+                weight: 2,
+                completed: 500,
+                npu_served: 500,
+                p50_us: 120.0,
+                p99_us: 900.0,
+                p999_us: 2_400.0,
+                ..TenantServing::default()
+            },
+        );
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert!((back.serving.npu_fraction() - 900.0 / 990.0).abs() < 1e-12);
+
+        let mut metrics = MetricsRegistry::new();
+        back.serving.export(&mut metrics, "serving");
+        assert_eq!(metrics.counter("serving.completed"), 990);
+        assert_eq!(metrics.counter("serving.tenant.t0.completed"), 500);
+        assert_eq!(metrics.gauge("serving.fairness_index"), Some(0.99));
     }
 
     #[test]

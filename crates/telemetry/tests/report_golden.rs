@@ -1,7 +1,7 @@
-//! Golden-file test: a checked-in v5 run report must keep parsing, and
+//! Golden-file test: a checked-in v6 run report must keep parsing, and
 //! re-serializing it must preserve every value. This pins the external
 //! JSON schema — if this test breaks, bump `SCHEMA_VERSION`, regenerate
-//! the golden (`cargo run -p telemetry --example gen_golden_v5`), and
+//! the golden (`cargo run -p telemetry --example gen_golden_v6`), and
 //! update the diff documentation instead of silently changing the layout.
 //!
 //! Schema history: v1 → v2 added the required `lint` section (region
@@ -10,20 +10,23 @@
 //! required `distributions` section (percentile summaries) and bucket
 //! state inside every serialized histogram; v4 → v5 added the required
 //! `notes` lint counter and the `precision` section (static fixed-point
-//! bit-width requirements). v1–v4 reports are deliberately rejected —
-//! the checks below pin that behaviour.
+//! bit-width requirements); v5 → v6 added the required `serving` section
+//! (the `parrot-serve` invocation server's request/batching/fairness
+//! accounting). v1–v5 reports are deliberately rejected — the checks
+//! below pin that behaviour.
 
 use telemetry::RunReport;
 
-const GOLDEN: &str = include_str!("data/run_report_v5.json");
+const GOLDEN: &str = include_str!("data/run_report_v6.json");
 const GOLDEN_V1: &str = include_str!("data/run_report_v1.json");
 const GOLDEN_V2: &str = include_str!("data/run_report_v2.json");
 const GOLDEN_V3: &str = include_str!("data/run_report_v3.json");
 const GOLDEN_V4: &str = include_str!("data/run_report_v4.json");
+const GOLDEN_V5: &str = include_str!("data/run_report_v5.json");
 
 #[test]
 fn golden_report_parses_back() {
-    let report = RunReport::from_json(GOLDEN).expect("golden v5 report must parse");
+    let report = RunReport::from_json(GOLDEN).expect("golden v6 report must parse");
     assert_eq!(report.schema_version, telemetry::SCHEMA_VERSION);
     assert_eq!(report.suite, "parrot-run");
     assert_eq!(report.benchmark, "sweep");
@@ -80,6 +83,29 @@ fn golden_report_parses_back() {
     let err = &report.distributions["region.output_error"];
     assert_eq!(err.count, 5);
     assert_eq!(err.hist.nonpositive(), 1, "exact-zero error underflows");
+
+    assert_eq!(report.serving.requests_total, 1_000);
+    assert_eq!(report.serving.completed, 990);
+    assert_eq!(report.serving.npu_served, 900);
+    assert_eq!(report.serving.precise_served, 90);
+    assert_eq!(report.serving.rejected, 8);
+    assert_eq!(report.serving.timed_out, 2);
+    assert_eq!(report.serving.protocol_errors, 0);
+    assert_eq!(report.serving.batches, 70);
+    assert!(report.serving.batch_occupancy_mean > 14.0);
+    assert_eq!(report.serving.context_switches, 35);
+    assert_eq!(report.serving.invocations_per_s, 125_000.0);
+    assert!((report.serving.fairness_index - 0.998).abs() < 1e-12);
+    assert!((report.serving.npu_fraction() - 900.0 / 990.0).abs() < 1e-12);
+    assert_eq!(report.serving.tenants.len(), 2);
+    let alpha = &report.serving.tenants["alpha"];
+    assert_eq!((alpha.weight, alpha.completed), (2, 660));
+    assert!(alpha.p50_us <= alpha.p99_us && alpha.p99_us <= alpha.p999_us);
+    // Weighted-fair shares: alpha (weight 2) completed twice beta's count.
+    assert_eq!(
+        alpha.completed,
+        2 * report.serving.tenants["beta"].completed
+    );
 
     assert_eq!(report.metrics.counter("uarch.baseline.cycles"), 900_000);
     assert_eq!(report.metrics.counter("npu.macs"), 5_120);
@@ -149,6 +175,18 @@ fn v4_report_without_precision_section_is_rejected() {
     let msg = err.to_string();
     assert!(
         msg.contains("precision") || msg.contains("notes") || msg.contains("schema version"),
+        "unexpected rejection reason: {err}"
+    );
+}
+
+#[test]
+fn v5_report_without_serving_section_is_rejected() {
+    // v5 files predate the required `serving` section, so parsing fails
+    // before the explicit schema-version check even runs.
+    let err = RunReport::from_json(GOLDEN_V5).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("serving") || msg.contains("schema version"),
         "unexpected rejection reason: {err}"
     );
 }
